@@ -1,0 +1,111 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (Section 5), one Benchmark per experiment. Each iteration
+// executes the full experiment at a reduced scale tuned so a single run
+// takes well under a second; `go run ./cmd/holisticbench` executes the
+// same experiments at the larger default scale and prints the tables.
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+//
+// Print a figure's rows while benchmarking:
+//
+//	go test -bench=BenchmarkFig6a -v
+package holistic_test
+
+import (
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"holistic/internal/bench"
+)
+
+// benchParams shrinks the evaluation scale so each experiment fits a
+// benchmark iteration; holisticbench uses the full defaults.
+func benchParams() bench.Params {
+	p := bench.DefaultParams()
+	p.ColumnSize = 1 << 17
+	p.Queries = 200
+	p.Attrs = 5
+	p.Domain = 1 << 30
+	p.Interval = time.Millisecond
+	p.Refinements = 16
+	p.L1Values = 2048
+	p.TPCHOrders = 4000
+	return p
+}
+
+var printOnce sync.Map
+
+// runExperiment executes one registered experiment per iteration.
+func runExperiment(b *testing.B, name string) {
+	b.Helper()
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Run(name, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, printed := printOnce.LoadOrStore(name, true); !printed && testing.Verbose() {
+			b.StopTimer()
+			res.Fprint(os.Stdout)
+			b.StartTimer()
+		}
+	}
+}
+
+// Table 1 — qualitative comparison of the four indexing approaches.
+func BenchmarkTable1Qualitative(b *testing.B) { runExperiment(b, "table1") }
+
+// Figure 6(a) — cumulative response time of no/offline/online/adaptive/
+// holistic indexing over the Section 5.1 microbenchmark.
+func BenchmarkFig6aCumulativeResponse(b *testing.B) { runExperiment(b, "fig6a") }
+
+// Figure 6(b) — per-bucket breakdown, adaptive vs holistic.
+func BenchmarkFig6bBreakdown(b *testing.B) { runExperiment(b, "fig6b") }
+
+// Figure 6(c) — cumulative index partitions, adaptive vs holistic.
+func BenchmarkFig6cIndexPartitions(b *testing.B) { runExperiment(b, "fig6c") }
+
+// Figure 6(d) — worker activations and per-cycle worker time.
+func BenchmarkFig6dIdleUtilization(b *testing.B) { runExperiment(b, "fig6d") }
+
+// Figure 7 — distribution of threads between user queries and workers.
+func BenchmarkFig7ThreadDistribution(b *testing.B) { runExperiment(b, "fig7") }
+
+// Figure 8 — per-query response time of adaptive indexing.
+func BenchmarkFig8PerQueryAdaptive(b *testing.B) { runExperiment(b, "fig8") }
+
+// Figure 9 — idle time before the workload (Cpotential prefill).
+func BenchmarkFig9IdlePrefill(b *testing.B) { runExperiment(b, "fig9") }
+
+// Figure 10 — the five workload patterns' predicate series.
+func BenchmarkFig10WorkloadPatterns(b *testing.B) { runExperiment(b, "fig10") }
+
+// Figure 11 — cores sweep: mP-CCGI vs PVDC vs PVSDC vs HI.
+func BenchmarkFig11CoresSweep(b *testing.B) { runExperiment(b, "fig11") }
+
+// Figure 12 — robustness across workload patterns.
+func BenchmarkFig12Robustness(b *testing.B) { runExperiment(b, "fig12") }
+
+// Figure 13 — attribute-count sweep with strategies W1-W4.
+func BenchmarkFig13AttributeSweep(b *testing.B) { runExperiment(b, "fig13") }
+
+// Figure 14 — TPC-H Q1/Q6/Q12 under four execution modes.
+func BenchmarkFig14TPCH(b *testing.B) { runExperiment(b, "fig14") }
+
+// Figure 15 — refinements-per-worker (x) sweep.
+func BenchmarkFig15RefinementSweep(b *testing.B) { runExperiment(b, "fig15") }
+
+// Figure 16 — HFLV/LFHV update scenarios.
+func BenchmarkFig16Updates(b *testing.B) { runExperiment(b, "fig16") }
+
+// Figure 17 — concurrent-clients sweep.
+func BenchmarkFig17Clients(b *testing.B) { runExperiment(b, "fig17") }
+
+// Ablations of DESIGN.md's called-out design decisions.
+func BenchmarkAblationPivotChoice(b *testing.B) { runExperiment(b, "ablation-pivot") }
+func BenchmarkAblationLatchPolicy(b *testing.B) { runExperiment(b, "ablation-latch") }
+func BenchmarkAblationL1Threshold(b *testing.B) { runExperiment(b, "ablation-l1") }

@@ -1,0 +1,84 @@
+// Command holisticbench regenerates the tables and figures of "Holistic
+// Indexing in Main-memory Column-stores" (SIGMOD 2015) at a configurable
+// reduced scale.
+//
+// Usage:
+//
+//	holisticbench -experiment fig6a            # one figure
+//	holisticbench -experiment all              # the whole evaluation
+//	holisticbench -list                        # enumerate experiments
+//	holisticbench -experiment fig12 -columns 4194304 -queries 1000
+//
+// Scale defaults target a laptop-class machine; EXPERIMENTS.md records a
+// full run and compares each result against the paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"holistic/internal/bench"
+)
+
+func main() {
+	defaults := bench.DefaultParams()
+	var (
+		experiment  = flag.String("experiment", "all", "experiment name (see -list) or 'all'")
+		list        = flag.Bool("list", false, "list available experiments and exit")
+		columns     = flag.Int("columns", defaults.ColumnSize, "values per attribute")
+		queries     = flag.Int("queries", defaults.Queries, "queries per workload")
+		attrs       = flag.Int("attrs", defaults.Attrs, "number of attributes")
+		domain      = flag.Int64("domain", defaults.Domain, "attribute value domain")
+		threads     = flag.Int("threads", defaults.Threads, "hardware-context budget")
+		interval    = flag.Duration("interval", defaults.Interval, "daemon tuning interval")
+		refinements = flag.Int("x", defaults.Refinements, "refinements per holistic worker")
+		l1          = flag.Int("l1", defaults.L1Values, "optimal piece size in values (|L1|)")
+		tpchOrders  = flag.Int("tpch-orders", defaults.TPCHOrders, "ORDERS cardinality for fig14")
+		seed        = flag.Int64("seed", defaults.Seed, "random seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-16s %s\n", e.Name, e.Title)
+		}
+		return
+	}
+
+	p := bench.Params{
+		ColumnSize:  *columns,
+		Queries:     *queries,
+		Attrs:       *attrs,
+		Domain:      *domain,
+		Threads:     *threads,
+		Interval:    *interval,
+		Refinements: *refinements,
+		L1Values:    *l1,
+		TPCHOrders:  *tpchOrders,
+		Seed:        *seed,
+	}
+
+	var names []string
+	if *experiment == "all" {
+		for _, e := range bench.Experiments() {
+			names = append(names, e.Name)
+		}
+	} else {
+		names = []string{*experiment}
+	}
+
+	start := time.Now()
+	for _, name := range names {
+		res, err := bench.Run(name, p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "holisticbench:", err)
+			os.Exit(1)
+		}
+		res.Fprint(os.Stdout)
+	}
+	if len(names) > 1 {
+		fmt.Printf("total: %v\n", time.Since(start).Round(time.Millisecond))
+	}
+}

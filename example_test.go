@@ -1,0 +1,39 @@
+package holistic_test
+
+import (
+	"fmt"
+	"time"
+
+	"holistic"
+)
+
+// Example demonstrates the zero-administration workflow: load columns,
+// query, and let holistic indexing tune the physical design on idle CPU
+// contexts.
+func Example() {
+	store := holistic.NewStore(holistic.Config{
+		Mode:           holistic.ModeHolistic,
+		Threads:        2,
+		TuningInterval: time.Millisecond,
+		Seed:           1,
+	})
+	defer store.Close()
+
+	prices := make([]int64, 100_000)
+	for i := range prices {
+		prices[i] = int64(i * 7 % 10_000)
+	}
+	if err := store.AddIntColumn("price", prices); err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	n, err := store.CountRange("price", 1000, 2000)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%d rows with 1000 <= price < 2000\n", n)
+	// Output:
+	// 10000 rows with 1000 <= price < 2000
+}

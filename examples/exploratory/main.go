@@ -1,0 +1,77 @@
+// Exploratory analysis: the ad-hoc, no-workload-knowledge scenario that
+// motivates holistic indexing (the paper's SkyServer use case). An
+// astronomer sweeps regions of the sky with range queries whose focus
+// drifts and jumps; nobody could have chosen indexes upfront.
+//
+// The example replays the same exploration session against an
+// adaptive-only store and a holistic store and reports the running
+// totals: holistic indexing exploits the think-time between queries.
+//
+//	go run ./examples/exploratory
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"holistic"
+	"holistic/internal/workload"
+)
+
+const (
+	rows    = 1 << 20
+	domain  = 1 << 30
+	queries = 200
+	// thinkTime models the gap between an analyst's queries: the idle
+	// resource holistic indexing feeds on.
+	thinkTime = 2 * time.Millisecond
+)
+
+func session(mode holistic.Mode) (time.Duration, holistic.Stats) {
+	store := holistic.NewStore(holistic.Config{
+		Mode:           mode,
+		Threads:        2,
+		TuningInterval: time.Millisecond,
+		Seed:           7,
+	})
+	defer store.Close()
+
+	// Sky catalog: right ascension, declination, magnitude.
+	for i, name := range []string{"ra", "dec", "mag"} {
+		if err := store.AddIntColumn(name, workload.UniformColumn(rows, domain, int64(i))); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// The SkyServer trace: drifting region sweeps with jumps (Fig 10e),
+	// all on right ascension, like the paper's Photoobjall log replay.
+	series := workload.PredicateSeries(workload.SkyServer, queries, domain, 99)
+
+	var busy time.Duration
+	for _, v := range series {
+		start := time.Now()
+		if _, err := store.CountRange("ra", v, v+domain/64); err != nil {
+			log.Fatal(err)
+		}
+		busy += time.Since(start)
+		time.Sleep(thinkTime) // analyst is thinking; CPUs are idle
+	}
+	return busy, store.Stats()
+}
+
+func main() {
+	fmt.Printf("replaying a %d-query exploratory session (SkyServer-like pattern)\n\n", queries)
+
+	adaptiveTime, adaptiveStats := session(holistic.ModeAdaptive)
+	holisticTime, holisticStats := session(holistic.ModeHolistic)
+
+	fmt.Printf("adaptive indexing:  query time %8v, %5d partitions\n",
+		adaptiveTime.Round(time.Millisecond), adaptiveStats.Pieces)
+	fmt.Printf("holistic indexing:  query time %8v, %5d partitions (%d background refinements)\n",
+		holisticTime.Round(time.Millisecond), holisticStats.Pieces, holisticStats.Refinements)
+	if holisticTime < adaptiveTime {
+		fmt.Printf("\nholistic indexing cut query time by %.0f%% using only idle think-time\n",
+			100*(1-holisticTime.Seconds()/adaptiveTime.Seconds()))
+	}
+}

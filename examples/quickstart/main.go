@@ -1,0 +1,69 @@
+// Quickstart: build a store, run range queries, watch holistic indexing
+// refine the physical design in the background.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"holistic"
+)
+
+func main() {
+	const (
+		rows   = 1 << 20
+		domain = 1 << 30
+	)
+
+	// A store in holistic mode: queries crack adaptively AND a background
+	// daemon spends idle CPU contexts refining the index space.
+	store := holistic.NewStore(holistic.Config{
+		Mode:           holistic.ModeHolistic,
+		Threads:        2,
+		TuningInterval: 5 * time.Millisecond, // paper default is 1s; smaller for a demo
+		Seed:           1,
+	})
+	defer store.Close()
+
+	rng := rand.New(rand.NewSource(42))
+	prices := make([]int64, rows)
+	for i := range prices {
+		prices[i] = rng.Int63n(domain)
+	}
+	if err := store.AddIntColumn("price", prices); err != nil {
+		log.Fatal(err)
+	}
+
+	// First query: creates the adaptive index (pays the column copy and
+	// the first crack).
+	start := time.Now()
+	n, err := store.CountRange("price", domain/4, domain/2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query 1: %8d rows in %8v  (index created)\n", n, time.Since(start).Round(time.Microsecond))
+
+	// Let the daemon use the idle time between user queries.
+	time.Sleep(200 * time.Millisecond)
+
+	// Later queries find a much finer index than their own cracking
+	// alone would have produced.
+	for q := 2; q <= 5; q++ {
+		lo := rng.Int63n(domain)
+		hi := lo + rng.Int63n(domain-lo) + 1
+		start = time.Now()
+		n, err = store.CountRange("price", lo, hi)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("query %d: %8d rows in %8v\n", q, n, time.Since(start).Round(time.Microsecond))
+	}
+
+	st := store.Stats()
+	fmt.Printf("\nself-tuning state: %d index partitions, %d background refinements over %d activations\n",
+		st.Pieces, st.Refinements, st.Activations)
+}

@@ -1,0 +1,85 @@
+// Updates under adaptive vs holistic indexing (the paper's Section 5.7):
+// range queries interleave with insert batches; inserts are buffered as
+// pending updates and merged into the cracker column via the Ripple
+// algorithm — by queries that need them, and (under holistic indexing)
+// by background workers during idle time, which also keeps the index
+// up to date for free.
+//
+//	go run ./examples/updates
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"holistic"
+	"holistic/internal/workload"
+)
+
+const (
+	rows    = 1 << 19
+	domain  = 1 << 30
+	queries = 300
+)
+
+func run(mode holistic.Mode) (time.Duration, int) {
+	store := holistic.NewStore(holistic.Config{
+		Mode:           mode,
+		Threads:        2,
+		TuningInterval: time.Millisecond,
+		Seed:           3,
+	})
+	defer store.Close()
+	if err := store.AddIntColumn("a", workload.UniformColumn(rows, domain, 1)); err != nil {
+		log.Fatal(err)
+	}
+
+	// High Frequency Low Volume: 10 inserts after every 10 queries.
+	batches := workload.InsertBatches(workload.HFLV, queries, domain, 2)
+	next := 0
+	rng := rand.New(rand.NewSource(5))
+
+	var queryTime time.Duration
+	total := 0
+	for q := 0; q < queries; q++ {
+		lo := rng.Int63n(domain)
+		hi := lo + rng.Int63n(domain-lo) + 1
+		start := time.Now()
+		n, err := store.CountRange("a", lo, hi)
+		if err != nil {
+			log.Fatal(err)
+		}
+		queryTime += time.Since(start)
+		total += n
+
+		for next < len(batches) && batches[next].AfterQuery == q+1 {
+			for _, v := range batches[next].Values {
+				if err := store.Insert("a", v); err != nil {
+					log.Fatal(err)
+				}
+			}
+			next++
+		}
+		if q == 9 {
+			// Idle gap in the workload: only holistic indexing can use it
+			// (refining pieces AND merging pending inserts).
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	return queryTime, total
+}
+
+func main() {
+	fmt.Printf("HFLV update scenario: %d range queries, 10 inserts every 10 queries\n\n", queries)
+	aTime, aRows := run(holistic.ModeAdaptive)
+	hTime, hRows := run(holistic.ModeHolistic)
+	fmt.Printf("adaptive indexing: %10v  (%d result rows)\n", aTime.Round(time.Millisecond), aRows)
+	fmt.Printf("holistic indexing: %10v  (%d result rows)\n", hTime.Round(time.Millisecond), hRows)
+	if aRows != hRows {
+		log.Fatalf("modes disagree: %d vs %d result rows", aRows, hRows)
+	}
+	fmt.Println("\nboth modes return identical results; holistic spends idle time merging")
+	fmt.Println("pending inserts and refining pieces, so queries find the work done")
+}

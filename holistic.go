@@ -1,0 +1,308 @@
+// Package holistic is a main-memory column-store library with holistic
+// indexing: always-on, zero-administration adaptive index tuning that
+// exploits idle CPU resources, reproducing "Holistic Indexing in
+// Main-memory Column-stores" (Petraki, Idreos, Manegold; SIGMOD 2015).
+//
+// A Store holds integer columns and answers range selections. Depending
+// on the configured Mode it scans, uses full (offline/online) indexing,
+// cracks adaptively, or — the paper's contribution — cracks adaptively
+// while a background daemon continuously refines the index space
+// whenever CPU contexts are idle:
+//
+//	store := holistic.NewStore(holistic.Config{Mode: holistic.ModeHolistic})
+//	store.AddIntColumn("price", prices)
+//	defer store.Close()
+//	n, _ := store.CountRange("price", 100, 200) // cracks as a side effect
+//
+// Non-integer attributes map onto int64 the way fixed-width column-stores
+// do it: dates as day numbers, decimals as scaled integers, strings as
+// dictionary codes (see internal/column.Dict).
+package holistic
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"holistic/internal/column"
+	"holistic/internal/cracking"
+	"holistic/internal/engine"
+	"holistic/internal/holistic"
+	"holistic/internal/stats"
+)
+
+// Mode selects the indexing approach of a Store.
+type Mode int
+
+const (
+	// ModeScan answers queries with parallel scans; no indexing.
+	ModeScan Mode = iota
+	// ModeOffline pre-sorts every column (call Prepare) and answers with
+	// binary search.
+	ModeOffline
+	// ModeOnline scans for an epoch of queries, then sorts all columns.
+	ModeOnline
+	// ModeAdaptive cracks columns as a side effect of queries (database
+	// cracking with the parallel vectorized kernel).
+	ModeAdaptive
+	// ModeStochastic is ModeAdaptive plus one auxiliary random crack per
+	// query (stochastic cracking).
+	ModeStochastic
+	// ModeCCGI is the chunked coarse-granular multi-core baseline.
+	ModeCCGI
+	// ModeHolistic is ModeAdaptive plus the holistic indexing daemon:
+	// idle CPU contexts continuously refine the index space.
+	ModeHolistic
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeScan:
+		return "scan"
+	case ModeOffline:
+		return "offline"
+	case ModeOnline:
+		return "online"
+	case ModeAdaptive:
+		return "adaptive"
+	case ModeStochastic:
+		return "stochastic"
+	case ModeCCGI:
+		return "ccgi"
+	case ModeHolistic:
+		return "holistic"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Strategy picks which index the holistic daemon refines next (the
+// W1-W4 strategies of the paper; random is the recommended default).
+type Strategy int
+
+const (
+	// StrategyRandom is W4: a uniformly random index. Robust default.
+	StrategyRandom Strategy = iota
+	// StrategyDistance is W1: the index farthest from optimal.
+	StrategyDistance
+	// StrategyFrequency is W2: distance weighted by access frequency.
+	StrategyFrequency
+	// StrategyMisses is W3: W2 discounted by exact-hit frequency.
+	StrategyMisses
+)
+
+func (s Strategy) internal() stats.Strategy {
+	switch s {
+	case StrategyDistance:
+		return stats.W1
+	case StrategyFrequency:
+		return stats.W2
+	case StrategyMisses:
+		return stats.W3
+	default:
+		return stats.W4
+	}
+}
+
+// Config tunes a Store. The zero value is a usable adaptive-indexing
+// configuration; set Mode to choose another approach.
+type Config struct {
+	// Mode selects the indexing approach (default ModeAdaptive).
+	Mode Mode
+	// Threads is the hardware-context budget (default 2): scan and sort
+	// parallelism, and — under ModeHolistic — the pool split between
+	// user queries and holistic workers.
+	Threads int
+	// UserThreads caps the contexts one user query occupies under
+	// ModeHolistic (default Threads/2); the rest feed the daemon.
+	UserThreads int
+	// OnlineEpoch is the monitoring epoch of ModeOnline in queries
+	// (default 100).
+	OnlineEpoch int
+	// L1CacheBytes is the L1 data cache size defining the optimal piece
+	// size of Equation 1 (default 32 KiB).
+	L1CacheBytes int
+	// TuningInterval is the daemon's CPU-load measurement window
+	// (default 1s, the paper's choice; benchmarks use milliseconds).
+	TuningInterval time.Duration
+	// RefinementsPerWorker is x, the refinement actions per activated
+	// worker (default 16, the paper's sweet spot).
+	RefinementsPerWorker int
+	// Strategy picks the index-decision strategy (default random/W4).
+	Strategy Strategy
+	// StorageBudget bounds the materialized index space in bytes under
+	// ModeHolistic; 0 = unlimited. LFU indices are evicted to fit.
+	StorageBudget int64
+	// Seed fixes all randomized choices for reproducibility.
+	Seed int64
+}
+
+func (c Config) threads() int {
+	if c.Threads < 1 {
+		return 2
+	}
+	return c.Threads
+}
+
+func (c Config) l1Values() int {
+	if c.L1CacheBytes <= 0 {
+		return stats.DefaultL1Values
+	}
+	return c.L1CacheBytes / 8
+}
+
+// Store is a main-memory column-store over int64 columns.
+type Store struct {
+	cfg Config
+
+	mu    sync.Mutex
+	table *engine.Table
+	exec  engine.Executor
+}
+
+// NewStore creates an empty store.
+func NewStore(cfg Config) *Store {
+	return &Store{cfg: cfg, table: engine.NewTable("store")}
+}
+
+// AddIntColumn adds a named column. Columns must be added before the
+// first query; all columns must have equal length.
+func (s *Store) AddIntColumn(name string, values []int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.exec != nil {
+		return fmt.Errorf("holistic: cannot add column %q after the first query", name)
+	}
+	return s.table.AddColumn(column.New(name, values))
+}
+
+// executor builds the mode's executor on first use.
+func (s *Store) executor() engine.Executor {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.exec == nil {
+		s.exec = s.build()
+	}
+	return s.exec
+}
+
+func (s *Store) build() engine.Executor {
+	threads := s.cfg.threads()
+	crackCfg := cracking.Config{
+		Kernel:          cracking.KernelVectorized,
+		ParallelWorkers: threads,
+		Seed:            s.cfg.Seed,
+	}
+	switch s.cfg.Mode {
+	case ModeScan:
+		return engine.NewScanExecutor(s.table, threads)
+	case ModeOffline:
+		return engine.NewOfflineExecutor(s.table, threads)
+	case ModeOnline:
+		return engine.NewOnlineExecutor(s.table, threads, s.cfg.OnlineEpoch)
+	case ModeStochastic:
+		crackCfg.Stochastic = true
+		return engine.NewAdaptiveExecutor(s.table, crackCfg, "stochastic")
+	case ModeCCGI:
+		return engine.NewCCGIExecutor(s.table, threads, 64, cracking.Config{Seed: s.cfg.Seed})
+	case ModeHolistic:
+		user := s.cfg.UserThreads
+		if user < 1 {
+			user = threads / 2
+		}
+		if user < 1 {
+			user = 1
+		}
+		crackCfg.ParallelWorkers = user
+		return engine.NewHolisticExecutor(s.table, engine.HolisticConfig{
+			Cracking: crackCfg,
+			Daemon: holistic.Config{
+				Interval:      s.cfg.TuningInterval,
+				Refinements:   s.cfg.RefinementsPerWorker,
+				Strategy:      s.cfg.Strategy.internal(),
+				Seed:          s.cfg.Seed,
+				StorageBudget: s.cfg.StorageBudget,
+			},
+			L1Values:    s.cfg.l1Values(),
+			Contexts:    threads,
+			UserThreads: user,
+			StatsSeed:   s.cfg.Seed,
+		})
+	default:
+		return engine.NewAdaptiveExecutor(s.table, crackCfg, "")
+	}
+}
+
+// Prepare performs the mode's upfront work: under ModeOffline it sorts
+// every column now (otherwise the first query on each attribute pays the
+// sort). Other modes need no preparation.
+func (s *Store) Prepare() {
+	if off, ok := s.executor().(*engine.OfflineExecutor); ok {
+		off.PrepareAll()
+	}
+}
+
+// CountRange answers "select count(*) where lo <= attr < hi", building or
+// refining the mode's index structures as a side effect.
+func (s *Store) CountRange(attr string, lo, hi int64) (int, error) {
+	return s.executor().Count(attr, lo, hi)
+}
+
+// Insert appends a value to a column as a pending insertion, merged into
+// the adaptive index lazily (Ripple). Supported by the adaptive,
+// stochastic and holistic modes.
+func (s *Store) Insert(attr string, v int64) error {
+	if ins, ok := s.executor().(engine.Inserter); ok {
+		return ins.Insert(attr, v)
+	}
+	return fmt.Errorf("holistic: mode %v does not support inserts", s.cfg.Mode)
+}
+
+// AddPotentialIndex registers attr in the potential configuration
+// (ModeHolistic): the daemon may refine it before any query arrives —
+// how the paper exploits idle time before a workload.
+func (s *Store) AddPotentialIndex(attr string) error {
+	if h, ok := s.executor().(*engine.HolisticExecutor); ok {
+		return h.AddPotential(attr)
+	}
+	return fmt.Errorf("holistic: mode %v has no potential configuration", s.cfg.Mode)
+}
+
+// Stats summarizes the store's self-tuning state.
+type Stats struct {
+	// Mode echoes the configured mode.
+	Mode Mode
+	// Pieces is the total number of index partitions across all adaptive
+	// indices (0 for non-cracking modes).
+	Pieces int
+	// Refinements counts successful background refinement actions
+	// (ModeHolistic only).
+	Refinements int64
+	// Activations counts daemon tuning cycles that ran workers
+	// (ModeHolistic only).
+	Activations int
+}
+
+// Stats returns a snapshot of the tuning telemetry.
+func (s *Store) Stats() Stats {
+	st := Stats{Mode: s.cfg.Mode}
+	switch e := s.executor().(type) {
+	case *engine.HolisticExecutor:
+		st.Pieces = e.TotalPieces()
+		st.Refinements = e.Daemon.Refinements()
+		st.Activations = len(e.Daemon.Cycles())
+	case *engine.AdaptiveExecutor:
+		st.Pieces = e.TotalPieces()
+	}
+	return st
+}
+
+// Close stops background tuning. The store must not be used afterwards.
+func (s *Store) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.exec != nil {
+		s.exec.Close()
+	}
+}

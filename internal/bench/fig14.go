@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"time"
+
+	"holistic/internal/tpch"
+)
+
+func init() {
+	register("fig14", "TPC-H Q1/Q6/Q12 under four execution modes (Figure 14)", runFig14)
+}
+
+func runFig14(p Params) (*Result, error) {
+	data := tpch.Generate(p.TPCHOrders, p.Seed)
+	variants := tpch.Variants(30, p.Seed+1)
+
+	modes := []tpch.Mode{tpch.ModeScan, tpch.ModePresorted, tpch.ModeCracking, tpch.ModeHolistic}
+	queries := []struct {
+		label string
+		sort  string
+		run   func(r *tpch.Runner, v tpch.QueryVariant)
+	}{
+		{"Q1", "l_shipdate", func(r *tpch.Runner, v tpch.QueryVariant) { r.Q1(v.Q1Delta) }},
+		{"Q6", "l_shipdate", func(r *tpch.Runner, v tpch.QueryVariant) { r.Q6(v.Q6Year, v.Q6Discount, v.Q6Quantity) }},
+		{"Q12", "l_receiptdate", func(r *tpch.Runner, v tpch.QueryVariant) { r.Q12(v.Q12Mode1, v.Q12Mode2, v.Q12Year) }},
+	}
+
+	res := &Result{Headers: []string{"query", "mode", "first (ms)", "rest avg (ms)", "total 30 (ms)", "presort (ms)"}}
+	for _, q := range queries {
+		for _, m := range modes {
+			runner := tpch.NewRunner(data, m, tpch.RunnerConfig{
+				Interval:    p.Interval,
+				Refinements: p.Refinements,
+				Seed:        p.Seed,
+				L1Values:    p.L1Values,
+				Contexts:    p.Threads,
+			})
+			runner.Prepare(q.sort)
+			times := make([]time.Duration, len(variants))
+			for i, v := range variants {
+				start := time.Now()
+				q.run(runner, v)
+				times[i] = time.Since(start)
+			}
+			runner.Close()
+			total := sum(times)
+			rest := time.Duration(0)
+			if len(times) > 1 {
+				rest = (total - times[0]) / time.Duration(len(times)-1)
+			}
+			res.AddRow(q.label, m.String(), ms(times[0]), ms(rest), ms(total), ms(runner.PrepareTime))
+		}
+	}
+	res.AddNote("lineitem rows: %d (%d orders); presort cost reported separately, as the paper excludes it from query times", data.Lineitem.Rows(), p.TPCHOrders)
+	res.AddNote("paper shape: cracking/holistic first query slower (builds the index), then near presorted; holistic matches offline without the presort cost")
+	return res, nil
+}

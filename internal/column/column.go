@@ -1,0 +1,273 @@
+// Package column provides the storage substrate of the column-store:
+// dense fixed-width arrays, tight-loop scan kernels, selection vectors
+// (position lists) and dictionary encoding for string attributes.
+//
+// It mirrors the storage model the paper assumes (Section 3.1): every
+// relational table is vertically fragmented into one dense array per
+// attribute, values of one tuple share the same position across arrays,
+// and operators work on whole columns at a time with tight for loops.
+package column
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Pos is a tuple position (row id) inside a column. 32 bits cover the
+// column sizes this repository targets (the paper's 2^30 also fits).
+type Pos = uint32
+
+// PosList is a selection vector: the positions of qualifying tuples in
+// the order they were found. It is the intermediate result a select
+// operator hands to downstream project operators.
+type PosList []Pos
+
+// Column is a dense, fixed-width, in-memory integer column. Non-integer
+// attribute types are mapped onto int64 by the layers above (dates become
+// day numbers, decimals become scaled integers, strings become dictionary
+// codes), exactly as a fixed-width column-store would store them.
+type Column struct {
+	name string
+	vals []int64
+}
+
+// New creates a column that takes ownership of vals.
+func New(name string, vals []int64) *Column {
+	return &Column{name: name, vals: vals}
+}
+
+// Name returns the attribute name.
+func (c *Column) Name() string { return c.name }
+
+// Len returns the number of tuples.
+func (c *Column) Len() int { return len(c.vals) }
+
+// Values exposes the underlying array. Callers must treat it as read-only;
+// operators use it to run tight scan loops without copying.
+func (c *Column) Values() []int64 { return c.vals }
+
+// At returns the value at position p.
+func (c *Column) At(p Pos) int64 { return c.vals[p] }
+
+// Append adds a value at the end of the column and returns its position.
+func (c *Column) Append(v int64) Pos {
+	c.vals = append(c.vals, v)
+	return Pos(len(c.vals) - 1)
+}
+
+// ScanRange returns the positions p with lo <= vals[p] < hi, in position
+// order. This is the no-indexing select operator: O(N) data accesses.
+func ScanRange(vals []int64, lo, hi int64) PosList {
+	out := make(PosList, 0, len(vals)/8)
+	for i, v := range vals {
+		if v >= lo && v < hi {
+			out = append(out, Pos(i))
+		}
+	}
+	return out
+}
+
+// CountRange returns |{p : lo <= vals[p] < hi}| without materializing
+// positions.
+func CountRange(vals []int64, lo, hi int64) int {
+	n := 0
+	for _, v := range vals {
+		if v >= lo && v < hi {
+			n++
+		}
+	}
+	return n
+}
+
+// SumRange returns the sum of qualifying values; the cheapest aggregate
+// the microbenchmarks consume so that selects cannot be optimized away.
+func SumRange(vals []int64, lo, hi int64) int64 {
+	var s int64
+	for _, v := range vals {
+		if v >= lo && v < hi {
+			s += v
+		}
+	}
+	return s
+}
+
+// ParallelCountRange splits vals into workers contiguous chunks counted
+// concurrently. It implements the paper's "parallel select operator"
+// baseline (plain scans by 32 threads in Section 5.1).
+func ParallelCountRange(vals []int64, lo, hi int64, workers int) int {
+	if workers < 2 || len(vals) < 2*1024 {
+		return CountRange(vals, lo, hi)
+	}
+	counts := make([]int, workers)
+	var wg sync.WaitGroup
+	chunk := (len(vals) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		start := w * chunk
+		if start >= len(vals) {
+			break
+		}
+		end := start + chunk
+		if end > len(vals) {
+			end = len(vals)
+		}
+		wg.Add(1)
+		go func(w, start, end int) {
+			defer wg.Done()
+			counts[w] = CountRange(vals[start:end], lo, hi)
+		}(w, start, end)
+	}
+	wg.Wait()
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	return total
+}
+
+// ParallelSumRange is the aggregating variant of ParallelCountRange.
+func ParallelSumRange(vals []int64, lo, hi int64, workers int) int64 {
+	if workers < 2 || len(vals) < 2*1024 {
+		return SumRange(vals, lo, hi)
+	}
+	sums := make([]int64, workers)
+	var wg sync.WaitGroup
+	chunk := (len(vals) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		start := w * chunk
+		if start >= len(vals) {
+			break
+		}
+		end := start + chunk
+		if end > len(vals) {
+			end = len(vals)
+		}
+		wg.Add(1)
+		go func(w, start, end int) {
+			defer wg.Done()
+			sums[w] = SumRange(vals[start:end], lo, hi)
+		}(w, start, end)
+	}
+	wg.Wait()
+	var total int64
+	for _, s := range sums {
+		total += s
+	}
+	return total
+}
+
+// ParallelScanRange materializes qualifying positions using workers
+// goroutines, preserving global position order.
+func ParallelScanRange(vals []int64, lo, hi int64, workers int) PosList {
+	if workers < 2 || len(vals) < 2*1024 {
+		return ScanRange(vals, lo, hi)
+	}
+	parts := make([]PosList, workers)
+	var wg sync.WaitGroup
+	chunk := (len(vals) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		start := w * chunk
+		if start >= len(vals) {
+			break
+		}
+		end := start + chunk
+		if end > len(vals) {
+			end = len(vals)
+		}
+		wg.Add(1)
+		go func(w, start, end int) {
+			defer wg.Done()
+			local := make(PosList, 0, (end-start)/8)
+			for i := start; i < end; i++ {
+				v := vals[i]
+				if v >= lo && v < hi {
+					local = append(local, Pos(i))
+				}
+			}
+			parts[w] = local
+		}(w, start, end)
+	}
+	wg.Wait()
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make(PosList, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// Project fetches src values at the given positions: the late
+// tuple-reconstruction operator of Section 3.1 ("a project operator
+// fetches the values residing in attribute B at the positions specified
+// by the intermediate result").
+func Project(src []int64, sel PosList) []int64 {
+	out := make([]int64, len(sel))
+	for i, p := range sel {
+		out[i] = src[p]
+	}
+	return out
+}
+
+// Dict is an order-preserving string dictionary. Low-cardinality string
+// attributes (TPC-H return flags, ship modes, ...) are stored as int64
+// codes in a Column; Dict translates between the two representations.
+//
+// Codes are assigned in first-seen order, so range predicates over codes
+// are only meaningful per-value (equality / IN lists), which is all the
+// workloads here need.
+type Dict struct {
+	mu      sync.RWMutex
+	codes   map[string]int64
+	strings []string
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{codes: make(map[string]int64)}
+}
+
+// Encode returns the code for s, assigning a fresh one if unseen.
+func (d *Dict) Encode(s string) int64 {
+	d.mu.RLock()
+	code, ok := d.codes[s]
+	d.mu.RUnlock()
+	if ok {
+		return code
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if code, ok := d.codes[s]; ok {
+		return code
+	}
+	code = int64(len(d.strings))
+	d.codes[s] = code
+	d.strings = append(d.strings, s)
+	return code
+}
+
+// Lookup returns the code for s without assigning; ok reports presence.
+func (d *Dict) Lookup(s string) (int64, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	code, ok := d.codes[s]
+	return code, ok
+}
+
+// Decode translates a code back to its string.
+func (d *Dict) Decode(code int64) string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if code < 0 || code >= int64(len(d.strings)) {
+		return fmt.Sprintf("<bad code %d>", code)
+	}
+	return d.strings[code]
+}
+
+// Card returns the number of distinct strings in the dictionary.
+func (d *Dict) Card() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.strings)
+}

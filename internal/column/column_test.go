@@ -1,0 +1,226 @@
+package column
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func seq(n int) []int64 {
+	v := make([]int64, n)
+	for i := range v {
+		v[i] = int64(i)
+	}
+	return v
+}
+
+func TestColumnBasics(t *testing.T) {
+	c := New("a", seq(10))
+	if c.Name() != "a" {
+		t.Errorf("Name() = %q, want a", c.Name())
+	}
+	if c.Len() != 10 {
+		t.Errorf("Len() = %d, want 10", c.Len())
+	}
+	if c.At(7) != 7 {
+		t.Errorf("At(7) = %d, want 7", c.At(7))
+	}
+	p := c.Append(99)
+	if p != 10 || c.At(p) != 99 || c.Len() != 11 {
+		t.Errorf("Append gave pos %d, len %d, val %d", p, c.Len(), c.At(p))
+	}
+}
+
+func TestScanRange(t *testing.T) {
+	vals := []int64{5, 1, 9, 3, 7, 3, 0}
+	got := ScanRange(vals, 3, 8)
+	want := PosList{0, 3, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("ScanRange = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ScanRange = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestScanRangeEmptyAndFull(t *testing.T) {
+	vals := seq(100)
+	if got := ScanRange(vals, 200, 300); len(got) != 0 {
+		t.Errorf("out-of-domain scan returned %d positions", len(got))
+	}
+	if got := ScanRange(vals, 50, 50); len(got) != 0 {
+		t.Errorf("empty range scan returned %d positions", len(got))
+	}
+	if got := ScanRange(vals, 0, 100); len(got) != 100 {
+		t.Errorf("full scan returned %d positions, want 100", len(got))
+	}
+}
+
+func TestCountAndSumRange(t *testing.T) {
+	vals := []int64{5, 1, 9, 3, 7, 3, 0}
+	if n := CountRange(vals, 3, 8); n != 4 {
+		t.Errorf("CountRange = %d, want 4", n)
+	}
+	if s := SumRange(vals, 3, 8); s != 5+3+7+3 {
+		t.Errorf("SumRange = %d, want 18", s)
+	}
+}
+
+func TestParallelKernelsMatchSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	vals := make([]int64, 100_000)
+	for i := range vals {
+		vals[i] = rng.Int63n(1000)
+	}
+	for _, workers := range []int{1, 2, 3, 4, 7} {
+		lo, hi := int64(100), int64(700)
+		if got, want := ParallelCountRange(vals, lo, hi, workers), CountRange(vals, lo, hi); got != want {
+			t.Errorf("workers=%d: ParallelCountRange = %d, want %d", workers, got, want)
+		}
+		if got, want := ParallelSumRange(vals, lo, hi, workers), SumRange(vals, lo, hi); got != want {
+			t.Errorf("workers=%d: ParallelSumRange = %d, want %d", workers, got, want)
+		}
+		got, want := ParallelScanRange(vals, lo, hi, workers), ScanRange(vals, lo, hi)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: ParallelScanRange len = %d, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: position %d differs: %d vs %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestParallelKernelsSmallInput(t *testing.T) {
+	vals := []int64{4, 2, 9}
+	if n := ParallelCountRange(vals, 0, 5, 8); n != 2 {
+		t.Errorf("ParallelCountRange on tiny input = %d, want 2", n)
+	}
+	if got := ParallelScanRange(vals, 0, 5, 8); len(got) != 2 {
+		t.Errorf("ParallelScanRange on tiny input = %v", got)
+	}
+}
+
+func TestProject(t *testing.T) {
+	src := []int64{10, 20, 30, 40}
+	out := Project(src, PosList{3, 0, 2})
+	want := []int64{40, 10, 30}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("Project = %v, want %v", out, want)
+		}
+	}
+	if len(Project(src, nil)) != 0 {
+		t.Error("Project with empty selection returned values")
+	}
+}
+
+func TestQuickScanVsCount(t *testing.T) {
+	check := func(vals []int64, lo, hi int64) bool {
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return len(ScanRange(vals, lo, hi)) == CountRange(vals, lo, hi)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickParallelEqualsSequential(t *testing.T) {
+	check := func(vals []int64, lo, hi int64, workers uint8) bool {
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		w := int(workers%8) + 1
+		return ParallelCountRange(vals, lo, hi, w) == CountRange(vals, lo, hi) &&
+			ParallelSumRange(vals, lo, hi, w) == SumRange(vals, lo, hi)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDict(t *testing.T) {
+	d := NewDict()
+	a := d.Encode("RAIL")
+	b := d.Encode("SHIP")
+	if a == b {
+		t.Fatal("distinct strings got the same code")
+	}
+	if again := d.Encode("RAIL"); again != a {
+		t.Errorf("re-encode changed code: %d vs %d", again, a)
+	}
+	if d.Decode(a) != "RAIL" || d.Decode(b) != "SHIP" {
+		t.Error("Decode did not round-trip")
+	}
+	if d.Card() != 2 {
+		t.Errorf("Card() = %d, want 2", d.Card())
+	}
+	if code, ok := d.Lookup("SHIP"); !ok || code != b {
+		t.Errorf("Lookup(SHIP) = %d,%v; want %d,true", code, ok, b)
+	}
+	if _, ok := d.Lookup("AIR"); ok {
+		t.Error("Lookup reported ok for absent string")
+	}
+	if got := d.Decode(99); got != "<bad code 99>" {
+		t.Errorf("Decode(99) = %q", got)
+	}
+}
+
+func TestDictConcurrentEncode(t *testing.T) {
+	d := NewDict()
+	done := make(chan map[string]int64, 8)
+	words := []string{"a", "b", "c", "d", "e"}
+	for g := 0; g < 8; g++ {
+		go func() {
+			local := map[string]int64{}
+			for i := 0; i < 200; i++ {
+				w := words[i%len(words)]
+				local[w] = d.Encode(w)
+			}
+			done <- local
+		}()
+	}
+	first := <-done
+	for g := 1; g < 8; g++ {
+		other := <-done
+		for w, code := range first {
+			if other[w] != code {
+				t.Fatalf("goroutines disagree on code for %q: %d vs %d", w, code, other[w])
+			}
+		}
+	}
+	if d.Card() != len(words) {
+		t.Errorf("Card() = %d, want %d", d.Card(), len(words))
+	}
+}
+
+func BenchmarkScanRange1M(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]int64, 1<<20)
+	for i := range vals {
+		vals[i] = rng.Int63n(1 << 30)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CountRange(vals, 1<<28, 1<<29)
+	}
+	b.SetBytes(int64(len(vals) * 8))
+}
+
+func BenchmarkParallelScanRange1M(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]int64, 1<<20)
+	for i := range vals {
+		vals[i] = rng.Int63n(1 << 30)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ParallelCountRange(vals, 1<<28, 1<<29, 4)
+	}
+	b.SetBytes(int64(len(vals) * 8))
+}

@@ -1,0 +1,360 @@
+// Package cracking implements database cracking — the adaptive indexing
+// technique of Idreos et al. (CIDR 2007) that holistic indexing builds on
+// (Section 3.2 of the paper).
+//
+// A cracker column is a copy of a base column that is physically
+// reorganized ("cracked") as a side effect of range selections: values
+// smaller than a query bound are moved before it, values greater after
+// it. The accumulated partitioning information — which contiguous piece
+// of the array holds which value range — is kept in an AVL tree, the
+// cracker index. As more queries (or holistic refinement actions) arrive,
+// pieces shrink and selects touch less and less data.
+//
+// Concurrency follows the piece-latch design of Graefe et al. (PVLDB 2012)
+// that the paper adopts (Section 4.2): the index structure is guarded by a
+// short-critical-section RWMutex, while data reorganization takes a
+// read/write latch on the individual piece being cracked, so user queries
+// and holistic workers crack disjoint pieces of one column in parallel.
+// Holistic workers never block on a piece latch — a failed try-lock makes
+// the worker re-roll a different random pivot (Figure 3 of the paper).
+package cracking
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"holistic/internal/avl"
+)
+
+// Kernel selects the partition algorithm used to crack a piece.
+type Kernel int
+
+const (
+	// KernelInPlace is the classic two-cursor in-place crack-in-two.
+	KernelInPlace Kernel = iota
+	// KernelVectorized is the out-of-place, chunked ("vectorized")
+	// partition of Pirk et al. (DaMoN 2014), Figure 5 of the paper: a
+	// sequential read cursor copies each vector into either the head or
+	// the tail of a scratch buffer. It is the most CPU-efficient
+	// single-threaded cracking kernel reported.
+	KernelVectorized
+)
+
+// Config controls cracking behaviour for one cracker column.
+type Config struct {
+	// Kernel picks the single-threaded partition kernel.
+	Kernel Kernel
+	// ParallelWorkers > 1 enables the refined partition & merge
+	// algorithm (Figure 4) for pieces of at least MinParallelPiece
+	// values: the piece is sliced across this many goroutines, each
+	// partitions its slice with the vectorized kernel, and the slices
+	// are merged back.
+	ParallelWorkers int
+	// MinParallelPiece is the smallest piece worth parallelizing.
+	// Defaults to 1<<16 values.
+	MinParallelPiece int
+	// RefineWorkers is the parallelism of holistic refinement cracks
+	// (TryRefineAt), independent of the user-query parallelism: the
+	// paper's uXwYxZ thread distributions give each holistic worker its
+	// own small thread budget (e.g. u16w8x2 = 8 workers with 2 threads
+	// each). Defaults to 1.
+	RefineWorkers int
+	// Stochastic enables stochastic cracking (Halim et al., PVLDB 2012):
+	// each user-query crack first performs one auxiliary crack at a
+	// random pivot inside the piece about to be cracked, bounding the
+	// worst case on skewed/sequential workloads.
+	Stochastic bool
+	// WithRows attaches a rowid array that is permuted in lockstep with
+	// the values, so select-project queries can reconstruct tuples after
+	// cracking (sideways-style tuple reconstruction).
+	WithRows bool
+	// Seed seeds the column's private RNG (stochastic pivots).
+	Seed int64
+}
+
+// piece is one contiguous region of the cracker column. It is the value
+// stored in the cracker index: the tree key is the piece's lower value
+// bound and start is the position of its first element. A piece's end is
+// the start of the next piece in key order (or the column length).
+type piece struct {
+	start int
+	latch sync.RWMutex
+}
+
+// Column is a cracker column plus its cracker index.
+type Column struct {
+	name string
+
+	// global is held shared by all cracking/select/refine operations and
+	// exclusively by update merges (Ripple), which move piece boundaries
+	// — the one mutation the piece-latch protocol cannot isolate.
+	global sync.RWMutex
+
+	// mu guards the cracker index tree and the vals/rows slice headers.
+	mu   sync.RWMutex
+	tree *avl.Tree
+
+	vals []int64
+	rows []uint32
+
+	// payloads are attribute columns physically reorganized in lockstep
+	// with vals: sideways cracking (Idreos et al., SIGMOD 2009). A range
+	// select then reads the qualifying tuples of every payload attribute
+	// from one contiguous block instead of gathering through rowids.
+	payloadNames []string
+	payloads     [][]int64
+
+	// domainLo/domainHi cache the column's value bounds for random-pivot
+	// refinement. Guarded by mu.
+	domainLo, domainHi int64
+
+	cfg Config
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	scratch  sync.Pool // *[]int64 partition buffers
+	scratchR sync.Pool // *[]uint32 row partition buffers
+}
+
+// sentinelKey is the key of the boundary that starts the first piece.
+// Every column always has it, so every position belongs to exactly one
+// piece and every piece has exactly one owning tree node.
+const sentinelKey = math.MinInt64
+
+// New builds a cracker column from a copy of base. The copy is the
+// "cracker column ACRK" of Section 3.2; the base column stays untouched.
+func New(name string, base []int64, cfg Config) *Column {
+	if cfg.MinParallelPiece == 0 {
+		cfg.MinParallelPiece = 1 << 16
+	}
+	if cfg.ParallelWorkers < 1 {
+		cfg.ParallelWorkers = 1
+	}
+	c := &Column{
+		name: name,
+		tree: avl.New(),
+		vals: append([]int64(nil), base...),
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+	}
+	if cfg.WithRows {
+		c.rows = make([]uint32, len(base))
+		for i := range c.rows {
+			c.rows[i] = uint32(i)
+		}
+	}
+	c.tree.Insert(sentinelKey, &piece{start: 0})
+	c.domainLo, c.domainHi = int64(math.MaxInt64), int64(math.MinInt64)
+	for _, v := range base {
+		if v < c.domainLo {
+			c.domainLo = v
+		}
+		if v > c.domainHi {
+			c.domainHi = v
+		}
+	}
+	if len(base) == 0 {
+		c.domainLo, c.domainHi = 0, 0
+	}
+	return c
+}
+
+// Name returns the attribute name the cracker column indexes.
+func (c *Column) Name() string { return c.name }
+
+// Len returns the number of values in the cracker column.
+func (c *Column) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.vals)
+}
+
+// Pieces returns the current number of pieces in the cracker column.
+func (c *Column) Pieces() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.tree.Len()
+}
+
+// Domain returns the (cached) minimum and maximum value in the column.
+func (c *Column) Domain() (lo, hi int64) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.domainLo, c.domainHi
+}
+
+// SizeBytes reports the materialized size of the cracker column: the
+// storage-budget accounting unit for the holistic index space.
+func (c *Column) SizeBytes() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	size := int64(len(c.vals))*8 + int64(len(c.rows))*4
+	for _, p := range c.payloads {
+		size += int64(len(p)) * 8
+	}
+	return size
+}
+
+// AvgPieceSize returns len/pieces, the |p| of Equation (1).
+func (c *Column) AvgPieceSize() float64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.tree.Len() == 0 {
+		return 0
+	}
+	return float64(len(c.vals)) / float64(c.tree.Len())
+}
+
+// Snapshot returns a copy of the current physical value order. Test and
+// debugging helper; takes the column exclusively to get a torn-free view.
+func (c *Column) Snapshot() []int64 {
+	c.global.Lock()
+	defer c.global.Unlock()
+	return append([]int64(nil), c.vals...)
+}
+
+// SnapshotRows returns a copy of the rowid array (nil when disabled).
+func (c *Column) SnapshotRows() []uint32 {
+	c.global.Lock()
+	defer c.global.Unlock()
+	if c.rows == nil {
+		return nil
+	}
+	return append([]uint32(nil), c.rows...)
+}
+
+// pieceByPosLocked returns the piece containing position pos and its end.
+// It exploits the cracking invariant that boundary keys and boundary
+// positions are ordered identically. Caller must hold mu.
+func (c *Column) pieceByPosLocked(pos int) (p *piece, end int) {
+	var bestKey int64
+	c.tree.FloorWhere(func(_ int64, v avl.Value) bool {
+		return v.(*piece).start <= pos
+	}, func(k int64, v avl.Value) {
+		bestKey = k
+		p = v.(*piece)
+	})
+	if p == nil {
+		// pos < first piece start is impossible (sentinel starts at 0);
+		// defensive fallback.
+		_, pv, _ := c.tree.Min()
+		p = pv.(*piece)
+		bestKey = sentinelKey
+	}
+	if _, nv, ok := c.tree.Successor(bestKey); ok {
+		end = nv.(*piece).start
+	} else {
+		end = len(c.vals)
+	}
+	return p, end
+}
+
+// NewSideways builds a cracker column that drags payload attribute
+// columns along with every reorganization — the sideways-cracking design
+// the TPC-H experiments use (Section 5.6): the select attribute is
+// cracked, and the attributes a query projects stay position-aligned, so
+// aggregation runs tight loops over contiguous blocks. Each payload is
+// copied; base columns stay untouched. Payload kernels are in-place
+// (the out-of-place kernels would need scratch per payload).
+func NewSideways(name string, base []int64, payloadNames []string, payloads [][]int64, cfg Config) *Column {
+	if len(payloadNames) != len(payloads) {
+		panic("cracking: payload name/column count mismatch")
+	}
+	c := New(name, base, cfg)
+	for i, p := range payloads {
+		if len(p) != len(base) {
+			panic(fmt.Sprintf("cracking: payload %q has %d values, base has %d",
+				payloadNames[i], len(p), len(base)))
+		}
+		c.payloads = append(c.payloads, append([]int64(nil), p...))
+	}
+	c.payloadNames = append([]string(nil), payloadNames...)
+	return c
+}
+
+// PayloadNames returns the attached payload attribute names.
+func (c *Column) PayloadNames() []string {
+	return append([]string(nil), c.payloadNames...)
+}
+
+// PieceInfo describes one piece of the cracker column at a point in
+// time: its value span [LoKey, HiKey) and position span [Start, End).
+type PieceInfo struct {
+	LoKey, HiKey int64
+	Start, End   int
+}
+
+// Size returns the number of values in the piece.
+func (p PieceInfo) Size() int { return p.End - p.Start }
+
+// PieceBounds snapshots all pieces in key order. O(pieces); used by
+// telemetry and by the pivot-choice ablation (the paper's discussion of
+// biggest/smallest-piece targeting notes exactly this maintenance cost).
+func (c *Column) PieceBounds() []PieceInfo {
+	c.global.RLock()
+	defer c.global.RUnlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]PieceInfo, 0, c.tree.Len())
+	c.tree.Ascend(func(k int64, v avl.Value) bool {
+		out = append(out, PieceInfo{LoKey: k, Start: v.(*piece).start})
+		return true
+	})
+	for i := range out {
+		if i+1 < len(out) {
+			out[i].HiKey = out[i+1].LoKey
+			out[i].End = out[i+1].Start
+		} else {
+			out[i].HiKey = math.MaxInt64
+			out[i].End = len(c.vals)
+		}
+	}
+	return out
+}
+
+// CheckInvariants validates the structural invariants of the cracker
+// column; it returns a descriptive error on the first violation. Used by
+// tests (including property-based ones) after arbitrary op sequences.
+func (c *Column) CheckInvariants() error {
+	c.global.Lock()
+	defer c.global.Unlock()
+	type bound struct {
+		key   int64
+		start int
+	}
+	var bounds []bound
+	c.tree.Ascend(func(k int64, v avl.Value) bool {
+		bounds = append(bounds, bound{k, v.(*piece).start})
+		return true
+	})
+	if len(bounds) == 0 || bounds[0].key != sentinelKey || bounds[0].start != 0 {
+		return fmt.Errorf("missing or misplaced sentinel boundary: %+v", bounds)
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i].start < bounds[i-1].start {
+			return fmt.Errorf("boundary positions not monotone: %+v then %+v", bounds[i-1], bounds[i])
+		}
+		if bounds[i].start > len(c.vals) {
+			return fmt.Errorf("boundary %+v beyond column length %d", bounds[i], len(c.vals))
+		}
+	}
+	for i, b := range bounds {
+		end := len(c.vals)
+		if i+1 < len(bounds) {
+			end = bounds[i+1].start
+		}
+		for pos := b.start; pos < end; pos++ {
+			v := c.vals[pos]
+			if b.key != sentinelKey && v < b.key {
+				return fmt.Errorf("value %d at pos %d below piece lower bound %d", v, pos, b.key)
+			}
+			if i+1 < len(bounds) && v >= bounds[i+1].key {
+				return fmt.Errorf("value %d at pos %d not below next boundary %d", v, pos, bounds[i+1].key)
+			}
+		}
+	}
+	return nil
+}

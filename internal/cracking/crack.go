@@ -1,0 +1,493 @@
+package cracking
+
+import "math"
+
+// Range is the result of a range select on a cracker column: after the
+// necessary cracks, all qualifying values (lo <= v < hi) occupy the
+// contiguous positions [Start, End). ExactLo/ExactHi report whether the
+// respective bound already existed in the cracker index (an "exact hit"
+// — the query needed no physical reorganization for that bound), which
+// feeds the fIh statistic of strategy W3.
+type Range struct {
+	Start, End       int
+	ExactLo, ExactHi bool
+}
+
+// Count returns the number of qualifying tuples — available without any
+// data access, one of the core payoffs of cracking.
+func (r Range) Count() int { return r.End - r.Start }
+
+// ExactHit reports whether the query was answered entirely from the
+// existing cracker index, with no physical reorganization.
+func (r Range) ExactHit() bool { return r.ExactLo && r.ExactHi }
+
+// crackResult reports the outcome of establishing one boundary.
+type crackResult struct {
+	pos   int  // position of the first value >= the pivot
+	exact bool // the boundary already existed
+}
+
+// minStochasticPiece is the smallest piece on which a stochastic
+// auxiliary crack is worthwhile; below this the piece is cheap to scan
+// anyway and the extra boundary is pure overhead.
+const minStochasticPiece = 1024
+
+// CrackAt establishes a boundary at value v as a user query would (block
+// on the piece latch) and returns its position. After it returns, every
+// value < v is stored before pos and every value >= v at or after pos.
+func (c *Column) CrackAt(v int64) (pos int, exact bool) {
+	c.global.RLock()
+	defer c.global.RUnlock()
+	res, _ := c.crackAt(v, true, c.cfg.Stochastic)
+	return res.pos, res.exact
+}
+
+// crackAt implements CrackAt. block selects user-query semantics (wait on
+// the piece latch); with block=false the latch is try-acquired and
+// ok=false returned on contention (holistic-worker semantics, Figure 3).
+// stochastic adds one auxiliary random crack inside the target piece.
+// The caller must hold c.global shared.
+func (c *Column) crackAt(v int64, block, stochastic bool) (res crackResult, ok bool) {
+	for {
+		c.mu.RLock()
+		key, p, _, _ := c.pieceSpanLocked(v)
+		c.mu.RUnlock()
+		if key == v {
+			return crackResult{pos: p.start, exact: true}, true
+		}
+		if block {
+			p.latch.Lock()
+		} else if !p.latch.TryLock() {
+			return crackResult{}, false
+		}
+		// Revalidate: the piece may have been cracked between the lookup
+		// and latch acquisition. Any split that matters to v moves v into
+		// a different piece (different tree node); a split to the right
+		// of v keeps p but shrinks its end, which the re-read reflects.
+		c.mu.RLock()
+		key2, p2, end, nextKey := c.pieceSpanLocked(v)
+		c.mu.RUnlock()
+		if p2 != p || key2 != key {
+			p.latch.Unlock()
+			if key2 == v {
+				// Someone cracked exactly at v while we waited.
+				return crackResult{pos: p2.start, exact: true}, true
+			}
+			continue
+		}
+
+		lo, hi := p.start, end
+		var preLocked *piece
+		if stochastic && hi-lo >= minStochasticPiece {
+			if r, okPivot := c.stochasticPivot(key, nextKey, v); okPivot {
+				mid := c.partition(lo, hi, r)
+				np := &piece{start: mid}
+				if v > r {
+					// The half we still need to crack belongs to the new
+					// piece; pre-lock it before publishing so no other
+					// thread can slip in.
+					np.latch.Lock()
+					preLocked = np
+				}
+				c.mu.Lock()
+				c.tree.Insert(r, np)
+				c.mu.Unlock()
+				if v < r {
+					hi = mid
+				} else {
+					lo = mid
+				}
+			}
+		}
+		mid := c.partition(lo, hi, v)
+		c.mu.Lock()
+		c.tree.Insert(v, &piece{start: mid})
+		c.mu.Unlock()
+		p.latch.Unlock()
+		if preLocked != nil {
+			preLocked.latch.Unlock()
+		}
+		return crackResult{pos: mid}, true
+	}
+}
+
+// pieceSpanLocked returns the piece containing v, its lower-bound key,
+// its end position and the key of the next boundary (math.MaxInt64 when
+// none). Caller must hold mu.
+func (c *Column) pieceSpanLocked(v int64) (key int64, p *piece, end int, nextKey int64) {
+	key, pv, _ := c.tree.Floor(v)
+	p = pv.(*piece)
+	nextKey = math.MaxInt64
+	if nk, nv, ok := c.tree.Successor(key); ok {
+		end = nv.(*piece).start
+		nextKey = nk
+	} else {
+		end = len(c.vals)
+	}
+	return key, p, end, nextKey
+}
+
+// stochasticPivot draws a random pivot strictly inside the piece's value
+// span (loKey, hiKey), different from v. ok is false when the span is too
+// narrow to be worth a crack.
+func (c *Column) stochasticPivot(loKey, hiKey, v int64) (int64, bool) {
+	lo, hi := loKey, hiKey
+	if lo == sentinelKey {
+		lo = c.domainLo
+	}
+	if hi == math.MaxInt64 {
+		hi = c.domainHi + 1
+	}
+	if hi-lo < 4 {
+		return 0, false
+	}
+	c.rngMu.Lock()
+	r := lo + 1 + c.rng.Int63n(hi-lo-1)
+	c.rngMu.Unlock()
+	if r == v {
+		r++
+		if r >= hi {
+			r = lo + 1
+		}
+		if r == v {
+			return 0, false
+		}
+	}
+	return r, true
+}
+
+// SelectRange cracks the column on [lo, hi) and returns the contiguous
+// position range of qualifying values. This is the cracking select
+// operator: the first query on a column pays O(N), later queries touch
+// only the (ever smaller) pieces their bounds fall into.
+//
+// The returned positions stay valid until the next update merge
+// (MergeInsert/MergeDelete). Queries that materialize results on columns
+// receiving updates should use SelectSum/SelectValues/SelectRows, which
+// pin the column across both steps.
+func (c *Column) SelectRange(lo, hi int64) Range {
+	c.global.RLock()
+	defer c.global.RUnlock()
+	return c.selectRangeLocked(lo, hi)
+}
+
+// selectRangeLocked implements SelectRange; caller holds c.global shared.
+func (c *Column) selectRangeLocked(lo, hi int64) Range {
+	if lo >= hi {
+		return Range{}
+	}
+
+	// Crack-in-three fast path: both bounds fall into the same piece and
+	// neither is an existing boundary — partition once instead of twice.
+	// Skipped under stochastic cracking, which weaves its auxiliary crack
+	// into the first bound's crack instead.
+	if !c.cfg.Stochastic {
+		for {
+			c.mu.RLock()
+			kLo, pLo, _, _ := c.pieceSpanLocked(lo)
+			kHi, pHi, _, _ := c.pieceSpanLocked(hi)
+			c.mu.RUnlock()
+			if kLo == lo && kHi == hi {
+				return Range{Start: pLo.start, End: pHi.start, ExactLo: true, ExactHi: true}
+			}
+			if pLo != pHi || kLo == lo || kHi == hi {
+				break // different pieces or one bound exact: general path
+			}
+			pLo.latch.Lock()
+			c.mu.RLock()
+			kLo2, pLo2, endLo, _ := c.pieceSpanLocked(lo)
+			_, pHi2, _, _ := c.pieceSpanLocked(hi)
+			c.mu.RUnlock()
+			if pLo2 != pLo || kLo2 != kLo || pHi2 != pLo {
+				pLo.latch.Unlock()
+				continue // piece changed while we waited; reassess
+			}
+			var m1, m2 int
+			if len(c.payloads) > 0 {
+				m1, m2 = crackInThreeSideways(c.vals, c.rows, c.payloads, pLo.start, endLo, lo, hi)
+			} else {
+				m1, m2 = crackInThree(c.vals, c.rows, pLo.start, endLo, lo, hi)
+			}
+			c.mu.Lock()
+			c.tree.Insert(lo, &piece{start: m1})
+			c.tree.Insert(hi, &piece{start: m2})
+			c.mu.Unlock()
+			pLo.latch.Unlock()
+			return Range{Start: m1, End: m2}
+		}
+	}
+
+	rLo, _ := c.crackAt(lo, true, c.cfg.Stochastic)
+	rHi, _ := c.crackAt(hi, true, false)
+	return Range{Start: rLo.pos, End: rHi.pos, ExactLo: rLo.exact, ExactHi: rHi.exact}
+}
+
+// PieceSpan returns the value range [lo, hi) covered by the piece that
+// value v currently falls into (math.MinInt64 / math.MaxInt64 at the open
+// ends). Holistic workers use it to find the pending updates their pivot's
+// piece is responsible for (Section 4.2, Updates).
+func (c *Column) PieceSpan(v int64) (lo, hi int64) {
+	c.global.RLock()
+	defer c.global.RUnlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	key, _, _, nextKey := c.pieceSpanLocked(v)
+	return key, nextKey
+}
+
+// LookupRange returns the position range for [lo, hi) without cracking,
+// with ok=false unless both bounds are existing boundaries. Used to probe
+// for exact hits without physical work.
+func (c *Column) LookupRange(lo, hi int64) (Range, bool) {
+	c.global.RLock()
+	defer c.global.RUnlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	pLo, okLo := c.tree.Get(lo)
+	pHi, okHi := c.tree.Get(hi)
+	if !okLo || !okHi {
+		return Range{}, false
+	}
+	return Range{
+		Start:   pLo.(*piece).start,
+		End:     pHi.(*piece).start,
+		ExactLo: true,
+		ExactHi: true,
+	}, true
+}
+
+// SelectSum cracks on [lo, hi) and sums the qualifying values, all under
+// one column pin so concurrent update merges cannot shift positions
+// between the two steps.
+func (c *Column) SelectSum(lo, hi int64) (Range, int64) {
+	c.global.RLock()
+	defer c.global.RUnlock()
+	r := c.selectRangeLocked(lo, hi)
+	var s int64
+	c.forEachSegmentLocked(r.Start, r.End, func(vals []int64, _ []uint32) {
+		for _, v := range vals {
+			s += v
+		}
+	})
+	return r, s
+}
+
+// SelectValues cracks on [lo, hi) and materializes the qualifying values.
+func (c *Column) SelectValues(lo, hi int64) (Range, []int64) {
+	c.global.RLock()
+	defer c.global.RUnlock()
+	r := c.selectRangeLocked(lo, hi)
+	out := make([]int64, 0, r.Count())
+	c.forEachSegmentLocked(r.Start, r.End, func(vals []int64, _ []uint32) {
+		out = append(out, vals...)
+	})
+	return r, out
+}
+
+// SelectRows cracks on [lo, hi) and materializes the qualifying rowids
+// (nil when the column was built without rowids). The rowids feed project
+// operators for late tuple reconstruction.
+func (c *Column) SelectRows(lo, hi int64) (Range, []uint32) {
+	c.global.RLock()
+	defer c.global.RUnlock()
+	r := c.selectRangeLocked(lo, hi)
+	if c.rows == nil {
+		return r, nil
+	}
+	out := make([]uint32, 0, r.Count())
+	c.forEachSegmentLocked(r.Start, r.End, func(_ []int64, rows []uint32) {
+		out = append(out, rows...)
+	})
+	return r, out
+}
+
+// ForEachSegment invokes fn on consecutive stable sub-segments covering
+// positions [start, end), each passed under the owning piece's read
+// latch. fn receives aliased slices and must not retain them. Positions
+// must come from a select on this column with no intervening update
+// merge.
+func (c *Column) ForEachSegment(start, end int, fn func(vals []int64, rows []uint32)) {
+	c.global.RLock()
+	defer c.global.RUnlock()
+	c.forEachSegmentLocked(start, end, fn)
+}
+
+// forEachSegmentLocked implements ForEachSegment; caller holds c.global
+// shared.
+func (c *Column) forEachSegmentLocked(start, end int, fn func(vals []int64, rows []uint32)) {
+	c.forEachSpanLocked(start, end, func(pos, seg int) {
+		if c.rows != nil {
+			fn(c.vals[pos:seg], c.rows[pos:seg])
+		} else {
+			fn(c.vals[pos:seg], nil)
+		}
+	})
+}
+
+// forEachSpanLocked walks the stable position spans covering [start,
+// end), invoking fn under each owning piece's read latch. Caller holds
+// c.global shared.
+func (c *Column) forEachSpanLocked(start, end int, fn func(pos, seg int)) {
+	pos := start
+	for pos < end {
+		c.mu.RLock()
+		p, _ := c.pieceByPosLocked(pos)
+		c.mu.RUnlock()
+		p.latch.RLock()
+		// Revalidate under the latch: p may have been split while we
+		// acquired it. If pos now belongs to a different piece, retry;
+		// the re-read end is stable while we hold the read latch
+		// (splitters need the write latch).
+		c.mu.RLock()
+		p2, pend := c.pieceByPosLocked(pos)
+		c.mu.RUnlock()
+		if p2 != p {
+			p.latch.RUnlock()
+			continue
+		}
+		seg := pend
+		if end < seg {
+			seg = end
+		}
+		if seg > pos {
+			fn(pos, seg)
+		}
+		p.latch.RUnlock()
+		if seg <= pos {
+			// Degenerate empty piece; step past it to avoid spinning.
+			pos++
+			continue
+		}
+		pos = seg
+	}
+}
+
+// SelectPayloads cracks on [lo, hi) and streams the qualifying block to
+// fn, one stable segment at a time, with every payload column aligned to
+// the values — the sideways-cracking read path: aggregation over the
+// result is a tight loop over contiguous arrays, no rowid gather. fn must
+// not retain the slices. The whole operation runs under one column pin.
+func (c *Column) SelectPayloads(lo, hi int64, fn func(vals []int64, payloads [][]int64)) Range {
+	c.global.RLock()
+	defer c.global.RUnlock()
+	r := c.selectRangeLocked(lo, hi)
+	views := make([][]int64, len(c.payloads))
+	c.forEachSpanLocked(r.Start, r.End, func(pos, seg int) {
+		for i, p := range c.payloads {
+			views[i] = p[pos:seg]
+		}
+		fn(c.vals[pos:seg], views)
+	})
+	return r
+}
+
+// MaterializeValues copies the values at positions [start, end) into a
+// fresh slice, latching piece by piece.
+func (c *Column) MaterializeValues(start, end int) []int64 {
+	out := make([]int64, 0, end-start)
+	c.ForEachSegment(start, end, func(vals []int64, _ []uint32) {
+		out = append(out, vals...)
+	})
+	return out
+}
+
+// MaterializeRows copies the rowids at positions [start, end); it returns
+// nil when the column was built without rowids.
+func (c *Column) MaterializeRows(start, end int) []uint32 {
+	if c.rows == nil {
+		return nil
+	}
+	out := make([]uint32, 0, end-start)
+	c.ForEachSegment(start, end, func(_ []int64, rows []uint32) {
+		out = append(out, rows...)
+	})
+	return out
+}
+
+// SumRange sums the values at positions [start, end) under piece latches.
+func (c *Column) SumRange(start, end int) int64 {
+	var s int64
+	c.ForEachSegment(start, end, func(vals []int64, _ []uint32) {
+		for _, v := range vals {
+			s += v
+		}
+	})
+	return s
+}
+
+// RefineOutcome reports what a holistic refinement attempt achieved.
+type RefineOutcome int
+
+const (
+	// RefineDone: the piece was cracked; one new boundary exists.
+	RefineDone RefineOutcome = iota
+	// RefineExact: the pivot already was a boundary; nothing to do.
+	RefineExact
+	// RefineBusy: the piece latch was held; the worker should re-roll a
+	// different random pivot rather than wait (Figure 3).
+	RefineBusy
+	// RefineSmall: the piece is already at or below the optimal piece
+	// size; cracking it further would add administration cost for no
+	// scan benefit (Section 4.1, "Optimal Index").
+	RefineSmall
+)
+
+// String names the outcome for logs and test failures.
+func (o RefineOutcome) String() string {
+	switch o {
+	case RefineDone:
+		return "done"
+	case RefineExact:
+		return "exact"
+	case RefineBusy:
+		return "busy"
+	case RefineSmall:
+		return "small"
+	default:
+		return "unknown"
+	}
+}
+
+// TryRefineAt attempts one holistic index-refinement action: crack the
+// piece containing v at pivot v, without ever blocking a user query.
+// minPiece is the optimal piece size (|L1| in values); pieces at or below
+// it are left alone.
+func (c *Column) TryRefineAt(v int64, minPiece int) RefineOutcome {
+	c.global.RLock()
+	defer c.global.RUnlock()
+
+	c.mu.RLock()
+	key, p, end, _ := c.pieceSpanLocked(v)
+	c.mu.RUnlock()
+	if key == v {
+		return RefineExact
+	}
+	if end-p.start <= minPiece {
+		return RefineSmall
+	}
+	if !p.latch.TryLock() {
+		return RefineBusy
+	}
+	// Revalidate under the latch.
+	c.mu.RLock()
+	key2, p2, end2, _ := c.pieceSpanLocked(v)
+	c.mu.RUnlock()
+	if p2 != p || key2 != key {
+		p.latch.Unlock()
+		return RefineBusy
+	}
+	if end2-p.start <= minPiece {
+		p.latch.Unlock()
+		return RefineSmall
+	}
+	workers := c.cfg.RefineWorkers
+	if workers < 1 {
+		workers = 1
+	}
+	mid := c.partitionWith(p.start, end2, v, workers)
+	c.mu.Lock()
+	c.tree.Insert(v, &piece{start: mid})
+	c.mu.Unlock()
+	p.latch.Unlock()
+	return RefineDone
+}

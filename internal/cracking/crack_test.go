@@ -1,0 +1,365 @@
+package cracking
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"holistic/internal/column"
+)
+
+func TestSelectRangeMatchesScan(t *testing.T) {
+	base := randVals(20_000, 5, 10_000)
+	c := New("a", base, Config{})
+	rng := rand.New(rand.NewSource(99))
+	for q := 0; q < 200; q++ {
+		lo := rng.Int63n(10_000)
+		hi := lo + rng.Int63n(10_000-lo) + 1
+		r := c.SelectRange(lo, hi)
+		if got, want := r.Count(), column.CountRange(base, lo, hi); got != want {
+			t.Fatalf("query %d [%d,%d): Count = %d, want %d", q, lo, hi, got, want)
+		}
+		vals := c.MaterializeValues(r.Start, r.End)
+		for _, v := range vals {
+			if v < lo || v >= hi {
+				t.Fatalf("query %d: materialized value %d outside [%d,%d)", q, v, lo, hi)
+			}
+		}
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectRangeVectorizedKernel(t *testing.T) {
+	base := randVals(20_000, 6, 10_000)
+	c := New("a", base, Config{Kernel: KernelVectorized})
+	rng := rand.New(rand.NewSource(98))
+	for q := 0; q < 100; q++ {
+		lo := rng.Int63n(10_000)
+		hi := lo + rng.Int63n(10_000-lo) + 1
+		if got, want := c.SelectRange(lo, hi).Count(), column.CountRange(base, lo, hi); got != want {
+			t.Fatalf("query %d [%d,%d): Count = %d, want %d", q, lo, hi, got, want)
+		}
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectRangeStochastic(t *testing.T) {
+	base := randVals(50_000, 7, 1<<20)
+	c := New("a", base, Config{Stochastic: true, Seed: 3})
+	rng := rand.New(rand.NewSource(97))
+	for q := 0; q < 100; q++ {
+		lo := rng.Int63n(1 << 20)
+		hi := lo + rng.Int63n(1<<20-lo) + 1
+		if got, want := c.SelectRange(lo, hi).Count(), column.CountRange(base, lo, hi); got != want {
+			t.Fatalf("query %d [%d,%d): Count = %d, want %d", q, lo, hi, got, want)
+		}
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// The stochastic variant must have cracked more pieces than the 2 per
+	// query the plain variant would: auxiliary cracks add boundaries.
+	if c.Pieces() <= 100 {
+		t.Errorf("stochastic cracking produced only %d pieces over 100 queries", c.Pieces())
+	}
+}
+
+func TestSelectRangeParallelKernel(t *testing.T) {
+	base := randVals(200_000, 8, 1<<20)
+	c := New("a", base, Config{ParallelWorkers: 4, MinParallelPiece: 1024})
+	rng := rand.New(rand.NewSource(96))
+	for q := 0; q < 50; q++ {
+		lo := rng.Int63n(1 << 20)
+		hi := lo + rng.Int63n(1<<20-lo) + 1
+		if got, want := c.SelectRange(lo, hi).Count(), column.CountRange(base, lo, hi); got != want {
+			t.Fatalf("query %d [%d,%d): Count = %d, want %d", q, lo, hi, got, want)
+		}
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectRangeExactHit(t *testing.T) {
+	base := randVals(10_000, 9, 1000)
+	c := New("a", base, Config{})
+	r1 := c.SelectRange(100, 200)
+	if r1.ExactHit() {
+		t.Error("first query reported an exact hit on an uncracked column")
+	}
+	r2 := c.SelectRange(100, 200)
+	if !r2.ExactHit() {
+		t.Error("repeated query did not report an exact hit")
+	}
+	if r1.Start != r2.Start || r1.End != r2.End {
+		t.Errorf("repeated query moved the range: %+v vs %+v", r1, r2)
+	}
+	// One-sided hit: lower bound exists, upper does not.
+	r3 := c.SelectRange(100, 300)
+	if !r3.ExactLo || r3.ExactHi {
+		t.Errorf("one-sided hit misreported: %+v", r3)
+	}
+}
+
+func TestSelectRangeEmptyAndInverted(t *testing.T) {
+	base := randVals(1000, 10, 100)
+	c := New("a", base, Config{})
+	if r := c.SelectRange(50, 50); r.Count() != 0 {
+		t.Errorf("empty range returned %d tuples", r.Count())
+	}
+	if r := c.SelectRange(60, 40); r.Count() != 0 {
+		t.Errorf("inverted range returned %d tuples", r.Count())
+	}
+	if r := c.SelectRange(1000, 2000); r.Count() != 0 {
+		t.Errorf("out-of-domain range returned %d tuples", r.Count())
+	}
+	if r := c.SelectRange(-100, 1000); r.Count() != 1000 {
+		t.Errorf("whole-domain range returned %d tuples, want all", r.Count())
+	}
+}
+
+func TestSelectRangeEmptyColumn(t *testing.T) {
+	c := New("a", nil, Config{})
+	if r := c.SelectRange(0, 10); r.Count() != 0 {
+		t.Errorf("select on empty column returned %d", r.Count())
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectRangeDuplicateHeavy(t *testing.T) {
+	// Every value is one of 3 distinct values: boundaries pile on the
+	// same keys and many pieces are empty.
+	base := make([]int64, 9999)
+	for i := range base {
+		base[i] = int64(i % 3)
+	}
+	c := New("a", base, Config{})
+	for q := 0; q < 20; q++ {
+		lo := int64(q % 4)
+		hi := lo + int64(q%3) + 1
+		if got, want := c.SelectRange(lo, hi).Count(), column.CountRange(base, lo, hi); got != want {
+			t.Fatalf("[%d,%d): Count = %d, want %d", lo, hi, got, want)
+		}
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrackAtBoundaries(t *testing.T) {
+	base := []int64{5, 2, 8, 1, 9, 3}
+	c := New("a", base, Config{})
+	pos, exact := c.CrackAt(5)
+	if exact {
+		t.Error("first CrackAt reported exact")
+	}
+	if pos != 3 { // values 2,1,3 are < 5
+		t.Errorf("CrackAt(5) pos = %d, want 3", pos)
+	}
+	pos2, exact2 := c.CrackAt(5)
+	if !exact2 || pos2 != pos {
+		t.Errorf("repeat CrackAt(5) = %d,%v; want %d,true", pos2, exact2, pos)
+	}
+}
+
+func TestLookupRange(t *testing.T) {
+	base := randVals(1000, 11, 100)
+	c := New("a", base, Config{})
+	if _, ok := c.LookupRange(10, 20); ok {
+		t.Error("LookupRange reported ok before any crack")
+	}
+	r := c.SelectRange(10, 20)
+	got, ok := c.LookupRange(10, 20)
+	if !ok {
+		t.Fatal("LookupRange did not find cracked bounds")
+	}
+	if got.Start != r.Start || got.End != r.End {
+		t.Errorf("LookupRange = %+v, want %+v", got, r)
+	}
+}
+
+func TestMaterializeRowsLockstep(t *testing.T) {
+	base := randVals(5000, 12, 500)
+	c := New("a", base, Config{WithRows: true})
+	r, rows := c.SelectRows(100, 300)
+	if len(rows) != r.Count() {
+		t.Fatalf("got %d rows for %d qualifying tuples", len(rows), r.Count())
+	}
+	for _, rowid := range rows {
+		v := base[rowid]
+		if v < 100 || v >= 300 {
+			t.Fatalf("row %d has base value %d outside [100,300)", rowid, v)
+		}
+	}
+	// All qualifying base rows must be present exactly once.
+	seen := map[uint32]bool{}
+	for _, rowid := range rows {
+		if seen[rowid] {
+			t.Fatalf("row %d returned twice", rowid)
+		}
+		seen[rowid] = true
+	}
+	if want := column.CountRange(base, 100, 300); len(rows) != want {
+		t.Fatalf("row count %d, want %d", len(rows), want)
+	}
+}
+
+func TestSelectSum(t *testing.T) {
+	base := randVals(10_000, 13, 1000)
+	c := New("a", base, Config{})
+	_, sum := c.SelectSum(250, 750)
+	if want := column.SumRange(base, 250, 750); sum != want {
+		t.Fatalf("SelectSum = %d, want %d", sum, want)
+	}
+}
+
+func TestSelectValuesSorted(t *testing.T) {
+	base := randVals(10_000, 14, 1000)
+	c := New("a", base, Config{})
+	_, vals := c.SelectValues(100, 900)
+	if want := column.CountRange(base, 100, 900); len(vals) != want {
+		t.Fatalf("got %d values, want %d", len(vals), want)
+	}
+	if !equalSlices(multiset(vals), multiset(column.Project(base, column.ScanRange(base, 100, 900)))) {
+		t.Fatal("SelectValues multiset differs from scan")
+	}
+}
+
+func TestTryRefineAt(t *testing.T) {
+	base := randVals(10_000, 15, 1<<20)
+	c := New("a", base, Config{})
+	if out := c.TryRefineAt(1<<19, 64); out != RefineDone {
+		t.Fatalf("TryRefineAt on fresh column = %v, want done", out)
+	}
+	if out := c.TryRefineAt(1<<19, 64); out != RefineExact {
+		t.Fatalf("repeat TryRefineAt = %v, want exact", out)
+	}
+	if c.Pieces() != 2 {
+		t.Fatalf("Pieces() = %d, want 2", c.Pieces())
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTryRefineAtSmallPiece(t *testing.T) {
+	base := randVals(100, 16, 1000)
+	c := New("a", base, Config{})
+	if out := c.TryRefineAt(500, 1000); out != RefineSmall {
+		t.Fatalf("TryRefineAt on piece below minPiece = %v, want small", out)
+	}
+	if c.Pieces() != 1 {
+		t.Fatalf("small refinement still cracked: %d pieces", c.Pieces())
+	}
+}
+
+func TestRefineOutcomeString(t *testing.T) {
+	names := map[RefineOutcome]string{
+		RefineDone: "done", RefineExact: "exact", RefineBusy: "busy",
+		RefineSmall: "small", RefineOutcome(42): "unknown",
+	}
+	for o, want := range names {
+		if o.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(o), o.String(), want)
+		}
+	}
+}
+
+func TestPiecesGrowWithQueries(t *testing.T) {
+	base := randVals(100_000, 17, 1<<30)
+	c := New("a", base, Config{})
+	prev := c.Pieces()
+	if prev != 1 {
+		t.Fatalf("fresh column has %d pieces, want 1", prev)
+	}
+	rng := rand.New(rand.NewSource(55))
+	for q := 0; q < 50; q++ {
+		lo := rng.Int63n(1 << 30)
+		hi := lo + rng.Int63n(1<<30-lo) + 1
+		c.SelectRange(lo, hi)
+	}
+	if c.Pieces() <= prev {
+		t.Fatalf("pieces did not grow: %d", c.Pieces())
+	}
+	// Convergence: per-query touched data shrinks as pieces multiply.
+	if avg := c.AvgPieceSize(); avg >= 100_000 {
+		t.Fatalf("average piece size did not shrink: %f", avg)
+	}
+}
+
+func TestQuickSelectMatchesScanAnyWorkload(t *testing.T) {
+	type query struct {
+		Lo, Hi uint16
+	}
+	check := func(seed int64, queries []query) bool {
+		base := randVals(3000, seed, 1<<16)
+		c := New("q", base, Config{})
+		for _, q := range queries {
+			lo, hi := int64(q.Lo), int64(q.Hi)
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			if c.SelectRange(lo, hi).Count() != column.CountRange(base, lo, hi) {
+				return false
+			}
+		}
+		return c.CheckInvariants() == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSnapshotIsPermutation(t *testing.T) {
+	check := func(seed int64, bounds []uint16) bool {
+		base := randVals(2000, seed, 1<<16)
+		c := New("q", base, Config{WithRows: true})
+		for _, b := range bounds {
+			c.CrackAt(int64(b))
+		}
+		snap := c.Snapshot()
+		if !equalSlices(multiset(base), multiset(snap)) {
+			return false
+		}
+		rows := c.SnapshotRows()
+		for i, r := range rows {
+			if base[r] != snap[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDomain(t *testing.T) {
+	c := New("a", []int64{5, -3, 12, 0}, Config{})
+	lo, hi := c.Domain()
+	if lo != -3 || hi != 12 {
+		t.Errorf("Domain() = %d,%d; want -3,12", lo, hi)
+	}
+	empty := New("e", nil, Config{})
+	lo, hi = empty.Domain()
+	if lo != 0 || hi != 0 {
+		t.Errorf("empty Domain() = %d,%d; want 0,0", lo, hi)
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	c := New("a", make([]int64, 100), Config{})
+	if got := c.SizeBytes(); got != 800 {
+		t.Errorf("SizeBytes() = %d, want 800", got)
+	}
+	cr := New("a", make([]int64, 100), Config{WithRows: true})
+	if got := cr.SizeBytes(); got != 1200 {
+		t.Errorf("SizeBytes() with rows = %d, want 1200", got)
+	}
+}

@@ -1,0 +1,359 @@
+package cracking
+
+import "sync"
+
+// vectorSize is the chunk width of the vectorized kernel: large enough to
+// amortize loop overhead, small enough that a read vector plus the two
+// write frontiers stay cache resident (Pirk et al., DaMoN 2014).
+const vectorSize = 1024
+
+// crackInTwoInPlace partitions vals[lo:hi] (and rows in lockstep when
+// non-nil) so that values < pivot precede values >= pivot, returning the
+// index of the first value >= pivot. Classic two-cursor crack-in-two.
+func crackInTwoInPlace(vals []int64, rows []uint32, lo, hi int, pivot int64) int {
+	i, j := lo, hi-1
+	if rows == nil {
+		for {
+			for i <= j && vals[i] < pivot {
+				i++
+			}
+			for i <= j && vals[j] >= pivot {
+				j--
+			}
+			if i >= j {
+				break
+			}
+			vals[i], vals[j] = vals[j], vals[i]
+			i++
+			j--
+		}
+		return i
+	}
+	for {
+		for i <= j && vals[i] < pivot {
+			i++
+		}
+		for i <= j && vals[j] >= pivot {
+			j--
+		}
+		if i >= j {
+			break
+		}
+		vals[i], vals[j] = vals[j], vals[i]
+		rows[i], rows[j] = rows[j], rows[i]
+		i++
+		j--
+	}
+	return i
+}
+
+// getScratch returns a partition buffer of at least n values (and n rows
+// when needRows is set), reusing pooled buffers.
+func (c *Column) getScratch(n int, needRows bool) ([]int64, []uint32) {
+	var sv []int64
+	if p, _ := c.scratch.Get().(*[]int64); p != nil && cap(*p) >= n {
+		sv = (*p)[:n]
+	} else {
+		sv = make([]int64, n)
+	}
+	var sr []uint32
+	if needRows {
+		if p, _ := c.scratchR.Get().(*[]uint32); p != nil && cap(*p) >= n {
+			sr = (*p)[:n]
+		} else {
+			sr = make([]uint32, n)
+		}
+	}
+	return sv, sr
+}
+
+func (c *Column) putScratch(sv []int64, sr []uint32) {
+	c.scratch.Put(&sv)
+	if sr != nil {
+		c.scratchR.Put(&sr)
+	}
+}
+
+// crackInTwoVectorized is the out-of-place vectorized partition of
+// Figure 5: a strictly sequential read cursor walks the piece one vector
+// at a time, copying each value to either the head cursor or the tail
+// cursor of a scratch buffer; the scratch is then copied back. The tail
+// half ends up reversed, which is irrelevant — order inside a piece
+// carries no information.
+func crackInTwoVectorized(vals, scratchV []int64, rows, scratchR []uint32, lo, hi int, pivot int64) int {
+	n := hi - lo
+	head, tail := 0, n-1
+	if rows == nil {
+		for base := 0; base < n; base += vectorSize {
+			limit := base + vectorSize
+			if limit > n {
+				limit = n
+			}
+			for i := base; i < limit; i++ {
+				v := vals[lo+i]
+				if v < pivot {
+					scratchV[head] = v
+					head++
+				} else {
+					scratchV[tail] = v
+					tail--
+				}
+			}
+		}
+		copy(vals[lo:hi], scratchV[:n])
+		return lo + head
+	}
+	for base := 0; base < n; base += vectorSize {
+		limit := base + vectorSize
+		if limit > n {
+			limit = n
+		}
+		for i := base; i < limit; i++ {
+			v := vals[lo+i]
+			r := rows[lo+i]
+			if v < pivot {
+				scratchV[head] = v
+				scratchR[head] = r
+				head++
+			} else {
+				scratchV[tail] = v
+				scratchR[tail] = r
+				tail--
+			}
+		}
+	}
+	copy(vals[lo:hi], scratchV[:n])
+	copy(rows[lo:hi], scratchR[:n])
+	return lo + head
+}
+
+// crackInTwoSideways is crack-in-two with payload columns (and optional
+// rowids) swapped in lockstep: the sideways-cracking kernel.
+func crackInTwoSideways(vals []int64, rows []uint32, payloads [][]int64, lo, hi int, pivot int64) int {
+	i, j := lo, hi-1
+	for {
+		for i <= j && vals[i] < pivot {
+			i++
+		}
+		for i <= j && vals[j] >= pivot {
+			j--
+		}
+		if i >= j {
+			break
+		}
+		vals[i], vals[j] = vals[j], vals[i]
+		if rows != nil {
+			rows[i], rows[j] = rows[j], rows[i]
+		}
+		for _, p := range payloads {
+			p[i], p[j] = p[j], p[i]
+		}
+		i++
+		j--
+	}
+	return i
+}
+
+// crackInThreeSideways is crack-in-three with payloads in lockstep.
+func crackInThreeSideways(vals []int64, rows []uint32, payloads [][]int64, lo, hi int, a, b int64) (m1, m2 int) {
+	low, mid, high := lo, lo, hi-1
+	swap := func(x, y int) {
+		vals[x], vals[y] = vals[y], vals[x]
+		if rows != nil {
+			rows[x], rows[y] = rows[y], rows[x]
+		}
+		for _, p := range payloads {
+			p[x], p[y] = p[y], p[x]
+		}
+	}
+	for mid <= high {
+		switch v := vals[mid]; {
+		case v < a:
+			swap(low, mid)
+			low++
+			mid++
+		case v >= b:
+			swap(mid, high)
+			high--
+		default:
+			mid++
+		}
+	}
+	return low, mid
+}
+
+// crackInThree partitions vals[lo:hi] into [< a | a <= v < b | >= b] in a
+// single pass (Dutch national flag), returning the two split points. Used
+// when both bounds of a range select fall into the same piece.
+func crackInThree(vals []int64, rows []uint32, lo, hi int, a, b int64) (m1, m2 int) {
+	low, mid, high := lo, lo, hi-1
+	if rows == nil {
+		for mid <= high {
+			v := vals[mid]
+			switch {
+			case v < a:
+				vals[low], vals[mid] = vals[mid], vals[low]
+				low++
+				mid++
+			case v >= b:
+				vals[mid], vals[high] = vals[high], vals[mid]
+				high--
+			default:
+				mid++
+			}
+		}
+		return low, mid
+	}
+	for mid <= high {
+		v := vals[mid]
+		switch {
+		case v < a:
+			vals[low], vals[mid] = vals[mid], vals[low]
+			rows[low], rows[mid] = rows[mid], rows[low]
+			low++
+			mid++
+		case v >= b:
+			vals[mid], vals[high] = vals[high], vals[mid]
+			rows[mid], rows[high] = rows[high], rows[mid]
+			high--
+		default:
+			mid++
+		}
+	}
+	return low, mid
+}
+
+// parallelCrack is the refined partition & merge algorithm of Figure 4
+// (Pirk et al., DaMoN 2014): the to-be-cracked piece is sliced across
+// workers goroutines, each partitions its slice out-of-place with the
+// vectorized kernel, and the per-slice halves are merged back so that all
+// values < pivot form a prefix. The concentric slice layout of the
+// original is replaced by contiguous slices plus an explicit merge copy
+// (identical output and parallel structure; see DESIGN.md §3).
+func (c *Column) parallelCrack(vals []int64, rows []uint32, lo, hi int, pivot int64, workers int) int {
+	n := hi - lo
+	if workers > n {
+		workers = n
+	}
+	scratchV, scratchR := c.getScratch(n, rows != nil)
+	defer c.putScratch(scratchV, scratchR)
+
+	// Phase 1: partition each slice into scratch (same offsets).
+	mids := make([]int, workers) // count of < pivot per slice
+	starts := make([]int, workers+1)
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		s := w * chunk
+		if s > n {
+			s = n
+		}
+		starts[w] = s
+	}
+	starts[workers] = n
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		s, e := starts[w], starts[w+1]
+		if s >= e {
+			continue
+		}
+		wg.Add(1)
+		go func(w, s, e int) {
+			defer wg.Done()
+			head, tail := s, e-1
+			if rows == nil {
+				for i := lo + s; i < lo+e; i++ {
+					v := vals[i]
+					if v < pivot {
+						scratchV[head] = v
+						head++
+					} else {
+						scratchV[tail] = v
+						tail--
+					}
+				}
+			} else {
+				for i := lo + s; i < lo+e; i++ {
+					v := vals[i]
+					r := rows[i]
+					if v < pivot {
+						scratchV[head] = v
+						scratchR[head] = r
+						head++
+					} else {
+						scratchV[tail] = v
+						scratchR[tail] = r
+						tail--
+					}
+				}
+			}
+			mids[w] = head - s
+		}(w, s, e)
+	}
+	wg.Wait()
+
+	// Phase 2: merge. Compute destination offsets for each slice's two
+	// halves, then copy both halves back concurrently.
+	totalLeft := 0
+	for _, m := range mids {
+		totalLeft += m
+	}
+	leftOff := make([]int, workers)
+	rightOff := make([]int, workers)
+	accL, accR := 0, totalLeft
+	for w := 0; w < workers; w++ {
+		leftOff[w] = accL
+		accL += mids[w]
+		rightOff[w] = accR
+		accR += (starts[w+1] - starts[w]) - mids[w]
+	}
+	for w := 0; w < workers; w++ {
+		s, e := starts[w], starts[w+1]
+		if s >= e {
+			continue
+		}
+		wg.Add(1)
+		go func(w, s, e int) {
+			defer wg.Done()
+			m := mids[w]
+			copy(vals[lo+leftOff[w]:], scratchV[s:s+m])
+			copy(vals[lo+rightOff[w]:], scratchV[s+m:e])
+			if rows != nil {
+				copy(rows[lo+leftOff[w]:], scratchR[s:s+m])
+				copy(rows[lo+rightOff[w]:], scratchR[s+m:e])
+			}
+		}(w, s, e)
+	}
+	wg.Wait()
+	return lo + totalLeft
+}
+
+// partition cracks vals[lo:hi] at pivot using the configured kernel and
+// the user-query thread budget. Caller holds the piece's write latch.
+func (c *Column) partition(lo, hi int, pivot int64) int {
+	return c.partitionWith(lo, hi, pivot, c.cfg.ParallelWorkers)
+}
+
+// partitionWith cracks vals[lo:hi] at pivot with an explicit thread
+// budget; holistic refinement passes its own (RefineWorkers).
+func (c *Column) partitionWith(lo, hi int, pivot int64, workers int) int {
+	n := hi - lo
+	if n == 0 {
+		return lo
+	}
+	if len(c.payloads) > 0 {
+		return crackInTwoSideways(c.vals, c.rows, c.payloads, lo, hi, pivot)
+	}
+	if workers > 1 && n >= c.cfg.MinParallelPiece {
+		return c.parallelCrack(c.vals, c.rows, lo, hi, pivot, workers)
+	}
+	switch c.cfg.Kernel {
+	case KernelVectorized:
+		sv, sr := c.getScratch(n, c.rows != nil)
+		mid := crackInTwoVectorized(c.vals, sv, c.rows, sr, lo, hi, pivot)
+		c.putScratch(sv, sr)
+		return mid
+	default:
+		return crackInTwoInPlace(c.vals, c.rows, lo, hi, pivot)
+	}
+}

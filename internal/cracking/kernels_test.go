@@ -1,0 +1,310 @@
+package cracking
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// checkPartition verifies the crack-in-two post-condition on vals[lo:hi]:
+// values < pivot occupy [lo, mid), values >= pivot occupy [mid, hi).
+func checkPartition(t *testing.T, vals []int64, lo, hi, mid int, pivot int64) {
+	t.Helper()
+	if mid < lo || mid > hi {
+		t.Fatalf("mid %d outside [%d, %d]", mid, lo, hi)
+	}
+	for i := lo; i < mid; i++ {
+		if vals[i] >= pivot {
+			t.Fatalf("vals[%d] = %d >= pivot %d on the left side", i, vals[i], pivot)
+		}
+	}
+	for i := mid; i < hi; i++ {
+		if vals[i] < pivot {
+			t.Fatalf("vals[%d] = %d < pivot %d on the right side", i, vals[i], pivot)
+		}
+	}
+}
+
+// multiset returns a sorted copy for permutation comparison.
+func multiset(vals []int64) []int64 {
+	out := append([]int64(nil), vals...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func equalSlices(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func randVals(n int, seed int64, domain int64) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = rng.Int63n(domain)
+	}
+	return vals
+}
+
+func TestCrackInTwoInPlace(t *testing.T) {
+	vals := randVals(1000, 1, 100)
+	before := multiset(vals)
+	mid := crackInTwoInPlace(vals, nil, 0, len(vals), 50)
+	checkPartition(t, vals, 0, len(vals), mid, 50)
+	if !equalSlices(before, multiset(vals)) {
+		t.Fatal("partition changed the multiset of values")
+	}
+}
+
+func TestCrackInTwoInPlaceWithRows(t *testing.T) {
+	vals := randVals(500, 2, 100)
+	rows := make([]uint32, len(vals))
+	orig := append([]int64(nil), vals...)
+	for i := range rows {
+		rows[i] = uint32(i)
+	}
+	mid := crackInTwoInPlace(vals, rows, 0, len(vals), 42)
+	checkPartition(t, vals, 0, len(vals), mid, 42)
+	for i, r := range rows {
+		if orig[r] != vals[i] {
+			t.Fatalf("row %d points at %d but value is %d: rows not in lockstep", r, orig[r], vals[i])
+		}
+	}
+}
+
+func TestCrackInTwoSubrange(t *testing.T) {
+	vals := randVals(1000, 3, 100)
+	snapshot := append([]int64(nil), vals...)
+	lo, hi := 200, 700
+	mid := crackInTwoInPlace(vals, nil, lo, hi, 55)
+	checkPartition(t, vals, lo, hi, mid, 55)
+	// Outside the subrange nothing may change.
+	for i := 0; i < lo; i++ {
+		if vals[i] != snapshot[i] {
+			t.Fatalf("vals[%d] changed outside cracked range", i)
+		}
+	}
+	for i := hi; i < len(vals); i++ {
+		if vals[i] != snapshot[i] {
+			t.Fatalf("vals[%d] changed outside cracked range", i)
+		}
+	}
+}
+
+func TestCrackInTwoEdgePivots(t *testing.T) {
+	vals := randVals(256, 4, 100)
+	if mid := crackInTwoInPlace(append([]int64(nil), vals...), nil, 0, len(vals), -1); mid != 0 {
+		t.Errorf("pivot below domain: mid = %d, want 0", mid)
+	}
+	if mid := crackInTwoInPlace(append([]int64(nil), vals...), nil, 0, len(vals), 1000); mid != len(vals) {
+		t.Errorf("pivot above domain: mid = %d, want %d", mid, len(vals))
+	}
+	if mid := crackInTwoInPlace(vals, nil, 5, 5, 50); mid != 5 {
+		t.Errorf("empty range: mid = %d, want 5", mid)
+	}
+}
+
+func TestCrackInTwoVectorized(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 100, vectorSize, vectorSize + 1, 3*vectorSize + 17} {
+		vals := randVals(n, int64(n), 1000)
+		before := multiset(vals)
+		scratch := make([]int64, n)
+		mid := crackInTwoVectorized(vals, scratch, nil, nil, 0, n, 500)
+		checkPartition(t, vals, 0, n, mid, 500)
+		if !equalSlices(before, multiset(vals)) {
+			t.Fatalf("n=%d: vectorized partition changed the multiset", n)
+		}
+	}
+}
+
+func TestCrackInTwoVectorizedWithRows(t *testing.T) {
+	n := 2*vectorSize + 100
+	vals := randVals(n, 9, 1000)
+	orig := append([]int64(nil), vals...)
+	rows := make([]uint32, n)
+	for i := range rows {
+		rows[i] = uint32(i)
+	}
+	sv := make([]int64, n)
+	sr := make([]uint32, n)
+	mid := crackInTwoVectorized(vals, sv, rows, sr, 0, n, 333)
+	checkPartition(t, vals, 0, n, mid, 333)
+	for i, r := range rows {
+		if orig[r] != vals[i] {
+			t.Fatalf("rows out of lockstep at %d", i)
+		}
+	}
+}
+
+func TestVectorizedMatchesInPlaceSplit(t *testing.T) {
+	// Both kernels must produce the same split position (the partition
+	// itself may order values differently inside each side).
+	vals1 := randVals(5000, 11, 1<<20)
+	vals2 := append([]int64(nil), vals1...)
+	scratch := make([]int64, len(vals1))
+	pivot := int64(1 << 19)
+	m1 := crackInTwoInPlace(vals1, nil, 0, len(vals1), pivot)
+	m2 := crackInTwoVectorized(vals2, scratch, nil, nil, 0, len(vals2), pivot)
+	if m1 != m2 {
+		t.Fatalf("split positions differ: in-place %d vs vectorized %d", m1, m2)
+	}
+}
+
+func TestCrackInThree(t *testing.T) {
+	vals := randVals(3000, 12, 1000)
+	before := multiset(vals)
+	a, b := int64(300), int64(700)
+	m1, m2 := crackInThree(vals, nil, 0, len(vals), a, b)
+	if m1 > m2 {
+		t.Fatalf("m1 %d > m2 %d", m1, m2)
+	}
+	for i := 0; i < m1; i++ {
+		if vals[i] >= a {
+			t.Fatalf("vals[%d] = %d >= %d in first region", i, vals[i], a)
+		}
+	}
+	for i := m1; i < m2; i++ {
+		if vals[i] < a || vals[i] >= b {
+			t.Fatalf("vals[%d] = %d outside [%d, %d) in middle region", i, vals[i], a, b)
+		}
+	}
+	for i := m2; i < len(vals); i++ {
+		if vals[i] < b {
+			t.Fatalf("vals[%d] = %d < %d in last region", i, vals[i], b)
+		}
+	}
+	if !equalSlices(before, multiset(vals)) {
+		t.Fatal("crack-in-three changed the multiset")
+	}
+}
+
+func TestCrackInThreeWithRows(t *testing.T) {
+	vals := randVals(1000, 13, 100)
+	orig := append([]int64(nil), vals...)
+	rows := make([]uint32, len(vals))
+	for i := range rows {
+		rows[i] = uint32(i)
+	}
+	crackInThree(vals, rows, 0, len(vals), 30, 60)
+	for i, r := range rows {
+		if orig[r] != vals[i] {
+			t.Fatalf("rows out of lockstep at %d", i)
+		}
+	}
+}
+
+func TestParallelCrack(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 4, 8} {
+		c := New("a", nil, Config{ParallelWorkers: workers})
+		vals := randVals(100_000, int64(workers), 1<<20)
+		before := multiset(vals)
+		pivot := int64(1 << 19)
+		mid := c.parallelCrack(vals, nil, 0, len(vals), pivot, workers)
+		checkPartition(t, vals, 0, len(vals), mid, pivot)
+		if !equalSlices(before, multiset(vals)) {
+			t.Fatalf("workers=%d: parallel crack changed the multiset", workers)
+		}
+	}
+}
+
+func TestParallelCrackWithRowsAndSubrange(t *testing.T) {
+	c := New("a", nil, Config{ParallelWorkers: 4})
+	n := 50_000
+	vals := randVals(n, 21, 1000)
+	orig := append([]int64(nil), vals...)
+	rows := make([]uint32, n)
+	for i := range rows {
+		rows[i] = uint32(i)
+	}
+	lo, hi := 1000, n-1000
+	snapshot := append([]int64(nil), vals...)
+	mid := c.parallelCrack(vals, rows, lo, hi, 500, 4)
+	checkPartition(t, vals, lo, hi, mid, 500)
+	for i := 0; i < lo; i++ {
+		if vals[i] != snapshot[i] {
+			t.Fatalf("vals[%d] changed outside range", i)
+		}
+	}
+	for i := hi; i < n; i++ {
+		if vals[i] != snapshot[i] {
+			t.Fatalf("vals[%d] changed outside range", i)
+		}
+	}
+	for i, r := range rows {
+		if orig[r] != vals[i] {
+			t.Fatalf("rows out of lockstep at %d", i)
+		}
+	}
+}
+
+func TestParallelCrackMoreWorkersThanValues(t *testing.T) {
+	c := New("a", nil, Config{ParallelWorkers: 16})
+	vals := []int64{5, 1, 9, 3}
+	mid := c.parallelCrack(vals, nil, 0, len(vals), 4, 16)
+	checkPartition(t, vals, 0, len(vals), mid, 4)
+}
+
+func TestQuickKernelsAgree(t *testing.T) {
+	check := func(vals []int64, pivot int64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		v1 := append([]int64(nil), vals...)
+		v2 := append([]int64(nil), vals...)
+		v3 := append([]int64(nil), vals...)
+		scratch := make([]int64, len(vals))
+		c := New("q", nil, Config{ParallelWorkers: 3})
+		m1 := crackInTwoInPlace(v1, nil, 0, len(v1), pivot)
+		m2 := crackInTwoVectorized(v2, scratch, nil, nil, 0, len(v2), pivot)
+		m3 := c.parallelCrack(v3, nil, 0, len(v3), pivot, 3)
+		if m1 != m2 || m1 != m3 {
+			return false
+		}
+		return equalSlices(multiset(vals), multiset(v1)) &&
+			equalSlices(multiset(vals), multiset(v2)) &&
+			equalSlices(multiset(vals), multiset(v3))
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCrackInThreePostcondition(t *testing.T) {
+	check := func(vals []int64, a, b int64) bool {
+		if a > b {
+			a, b = b, a
+		}
+		v := append([]int64(nil), vals...)
+		m1, m2 := crackInThree(v, nil, 0, len(v), a, b)
+		if m1 > m2 || m2 > len(v) {
+			return false
+		}
+		for i := 0; i < m1; i++ {
+			if v[i] >= a {
+				return false
+			}
+		}
+		for i := m1; i < m2; i++ {
+			if v[i] < a || v[i] >= b {
+				return false
+			}
+		}
+		for i := m2; i < len(v); i++ {
+			if v[i] < b {
+				return false
+			}
+		}
+		return equalSlices(multiset(vals), multiset(v))
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

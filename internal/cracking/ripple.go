@@ -1,0 +1,176 @@
+package cracking
+
+import "holistic/internal/avl"
+
+// This file implements the Ripple algorithm of Idreos et al. ("Updating a
+// Cracked Database", SIGMOD 2007), which the paper adopts for updates
+// (Section 4.2, Updates; Section 5.7): a pending insertion is merged into
+// the cracker column without destroying any partitioning information, by
+// moving exactly one value per piece boundary that lies above the target
+// piece. Both user queries and holistic workers trigger merges; holistic
+// workers thereby "not only refine the adaptive indices in the background
+// but also bring them more up to date".
+//
+// A merge is the one operation that moves existing piece boundaries, so
+// it takes the column-level lock exclusively; all cracking, selection and
+// refinement hold it shared. Merges are short (one value moved per
+// boundary) and, in the paper's workloads, arrive in small batches, so
+// the exclusive section is brief.
+
+// boundariesAboveLocked returns the pieces whose boundary key is greater
+// than key, in ascending key (= position) order. Caller must hold the
+// column exclusively.
+func (c *Column) boundariesAboveLocked(key int64) []*piece {
+	var above []*piece
+	c.tree.Ascend(func(k int64, pv avl.Value) bool {
+		if k > key {
+			above = append(above, pv.(*piece))
+		}
+		return true
+	})
+	return above
+}
+
+// MergeInsert inserts value v with rowid row into the cracked column,
+// preserving all piece information. On sideways columns the payload
+// values of the new tuple default to zero; use MergeInsertSideways to
+// supply them.
+func (c *Column) MergeInsert(v int64, row uint32) {
+	c.MergeInsertSideways(v, row, nil)
+}
+
+// MergeInsertSideways is MergeInsert with explicit payload values for the
+// inserted tuple (one per attached payload column; missing trailing
+// values default to zero).
+func (c *Column) MergeInsertSideways(v int64, row uint32, payload []int64) {
+	c.global.Lock()
+	defer c.global.Unlock()
+	// The exclusive column lock shuts out all query/refinement paths, but
+	// statistics accessors (Len, Pieces, AvgPieceSize, ...) read the
+	// slice headers and piece boundaries under mu alone — so mutate them
+	// under mu as well. Lock order global -> mu matches every other path.
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	// Locate the piece that must receive v.
+	targetKey, _, _, _ := c.pieceSpanLocked(v)
+
+	// Open a hole past the current end.
+	c.vals = append(c.vals, 0)
+	if c.rows != nil {
+		c.rows = append(c.rows, 0)
+	}
+	for i := range c.payloads {
+		c.payloads[i] = append(c.payloads[i], 0)
+	}
+	hole := len(c.vals) - 1
+
+	// Ripple the hole down: for each boundary above the target (highest
+	// first), move the first value of its piece into the hole and shift
+	// the boundary right by one. Piece contents are preserved because
+	// order inside a piece carries no information.
+	above := c.boundariesAboveLocked(targetKey)
+	for i := len(above) - 1; i >= 0; i-- {
+		p := above[i]
+		first := p.start
+		c.vals[hole] = c.vals[first]
+		if c.rows != nil {
+			c.rows[hole] = c.rows[first]
+		}
+		for j := range c.payloads {
+			c.payloads[j][hole] = c.payloads[j][first]
+		}
+		hole = first
+		p.start++
+	}
+
+	c.vals[hole] = v
+	if c.rows != nil {
+		c.rows[hole] = row
+	}
+	for j := range c.payloads {
+		var pv int64
+		if j < len(payload) {
+			pv = payload[j]
+		}
+		c.payloads[j][hole] = pv
+	}
+	if v < c.domainLo {
+		c.domainLo = v
+	}
+	if v > c.domainHi {
+		c.domainHi = v
+	}
+}
+
+// MergeDelete removes one occurrence of value v from the cracked column,
+// preserving all piece information, and reports whether it was present.
+// The rowid of the removed tuple is returned when rowids are enabled.
+func (c *Column) MergeDelete(v int64) (row uint32, found bool) {
+	c.global.Lock()
+	defer c.global.Unlock()
+	c.mu.Lock() // see MergeInsertSideways for why
+	defer c.mu.Unlock()
+
+	targetKey, p, end, _ := c.pieceSpanLocked(v)
+	// Linear search inside the target piece: pieces are unordered inside.
+	victim := -1
+	for i := p.start; i < end; i++ {
+		if c.vals[i] == v {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		return 0, false
+	}
+	if c.rows != nil {
+		row = c.rows[victim]
+	}
+
+	// Fill the victim slot with the last value of its piece; the hole is
+	// now the piece's last slot.
+	c.vals[victim] = c.vals[end-1]
+	if c.rows != nil {
+		c.rows[victim] = c.rows[end-1]
+	}
+	for j := range c.payloads {
+		c.payloads[j][victim] = c.payloads[j][end-1]
+	}
+	hole := end - 1
+
+	// Ripple the hole up: each piece above the target shifts left by one
+	// by moving its last value into the hole at its (new) first slot and
+	// decrementing its boundary. Ends are derived from the next piece's
+	// original start, so they are computed before any boundary moves.
+	above := c.boundariesAboveLocked(targetKey)
+	ends := make([]int, len(above))
+	for i := range above {
+		if i+1 < len(above) {
+			ends[i] = above[i+1].start
+		} else {
+			ends[i] = len(c.vals)
+		}
+	}
+	for i, q := range above {
+		qEnd := ends[i]
+		c.vals[hole] = c.vals[qEnd-1]
+		if c.rows != nil {
+			c.rows[hole] = c.rows[qEnd-1]
+		}
+		for j := range c.payloads {
+			c.payloads[j][hole] = c.payloads[j][qEnd-1]
+		}
+		hole = qEnd - 1
+		q.start--
+	}
+
+	c.vals = c.vals[:len(c.vals)-1]
+	if c.rows != nil {
+		c.rows = c.rows[:len(c.rows)-1]
+	}
+	for j := range c.payloads {
+		c.payloads[j] = c.payloads[j][:len(c.payloads[j])-1]
+	}
+	return row, true
+}

@@ -1,0 +1,236 @@
+package cracking
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"holistic/internal/column"
+)
+
+func TestMergeInsertIntoCrackedColumn(t *testing.T) {
+	base := randVals(10_000, 61, 1000)
+	c := New("a", base, Config{})
+	// Crack into several pieces first.
+	for _, v := range []int64{100, 300, 500, 700, 900} {
+		c.CrackAt(v)
+	}
+	pieces := c.Pieces()
+
+	live := append([]int64(nil), base...)
+	rng := rand.New(rand.NewSource(62))
+	for i := 0; i < 200; i++ {
+		v := rng.Int63n(1100) - 50 // include values outside the original domain
+		c.MergeInsert(v, uint32(len(live)))
+		live = append(live, v)
+	}
+	if c.Len() != len(live) {
+		t.Fatalf("Len() = %d, want %d", c.Len(), len(live))
+	}
+	if c.Pieces() != pieces {
+		t.Fatalf("merge changed piece count: %d -> %d", pieces, c.Pieces())
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if !equalSlices(multiset(live), multiset(c.Snapshot())) {
+		t.Fatal("column multiset does not match inserted values")
+	}
+	// Selects must now see the merged values.
+	for q := 0; q < 50; q++ {
+		lo := rng.Int63n(1000)
+		hi := lo + rng.Int63n(1000-lo) + 1
+		if got, want := c.SelectRange(lo, hi).Count(), column.CountRange(live, lo, hi); got != want {
+			t.Fatalf("[%d,%d): Count = %d, want %d after merges", lo, hi, got, want)
+		}
+	}
+}
+
+func TestMergeInsertWithRows(t *testing.T) {
+	base := randVals(1000, 63, 100)
+	c := New("a", base, Config{WithRows: true})
+	c.CrackAt(50)
+	c.MergeInsert(77, 9999)
+	_, rows := c.SelectRows(77, 78)
+	found := false
+	for _, r := range rows {
+		if r == 9999 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("inserted rowid not returned by select")
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeInsertExtendsDomain(t *testing.T) {
+	c := New("a", []int64{10, 20, 30}, Config{})
+	c.MergeInsert(-5, 0)
+	c.MergeInsert(99, 0)
+	lo, hi := c.Domain()
+	if lo != -5 || hi != 99 {
+		t.Errorf("Domain() = %d,%d; want -5,99", lo, hi)
+	}
+}
+
+func TestMergeDelete(t *testing.T) {
+	base := []int64{5, 2, 8, 2, 9, 1}
+	c := New("a", base, Config{WithRows: true})
+	c.CrackAt(5)
+	row, found := c.MergeDelete(2)
+	if !found {
+		t.Fatal("MergeDelete did not find value 2")
+	}
+	if base[row] != 2 {
+		t.Fatalf("returned rowid %d maps to %d, want 2", row, base[row])
+	}
+	if c.Len() != 5 {
+		t.Fatalf("Len() = %d, want 5", c.Len())
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// One 2 must remain.
+	if got := c.SelectRange(2, 3).Count(); got != 1 {
+		t.Fatalf("remaining count of 2 = %d, want 1", got)
+	}
+}
+
+func TestMergeDeleteAbsent(t *testing.T) {
+	c := New("a", []int64{1, 2, 3}, Config{})
+	if _, found := c.MergeDelete(42); found {
+		t.Fatal("MergeDelete reported deleting an absent value")
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len() changed on absent delete: %d", c.Len())
+	}
+}
+
+func TestMergeDeleteLastPiece(t *testing.T) {
+	base := randVals(1000, 64, 100)
+	c := New("a", base, Config{})
+	c.CrackAt(50)
+	// Delete a value in the last piece (>= 50).
+	var victim int64 = -1
+	for _, v := range base {
+		if v >= 50 {
+			victim = v
+			break
+		}
+	}
+	if victim < 0 {
+		t.Skip("no value >= 50 in base")
+	}
+	before := c.SelectRange(victim, victim+1).Count()
+	if _, found := c.MergeDelete(victim); !found {
+		t.Fatal("delete failed")
+	}
+	if got := c.SelectRange(victim, victim+1).Count(); got != before-1 {
+		t.Fatalf("count after delete = %d, want %d", got, before-1)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpdateAsDeletePlusInsert(t *testing.T) {
+	// The paper: "Updates are translated into a deletion that is followed
+	// by an insertion."
+	base := randVals(5000, 65, 1000)
+	c := New("a", base, Config{})
+	for _, v := range []int64{250, 500, 750} {
+		c.CrackAt(v)
+	}
+	live := append([]int64(nil), base...)
+	rng := rand.New(rand.NewSource(66))
+	for i := 0; i < 100; i++ {
+		oldV := live[rng.Intn(len(live))]
+		newV := rng.Int63n(1000)
+		if _, found := c.MergeDelete(oldV); !found {
+			t.Fatalf("value %d should be present", oldV)
+		}
+		c.MergeInsert(newV, 0)
+		for j, v := range live {
+			if v == oldV {
+				live[j] = newV
+				break
+			}
+		}
+	}
+	if !equalSlices(multiset(live), multiset(c.Snapshot())) {
+		t.Fatal("update stream diverged from reference")
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRippleInvariants(t *testing.T) {
+	type op struct {
+		Insert bool
+		Value  uint8
+		Crack  uint8
+	}
+	check := func(seed int64, ops []op) bool {
+		base := randVals(500, seed, 256)
+		c := New("q", base, Config{})
+		live := append([]int64(nil), base...)
+		for _, o := range ops {
+			c.CrackAt(int64(o.Crack))
+			if o.Insert {
+				c.MergeInsert(int64(o.Value), 0)
+				live = append(live, int64(o.Value))
+			} else {
+				if _, found := c.MergeDelete(int64(o.Value)); found {
+					for j, v := range live {
+						if v == int64(o.Value) {
+							live = append(live[:j], live[j+1:]...)
+							break
+						}
+					}
+				}
+			}
+		}
+		if c.CheckInvariants() != nil {
+			return false
+		}
+		return equalSlices(multiset(live), multiset(c.Snapshot()))
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeInsertRacesSelects(t *testing.T) {
+	// Merges take the column exclusively; selects hold it shared. The sum
+	// of counts must be consistent with the values present at that time:
+	// every select sees some prefix of the insert stream of its value.
+	base := randVals(20_000, 67, 1000)
+	c := New("a", base, Config{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 500; i++ {
+			c.MergeInsert(500, 0) // always insert the same value
+		}
+	}()
+	prev := 0
+	for i := 0; i < 200; i++ {
+		got := c.SelectRange(500, 501).Count()
+		if got < prev {
+			t.Errorf("count went backwards: %d after %d", got, prev)
+		}
+		prev = got
+	}
+	<-done
+	want := column.CountRange(base, 500, 501) + 500
+	if got := c.SelectRange(500, 501).Count(); got != want {
+		t.Fatalf("final count = %d, want %d", got, want)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

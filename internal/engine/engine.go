@@ -1,0 +1,172 @@
+// Package engine is the minimal bulk-processing column-store the
+// reproduction runs on (DESIGN.md §3 records the substitution for
+// MonetDB): tables of dense integer columns, a select operator per
+// indexing mode, late tuple reconstruction, and the executor glue that
+// the benchmark harness drives.
+//
+// One Executor exists per indexing approach compared in Section 5:
+//
+//	ModeScan       — plain parallel scans, no indexing
+//	ModeOffline    — pre-sorted columns, binary-search selects
+//	ModeOnline     — scan for an epoch, then sort, then binary search
+//	ModeAdaptive   — database cracking (parallel vectorized, PVDC)
+//	ModeStochastic — stochastic cracking (PVSDC)
+//	ModeCCGI       — the mP-CCGI multi-core baseline
+//	ModeHolistic   — cracking plus the holistic indexing daemon
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"holistic/internal/column"
+)
+
+// Table is a named set of equally long columns (one relation, vertically
+// fragmented as in Section 3.1).
+type Table struct {
+	name   string
+	order  []string
+	byName map[string]*column.Column
+}
+
+// NewTable creates an empty table.
+func NewTable(name string) *Table {
+	return &Table{name: name, byName: make(map[string]*column.Column)}
+}
+
+// Name returns the relation name.
+func (t *Table) Name() string { return t.name }
+
+// AddColumn attaches a column; all columns of a table must have the same
+// length (checked so position alignment — the backbone of late tuple
+// reconstruction — cannot silently break).
+func (t *Table) AddColumn(c *column.Column) error {
+	if _, dup := t.byName[c.Name()]; dup {
+		return fmt.Errorf("engine: duplicate column %q in table %q", c.Name(), t.name)
+	}
+	if len(t.order) > 0 && c.Len() != t.byName[t.order[0]].Len() {
+		return fmt.Errorf("engine: column %q has %d rows, table %q has %d",
+			c.Name(), c.Len(), t.name, t.byName[t.order[0]].Len())
+	}
+	t.order = append(t.order, c.Name())
+	t.byName[c.Name()] = c
+	return nil
+}
+
+// MustAddColumn is AddColumn for static table construction.
+func (t *Table) MustAddColumn(c *column.Column) {
+	if err := t.AddColumn(c); err != nil {
+		panic(err)
+	}
+}
+
+// Column returns a column by name (nil if absent).
+func (t *Table) Column(name string) *column.Column { return t.byName[name] }
+
+// ColumnNames returns the attribute names in insertion order.
+func (t *Table) ColumnNames() []string { return append([]string(nil), t.order...) }
+
+// Rows returns the number of tuples (0 for an empty table).
+func (t *Table) Rows() int {
+	if len(t.order) == 0 {
+		return 0
+	}
+	return t.byName[t.order[0]].Len()
+}
+
+// Executor is a query-processing mode: it answers range selections over
+// the attributes of one table, building or refining whatever index
+// structures its mode prescribes as a side effect.
+type Executor interface {
+	// Label names the mode as the paper's figures do.
+	Label() string
+	// Count answers "select count(*) from R where lo <= attr < hi".
+	Count(attr string, lo, hi int64) (int, error)
+	// Close releases background resources (daemons).
+	Close()
+}
+
+// Inserter is implemented by executors that support the update scenarios
+// of Section 5.7 (pending insertions merged via Ripple).
+type Inserter interface {
+	Insert(attr string, v int64) error
+}
+
+// HashJoin builds a hash table over build and probes it with probe,
+// returning for every probe position the matching build position (-1 if
+// none). Equi-join on int64 keys, enough for TPC-H Q12's
+// lineitem-orders join on orderkey.
+func HashJoin(build, probe []int64) []int32 {
+	ht := make(map[int64]int32, len(build))
+	for i, k := range build {
+		ht[k] = int32(i)
+	}
+	out := make([]int32, len(probe))
+	for i, k := range probe {
+		if j, ok := ht[k]; ok {
+			out[i] = j
+		} else {
+			out[i] = -1
+		}
+	}
+	return out
+}
+
+// ParallelHashJoin is HashJoin with the probe phase split across workers.
+func ParallelHashJoin(build, probe []int64, workers int) []int32 {
+	if workers < 2 || len(probe) < 4096 {
+		return HashJoin(build, probe)
+	}
+	ht := make(map[int64]int32, len(build))
+	for i, k := range build {
+		ht[k] = int32(i)
+	}
+	out := make([]int32, len(probe))
+	var wg sync.WaitGroup
+	chunk := (len(probe) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(probe) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(probe) {
+			hi = len(probe)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				if j, ok := ht[probe[i]]; ok {
+					out[i] = j
+				} else {
+					out[i] = -1
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// GroupSums aggregates sum(values) per group key, returning keys in
+// ascending order with their sums — the grouped aggregation TPC-H Q1/Q12
+// need. keys and values must be aligned.
+func GroupSums(keys, values []int64) (groupKeys []int64, sums []int64) {
+	m := make(map[int64]int64)
+	for i, k := range keys {
+		m[k] += values[i]
+	}
+	groupKeys = make([]int64, 0, len(m))
+	for k := range m {
+		groupKeys = append(groupKeys, k)
+	}
+	sort.Slice(groupKeys, func(i, j int) bool { return groupKeys[i] < groupKeys[j] })
+	sums = make([]int64, len(groupKeys))
+	for i, k := range groupKeys {
+		sums[i] = m[k]
+	}
+	return groupKeys, sums
+}

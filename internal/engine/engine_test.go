@@ -1,0 +1,417 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"holistic/internal/column"
+	"holistic/internal/cracking"
+	"holistic/internal/holistic"
+	"holistic/internal/workload"
+)
+
+func testTable(t *testing.T, attrs, rows int, domain int64) (*Table, [][]int64) {
+	t.Helper()
+	tbl := NewTable("R")
+	bases := make([][]int64, attrs)
+	for a := 0; a < attrs; a++ {
+		bases[a] = workload.UniformColumn(rows, domain, int64(100+a))
+		tbl.MustAddColumn(column.New(attrName(a), bases[a]))
+	}
+	return tbl, bases
+}
+
+func attrName(a int) string { return string(rune('A' + a)) }
+
+func TestTableBasics(t *testing.T) {
+	tbl := NewTable("R")
+	if tbl.Rows() != 0 {
+		t.Errorf("empty table Rows() = %d", tbl.Rows())
+	}
+	tbl.MustAddColumn(column.New("A", []int64{1, 2, 3}))
+	if err := tbl.AddColumn(column.New("A", []int64{4, 5, 6})); err == nil {
+		t.Error("duplicate column accepted")
+	}
+	if err := tbl.AddColumn(column.New("B", []int64{1})); err == nil {
+		t.Error("mismatched length accepted")
+	}
+	tbl.MustAddColumn(column.New("B", []int64{4, 5, 6}))
+	if tbl.Rows() != 3 {
+		t.Errorf("Rows() = %d, want 3", tbl.Rows())
+	}
+	names := tbl.ColumnNames()
+	if len(names) != 2 || names[0] != "A" || names[1] != "B" {
+		t.Errorf("ColumnNames() = %v", names)
+	}
+	if tbl.Column("C") != nil {
+		t.Error("Column(C) non-nil")
+	}
+}
+
+// allExecutors builds one executor per mode over the same table.
+func allExecutors(t *testing.T, tbl *Table) []Executor {
+	t.Helper()
+	return []Executor{
+		NewScanExecutor(tbl, 2),
+		NewOfflineExecutor(tbl, 2),
+		NewOnlineExecutor(tbl, 2, 20),
+		NewAdaptiveExecutor(tbl, cracking.Config{}, ""),
+		NewAdaptiveExecutor(tbl, cracking.Config{Stochastic: true, Seed: 5}, "stochastic"),
+		NewCCGIExecutor(tbl, 2, 8, cracking.Config{}),
+		NewHolisticExecutor(tbl, HolisticConfig{
+			Daemon:   holistic.Config{Interval: time.Millisecond, Refinements: 4, Seed: 3},
+			L1Values: 256,
+			Contexts: 2,
+		}),
+	}
+}
+
+func TestAllModesAgreeWithScan(t *testing.T) {
+	const domain = 1 << 16
+	tbl, bases := testTable(t, 3, 20_000, domain)
+	execs := allExecutors(t, tbl)
+	defer func() {
+		for _, e := range execs {
+			e.Close()
+		}
+	}()
+	rng := rand.New(rand.NewSource(9))
+	for q := 0; q < 60; q++ {
+		a := rng.Intn(3)
+		lo := rng.Int63n(domain)
+		hi := lo + rng.Int63n(domain-lo) + 1
+		want := column.CountRange(bases[a], lo, hi)
+		for _, e := range execs {
+			got, err := e.Count(attrName(a), lo, hi)
+			if err != nil {
+				t.Fatalf("%s: %v", e.Label(), err)
+			}
+			if got != want {
+				t.Fatalf("%s query %d [%d,%d) attr %s: got %d, want %d",
+					e.Label(), q, lo, hi, attrName(a), got, want)
+			}
+		}
+	}
+}
+
+func TestUnknownAttributeErrors(t *testing.T) {
+	tbl, _ := testTable(t, 1, 100, 1000)
+	execs := allExecutors(t, tbl)
+	defer func() {
+		for _, e := range execs {
+			e.Close()
+		}
+	}()
+	for _, e := range execs {
+		if _, err := e.Count("nope", 0, 10); err == nil {
+			t.Errorf("%s: unknown attribute did not error", e.Label())
+		}
+	}
+}
+
+func TestOnlineExecutorSortsAfterEpoch(t *testing.T) {
+	tbl, base := testTable(t, 1, 10_000, 1<<16)
+	e := NewOnlineExecutor(tbl, 2, 5)
+	defer e.Close()
+	for q := 0; q < 5; q++ {
+		if n, _ := e.Count("A", 0, 1000); n != column.CountRange(base[0], 0, 1000) {
+			t.Fatal("pre-epoch count wrong")
+		}
+	}
+	if len(e.sorted) != 0 {
+		t.Fatal("sorted before epoch ended")
+	}
+	if n, _ := e.Count("A", 0, 1000); n != column.CountRange(base[0], 0, 1000) {
+		t.Fatal("epoch-crossing count wrong")
+	}
+	if len(e.sorted) != 1 {
+		t.Fatalf("sorted %d columns after epoch, want 1 (table has 1)", len(e.sorted))
+	}
+}
+
+func TestOfflinePrepareAll(t *testing.T) {
+	tbl, _ := testTable(t, 3, 5_000, 1<<16)
+	e := NewOfflineExecutor(tbl, 2)
+	e.PrepareAll()
+	if len(e.sorted) != 3 {
+		t.Fatalf("PrepareAll sorted %d columns, want 3", len(e.sorted))
+	}
+}
+
+func TestAdaptiveExecutorCracksLazily(t *testing.T) {
+	tbl, _ := testTable(t, 2, 10_000, 1<<16)
+	e := NewAdaptiveExecutor(tbl, cracking.Config{}, "")
+	defer e.Close()
+	if e.CrackerIfExists("A") != nil {
+		t.Fatal("cracker exists before any query")
+	}
+	e.Count("A", 100, 200)
+	if e.CrackerIfExists("A") == nil {
+		t.Fatal("cracker missing after query")
+	}
+	if e.CrackerIfExists("B") != nil {
+		t.Fatal("unqueried attribute got a cracker")
+	}
+	if e.TotalPieces() < 2 {
+		t.Errorf("TotalPieces = %d after one range query", e.TotalPieces())
+	}
+}
+
+func TestAdaptiveInsertMergesOnQuery(t *testing.T) {
+	tbl, base := testTable(t, 1, 10_000, 1000)
+	e := NewAdaptiveExecutor(tbl, cracking.Config{}, "")
+	defer e.Close()
+	e.Count("A", 0, 500) // create cracker
+	for i := 0; i < 20; i++ {
+		if err := e.Insert("A", 250); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Insert("nope", 1); err == nil {
+		t.Error("insert into unknown attribute did not error")
+	}
+	got, _ := e.Count("A", 200, 300)
+	want := column.CountRange(base[0], 200, 300) + 20
+	if got != want {
+		t.Fatalf("count after inserts = %d, want %d", got, want)
+	}
+}
+
+func TestHolisticExecutorBackgroundRefinement(t *testing.T) {
+	tbl, base := testTable(t, 2, 100_000, 1<<20)
+	h := NewHolisticExecutor(tbl, HolisticConfig{
+		Daemon:   holistic.Config{Interval: time.Millisecond, Refinements: 16, Seed: 4},
+		L1Values: 256,
+		Contexts: 2,
+	})
+	defer h.Close()
+	// One query creates the index; idle time lets the daemon refine it.
+	h.Count("A", 0, 1<<19)
+	c := h.CrackerIfExists("A")
+	deadline := time.After(2 * time.Second)
+	for c.Pieces() < 20 {
+		select {
+		case <-deadline:
+			t.Fatalf("daemon refined only %d pieces", c.Pieces())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	// Queries remain correct throughout.
+	rng := rand.New(rand.NewSource(10))
+	for q := 0; q < 100; q++ {
+		lo := rng.Int63n(1 << 20)
+		hi := lo + rng.Int63n(1<<20-lo) + 1
+		got, _ := h.Count("A", lo, hi)
+		if want := column.CountRange(base[0], lo, hi); got != want {
+			t.Fatalf("query %d: got %d, want %d", q, got, want)
+		}
+	}
+}
+
+func TestHolisticAddPotential(t *testing.T) {
+	tbl, _ := testTable(t, 2, 50_000, 1<<20)
+	h := NewHolisticExecutor(tbl, HolisticConfig{
+		Daemon:   holistic.Config{Interval: time.Millisecond, Refinements: 16, Seed: 5},
+		L1Values: 256,
+		Contexts: 2,
+	})
+	defer h.Close()
+	if err := h.AddPotential("B"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.AddPotential("nope"); err == nil {
+		t.Error("AddPotential on unknown attribute did not error")
+	}
+	c := h.CrackerIfExists("B")
+	if c == nil {
+		t.Fatal("potential index has no cracker column")
+	}
+	deadline := time.After(2 * time.Second)
+	for c.Pieces() < 5 {
+		select {
+		case <-deadline:
+			t.Fatalf("potential index not refined before queries: %d pieces", c.Pieces())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+func TestHolisticInsertsMergedByWorkers(t *testing.T) {
+	tbl, base := testTable(t, 1, 50_000, 1000)
+	h := NewHolisticExecutor(tbl, HolisticConfig{
+		Daemon:   holistic.Config{Interval: time.Millisecond, Refinements: 16, Seed: 6},
+		L1Values: 128,
+		Contexts: 2,
+	})
+	defer h.Close()
+	h.Count("A", 0, 500)
+	for i := 0; i < 50; i++ {
+		h.Insert("A", int64(i*17%1000))
+	}
+	pend := h.Pending("A")
+	deadline := time.After(3 * time.Second)
+	for pend.Len() > 0 {
+		select {
+		case <-deadline:
+			t.Fatalf("workers left %d pending inserts", pend.Len())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	got, _ := h.Count("A", 0, 1000)
+	if want := column.CountRange(base[0], 0, 1000) + 50; got != want {
+		t.Fatalf("count = %d, want %d", got, want)
+	}
+}
+
+func TestRunQueriesSingleAndMultiClient(t *testing.T) {
+	const domain = 1 << 16
+	tbl, bases := testTable(t, 2, 20_000, domain)
+	qs := workload.Generate(workload.Config{
+		Pattern: workload.Random, Queries: 100, Domain: domain, Attrs: 2, Seed: 11,
+	})
+	want := make([]int, len(qs))
+	for i, q := range qs {
+		want[i] = column.CountRange(bases[q.Attr], q.Lo, q.Hi)
+	}
+	for _, clients := range []int{1, 2, 4} {
+		e := NewAdaptiveExecutor(tbl, cracking.Config{}, "")
+		got, err := RunQueries(e, qs, attrName, clients)
+		if err != nil {
+			t.Fatalf("clients=%d: %v", clients, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("clients=%d query %d: got %d, want %d", clients, i, got[i], want[i])
+			}
+		}
+		e.Close()
+	}
+}
+
+func TestRunQueriesPropagatesError(t *testing.T) {
+	tbl, _ := testTable(t, 1, 100, 1000)
+	e := NewScanExecutor(tbl, 1)
+	qs := []workload.Query{{Attr: 5, Lo: 0, Hi: 1}}
+	if _, err := RunQueries(e, qs, attrName, 1); err == nil {
+		t.Error("single-client error not propagated")
+	}
+	if _, err := RunQueries(e, qs, attrName, 4); err == nil {
+		t.Error("multi-client error not propagated")
+	}
+}
+
+func TestHashJoin(t *testing.T) {
+	build := []int64{10, 20, 30}
+	probe := []int64{20, 99, 10, 30, 20}
+	got := HashJoin(build, probe)
+	want := []int32{1, -1, 0, 2, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("HashJoin = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestParallelHashJoinMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	build := make([]int64, 10_000)
+	for i := range build {
+		build[i] = int64(i) * 3
+	}
+	probe := make([]int64, 50_000)
+	for i := range probe {
+		probe[i] = rng.Int63n(40_000)
+	}
+	seq := HashJoin(build, probe)
+	par := ParallelHashJoin(build, probe, 4)
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("mismatch at %d: %d vs %d", i, seq[i], par[i])
+		}
+	}
+}
+
+func TestGroupSums(t *testing.T) {
+	keys := []int64{2, 1, 2, 3, 1}
+	vals := []int64{10, 20, 30, 40, 50}
+	gk, sums := GroupSums(keys, vals)
+	if len(gk) != 3 || gk[0] != 1 || gk[1] != 2 || gk[2] != 3 {
+		t.Fatalf("group keys = %v", gk)
+	}
+	if sums[0] != 70 || sums[1] != 40 || sums[2] != 40 {
+		t.Fatalf("sums = %v", sums)
+	}
+}
+
+func TestHolisticExecutorStorageBudget(t *testing.T) {
+	// Budget for two columns of 10k values (80KB each): querying a third
+	// attribute must evict the least frequently used index.
+	tbl, _ := testTable(t, 3, 10_000, 1<<16)
+	h := NewHolisticExecutor(tbl, HolisticConfig{
+		Daemon: holistic.Config{
+			Interval:      time.Hour, // daemon idle; this test is about admission
+			StorageBudget: 2 * 10_000 * 8,
+			Seed:          1,
+		},
+		L1Values: 256,
+		Contexts: 2,
+	})
+	defer h.Close()
+	h.Count(attrName(0), 0, 100)
+	h.Count(attrName(1), 0, 100)
+	h.Count(attrName(1), 0, 200) // attr 1 now more frequently used
+	h.Count(attrName(2), 0, 100) // must evict attr 0 (LFU)
+	reg := h.Registry
+	if reg.Get(attrName(0)) != nil {
+		t.Error("LFU index not evicted under storage budget")
+	}
+	if reg.Get(attrName(1)) == nil || reg.Get(attrName(2)) == nil {
+		t.Error("wrong index evicted")
+	}
+	// The evicted attribute is still queryable (index gets rebuilt).
+	if _, err := h.Count(attrName(0), 0, 100); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCCGIExecutorConcurrentClients(t *testing.T) {
+	tbl, bases := testTable(t, 2, 20_000, 1<<16)
+	e := NewCCGIExecutor(tbl, 2, 8, cracking.Config{})
+	defer e.Close()
+	qs := workload.Generate(workload.Config{
+		Pattern: workload.Random, Queries: 80, Domain: 1 << 16, Attrs: 2, Seed: 17,
+	})
+	got, err := RunQueries(e, qs, attrName, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range qs {
+		if want := column.CountRange(bases[q.Attr], q.Lo, q.Hi); got[i] != want {
+			t.Fatalf("query %d: got %d, want %d", i, got[i], want)
+		}
+	}
+}
+
+func TestOnlineExecutorConcurrentEpochCrossing(t *testing.T) {
+	// Many clients cross the epoch simultaneously; the sort must happen
+	// exactly once and answers stay correct throughout.
+	tbl, bases := testTable(t, 2, 10_000, 1<<16)
+	e := NewOnlineExecutor(tbl, 2, 10)
+	defer e.Close()
+	qs := workload.Generate(workload.Config{
+		Pattern: workload.Random, Queries: 100, Domain: 1 << 16, Attrs: 2, Seed: 18,
+	})
+	got, err := RunQueries(e, qs, attrName, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range qs {
+		if want := column.CountRange(bases[q.Attr], q.Lo, q.Hi); got[i] != want {
+			t.Fatalf("query %d: got %d, want %d", i, got[i], want)
+		}
+	}
+	if len(e.sorted) != 2 {
+		t.Fatalf("sorted %d columns, want 2", len(e.sorted))
+	}
+}

@@ -1,0 +1,426 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"holistic/internal/ccgi"
+	"holistic/internal/column"
+	"holistic/internal/cpu"
+	"holistic/internal/cracking"
+	"holistic/internal/holistic"
+	"holistic/internal/sortidx"
+	"holistic/internal/stats"
+	"holistic/internal/updates"
+)
+
+// ScanExecutor answers every query with a parallel scan: the "no
+// indexing" baseline of Figure 6(a).
+type ScanExecutor struct {
+	table   *Table
+	Threads int
+}
+
+// NewScanExecutor builds the baseline over a table with the given scan
+// parallelism (the paper scans with all 32 hardware contexts).
+func NewScanExecutor(t *Table, threads int) *ScanExecutor {
+	if threads < 1 {
+		threads = 1
+	}
+	return &ScanExecutor{table: t, Threads: threads}
+}
+
+// Label implements Executor.
+func (e *ScanExecutor) Label() string { return "no indexing" }
+
+// Count implements Executor.
+func (e *ScanExecutor) Count(attr string, lo, hi int64) (int, error) {
+	c := e.table.Column(attr)
+	if c == nil {
+		return 0, fmt.Errorf("engine: unknown attribute %q", attr)
+	}
+	return column.ParallelCountRange(c.Values(), lo, hi, e.Threads), nil
+}
+
+// Close implements Executor.
+func (e *ScanExecutor) Close() {}
+
+// OfflineExecutor answers queries by binary search over pre-sorted
+// columns. PrepareAll pays the sorting cost; the harness charges it to
+// the first query as the paper does ("since there is no idle time before
+// the first query, the sorting cost is added to the execution time of the
+// very first query").
+type OfflineExecutor struct {
+	table   *Table
+	Threads int
+
+	mu     sync.Mutex
+	sorted map[string]*sortidx.SortedColumn
+}
+
+// NewOfflineExecutor builds the executor; call PrepareAll (or let the
+// first query on each attribute pay the sort lazily).
+func NewOfflineExecutor(t *Table, threads int) *OfflineExecutor {
+	if threads < 1 {
+		threads = 1
+	}
+	return &OfflineExecutor{table: t, Threads: threads, sorted: make(map[string]*sortidx.SortedColumn)}
+}
+
+// Label implements Executor.
+func (e *OfflineExecutor) Label() string { return "offline indexing" }
+
+// PrepareAll sorts every column of the table (the offline physical-design
+// step, assuming a-priori workload knowledge).
+func (e *OfflineExecutor) PrepareAll() {
+	for _, name := range e.table.ColumnNames() {
+		e.sortedFor(name)
+	}
+}
+
+func (e *OfflineExecutor) sortedFor(attr string) *sortidx.SortedColumn {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if s, ok := e.sorted[attr]; ok {
+		return s
+	}
+	c := e.table.Column(attr)
+	if c == nil {
+		return nil
+	}
+	s := sortidx.Build(attr, c.Values(), e.Threads)
+	e.sorted[attr] = s
+	return s
+}
+
+// Count implements Executor.
+func (e *OfflineExecutor) Count(attr string, lo, hi int64) (int, error) {
+	s := e.sortedFor(attr)
+	if s == nil {
+		return 0, fmt.Errorf("engine: unknown attribute %q", attr)
+	}
+	return s.CountRange(lo, hi), nil
+}
+
+// Close implements Executor.
+func (e *OfflineExecutor) Close() {}
+
+// OnlineExecutor monitors the workload for an epoch of queries (answered
+// by plain scans), then sorts every column — the COLT-style online
+// indexing baseline of Section 5.1. The sorting cost lands inside the
+// first post-epoch query, as in the paper.
+type OnlineExecutor struct {
+	table   *Table
+	Threads int
+	Epoch   int
+
+	mu      sync.Mutex
+	queries int
+	sorted  map[string]*sortidx.SortedColumn
+}
+
+// NewOnlineExecutor builds the executor with the monitoring epoch in
+// queries (the paper uses 100).
+func NewOnlineExecutor(t *Table, threads, epoch int) *OnlineExecutor {
+	if threads < 1 {
+		threads = 1
+	}
+	if epoch < 1 {
+		epoch = 100
+	}
+	return &OnlineExecutor{table: t, Threads: threads, Epoch: epoch, sorted: make(map[string]*sortidx.SortedColumn)}
+}
+
+// Label implements Executor.
+func (e *OnlineExecutor) Label() string { return "online indexing" }
+
+// Count implements Executor.
+func (e *OnlineExecutor) Count(attr string, lo, hi int64) (int, error) {
+	c := e.table.Column(attr)
+	if c == nil {
+		return 0, fmt.Errorf("engine: unknown attribute %q", attr)
+	}
+	e.mu.Lock()
+	e.queries++
+	buildNow := e.queries == e.Epoch+1
+	if buildNow && len(e.sorted) == 0 {
+		// Enough workload knowledge obtained: sort all columns. The cost
+		// is paid inside this query.
+		for _, name := range e.table.ColumnNames() {
+			e.sorted[name] = sortidx.Build(name, e.table.Column(name).Values(), e.Threads)
+		}
+	}
+	s := e.sorted[attr]
+	e.mu.Unlock()
+	if s != nil {
+		return s.CountRange(lo, hi), nil
+	}
+	return column.ParallelCountRange(c.Values(), lo, hi, e.Threads), nil
+}
+
+// Close implements Executor.
+func (e *OnlineExecutor) Close() {}
+
+// AdaptiveExecutor is database cracking: the first query on an attribute
+// creates its cracker column, every query refines it. With the default
+// configuration it is PVDC (parallel vectorized database cracking); with
+// Stochastic set it is PVSDC.
+type AdaptiveExecutor struct {
+	table *Table
+	cfg   cracking.Config
+	label string
+
+	// Registry is optional: when set, the select operator records
+	// per-index statistics (holistic mode shares this executor).
+	Registry *stats.Registry
+	// Admit is called to register a new cracker column; holistic mode
+	// routes it through the daemon's storage budget. Nil registers
+	// directly on Registry (when present).
+	Admit func(name string, col *cracking.Column) *stats.Entry
+
+	mu       sync.Mutex
+	crackers map[string]*cracking.Column
+
+	pendMu  sync.Mutex
+	pending map[string]*updates.Pending
+}
+
+// NewAdaptiveExecutor builds a cracking executor; cfg selects the kernel,
+// parallelism and stochastic behaviour.
+func NewAdaptiveExecutor(t *Table, cfg cracking.Config, label string) *AdaptiveExecutor {
+	if label == "" {
+		label = "adaptive indexing"
+	}
+	return &AdaptiveExecutor{
+		table:    t,
+		cfg:      cfg,
+		label:    label,
+		crackers: make(map[string]*cracking.Column),
+		pending:  make(map[string]*updates.Pending),
+	}
+}
+
+// Label implements Executor.
+func (e *AdaptiveExecutor) Label() string { return e.label }
+
+// Cracker returns (building if needed) the cracker column of attr; the
+// bool reports whether it already existed.
+func (e *AdaptiveExecutor) Cracker(attr string) (*cracking.Column, bool, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if c, ok := e.crackers[attr]; ok {
+		return c, true, nil
+	}
+	base := e.table.Column(attr)
+	if base == nil {
+		return nil, false, fmt.Errorf("engine: unknown attribute %q", attr)
+	}
+	cfg := e.cfg
+	cfg.Seed = e.cfg.Seed + int64(len(e.crackers))
+	c := cracking.New(attr, base.Values(), cfg)
+	e.crackers[attr] = c
+	if e.Admit != nil {
+		e.Admit(attr, c)
+	} else if e.Registry != nil {
+		e.Registry.Add(attr, c, false)
+	}
+	return c, false, nil
+}
+
+// CrackerIfExists returns the cracker column without creating one.
+func (e *AdaptiveExecutor) CrackerIfExists(attr string) *cracking.Column {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.crackers[attr]
+}
+
+// Pending returns (creating if needed) the pending-updates store of attr.
+func (e *AdaptiveExecutor) Pending(attr string) *updates.Pending {
+	e.pendMu.Lock()
+	defer e.pendMu.Unlock()
+	p, ok := e.pending[attr]
+	if !ok {
+		p = updates.NewPending()
+		e.pending[attr] = p
+	}
+	return p
+}
+
+// Insert implements Inserter: the value becomes a pending insertion,
+// merged lazily by queries (and, under holistic indexing, by workers).
+func (e *AdaptiveExecutor) Insert(attr string, v int64) error {
+	if e.table.Column(attr) == nil {
+		return fmt.Errorf("engine: unknown attribute %q", attr)
+	}
+	e.Pending(attr).AddInsert(v, 0)
+	return nil
+}
+
+// Count implements Executor: the cracking select operator. It merges
+// pending updates covering the requested range, cracks, and records
+// statistics.
+func (e *AdaptiveExecutor) Count(attr string, lo, hi int64) (int, error) {
+	c, _, err := e.Cracker(attr)
+	if err != nil {
+		return 0, err
+	}
+	if p := e.Pending(attr); p.Len() > 0 && p.HasInRange(lo, hi) {
+		p.MergeRange(c, lo, hi)
+	}
+	r := c.SelectRange(lo, hi)
+	if e.Registry != nil {
+		e.Registry.RecordAccess(attr, r.ExactHit())
+	}
+	return r.Count(), nil
+}
+
+// TotalPieces sums pieces over all cracker columns (Figure 6(c)).
+func (e *AdaptiveExecutor) TotalPieces() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	total := 0
+	for _, c := range e.crackers {
+		total += c.Pieces()
+	}
+	return total
+}
+
+// Close implements Executor.
+func (e *AdaptiveExecutor) Close() {}
+
+// HolisticExecutor wraps the adaptive executor with the holistic indexing
+// daemon: user queries run the cracking select operator while the daemon
+// exploits idle contexts for auxiliary refinements.
+type HolisticExecutor struct {
+	*AdaptiveExecutor
+	Daemon *holistic.Daemon
+	Acct   *cpu.LoadAccountant
+	// UserThreads is the number of contexts one user query occupies
+	// while running (the u of the paper's uXwYxZ distributions).
+	UserThreads int
+}
+
+// HolisticConfig assembles the pieces of a holistic executor.
+type HolisticConfig struct {
+	// Cracking configures the user-query cracker columns (PVDC kernel,
+	// user parallelism, RefineWorkers for the daemon's cracks).
+	Cracking cracking.Config
+	// Daemon configures the tuning cycle.
+	Daemon holistic.Config
+	// L1Values is the optimal piece size (Equation 1).
+	L1Values int
+	// Contexts is the hardware-context budget of the load accountant.
+	Contexts int
+	// UserThreads is how many contexts a running user query occupies.
+	UserThreads int
+	// StatsSeed seeds the W4 strategy RNG.
+	StatsSeed int64
+	// Monitor overrides the load accountant as the daemon's idle signal;
+	// benchmarks use cpu.Fixed to pin the uXwYxZ thread distributions.
+	Monitor cpu.Monitor
+}
+
+// NewHolisticExecutor builds the executor and starts its daemon.
+func NewHolisticExecutor(t *Table, cfg HolisticConfig) *HolisticExecutor {
+	if cfg.Contexts < 1 {
+		cfg.Contexts = 2
+	}
+	if cfg.UserThreads < 1 {
+		cfg.UserThreads = 1
+	}
+	reg := stats.NewRegistry(cfg.L1Values, cfg.StatsSeed)
+	acct := cpu.NewLoadAccountant(cfg.Contexts)
+	var mon cpu.Monitor = acct
+	if cfg.Monitor != nil {
+		mon = cfg.Monitor
+	}
+	daemon := holistic.New(reg, mon, cfg.Daemon)
+	ad := NewAdaptiveExecutor(t, cfg.Cracking, "holistic indexing")
+	ad.Registry = reg
+	h := &HolisticExecutor{
+		AdaptiveExecutor: ad,
+		Daemon:           daemon,
+		Acct:             acct,
+		UserThreads:      cfg.UserThreads,
+	}
+	ad.Admit = func(name string, col *cracking.Column) *stats.Entry {
+		entry, _ := daemon.AdmitIndex(name, col, false)
+		daemon.AttachPending(name, ad.Pending(name))
+		return entry
+	}
+	daemon.Start()
+	return h
+}
+
+// AddPotential registers an index on attr into Cpotential so the daemon
+// can refine it before any query arrives (Figure 9's idle-time prefill).
+func (h *HolisticExecutor) AddPotential(attr string) error {
+	base := h.table.Column(attr)
+	if base == nil {
+		return fmt.Errorf("engine: unknown attribute %q", attr)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.crackers[attr]; ok {
+		return nil
+	}
+	c := cracking.New(attr, base.Values(), h.cfg)
+	h.crackers[attr] = c
+	h.Daemon.AdmitIndex(attr, c, true)
+	h.Daemon.AttachPending(attr, h.Pending(attr))
+	return nil
+}
+
+// Count implements Executor: the adaptive select operator bracketed by
+// load accounting so the daemon sees the occupied contexts.
+func (h *HolisticExecutor) Count(attr string, lo, hi int64) (int, error) {
+	h.Acct.Acquire(h.UserThreads)
+	defer h.Acct.Release(h.UserThreads)
+	return h.AdaptiveExecutor.Count(attr, lo, hi)
+}
+
+// Close stops the daemon.
+func (h *HolisticExecutor) Close() { h.Daemon.Stop() }
+
+// CCGIExecutor is the mP-CCGI baseline (Section 5.2).
+type CCGIExecutor struct {
+	table   *Table
+	Threads int
+	Buckets int
+	cfg     cracking.Config
+
+	mu      sync.Mutex
+	indexes map[string]*ccgi.Index
+}
+
+// NewCCGIExecutor builds the baseline with the given chunk parallelism
+// and coarse-partitioning bucket count.
+func NewCCGIExecutor(t *Table, threads, buckets int, cfg cracking.Config) *CCGIExecutor {
+	if threads < 1 {
+		threads = 1
+	}
+	return &CCGIExecutor{table: t, Threads: threads, Buckets: buckets, cfg: cfg, indexes: make(map[string]*ccgi.Index)}
+}
+
+// Label implements Executor.
+func (e *CCGIExecutor) Label() string { return "mP-CCGI" }
+
+// Count implements Executor.
+func (e *CCGIExecutor) Count(attr string, lo, hi int64) (int, error) {
+	e.mu.Lock()
+	x, ok := e.indexes[attr]
+	if !ok {
+		base := e.table.Column(attr)
+		if base == nil {
+			e.mu.Unlock()
+			return 0, fmt.Errorf("engine: unknown attribute %q", attr)
+		}
+		x = ccgi.New(attr, base.Values(), e.Threads, e.Buckets, e.cfg)
+		e.indexes[attr] = x
+	}
+	e.mu.Unlock()
+	return x.SelectCount(lo, hi), nil
+}
+
+// Close implements Executor.
+func (e *CCGIExecutor) Close() {}

@@ -1,0 +1,316 @@
+// Package holistic implements the paper's primary contribution: an
+// always-on self-tuning daemon that detects idle CPU resources and spends
+// them on incremental refinement of the adaptive index space, in parallel
+// with — and without disturbing — user queries (Section 4).
+//
+// The tuning cycle (Figure 2):
+//
+//	loop:
+//	    monitor CPU utilization over one interval
+//	    n := number of idle hardware contexts
+//	    if n == 0: continue
+//	    activate n holistic workers
+//	    each worker runs the IdleFunction:
+//	        pick an index I from the index space IS (strategy W1-W4)
+//	        repeat x times:
+//	            crack I at a random pivot in its value domain
+//	            (try-latch; on a held latch re-roll the pivot, Figure 3)
+//	            merge pending updates of the pivot's piece
+//	        update statistics; move I to Coptimal when d(I,Iopt) = 0
+//	    wait for all workers; repeat
+//
+// The index space, statistics and strategies live in internal/stats; the
+// physical refinement machinery in internal/cracking; the idle-detection
+// signal in internal/cpu.
+package holistic
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"holistic/internal/cpu"
+	"holistic/internal/cracking"
+	"holistic/internal/stats"
+	"holistic/internal/updates"
+)
+
+// Config tunes the daemon.
+type Config struct {
+	// Interval is the CPU-load measurement window between tuning cycles.
+	// The paper uses 1 second ("the time limit that gives proper kernel
+	// statistics"); reduced-scale benchmarks and tests use milliseconds
+	// together with the in-process load accountant.
+	Interval time.Duration
+	// Refinements is x, the number of index refinements each activated
+	// worker performs (Figure 2). The paper's sweep (Figure 15) found
+	// x = 16 best on its hardware; that is the default.
+	Refinements int
+	// MaxWorkers caps the number of workers activated per cycle
+	// regardless of how many contexts are idle. 0 means no cap.
+	MaxWorkers int
+	// Strategy picks the index-decision strategy; default W4 (random),
+	// the paper's robust choice.
+	Strategy stats.Strategy
+	// Seed seeds worker pivot RNGs.
+	Seed int64
+	// StorageBudget bounds the materialized index space in bytes;
+	// AdmitIndex evicts LFU victims to stay below it. 0 = unlimited.
+	StorageBudget int64
+}
+
+func (c *Config) fillDefaults() {
+	if c.Interval <= 0 {
+		c.Interval = time.Second
+	}
+	if c.Refinements <= 0 {
+		c.Refinements = 16
+	}
+	if c.Strategy == 0 {
+		c.Strategy = stats.W4
+	}
+}
+
+// CycleStats records one activation of the holistic indexing thread: the
+// telemetry behind Figure 6(d).
+type CycleStats struct {
+	// Workers activated in this cycle (n idle contexts, capped).
+	Workers int
+	// WorkerTime is the summed response time of all workers in the
+	// cycle (the left y-axis of Figure 6(d)).
+	WorkerTime time.Duration
+	// Wall is the wall-clock duration of the cycle's work phase.
+	Wall time.Duration
+	// Refinements actually performed (RefineDone outcomes).
+	Refinements int
+	// MergedUpdates counts pending updates consumed by workers.
+	MergedUpdates int
+}
+
+// Daemon is the holistic indexing thread plus its worker pool.
+type Daemon struct {
+	cfg Config
+	reg *stats.Registry
+	mon cpu.Monitor
+
+	pendMu  sync.RWMutex
+	pending map[string]*updates.Pending
+
+	cycleMu sync.Mutex
+	cycles  []CycleStats
+
+	totalRefinements atomic.Int64
+	totalAttempts    atomic.Int64
+	busyRerolls      atomic.Int64
+
+	stop chan struct{}
+	done chan struct{}
+
+	startOnce, stopOnce sync.Once
+}
+
+// New creates a daemon over the given index space and CPU monitor.
+func New(reg *stats.Registry, mon cpu.Monitor, cfg Config) *Daemon {
+	cfg.fillDefaults()
+	return &Daemon{
+		cfg:     cfg,
+		reg:     reg,
+		mon:     mon,
+		pending: make(map[string]*updates.Pending),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+}
+
+// Registry exposes the index space the daemon tunes.
+func (d *Daemon) Registry() *stats.Registry { return d.reg }
+
+// AttachPending connects a pending-updates store to the named index so
+// workers merge updates while refining (Section 4.2, Updates).
+func (d *Daemon) AttachPending(name string, p *updates.Pending) {
+	d.pendMu.Lock()
+	d.pending[name] = p
+	d.pendMu.Unlock()
+}
+
+func (d *Daemon) pendingFor(name string) *updates.Pending {
+	d.pendMu.RLock()
+	defer d.pendMu.RUnlock()
+	return d.pending[name]
+}
+
+// AdmitIndex registers a new adaptive index within the storage budget,
+// evicting least-frequently-used indices if needed (Section 4.2, Storage
+// Constraints). It returns the entry and the evicted index names.
+func (d *Daemon) AdmitIndex(name string, col *cracking.Column, potential bool) (*stats.Entry, []string) {
+	var evicted []string
+	if d.cfg.StorageBudget > 0 {
+		need := col.SizeBytes()
+		for d.reg.Len() > 0 && d.reg.TotalSizeBytes()+need > d.cfg.StorageBudget {
+			v := d.reg.EvictLFU()
+			if v == nil {
+				break
+			}
+			evicted = append(evicted, v.Name)
+		}
+	}
+	return d.reg.Add(name, col, potential), evicted
+}
+
+// Start launches the holistic indexing thread. It is idempotent.
+func (d *Daemon) Start() {
+	d.startOnce.Do(func() {
+		go d.run()
+	})
+}
+
+// Stop terminates the tuning loop and waits for in-flight workers. It is
+// idempotent and safe to call without Start (the daemon then just never
+// runs).
+func (d *Daemon) Stop() {
+	d.stopOnce.Do(func() { close(d.stop) })
+	d.startOnce.Do(func() { close(d.done) }) // never started: unblock Wait
+	<-d.done
+}
+
+// run is the holistic indexing thread (Figure 2).
+func (d *Daemon) run() {
+	defer close(d.done)
+	timer := time.NewTimer(d.cfg.Interval)
+	defer timer.Stop()
+	cycle := 0
+	for {
+		// Measure CPU utilization within the next interval.
+		timer.Reset(d.cfg.Interval)
+		select {
+		case <-d.stop:
+			return
+		case <-timer.C:
+		}
+		n := d.mon.IdleContexts()
+		if d.cfg.MaxWorkers > 0 && n > d.cfg.MaxWorkers {
+			n = d.cfg.MaxWorkers
+		}
+		if n == 0 {
+			continue
+		}
+		d.runCycle(cycle, n)
+		cycle++
+	}
+}
+
+// runCycle activates n workers and waits for all of them to finish.
+func (d *Daemon) runCycle(cycle, n int) {
+	var (
+		wg          sync.WaitGroup
+		workerTimes = make([]time.Duration, n)
+		refined     = make([]int, n)
+		merged      = make([]int, n)
+	)
+	start := time.Now()
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			t0 := time.Now()
+			r, m := d.idleFunction(rand.New(rand.NewSource(d.cfg.Seed + int64(cycle)*1024 + int64(w))))
+			workerTimes[w] = time.Since(t0)
+			refined[w] = r
+			merged[w] = m
+		}(w)
+	}
+	wg.Wait()
+
+	cs := CycleStats{Workers: n, Wall: time.Since(start)}
+	for w := 0; w < n; w++ {
+		cs.WorkerTime += workerTimes[w]
+		cs.Refinements += refined[w]
+		cs.MergedUpdates += merged[w]
+	}
+	d.totalRefinements.Add(int64(cs.Refinements))
+	d.cycleMu.Lock()
+	d.cycles = append(d.cycles, cs)
+	d.cycleMu.Unlock()
+}
+
+// maxAttemptsPerRefinement bounds the pivot re-rolls of one refinement
+// slot so a worker on a fully-optimal or fully-contended index terminates.
+const maxAttemptsPerRefinement = 16
+
+// idleFunction is one worker's activation (Figure 2, *Idle Function):
+// pick an index, refine it x times at random pivots, merge pending
+// updates, update statistics.
+func (d *Daemon) idleFunction(rng *rand.Rand) (refined, mergedUpdates int) {
+	e := d.reg.PickForRefinement(d.cfg.Strategy)
+	if e == nil {
+		return 0, 0
+	}
+	minPiece := d.reg.L1Values()
+	pend := d.pendingFor(e.Name)
+
+	for i := 0; i < d.cfg.Refinements; i++ {
+		done := false
+		for attempt := 0; attempt < maxAttemptsPerRefinement && !done; attempt++ {
+			lo, hi := e.Col.Domain()
+			if hi <= lo {
+				return refined, mergedUpdates
+			}
+			pivot := lo + rng.Int63n(hi-lo+1)
+			d.totalAttempts.Add(1)
+			switch e.Col.TryRefineAt(pivot, minPiece) {
+			case cracking.RefineDone:
+				refined++
+				done = true
+			case cracking.RefineBusy:
+				// Re-roll another random pivot instead of waiting for
+				// the latch (Figure 3).
+				d.busyRerolls.Add(1)
+			case cracking.RefineExact, cracking.RefineSmall:
+				// Piece needs no work; re-roll.
+			}
+			if pend != nil && pend.Len() > 0 {
+				plo, phi := e.Col.PieceSpan(pivot)
+				mergedUpdates += pend.MergeRange(e.Col, plo, phi)
+			}
+		}
+		if !done {
+			// Could not find a crackable piece: the index is (close to)
+			// optimal or fully latched; stop early.
+			break
+		}
+	}
+	d.reg.MarkOptimalIfDone(e)
+	return refined, mergedUpdates
+}
+
+// Cycles returns a snapshot of the per-activation telemetry (Figure 6(d)).
+func (d *Daemon) Cycles() []CycleStats {
+	d.cycleMu.Lock()
+	defer d.cycleMu.Unlock()
+	return append([]CycleStats(nil), d.cycles...)
+}
+
+// Refinements returns the total number of successful refinement actions.
+func (d *Daemon) Refinements() int64 { return d.totalRefinements.Load() }
+
+// Attempts returns the total refinement attempts (including re-rolls).
+func (d *Daemon) Attempts() int64 { return d.totalAttempts.Load() }
+
+// BusyRerolls returns how often a worker re-rolled its pivot because a
+// piece latch was held — the contention signal of Figure 3.
+func (d *Daemon) BusyRerolls() int64 { return d.busyRerolls.Load() }
+
+// RunCycleNow synchronously executes one tuning cycle with n workers,
+// bypassing the monitor and interval. Benchmarks that need deterministic
+// refinement volume (e.g. the x-sweep of Figure 15) use it; production
+// callers use Start/Stop.
+func (d *Daemon) RunCycleNow(n int) {
+	if n < 1 {
+		n = 1
+	}
+	d.cycleMu.Lock()
+	cycle := len(d.cycles)
+	d.cycleMu.Unlock()
+	d.runCycle(cycle, n)
+}

@@ -1,0 +1,367 @@
+package holistic
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"holistic/internal/column"
+	"holistic/internal/cpu"
+	"holistic/internal/cracking"
+	"holistic/internal/stats"
+	"holistic/internal/updates"
+)
+
+func randVals(n int, seed int64, domain int64) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = rng.Int63n(domain)
+	}
+	return vals
+}
+
+func newSpace(l1 int) *stats.Registry { return stats.NewRegistry(l1, 7) }
+
+func TestDaemonRefinesIdleSystem(t *testing.T) {
+	reg := newSpace(256)
+	base := randVals(100_000, 1, 1<<20)
+	col := cracking.New("a", base, cracking.Config{})
+	reg.Add("a", col, false)
+
+	d := New(reg, cpu.Fixed{Total: 2, Idle: 2}, Config{
+		Interval:    time.Millisecond,
+		Refinements: 16,
+		Seed:        1,
+	})
+	d.Start()
+	deadline := time.After(2 * time.Second)
+	for col.Pieces() < 50 {
+		select {
+		case <-deadline:
+			d.Stop()
+			t.Fatalf("daemon refined only %d pieces in 2s", col.Pieces())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	d.Stop()
+	if d.Refinements() == 0 {
+		t.Error("Refinements() = 0 after visible refinement")
+	}
+	if err := col.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Data integrity after background refinement.
+	if got, want := col.SelectRange(100, 1<<19).Count(), column.CountRange(base, 100, 1<<19); got != want {
+		t.Fatalf("count after refinement: %d, want %d", got, want)
+	}
+}
+
+func TestDaemonRespectsBusySystem(t *testing.T) {
+	reg := newSpace(256)
+	col := cracking.New("a", randVals(10_000, 2, 1<<20), cracking.Config{})
+	reg.Add("a", col, false)
+	d := New(reg, cpu.Fixed{Total: 2, Idle: 0}, Config{Interval: time.Millisecond, Seed: 2})
+	d.Start()
+	time.Sleep(50 * time.Millisecond)
+	d.Stop()
+	if got := col.Pieces(); got != 1 {
+		t.Errorf("daemon refined a fully busy system: %d pieces", got)
+	}
+	if len(d.Cycles()) != 0 {
+		t.Errorf("recorded %d cycles with zero idle contexts", len(d.Cycles()))
+	}
+}
+
+func TestDaemonReactsToLoadChanges(t *testing.T) {
+	reg := newSpace(256)
+	col := cracking.New("a", randVals(50_000, 3, 1<<20), cracking.Config{})
+	reg.Add("a", col, false)
+	acct := cpu.NewLoadAccountant(2)
+	d := New(reg, acct, Config{Interval: time.Millisecond, Seed: 3})
+
+	// Saturate, start, verify no refinement.
+	acct.Acquire(2)
+	d.Start()
+	time.Sleep(30 * time.Millisecond)
+	if col.Pieces() != 1 {
+		d.Stop()
+		t.Fatalf("refined %d pieces while saturated", col.Pieces())
+	}
+	// Free a context; the daemon must pick the idleness up.
+	acct.Release(1)
+	deadline := time.After(2 * time.Second)
+	for col.Pieces() == 1 {
+		select {
+		case <-deadline:
+			d.Stop()
+			t.Fatal("daemon never used the freed context")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	d.Stop()
+}
+
+func TestDaemonMovesIndexToOptimal(t *testing.T) {
+	reg := newSpace(1024)
+	col := cracking.New("a", randVals(8_000, 4, 1<<20), cracking.Config{})
+	e := reg.Add("a", col, false)
+	d := New(reg, cpu.Fixed{Total: 1, Idle: 1}, Config{
+		Interval: time.Millisecond, Refinements: 16, Seed: 4,
+	})
+	d.Start()
+	deadline := time.After(3 * time.Second)
+	for e.State() != stats.Optimal {
+		select {
+		case <-deadline:
+			d.Stop()
+			t.Fatalf("index never reached optimal: avg piece %.0f, pieces %d",
+				col.AvgPieceSize(), col.Pieces())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	d.Stop()
+	if col.AvgPieceSize() > 1024 {
+		t.Errorf("optimal index has avg piece %.0f > L1 1024", col.AvgPieceSize())
+	}
+}
+
+func TestDaemonStopIsIdempotentAndWithoutStart(t *testing.T) {
+	d := New(newSpace(64), cpu.Fixed{}, Config{Interval: time.Millisecond})
+	d.Stop()
+	d.Stop() // second call must not panic or hang
+	d2 := New(newSpace(64), cpu.Fixed{Total: 1, Idle: 1}, Config{Interval: time.Millisecond})
+	d2.Start()
+	d2.Start() // idempotent
+	d2.Stop()
+	d2.Stop()
+}
+
+func TestDaemonTelemetry(t *testing.T) {
+	reg := newSpace(64)
+	col := cracking.New("a", randVals(50_000, 5, 1<<20), cracking.Config{})
+	reg.Add("a", col, false)
+	d := New(reg, cpu.Fixed{Total: 2, Idle: 2}, Config{
+		Interval: time.Millisecond, Refinements: 4, Seed: 5,
+	})
+	d.Start()
+	time.Sleep(100 * time.Millisecond)
+	d.Stop()
+	cycles := d.Cycles()
+	if len(cycles) == 0 {
+		t.Fatal("no cycles recorded")
+	}
+	for i, c := range cycles {
+		if c.Workers != 2 {
+			t.Errorf("cycle %d: workers = %d, want 2", i, c.Workers)
+		}
+		if c.WorkerTime <= 0 || c.Wall <= 0 {
+			t.Errorf("cycle %d: non-positive times %+v", i, c)
+		}
+	}
+	if d.Attempts() < d.Refinements() {
+		t.Errorf("attempts %d < refinements %d", d.Attempts(), d.Refinements())
+	}
+}
+
+func TestDaemonMaxWorkersCap(t *testing.T) {
+	reg := newSpace(64)
+	reg.Add("a", cracking.New("a", randVals(50_000, 6, 1<<20), cracking.Config{}), false)
+	d := New(reg, cpu.Fixed{Total: 16, Idle: 16}, Config{
+		Interval: time.Millisecond, MaxWorkers: 3, Refinements: 2, Seed: 6,
+	})
+	d.Start()
+	time.Sleep(50 * time.Millisecond)
+	d.Stop()
+	for i, c := range d.Cycles() {
+		if c.Workers > 3 {
+			t.Fatalf("cycle %d activated %d workers above cap 3", i, c.Workers)
+		}
+	}
+}
+
+func TestDaemonSpreadsAcrossIndexSpace(t *testing.T) {
+	reg := newSpace(64)
+	cols := make([]*cracking.Column, 5)
+	for i := range cols {
+		cols[i] = cracking.New("c", randVals(20_000, int64(10+i), 1<<20), cracking.Config{})
+		reg.Add(string(rune('a'+i)), cols[i], false)
+	}
+	d := New(reg, cpu.Fixed{Total: 2, Idle: 2}, Config{
+		Interval: time.Millisecond, Refinements: 8, Seed: 7, Strategy: stats.W4,
+	})
+	d.Start()
+	deadline := time.After(3 * time.Second)
+	refinedAll := func() bool {
+		for _, c := range cols {
+			if c.Pieces() < 3 {
+				return false
+			}
+		}
+		return true
+	}
+	for !refinedAll() {
+		select {
+		case <-deadline:
+			d.Stop()
+			counts := make([]int, len(cols))
+			for i, c := range cols {
+				counts[i] = c.Pieces()
+			}
+			t.Fatalf("random strategy did not reach all indices: pieces %v", counts)
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	d.Stop()
+}
+
+func TestDaemonRefinesPotentialIndices(t *testing.T) {
+	// Figure 9: with idle time before the workload, indices sit in
+	// Cpotential and are still refined.
+	reg := newSpace(64)
+	col := cracking.New("a", randVals(30_000, 20, 1<<20), cracking.Config{})
+	reg.Add("a", col, true) // potential: never queried
+	d := New(reg, cpu.Fixed{Total: 1, Idle: 1}, Config{
+		Interval: time.Millisecond, Refinements: 8, Seed: 8,
+	})
+	d.Start()
+	deadline := time.After(2 * time.Second)
+	for col.Pieces() < 10 {
+		select {
+		case <-deadline:
+			d.Stop()
+			t.Fatalf("potential index not refined: %d pieces", col.Pieces())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	d.Stop()
+}
+
+func TestDaemonMergesPendingUpdates(t *testing.T) {
+	reg := newSpace(64)
+	base := randVals(20_000, 21, 1000)
+	col := cracking.New("a", base, cracking.Config{})
+	reg.Add("a", col, false)
+	pend := updates.NewPending()
+	for i := 0; i < 100; i++ {
+		pend.AddInsert(int64(i*10), 0)
+	}
+	d := New(reg, cpu.Fixed{Total: 1, Idle: 1}, Config{
+		Interval: time.Millisecond, Refinements: 8, Seed: 9,
+	})
+	d.AttachPending("a", pend)
+	d.Start()
+	deadline := time.After(3 * time.Second)
+	for pend.Len() > 0 {
+		select {
+		case <-deadline:
+			d.Stop()
+			t.Fatalf("workers left %d pending updates unmerged", pend.Len())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	d.Stop()
+	if col.Len() != len(base)+100 {
+		t.Fatalf("Len() = %d, want %d", col.Len(), len(base)+100)
+	}
+	if err := col.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdmitIndexStorageBudget(t *testing.T) {
+	reg := newSpace(64)
+	d := New(reg, cpu.Fixed{}, Config{
+		Interval:      time.Millisecond,
+		StorageBudget: 3 * 10_000 * 8, // room for 3 columns
+	})
+	for i := 0; i < 3; i++ {
+		name := string(rune('a' + i))
+		col := cracking.New(name, make([]int64, 10_000), cracking.Config{})
+		if _, evicted := d.AdmitIndex(name, col, false); len(evicted) != 0 {
+			t.Fatalf("index %s evicted %v within budget", name, evicted)
+		}
+	}
+	// Access b and c so a is the LFU victim.
+	reg.RecordAccess("b", false)
+	reg.RecordAccess("c", false)
+	_, evicted := d.AdmitIndex("d", cracking.New("d", make([]int64, 10_000), cracking.Config{}), false)
+	if len(evicted) != 1 || evicted[0] != "a" {
+		t.Fatalf("evicted %v, want [a]", evicted)
+	}
+	if reg.Get("a") != nil {
+		t.Error("evicted index still registered")
+	}
+	if reg.Get("d") == nil {
+		t.Error("admitted index missing")
+	}
+}
+
+func TestAdmitIndexUnlimitedBudget(t *testing.T) {
+	d := New(newSpace(64), cpu.Fixed{}, Config{Interval: time.Millisecond})
+	for i := 0; i < 10; i++ {
+		if _, evicted := d.AdmitIndex(string(rune('a'+i)),
+			cracking.New("x", make([]int64, 1000), cracking.Config{}), false); len(evicted) != 0 {
+			t.Fatal("unlimited budget evicted")
+		}
+	}
+}
+
+func TestRunCycleNow(t *testing.T) {
+	reg := newSpace(64)
+	col := cracking.New("a", randVals(50_000, 22, 1<<20), cracking.Config{})
+	reg.Add("a", col, false)
+	d := New(reg, cpu.Fixed{}, Config{Interval: time.Hour, Refinements: 16, Seed: 10})
+	d.RunCycleNow(2)
+	if col.Pieces() < 2 {
+		t.Fatalf("RunCycleNow refined nothing: %d pieces", col.Pieces())
+	}
+	if len(d.Cycles()) != 1 {
+		t.Fatalf("Cycles() = %d, want 1", len(d.Cycles()))
+	}
+	d.RunCycleNow(0) // clamps to 1 worker
+	if len(d.Cycles()) != 2 {
+		t.Fatalf("Cycles() = %d, want 2", len(d.Cycles()))
+	}
+}
+
+func TestDaemonEmptySpace(t *testing.T) {
+	d := New(newSpace(64), cpu.Fixed{Total: 2, Idle: 2}, Config{
+		Interval: time.Millisecond, Seed: 11,
+	})
+	d.Start()
+	time.Sleep(30 * time.Millisecond)
+	d.Stop() // must not panic or spin on an empty index space
+	if d.Refinements() != 0 {
+		t.Errorf("refined %d on empty space", d.Refinements())
+	}
+}
+
+func TestDaemonQueriesRaceDaemon(t *testing.T) {
+	// End-to-end concurrency: user queries verify counts while the daemon
+	// refines the same columns.
+	reg := newSpace(128)
+	base := randVals(100_000, 23, 1<<20)
+	col := cracking.New("a", base, cracking.Config{})
+	reg.Add("a", col, false)
+	d := New(reg, cpu.Fixed{Total: 2, Idle: 1}, Config{
+		Interval: time.Millisecond, Refinements: 16, Seed: 12,
+	})
+	d.Start()
+	rng := rand.New(rand.NewSource(24))
+	for q := 0; q < 300; q++ {
+		lo := rng.Int63n(1 << 20)
+		hi := lo + rng.Int63n(1<<20-lo) + 1
+		got := col.SelectRange(lo, hi).Count()
+		want := column.CountRange(base, lo, hi)
+		if got != want {
+			d.Stop()
+			t.Fatalf("query %d: got %d, want %d while daemon active", q, got, want)
+		}
+		reg.RecordAccess("a", false)
+	}
+	d.Stop()
+	if err := col.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,440 @@
+package tpch
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"holistic/internal/cpu"
+	"holistic/internal/cracking"
+	"holistic/internal/holistic"
+	"holistic/internal/stats"
+)
+
+// Mode is one of the four execution strategies of Figure 14.
+type Mode int
+
+const (
+	// ModeScan is plain MonetDB: full-column scans.
+	ModeScan Mode = iota
+	// ModePresorted is offline indexing: a copy of LINEITEM re-sorted on
+	// the query's predicate attribute ("the perfect projection").
+	ModePresorted
+	// ModeCracking is sideways cracking: the predicate attribute is
+	// cracked with the projected attributes attached as payload columns,
+	// so qualifying tuples of every needed attribute sit in one
+	// contiguous block (self-organizing tuple reconstruction, [29]).
+	ModeCracking
+	// ModeHolistic is ModeCracking plus the holistic daemon refining the
+	// crackers in the background.
+	ModeHolistic
+)
+
+// String names the mode as Figure 14's legend does.
+func (m Mode) String() string {
+	switch m {
+	case ModeScan:
+		return "MonetDB"
+	case ModePresorted:
+		return "Presorted MonetDB"
+	case ModeCracking:
+		return "Sideways Cracking"
+	case ModeHolistic:
+		return "Holistic Indexing"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// projection is a copy of the LINEITEM columns re-ordered by one sort
+// attribute: the "column-store projection" offline indexing builds.
+type projection struct {
+	sortKey []int64
+	cols    map[string][]int64
+}
+
+// Runner executes the three TPC-H queries under one mode.
+type Runner struct {
+	data *Data
+	mode Mode
+
+	// Columns the queries read, cached as raw slices.
+	li map[string][]int64
+	// prio[l_orderkey] is the order's priority code (dense positional
+	// join index: o_orderkey is the dense 0..N-1 key the generator
+	// produces, as in dbgen).
+	prio []int64
+
+	mu       sync.Mutex
+	proj     map[string]*projection
+	crackers map[string]*cracking.Column
+
+	reg    *stats.Registry
+	daemon *holistic.Daemon
+	acct   *cpu.LoadAccountant
+
+	// PrepareTime records how long Prepare spent building projections
+	// (the pre-sorting cost Figure 14 reports separately: "8 sec").
+	PrepareTime time.Duration
+}
+
+// RunnerConfig tunes the holistic mode.
+type RunnerConfig struct {
+	// Interval, Refinements, Seed configure the daemon (holistic mode).
+	Interval    time.Duration
+	Refinements int
+	Seed        int64
+	// L1Values is the optimal piece size for the daemon.
+	L1Values int
+	// Contexts is the load accountant budget (holistic mode).
+	Contexts int
+}
+
+// NewRunner builds a runner. For ModeHolistic the daemon starts
+// immediately; for ModePresorted call Prepare before querying (or the
+// first query pays it lazily).
+func NewRunner(data *Data, mode Mode, cfg RunnerConfig) *Runner {
+	r := &Runner{
+		data:     data,
+		mode:     mode,
+		li:       make(map[string][]int64),
+		proj:     make(map[string]*projection),
+		crackers: make(map[string]*cracking.Column),
+	}
+	for _, name := range data.Lineitem.ColumnNames() {
+		r.li[name] = data.Lineitem.Column(name).Values()
+	}
+	okeys := data.Orders.Column("o_orderkey").Values()
+	prios := data.Orders.Column("o_orderpriority").Values()
+	r.prio = make([]int64, len(okeys))
+	for i, k := range okeys {
+		r.prio[k] = prios[i]
+	}
+	if mode == ModeHolistic {
+		if cfg.Contexts < 1 {
+			cfg.Contexts = 2
+		}
+		if cfg.Interval <= 0 {
+			cfg.Interval = 10 * time.Millisecond
+		}
+		r.reg = stats.NewRegistry(cfg.L1Values, cfg.Seed)
+		r.acct = cpu.NewLoadAccountant(cfg.Contexts)
+		r.daemon = holistic.New(r.reg, r.acct, holistic.Config{
+			Interval:    cfg.Interval,
+			Refinements: cfg.Refinements,
+			Seed:        cfg.Seed,
+		})
+		r.daemon.Start()
+	}
+	return r
+}
+
+// Close stops the daemon (holistic mode).
+func (r *Runner) Close() {
+	if r.daemon != nil {
+		r.daemon.Stop()
+	}
+}
+
+// Mode returns the runner's execution mode.
+func (r *Runner) Mode() Mode { return r.mode }
+
+// Prepare builds the pre-sorted projections (ModePresorted only): one
+// copy of LINEITEM sorted on each of the given attributes. Its cost is
+// recorded in PrepareTime.
+func (r *Runner) Prepare(sortAttrs ...string) {
+	if r.mode != ModePresorted {
+		return
+	}
+	start := time.Now()
+	for _, attr := range sortAttrs {
+		r.projection(attr)
+	}
+	r.PrepareTime = time.Since(start)
+}
+
+func (r *Runner) projection(attr string) *projection {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if p, ok := r.proj[attr]; ok {
+		return p
+	}
+	key := r.li[attr]
+	perm := make([]int, len(key))
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.Slice(perm, func(a, b int) bool { return key[perm[a]] < key[perm[b]] })
+	p := &projection{cols: make(map[string][]int64)}
+	p.sortKey = make([]int64, len(key))
+	for i, src := range perm {
+		p.sortKey[i] = key[src]
+	}
+	for name, vals := range r.li {
+		if name == attr {
+			p.cols[name] = p.sortKey
+			continue
+		}
+		re := make([]int64, len(vals))
+		for i, src := range perm {
+			re[i] = vals[src]
+		}
+		p.cols[name] = re
+	}
+	r.proj[attr] = p
+	return p
+}
+
+// sidewaysPayloads maps each predicate attribute to the LINEITEM
+// attributes the three queries project through it: the payload set of its
+// sideways cracker (self-organizing tuple reconstruction, [29]).
+var sidewaysPayloads = map[string][]string{
+	"l_shipdate":    {"l_quantity", "l_extendedprice", "l_discount", "l_tax", "l_returnflag", "l_linestatus"},
+	"l_receiptdate": {"l_shipmode", "l_commitdate", "l_shipdate", "l_orderkey"},
+}
+
+// cracker returns (building if needed) the sideways cracker column on
+// attr; in holistic mode new crackers join the daemon's index space.
+func (r *Runner) cracker(attr string) *cracking.Column {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.crackers[attr]; ok {
+		return c
+	}
+	names := sidewaysPayloads[attr]
+	cols := make([][]int64, len(names))
+	for i, n := range names {
+		cols[i] = r.li[n]
+	}
+	c := cracking.NewSideways(attr, r.li[attr], names, cols, cracking.Config{Seed: int64(len(r.crackers))})
+	r.crackers[attr] = c
+	if r.reg != nil {
+		r.reg.Add(attr, c, false)
+	}
+	return c
+}
+
+// Cracker exposes the cracker column for telemetry (nil before first use).
+func (r *Runner) Cracker(attr string) *cracking.Column {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.crackers[attr]
+}
+
+// selectPayloads streams the qualifying tuples (select values plus the
+// attr's payload columns, position-aligned) under the cracking modes,
+// recording statistics in holistic mode.
+func (r *Runner) selectPayloads(attr string, lo, hi int64, fn func(vals []int64, payloads [][]int64)) {
+	c := r.cracker(attr)
+	if r.acct != nil {
+		r.acct.Acquire(1)
+		defer r.acct.Release(1)
+	}
+	rg := c.SelectPayloads(lo, hi, fn)
+	if r.reg != nil {
+		r.reg.RecordAccess(attr, rg.ExactHit())
+	}
+}
+
+// Q1Row is one group of the Q1 pricing summary report.
+type Q1Row struct {
+	ReturnFlag string
+	LineStatus string
+	SumQty     int64
+	SumBase    int64 // cents
+	SumDisc    int64 // cents, extprice*(1-discount)
+	SumCharge  int64 // cents, extprice*(1-discount)*(1+tax)
+	Count      int64
+}
+
+// q1acc accumulates one group.
+type q1acc struct{ qty, base, disc, charge, count int64 }
+
+func (a *q1acc) add(qty, ext, disc, tax int64) {
+	a.qty += qty
+	a.base += ext
+	dp := ext * (10000 - disc) / 10000
+	a.disc += dp
+	a.charge += dp * (10000 + tax) / 10000
+	a.count++
+}
+
+// Q1 runs the pricing summary report: lines with
+// l_shipdate <= 1998-12-01 - delta days, grouped by returnflag and
+// linestatus.
+func (r *Runner) Q1(delta int64) []Q1Row {
+	cutoff := Q1CutoffBase - delta // shipdate <= cutoff, i.e. < cutoff+1
+	var groups [6]q1acc
+
+	ship := r.li["l_shipdate"]
+	qty := r.li["l_quantity"]
+	ext := r.li["l_extendedprice"]
+	disc := r.li["l_discount"]
+	tax := r.li["l_tax"]
+	flag := r.li["l_returnflag"]
+	status := r.li["l_linestatus"]
+
+	switch r.mode {
+	case ModeScan:
+		for i, s := range ship {
+			if s <= cutoff {
+				g := flag[i]*2 + status[i]
+				groups[g].add(qty[i], ext[i], disc[i], tax[i])
+			}
+		}
+	case ModePresorted:
+		p := r.projection("l_shipdate")
+		end := sort.Search(len(p.sortKey), func(i int) bool { return p.sortKey[i] > cutoff })
+		pq, pe, pd, pt := p.cols["l_quantity"], p.cols["l_extendedprice"], p.cols["l_discount"], p.cols["l_tax"]
+		pf, ps := p.cols["l_returnflag"], p.cols["l_linestatus"]
+		for i := 0; i < end; i++ {
+			g := pf[i]*2 + ps[i]
+			groups[g].add(pq[i], pe[i], pd[i], pt[i])
+		}
+	case ModeCracking, ModeHolistic:
+		// Sideways payloads arrive position-aligned with the cracked
+		// values: qty, ext, disc, tax, flag, status.
+		r.selectPayloads("l_shipdate", 0, cutoff+1, func(_ []int64, pl [][]int64) {
+			pq, pe, pd, pt, pf, ps := pl[0], pl[1], pl[2], pl[3], pl[4], pl[5]
+			for i := range pq {
+				g := pf[i]*2 + ps[i]
+				groups[g].add(pq[i], pe[i], pd[i], pt[i])
+			}
+		})
+	}
+
+	var out []Q1Row
+	for g, acc := range groups {
+		if acc.count == 0 {
+			continue
+		}
+		out = append(out, Q1Row{
+			ReturnFlag: r.data.Flags.Decode(int64(g / 2)),
+			LineStatus: r.data.Status.Decode(int64(g % 2)),
+			SumQty:     acc.qty,
+			SumBase:    acc.base,
+			SumDisc:    acc.disc,
+			SumCharge:  acc.charge,
+			Count:      acc.count,
+		})
+	}
+	return out
+}
+
+// Q6 runs the forecasting revenue change query: sum(extprice * discount)
+// over lines shipped in `year` with discount within ±1% of `discount`
+// (basis points) and quantity < `quantity`. Revenue is returned in cents.
+func (r *Runner) Q6(year int, discount, quantity int64) int64 {
+	loDay, hiDay := YearDay(year), YearDay(year+1)
+	dLo, dHi := discount-100, discount+100
+
+	ship := r.li["l_shipdate"]
+	qty := r.li["l_quantity"]
+	ext := r.li["l_extendedprice"]
+	disc := r.li["l_discount"]
+
+	var revenue int64
+	switch r.mode {
+	case ModeScan:
+		for i, s := range ship {
+			if s >= loDay && s < hiDay && disc[i] >= dLo && disc[i] <= dHi && qty[i] < quantity {
+				revenue += ext[i] * disc[i] / 10000
+			}
+		}
+	case ModePresorted:
+		p := r.projection("l_shipdate")
+		start := sort.Search(len(p.sortKey), func(i int) bool { return p.sortKey[i] >= loDay })
+		end := sort.Search(len(p.sortKey), func(i int) bool { return p.sortKey[i] >= hiDay })
+		pq, pe, pd := p.cols["l_quantity"], p.cols["l_extendedprice"], p.cols["l_discount"]
+		for i := start; i < end; i++ {
+			if pd[i] >= dLo && pd[i] <= dHi && pq[i] < quantity {
+				revenue += pe[i] * pd[i] / 10000
+			}
+		}
+	case ModeCracking, ModeHolistic:
+		r.selectPayloads("l_shipdate", loDay, hiDay, func(_ []int64, pl [][]int64) {
+			pq, pe, pd := pl[0], pl[1], pl[2]
+			for i := range pq {
+				if pd[i] >= dLo && pd[i] <= dHi && pq[i] < quantity {
+					revenue += pe[i] * pd[i] / 10000
+				}
+			}
+		})
+	}
+	return revenue
+}
+
+// Q12Row is one ship mode group of the shipping modes / order priority
+// query.
+type Q12Row struct {
+	ShipMode  string
+	HighCount int64 // orders with priority 1-URGENT or 2-HIGH
+	LowCount  int64
+}
+
+// Q12 runs the shipping-modes query: lines received in `year` with ship
+// mode in {m1, m2}, commitdate < receiptdate and shipdate < commitdate,
+// joined to ORDERS for the priority split, grouped by ship mode.
+func (r *Runner) Q12(m1, m2 int64, year int) []Q12Row {
+	loDay, hiDay := YearDay(year), YearDay(year+1)
+
+	receipt := r.li["l_receiptdate"]
+	commit := r.li["l_commitdate"]
+	ship := r.li["l_shipdate"]
+	mode := r.li["l_shipmode"]
+	okey := r.li["l_orderkey"]
+
+	counts := map[int64]*Q12Row{}
+	account := func(m, orderkey int64) {
+		row, ok := counts[m]
+		if !ok {
+			row = &Q12Row{ShipMode: r.data.Modes.Decode(m)}
+			counts[m] = row
+		}
+		if r.prio[orderkey] <= 1 {
+			row.HighCount++
+		} else {
+			row.LowCount++
+		}
+	}
+
+	switch r.mode {
+	case ModeScan:
+		for i, rc := range receipt {
+			if rc >= loDay && rc < hiDay && (mode[i] == m1 || mode[i] == m2) &&
+				commit[i] < rc && ship[i] < commit[i] {
+				account(mode[i], okey[i])
+			}
+		}
+	case ModePresorted:
+		p := r.projection("l_receiptdate")
+		start := sort.Search(len(p.sortKey), func(i int) bool { return p.sortKey[i] >= loDay })
+		end := sort.Search(len(p.sortKey), func(i int) bool { return p.sortKey[i] >= hiDay })
+		pm, pc, ps, po := p.cols["l_shipmode"], p.cols["l_commitdate"], p.cols["l_shipdate"], p.cols["l_orderkey"]
+		pr := p.cols["l_receiptdate"]
+		for i := start; i < end; i++ {
+			if (pm[i] == m1 || pm[i] == m2) && pc[i] < pr[i] && ps[i] < pc[i] {
+				account(pm[i], po[i])
+			}
+		}
+	case ModeCracking, ModeHolistic:
+		r.selectPayloads("l_receiptdate", loDay, hiDay, func(vals []int64, pl [][]int64) {
+			pm, pc, ps, po := pl[0], pl[1], pl[2], pl[3]
+			for i := range pm {
+				if (pm[i] == m1 || pm[i] == m2) && pc[i] < vals[i] && ps[i] < pc[i] {
+					account(pm[i], po[i])
+				}
+			}
+		})
+	}
+
+	var out []Q12Row
+	for _, m := range []int64{m1, m2} {
+		if row, ok := counts[m]; ok {
+			out = append(out, *row)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ShipMode < out[j].ShipMode })
+	return out
+}

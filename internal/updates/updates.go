@@ -1,0 +1,125 @@
+// Package updates implements the pending-updates store of adaptive
+// indexing (Section 4.2, Updates; Section 5.7 of the paper), following
+// the design of Idreos et al. ("Updating a Cracked Database", SIGMOD
+// 2007): updates are buffered as pending insertions/deletions and merged
+// into the cracker column lazily — by a query whose requested value range
+// contains pending values, or by a holistic worker whose random pivot
+// falls into a piece with pending values. An update is modelled as a
+// deletion followed by an insertion.
+package updates
+
+import (
+	"sync"
+
+	"holistic/internal/cracking"
+)
+
+// Op is one pending operation against an attribute.
+type Op struct {
+	// Delete distinguishes pending deletions from pending insertions.
+	Delete bool
+	// Value is the attribute value inserted or deleted.
+	Value int64
+	// Row is the base row id of an insertion (unused for deletions).
+	Row uint32
+}
+
+// Pending buffers the not-yet-merged updates of one attribute in arrival
+// order. It is safe for concurrent use: queries, the update stream and
+// holistic workers all touch it.
+type Pending struct {
+	mu  sync.Mutex
+	ops []Op
+}
+
+// NewPending returns an empty store.
+func NewPending() *Pending { return &Pending{} }
+
+// AddInsert buffers a pending insertion.
+func (p *Pending) AddInsert(v int64, row uint32) {
+	p.mu.Lock()
+	p.ops = append(p.ops, Op{Value: v, Row: row})
+	p.mu.Unlock()
+}
+
+// AddDelete buffers a pending deletion.
+func (p *Pending) AddDelete(v int64) {
+	p.mu.Lock()
+	p.ops = append(p.ops, Op{Delete: true, Value: v})
+	p.mu.Unlock()
+}
+
+// AddUpdate buffers an update as a deletion followed by an insertion, the
+// paper's definition of an update.
+func (p *Pending) AddUpdate(oldV, newV int64, row uint32) {
+	p.mu.Lock()
+	p.ops = append(p.ops, Op{Delete: true, Value: oldV}, Op{Value: newV, Row: row})
+	p.mu.Unlock()
+}
+
+// Len returns the number of pending operations.
+func (p *Pending) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.ops)
+}
+
+// HasInRange reports whether any pending operation's value falls in
+// [lo, hi) — the check a query makes before deciding to merge.
+func (p *Pending) HasInRange(lo, hi int64) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, op := range p.ops {
+		if op.Value >= lo && op.Value < hi {
+			return true
+		}
+	}
+	return false
+}
+
+// MergeRange merges every pending operation whose value lies in [lo, hi)
+// into col via the Ripple algorithm, preserving arrival order, and
+// returns how many operations were merged. Operations outside the range
+// stay pending — "only those updates are merged on-the-fly".
+// The store's mutex is held across the merge itself, so a pending value
+// is always observable — either still pending or already merged — never
+// lost in between. Lock order is always Pending.mu before the column
+// lock; no code path acquires them in the other order.
+func (p *Pending) MergeRange(col *cracking.Column, lo, hi int64) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var toMerge []Op
+	kept := p.ops[:0]
+	for _, op := range p.ops {
+		if op.Value >= lo && op.Value < hi {
+			toMerge = append(toMerge, op)
+		} else {
+			kept = append(kept, op)
+		}
+	}
+	p.ops = kept
+	for _, op := range toMerge {
+		if op.Delete {
+			col.MergeDelete(op.Value)
+		} else {
+			col.MergeInsert(op.Value, op.Row)
+		}
+	}
+	return len(toMerge)
+}
+
+// MergeAll merges every pending operation into col.
+func (p *Pending) MergeAll(col *cracking.Column) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	toMerge := p.ops
+	p.ops = nil
+	for _, op := range toMerge {
+		if op.Delete {
+			col.MergeDelete(op.Value)
+		} else {
+			col.MergeInsert(op.Value, op.Row)
+		}
+	}
+	return len(toMerge)
+}

@@ -1,0 +1,158 @@
+package updates
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"holistic/internal/column"
+	"holistic/internal/cracking"
+)
+
+func randVals(n int, seed int64, domain int64) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = rng.Int63n(domain)
+	}
+	return vals
+}
+
+func TestAddAndLen(t *testing.T) {
+	p := NewPending()
+	if p.Len() != 0 {
+		t.Errorf("fresh Len() = %d", p.Len())
+	}
+	p.AddInsert(5, 1)
+	p.AddDelete(7)
+	p.AddUpdate(3, 9, 2)
+	if p.Len() != 4 {
+		t.Errorf("Len() = %d, want 4 (update counts as delete+insert)", p.Len())
+	}
+}
+
+func TestHasInRange(t *testing.T) {
+	p := NewPending()
+	p.AddInsert(50, 0)
+	if !p.HasInRange(0, 100) {
+		t.Error("HasInRange missed pending value")
+	}
+	if p.HasInRange(51, 100) {
+		t.Error("HasInRange matched outside range")
+	}
+	if p.HasInRange(0, 50) {
+		t.Error("HasInRange matched exclusive upper bound")
+	}
+}
+
+func TestMergeRangeOnlyTouchesRange(t *testing.T) {
+	base := randVals(10_000, 1, 1000)
+	c := cracking.New("a", base, cracking.Config{})
+	c.CrackAt(500)
+	p := NewPending()
+	p.AddInsert(100, 0)
+	p.AddInsert(900, 0)
+	merged := p.MergeRange(c, 0, 500)
+	if merged != 1 {
+		t.Fatalf("merged %d ops, want 1", merged)
+	}
+	if p.Len() != 1 {
+		t.Fatalf("Len() = %d after partial merge, want 1", p.Len())
+	}
+	if got := c.SelectRange(100, 101).Count(); got != column.CountRange(base, 100, 101)+1 {
+		t.Error("merged insert not visible")
+	}
+	if got := c.SelectRange(900, 901).Count(); got != column.CountRange(base, 900, 901) {
+		t.Error("out-of-range insert leaked into the column")
+	}
+}
+
+func TestMergeAllAppliesInOrder(t *testing.T) {
+	base := []int64{10, 20, 30}
+	c := cracking.New("a", base, cracking.Config{})
+	p := NewPending()
+	p.AddInsert(25, 3)
+	p.AddDelete(25) // deletes the value just inserted
+	p.AddInsert(25, 4)
+	if n := p.MergeAll(c); n != 3 {
+		t.Fatalf("MergeAll = %d, want 3", n)
+	}
+	if got := c.SelectRange(25, 26).Count(); got != 1 {
+		t.Fatalf("count of 25 = %d, want 1 (insert, delete, insert)", got)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergePreservesQueryCorrectness(t *testing.T) {
+	base := randVals(20_000, 2, 1000)
+	c := cracking.New("a", base, cracking.Config{})
+	p := NewPending()
+	live := append([]int64(nil), base...)
+	rng := rand.New(rand.NewSource(3))
+
+	for i := 0; i < 50; i++ {
+		// Interleave queries with update arrivals; queries merge their
+		// range before selecting, as the engine does.
+		v := rng.Int63n(1000)
+		p.AddInsert(v, 0)
+		live = append(live, v)
+
+		lo := rng.Int63n(1000)
+		hi := lo + rng.Int63n(1000-lo) + 1
+		p.MergeRange(c, lo, hi)
+		got := c.SelectRange(lo, hi).Count()
+		want := column.CountRange(live, lo, hi)
+		if got != want {
+			t.Fatalf("query %d [%d,%d): got %d, want %d", i, lo, hi, got, want)
+		}
+	}
+	p.MergeAll(c)
+	snap := c.Snapshot()
+	sort.Slice(snap, func(i, j int) bool { return snap[i] < snap[j] })
+	sort.Slice(live, func(i, j int) bool { return live[i] < live[j] })
+	for i := range live {
+		if snap[i] != live[i] {
+			t.Fatal("final column diverged from reference")
+		}
+	}
+}
+
+func TestConcurrentMergersAndWriters(t *testing.T) {
+	base := randVals(10_000, 4, 1000)
+	c := cracking.New("a", base, cracking.Config{})
+	c.CrackAt(500)
+	p := NewPending()
+	var wg sync.WaitGroup
+	const writers = 4
+	const perWriter = 100
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perWriter; i++ {
+				p.AddInsert(rng.Int63n(1000), 0)
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(99))
+		for i := 0; i < 50; i++ {
+			lo := rng.Int63n(1000)
+			p.MergeRange(c, lo, lo+100)
+		}
+	}()
+	wg.Wait()
+	p.MergeAll(c)
+	if c.Len() != len(base)+writers*perWriter {
+		t.Fatalf("Len() = %d, want %d", c.Len(), len(base)+writers*perWriter)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

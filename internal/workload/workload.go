@@ -1,0 +1,294 @@
+// Package workload generates the query and update workloads of the
+// paper's evaluation (Sections 5.1-5.8, Figure 10): sequences of range
+// selections whose predicate values follow random, skewed, periodic,
+// sequential or SkyServer-like patterns, spread over one or more
+// attributes with uniform or zipf-like access frequencies, optionally
+// interleaved with insert batches (the HFLV/LFHV scenarios of Section
+// 5.7).
+//
+// The SkyServer pattern is a synthetic stand-in for the logged queries of
+// the Sloan Digital Sky Survey on the Photoobjall."right ascension"
+// attribute: Figure 10(e) shows queries sweeping a compact region of the
+// sky with slow drift, then jumping to a different region. The generator
+// reproduces that structure (drifting runs with occasional region jumps)
+// at configurable scale; see DESIGN.md §3.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Pattern enumerates the predicate-value patterns of Figure 10.
+type Pattern int
+
+const (
+	// Random: uniform predicate values over the domain (Fig. 10(a)).
+	Random Pattern = iota
+	// Skewed: predicates confined to the top fifth of the domain
+	// (Fig. 10(b); the paper's example concentrates on 800M..2^30).
+	Skewed
+	// Periodic: a sawtooth sweep across the domain, several periods over
+	// the sequence (Fig. 10(c)).
+	Periodic
+	// Sequential: a single monotone sweep across the domain (Fig. 10(d)).
+	Sequential
+	// SkyServer: drifting runs within a compact region with occasional
+	// jumps to a new region (Fig. 10(e)).
+	SkyServer
+)
+
+// String names the pattern as the paper's figures do.
+func (p Pattern) String() string {
+	switch p {
+	case Random:
+		return "Random"
+	case Skewed:
+		return "Skewed"
+	case Periodic:
+		return "Periodic"
+	case Sequential:
+		return "Sequential"
+	case SkyServer:
+		return "SkyServer"
+	default:
+		return fmt.Sprintf("Pattern(%d)", int(p))
+	}
+}
+
+// Patterns lists all five patterns in the order of Figure 10/12.
+func Patterns() []Pattern {
+	return []Pattern{Random, Skewed, Periodic, Sequential, SkyServer}
+}
+
+// Query is one range selection: select A from R where Lo <= A < Hi on
+// attribute index Attr. The paper's microbenchmark form "A < v" is
+// encoded as Lo = 0 (domains are non-negative).
+type Query struct {
+	Attr   int
+	Lo, Hi int64
+}
+
+// Config parameterizes a generated workload.
+type Config struct {
+	// Pattern drives the predicate-value series.
+	Pattern Pattern
+	// Queries is the length of the sequence (the paper uses 10^3 for the
+	// synthetic workloads, 10^4 for SkyServer).
+	Queries int
+	// Domain is the attribute value domain [0, Domain) (paper: 2^30).
+	Domain int64
+	// Attrs is the number of attributes queried (paper: 5-10).
+	Attrs int
+	// AttrZipf > 0 skews attribute popularity with a zipf-like rank
+	// distribution (s = AttrZipf); 0 queries attributes uniformly.
+	AttrZipf float64
+	// OneSided emits "A < v" queries (Lo = 0), the form of Section 5.1;
+	// otherwise queries are [v, v+width) with random width up to
+	// MaxWidthFrac of the domain.
+	OneSided bool
+	// MaxWidthFrac bounds two-sided range width as a fraction of the
+	// domain; defaults to 0.1.
+	MaxWidthFrac float64
+	// Seed makes the workload reproducible.
+	Seed int64
+}
+
+// PredicateSeries returns the n predicate values of a pattern over
+// [0, domain): the series plotted in Figure 10.
+func PredicateSeries(p Pattern, n int, domain int64, seed int64) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]int64, n)
+	clamp := func(v int64) int64 {
+		if v < 0 {
+			return 0
+		}
+		if v >= domain {
+			return domain - 1
+		}
+		return v
+	}
+	switch p {
+	case Random:
+		for i := range out {
+			out[i] = rng.Int63n(domain)
+		}
+	case Skewed:
+		lo := int64(float64(domain) * 0.8)
+		for i := range out {
+			out[i] = lo + rng.Int63n(domain-lo)
+		}
+	case Periodic:
+		const periods = 5
+		for i := range out {
+			phase := math.Mod(float64(i)*periods/float64(n), 1)
+			jitter := (rng.Float64() - 0.5) * 0.02
+			out[i] = clamp(int64((phase + jitter) * float64(domain)))
+		}
+	case Sequential:
+		for i := range out {
+			phase := float64(i) / float64(n)
+			jitter := (rng.Float64() - 0.5) * 0.01
+			out[i] = clamp(int64((phase + jitter) * float64(domain)))
+		}
+	case SkyServer:
+		// Drifting runs: stay in a compact region, drift slowly upward,
+		// then jump to a fresh region (the telescope moves to another
+		// part of the sky).
+		regionWidth := float64(domain) * 0.05
+		base := rng.Float64() * (float64(domain) - regionWidth)
+		offset := 0.0
+		runLen := 0
+		for i := range out {
+			if runLen <= 0 {
+				base = rng.Float64() * (float64(domain) - regionWidth)
+				offset = 0
+				runLen = n/20 + rng.Intn(n/10+1)
+			}
+			drift := regionWidth / float64(n/10+1)
+			offset += drift * (0.5 + rng.Float64())
+			if offset > regionWidth {
+				offset = regionWidth
+			}
+			jitter := (rng.Float64() - 0.5) * regionWidth * 0.1
+			out[i] = clamp(int64(base + offset + jitter))
+			runLen--
+		}
+	default:
+		for i := range out {
+			out[i] = rng.Int63n(domain)
+		}
+	}
+	return out
+}
+
+// Generate builds the full query sequence for a configuration.
+func Generate(cfg Config) []Query {
+	if cfg.Domain <= 0 {
+		cfg.Domain = 1 << 30
+	}
+	if cfg.Attrs <= 0 {
+		cfg.Attrs = 1
+	}
+	if cfg.MaxWidthFrac <= 0 {
+		cfg.MaxWidthFrac = 0.1
+	}
+	values := PredicateSeries(cfg.Pattern, cfg.Queries, cfg.Domain, cfg.Seed)
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	attrPick := attrPicker(cfg.Attrs, cfg.AttrZipf, rng)
+
+	out := make([]Query, cfg.Queries)
+	maxWidth := int64(cfg.MaxWidthFrac * float64(cfg.Domain))
+	if maxWidth < 1 {
+		maxWidth = 1
+	}
+	for i, v := range values {
+		q := Query{Attr: attrPick()}
+		if cfg.OneSided {
+			q.Lo, q.Hi = 0, v+1
+		} else {
+			width := rng.Int63n(maxWidth) + 1
+			q.Lo = v
+			q.Hi = v + width
+			if q.Hi > cfg.Domain {
+				q.Hi = cfg.Domain
+			}
+			if q.Lo >= q.Hi {
+				q.Lo = q.Hi - 1
+			}
+		}
+		out[i] = q
+	}
+	return out
+}
+
+// attrPicker returns a sampler over attribute indices. With zipf s > 0,
+// attribute k is queried proportionally to 1/(k+1)^s — the "skewed
+// attributes" workloads of Figure 13(c,d).
+func attrPicker(attrs int, s float64, rng *rand.Rand) func() int {
+	if attrs == 1 {
+		return func() int { return 0 }
+	}
+	if s <= 0 {
+		return func() int { return rng.Intn(attrs) }
+	}
+	weights := make([]float64, attrs)
+	total := 0.0
+	for k := range weights {
+		weights[k] = 1 / math.Pow(float64(k+1), s)
+		total += weights[k]
+	}
+	cdf := make([]float64, attrs)
+	acc := 0.0
+	for k, w := range weights {
+		acc += w / total
+		cdf[k] = acc
+	}
+	return func() int {
+		u := rng.Float64()
+		for k, c := range cdf {
+			if u <= c {
+				return k
+			}
+		}
+		return attrs - 1
+	}
+}
+
+// UniformColumn generates n uniformly distributed values over [0, domain)
+// — the base data of every synthetic experiment ("each attribute consists
+// of 2^30 uniformly distributed integers").
+func UniformColumn(n int, domain int64, seed int64) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = rng.Int63n(domain)
+	}
+	return vals
+}
+
+// InsertBatch is a batch of pending insertions arriving after a given
+// query index, as in the update scenarios of Section 5.7.
+type InsertBatch struct {
+	AfterQuery int
+	Values     []int64
+}
+
+// UpdateScenario describes the two update workloads of Figure 16.
+type UpdateScenario int
+
+const (
+	// HFLV: High Frequency, Low Volume — 10 inserts every 10 queries.
+	HFLV UpdateScenario = iota
+	// LFHV: Low Frequency, High Volume — 100 inserts every 100 queries.
+	LFHV
+)
+
+// String names the scenario as in Figure 16.
+func (s UpdateScenario) String() string {
+	if s == HFLV {
+		return "HFLV"
+	}
+	return "LFHV"
+}
+
+// InsertBatches builds the insert schedule of an update scenario over a
+// workload of `queries` selections: batches of size `every` arrive after
+// every `every`-th query, with values uniform over [0, domain).
+func InsertBatches(s UpdateScenario, queries int, domain int64, seed int64) []InsertBatch {
+	every := 10
+	if s == LFHV {
+		every = 100
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var out []InsertBatch
+	for q := every; q <= queries; q += every {
+		vals := make([]int64, every)
+		for i := range vals {
+			vals[i] = rng.Int63n(domain)
+		}
+		out = append(out, InsertBatch{AfterQuery: q, Values: vals})
+	}
+	return out
+}

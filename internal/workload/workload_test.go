@@ -1,0 +1,265 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPredicateSeriesInDomain(t *testing.T) {
+	const domain = 1 << 20
+	for _, p := range Patterns() {
+		vals := PredicateSeries(p, 500, domain, 7)
+		if len(vals) != 500 {
+			t.Fatalf("%v: got %d values, want 500", p, len(vals))
+		}
+		for i, v := range vals {
+			if v < 0 || v >= domain {
+				t.Fatalf("%v: value %d at %d outside [0, %d)", p, v, i, domain)
+			}
+		}
+	}
+}
+
+func TestPredicateSeriesDeterministic(t *testing.T) {
+	for _, p := range Patterns() {
+		a := PredicateSeries(p, 200, 1<<20, 42)
+		b := PredicateSeries(p, 200, 1<<20, 42)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%v: series not deterministic at %d", p, i)
+			}
+		}
+	}
+}
+
+func TestSkewedConfinedToTopBand(t *testing.T) {
+	domain := int64(1 << 20)
+	band := int64(float64(domain) * 0.8)
+	for _, v := range PredicateSeries(Skewed, 1000, domain, 1) {
+		if v < band {
+			t.Fatalf("skewed value %d below the top band", v)
+		}
+	}
+}
+
+func TestSequentialIsMonotoneOverall(t *testing.T) {
+	vals := PredicateSeries(Sequential, 1000, 1<<20, 2)
+	// Allowing jitter, compare decile means.
+	var prev int64 = -1
+	for d := 0; d < 10; d++ {
+		var sum int64
+		for _, v := range vals[d*100 : (d+1)*100] {
+			sum += v
+		}
+		mean := sum / 100
+		if mean <= prev {
+			t.Fatalf("decile %d mean %d not increasing (prev %d)", d, mean, prev)
+		}
+		prev = mean
+	}
+}
+
+func TestPeriodicCoversDomainRepeatedly(t *testing.T) {
+	const domain = 1 << 20
+	vals := PredicateSeries(Periodic, 1000, domain, 3)
+	// Each fifth of the sequence (one period) must span most of the domain.
+	for p := 0; p < 5; p++ {
+		lo, hi := int64(domain), int64(0)
+		for _, v := range vals[p*200 : (p+1)*200] {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if hi-lo < domain/2 {
+			t.Fatalf("period %d spans only [%d, %d]", p, lo, hi)
+		}
+	}
+}
+
+func TestSkyServerHasRegionsAndJumps(t *testing.T) {
+	const domain = 1 << 20
+	vals := PredicateSeries(SkyServer, 2000, domain, 4)
+	// Count large jumps between consecutive queries; drifting runs mean
+	// most steps are small, region changes mean some are large.
+	large, small := 0, 0
+	for i := 1; i < len(vals); i++ {
+		d := vals[i] - vals[i-1]
+		if d < 0 {
+			d = -d
+		}
+		if d > domain/5 {
+			large++
+		} else if d < domain/10 {
+			small++
+		}
+	}
+	if large == 0 {
+		t.Error("no region jumps observed")
+	}
+	if small < len(vals)/2 {
+		t.Errorf("only %d small drift steps of %d", small, len(vals))
+	}
+	if large > len(vals)/4 {
+		t.Errorf("%d large jumps — pattern too random", large)
+	}
+}
+
+func TestGenerateOneSided(t *testing.T) {
+	qs := Generate(Config{Pattern: Random, Queries: 300, Domain: 1 << 20, Attrs: 10, OneSided: true, Seed: 5})
+	if len(qs) != 300 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	attrSeen := map[int]bool{}
+	for _, q := range qs {
+		if q.Lo != 0 {
+			t.Fatalf("one-sided query has Lo = %d", q.Lo)
+		}
+		if q.Hi < 1 || q.Hi > 1<<20 {
+			t.Fatalf("one-sided query Hi = %d outside domain", q.Hi)
+		}
+		if q.Attr < 0 || q.Attr >= 10 {
+			t.Fatalf("attr %d out of range", q.Attr)
+		}
+		attrSeen[q.Attr] = true
+	}
+	if len(attrSeen) < 8 {
+		t.Errorf("uniform attribute choice hit only %d of 10 attrs", len(attrSeen))
+	}
+}
+
+func TestGenerateTwoSided(t *testing.T) {
+	qs := Generate(Config{Pattern: Random, Queries: 300, Domain: 1 << 20, Attrs: 3, Seed: 6})
+	for _, q := range qs {
+		if q.Lo >= q.Hi {
+			t.Fatalf("empty range [%d, %d)", q.Lo, q.Hi)
+		}
+		if q.Hi > 1<<20 {
+			t.Fatalf("Hi %d beyond domain", q.Hi)
+		}
+		if q.Hi-q.Lo > 1<<17 {
+			t.Fatalf("range width %d exceeds MaxWidthFrac", q.Hi-q.Lo)
+		}
+	}
+}
+
+func TestGenerateDefaults(t *testing.T) {
+	qs := Generate(Config{Pattern: Random, Queries: 10, Seed: 1})
+	if len(qs) != 10 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	for _, q := range qs {
+		if q.Attr != 0 {
+			t.Fatal("default single attribute violated")
+		}
+	}
+}
+
+func TestAttrZipfSkewsPopularity(t *testing.T) {
+	qs := Generate(Config{Pattern: Random, Queries: 5000, Domain: 1 << 20, Attrs: 5, AttrZipf: 1.2, Seed: 7})
+	counts := make([]int, 5)
+	for _, q := range qs {
+		counts[q.Attr]++
+	}
+	if !(counts[0] > counts[1] && counts[1] > counts[2]) {
+		t.Errorf("zipf attribute counts not decreasing: %v", counts)
+	}
+	if counts[0] < 2*counts[4] {
+		t.Errorf("zipf skew too weak: %v", counts)
+	}
+}
+
+func TestUniformColumn(t *testing.T) {
+	vals := UniformColumn(10_000, 1<<20, 8)
+	if len(vals) != 10_000 {
+		t.Fatalf("got %d values", len(vals))
+	}
+	var sum float64
+	for _, v := range vals {
+		if v < 0 || v >= 1<<20 {
+			t.Fatalf("value %d outside domain", v)
+		}
+		sum += float64(v)
+	}
+	mean := sum / 10_000
+	if mean < 0.45*(1<<20) || mean > 0.55*(1<<20) {
+		t.Errorf("mean %f far from uniform midpoint", mean)
+	}
+}
+
+func TestInsertBatches(t *testing.T) {
+	hf := InsertBatches(HFLV, 500, 1<<20, 9)
+	if len(hf) != 50 {
+		t.Fatalf("HFLV batches = %d, want 50", len(hf))
+	}
+	for i, b := range hf {
+		if len(b.Values) != 10 {
+			t.Fatalf("HFLV batch %d size %d, want 10", i, len(b.Values))
+		}
+		if b.AfterQuery != (i+1)*10 {
+			t.Fatalf("HFLV batch %d at %d, want %d", i, b.AfterQuery, (i+1)*10)
+		}
+	}
+	lf := InsertBatches(LFHV, 500, 1<<20, 9)
+	if len(lf) != 5 {
+		t.Fatalf("LFHV batches = %d, want 5", len(lf))
+	}
+	for _, b := range lf {
+		if len(b.Values) != 100 {
+			t.Fatalf("LFHV batch size %d, want 100", len(b.Values))
+		}
+	}
+	// Totals match: both scenarios deliver 500 inserts over 500 queries.
+	total := func(bs []InsertBatch) int {
+		n := 0
+		for _, b := range bs {
+			n += len(b.Values)
+		}
+		return n
+	}
+	if total(hf) != 500 || total(lf) != 500 {
+		t.Errorf("totals = %d/%d, want 500/500", total(hf), total(lf))
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	names := map[Pattern]string{
+		Random: "Random", Skewed: "Skewed", Periodic: "Periodic",
+		Sequential: "Sequential", SkyServer: "SkyServer",
+	}
+	for p, want := range names {
+		if p.String() != want {
+			t.Errorf("%d.String() = %s", int(p), p.String())
+		}
+	}
+	if Pattern(99).String() != "Pattern(99)" {
+		t.Errorf("unknown pattern String() = %s", Pattern(99).String())
+	}
+	if HFLV.String() != "HFLV" || LFHV.String() != "LFHV" {
+		t.Error("UpdateScenario names wrong")
+	}
+}
+
+func TestQuickGeneratedQueriesWellFormed(t *testing.T) {
+	check := func(seed int64, pat uint8, oneSided bool, attrs uint8) bool {
+		cfg := Config{
+			Pattern:  Pattern(pat % 5),
+			Queries:  50,
+			Domain:   1 << 16,
+			Attrs:    int(attrs%10) + 1,
+			OneSided: oneSided,
+			Seed:     seed,
+		}
+		for _, q := range Generate(cfg) {
+			if q.Lo >= q.Hi || q.Hi > cfg.Domain || q.Attr < 0 || q.Attr >= cfg.Attrs {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
