@@ -105,6 +105,10 @@ func BenchmarkFig16Updates(b *testing.B) { runExperiment(b, "fig16") }
 // Figure 17 — concurrent-clients sweep.
 func BenchmarkFig17Clients(b *testing.B) { runExperiment(b, "fig17") }
 
+// Aggregate pushdown — TPC-H Q6-style sums/min-max/row materialization
+// over range predicates, all executors.
+func BenchmarkAggregateWorkload(b *testing.B) { runExperiment(b, "agg") }
+
 // Ablations of DESIGN.md's called-out design decisions.
 func BenchmarkAblationPivotChoice(b *testing.B) { runExperiment(b, "ablation-pivot") }
 func BenchmarkAblationLatchPolicy(b *testing.B) { runExperiment(b, "ablation-latch") }

@@ -8,6 +8,7 @@
 //	holisticbench -experiment all              # the whole evaluation
 //	holisticbench -list                        # enumerate experiments
 //	holisticbench -experiment fig12 -columns 4194304 -queries 1000
+//	holisticbench -experiment agg              # aggregate pushdown (Q6-style)
 //
 // Scale defaults target a laptop-class machine; EXPERIMENTS.md records a
 // full run and compares each result against the paper.

@@ -63,6 +63,26 @@ func main() {
 		fmt.Printf("query %d: %8d rows in %8v\n", q, n, time.Since(start).Round(time.Microsecond))
 	}
 
+	// Aggregates and row materialization ride the same adaptive index:
+	// the fold runs inside the cracked pieces the predicate selects.
+	lo, hi := int64(domain/4), int64(domain/2)
+	sum, err := store.SumRange("price", lo, hi)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mn, mx, ok, err := store.MinMaxRange("price", lo, hi)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ids, err := store.SelectRows("price", lo, hi)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if ok {
+		fmt.Printf("\nsum(price) over [%d, %d) = %d, min %d, max %d, %d row ids materialized\n",
+			lo, hi, sum, mn, mx, len(ids))
+	}
+
 	st := store.Stats()
 	fmt.Printf("\nself-tuning state: %d index partitions, %d background refinements over %d activations\n",
 		st.Pieces, st.Refinements, st.Activations)

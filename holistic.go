@@ -14,12 +14,19 @@
 //	defer store.Close()
 //	n, _ := store.CountRange("price", 100, 200) // cracks as a side effect
 //
+// Beyond counting, every mode answers aggregates and materialization over
+// the same range predicates — SumRange, MinMaxRange and SelectRows — with
+// the work pushed down into the mode's native access path (cracked-piece
+// folds, binary-search slices, parallel chunked scans), and with pending
+// insertions merged so results stay correct under updates.
+//
 // Non-integer attributes map onto int64 the way fixed-width column-stores
 // do it: dates as day numbers, decimals as scaled integers, strings as
 // dictionary codes (see internal/column.Dict).
 package holistic
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -134,6 +141,13 @@ type Config struct {
 	// StorageBudget bounds the materialized index space in bytes under
 	// ModeHolistic; 0 = unlimited. LFU indices are evicted to fit.
 	StorageBudget int64
+	// NoRowIDs disables rowid tracking in the cracking-based modes
+	// (adaptive, stochastic, CCGI, holistic), reclaiming 4 bytes/value
+	// of index space and the lockstep rowid permutation on every crack.
+	// SelectRows then returns an error under those modes — unlike the
+	// sorted modes, a cracker column cannot recover the permutation
+	// later, so the choice must be made up front.
+	NoRowIDs bool
 	// Seed fixes all randomized choices for reproducibility.
 	Seed int64
 }
@@ -152,13 +166,18 @@ func (c Config) l1Values() int {
 	return c.L1CacheBytes / 8
 }
 
+// ErrClosed is returned by every query on a store whose Close has been
+// called.
+var ErrClosed = errors.New("holistic: store is closed")
+
 // Store is a main-memory column-store over int64 columns.
 type Store struct {
 	cfg Config
 
-	mu    sync.Mutex
-	table *engine.Table
-	exec  engine.Executor
+	mu     sync.Mutex
+	table  *engine.Table
+	exec   engine.Executor
+	closed bool
 }
 
 // NewStore creates an empty store.
@@ -171,6 +190,9 @@ func NewStore(cfg Config) *Store {
 func (s *Store) AddIntColumn(name string, values []int64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
 	if s.exec != nil {
 		return fmt.Errorf("holistic: cannot add column %q after the first query", name)
 	}
@@ -178,13 +200,16 @@ func (s *Store) AddIntColumn(name string, values []int64) error {
 }
 
 // executor builds the mode's executor on first use.
-func (s *Store) executor() engine.Executor {
+func (s *Store) executor() (engine.Executor, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
 	if s.exec == nil {
 		s.exec = s.build()
 	}
-	return s.exec
+	return s.exec, nil
 }
 
 func (s *Store) build() engine.Executor {
@@ -192,6 +217,7 @@ func (s *Store) build() engine.Executor {
 	crackCfg := cracking.Config{
 		Kernel:          cracking.KernelVectorized,
 		ParallelWorkers: threads,
+		WithRows:        !s.cfg.NoRowIDs, // SelectRows materializes base positions
 		Seed:            s.cfg.Seed,
 	}
 	switch s.cfg.Mode {
@@ -205,7 +231,7 @@ func (s *Store) build() engine.Executor {
 		crackCfg.Stochastic = true
 		return engine.NewAdaptiveExecutor(s.table, crackCfg, "stochastic")
 	case ModeCCGI:
-		return engine.NewCCGIExecutor(s.table, threads, 64, cracking.Config{Seed: s.cfg.Seed})
+		return engine.NewCCGIExecutor(s.table, threads, 64, cracking.Config{WithRows: !s.cfg.NoRowIDs, Seed: s.cfg.Seed})
 	case ModeHolistic:
 		user := s.cfg.UserThreads
 		if user < 1 {
@@ -236,9 +262,14 @@ func (s *Store) build() engine.Executor {
 
 // Prepare performs the mode's upfront work: under ModeOffline it sorts
 // every column now (otherwise the first query on each attribute pays the
-// sort). Other modes need no preparation.
+// sort). Other modes need no preparation. Prepare on a closed store is a
+// no-op.
 func (s *Store) Prepare() {
-	if off, ok := s.executor().(*engine.OfflineExecutor); ok {
+	exec, err := s.executor()
+	if err != nil {
+		return
+	}
+	if off, ok := exec.(*engine.OfflineExecutor); ok {
 		off.PrepareAll()
 	}
 }
@@ -246,14 +277,56 @@ func (s *Store) Prepare() {
 // CountRange answers "select count(*) where lo <= attr < hi", building or
 // refining the mode's index structures as a side effect.
 func (s *Store) CountRange(attr string, lo, hi int64) (int, error) {
-	return s.executor().Count(attr, lo, hi)
+	exec, err := s.executor()
+	if err != nil {
+		return 0, err
+	}
+	return exec.Count(attr, lo, hi)
+}
+
+// SumRange answers "select sum(attr) where lo <= attr < hi", pushing the
+// fold down into the mode's access path (cracked pieces, sorted slices or
+// parallel scan chunks) and merging pending insertions that fall inside
+// the range first.
+func (s *Store) SumRange(attr string, lo, hi int64) (int64, error) {
+	exec, err := s.executor()
+	if err != nil {
+		return 0, err
+	}
+	return exec.Sum(attr, lo, hi)
+}
+
+// MinMaxRange answers "select min(attr), max(attr) where lo <= attr < hi";
+// ok is false when no value qualifies.
+func (s *Store) MinMaxRange(attr string, lo, hi int64) (mn, mx int64, ok bool, err error) {
+	exec, err := s.executor()
+	if err != nil {
+		return 0, 0, false, err
+	}
+	return exec.MinMax(attr, lo, hi)
+}
+
+// SelectRows materializes the base row ids of the qualifying tuples, in
+// unspecified order — the position list late tuple reconstruction feeds
+// to project operators. Rows appended by Insert continue the base
+// position sequence.
+func (s *Store) SelectRows(attr string, lo, hi int64) ([]uint32, error) {
+	exec, err := s.executor()
+	if err != nil {
+		return nil, err
+	}
+	return exec.SelectRows(attr, lo, hi)
 }
 
 // Insert appends a value to a column as a pending insertion, merged into
 // the adaptive index lazily (Ripple). Supported by the adaptive,
 // stochastic and holistic modes.
 func (s *Store) Insert(attr string, v int64) error {
-	if ins, ok := s.executor().(engine.Inserter); ok {
+	exec, err := s.executor()
+	if err != nil {
+		return err
+	}
+	if ins, ok := exec.(engine.Inserter); ok {
 		return ins.Insert(attr, v)
 	}
 	return fmt.Errorf("holistic: mode %v does not support inserts", s.cfg.Mode)
@@ -263,7 +336,11 @@ func (s *Store) Insert(attr string, v int64) error {
 // (ModeHolistic): the daemon may refine it before any query arrives —
 // how the paper exploits idle time before a workload.
 func (s *Store) AddPotentialIndex(attr string) error {
-	if h, ok := s.executor().(*engine.HolisticExecutor); ok {
+	exec, err := s.executor()
+	if err != nil {
+		return err
+	}
+	if h, ok := exec.(*engine.HolisticExecutor); ok {
 		return h.AddPotential(attr)
 	}
 	return fmt.Errorf("holistic: mode %v has no potential configuration", s.cfg.Mode)
@@ -284,10 +361,16 @@ type Stats struct {
 	Activations int
 }
 
-// Stats returns a snapshot of the tuning telemetry.
+// Stats returns a snapshot of the tuning telemetry. It is a pure read:
+// on a store that has not executed any query yet (no executor built, no
+// daemon started) it returns a zero snapshot instead of building the
+// executor as a side effect.
 func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	exec := s.exec
+	s.mu.Unlock()
 	st := Stats{Mode: s.cfg.Mode}
-	switch e := s.executor().(type) {
+	switch e := exec.(type) {
 	case *engine.HolisticExecutor:
 		st.Pieces = e.TotalPieces()
 		st.Refinements = e.Daemon.Refinements()
@@ -298,10 +381,15 @@ func (s *Store) Stats() Stats {
 	return st
 }
 
-// Close stops background tuning. The store must not be used afterwards.
+// Close stops background tuning. It is idempotent; queries issued after
+// Close return ErrClosed.
 func (s *Store) Close() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
 	if s.exec != nil {
 		s.exec.Close()
 	}

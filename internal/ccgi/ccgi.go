@@ -30,6 +30,7 @@ import (
 type Index struct {
 	name    string
 	chunks  []*cracking.Column
+	offsets []int // offsets[i] is the base position of chunk i's first value
 	buckets int
 
 	domainLo, domainHi int64
@@ -60,9 +61,11 @@ func New(name string, base []int64, threads, buckets int, cfg cracking.Config) *
 			end = n
 		}
 		x.chunks = append(x.chunks, cracking.New(name, base[start:end], cfg))
+		x.offsets = append(x.offsets, start)
 	}
 	if len(x.chunks) == 0 {
 		x.chunks = append(x.chunks, cracking.New(name, nil, cfg))
+		x.offsets = append(x.offsets, 0)
 	}
 	x.domainLo, x.domainHi = x.chunks[0].Domain()
 	for _, c := range x.chunks[1:] {
@@ -124,36 +127,125 @@ func (x *Index) prePartition() {
 	wg.Wait()
 }
 
-// SelectCount cracks every chunk in parallel on [lo, hi), consolidates
-// the value range if it is new, and returns the number of qualifying
-// tuples.
-func (x *Index) SelectCount(lo, hi int64) int {
+// ensurePrePartitioned pays the coarse pre-index step exactly once, on
+// whichever query arrives first.
+func (x *Index) ensurePrePartitioned() {
 	x.mu.Lock()
 	if !x.prePartitioned {
 		x.prePartitioned = true
 		x.mu.Unlock()
 		x.prePartition()
-	} else {
-		x.mu.Unlock()
+		return
 	}
+	x.mu.Unlock()
+}
 
+// forEachChunk cracks every chunk on [lo, hi) in parallel, invoking fn
+// once per chunk, and returns the per-chunk ranges. fn runs on the
+// cracking goroutine of its chunk; writes to distinct slots need no
+// further synchronization.
+func (x *Index) forEachChunk(lo, hi int64, fn func(i int, c *cracking.Column) cracking.Range) []cracking.Range {
+	x.ensurePrePartitioned()
 	ranges := make([]cracking.Range, len(x.chunks))
 	var wg sync.WaitGroup
 	for i, c := range x.chunks {
 		wg.Add(1)
 		go func(i int, c *cracking.Column) {
 			defer wg.Done()
-			ranges[i] = c.SelectRange(lo, hi)
+			ranges[i] = fn(i, c)
 		}(i, c)
 	}
 	wg.Wait()
+	return ranges
+}
 
+// SelectCount cracks every chunk in parallel on [lo, hi), consolidates
+// the value range if it is new, and returns the number of qualifying
+// tuples.
+func (x *Index) SelectCount(lo, hi int64) int {
+	ranges := x.forEachChunk(lo, hi, func(_ int, c *cracking.Column) cracking.Range {
+		return c.SelectRange(lo, hi)
+	})
 	total := 0
 	for _, r := range ranges {
 		total += r.Count()
 	}
 	x.consolidate(lo, hi, ranges, total)
 	return total
+}
+
+// SelectSum cracks every chunk in parallel on [lo, hi) and returns the
+// sum of qualifying values: the chunked parallel aggregate fold — each
+// chunk folds its own contiguous pieces, partial sums are combined once.
+func (x *Index) SelectSum(lo, hi int64) int64 {
+	sums := make([]int64, len(x.chunks))
+	x.forEachChunk(lo, hi, func(i int, c *cracking.Column) cracking.Range {
+		r, s := c.SelectSum(lo, hi)
+		sums[i] = s
+		return r
+	})
+	var total int64
+	for _, s := range sums {
+		total += s
+	}
+	return total
+}
+
+// SelectMinMax cracks every chunk in parallel on [lo, hi) and returns the
+// smallest and largest qualifying value; ok is false when no value
+// qualifies.
+func (x *Index) SelectMinMax(lo, hi int64) (mn, mx int64, ok bool) {
+	mins := make([]int64, len(x.chunks))
+	maxs := make([]int64, len(x.chunks))
+	ranges := x.forEachChunk(lo, hi, func(i int, c *cracking.Column) cracking.Range {
+		r, cmn, cmx := c.SelectMinMax(lo, hi)
+		mins[i], maxs[i] = cmn, cmx
+		return r
+	})
+	for i, r := range ranges {
+		if r.Count() == 0 {
+			continue
+		}
+		if !ok || mins[i] < mn {
+			mn = mins[i]
+		}
+		if !ok || maxs[i] > mx {
+			mx = maxs[i]
+		}
+		ok = true
+	}
+	return mn, mx, ok
+}
+
+// SelectRows cracks every chunk in parallel on [lo, hi) and materializes
+// the qualifying base row ids (chunk-local rowids shifted by the chunk's
+// base offset). The chunks must have been built with
+// cracking.Config.WithRows; ok is false otherwise.
+func (x *Index) SelectRows(lo, hi int64) (rows []uint32, ok bool) {
+	for _, c := range x.chunks {
+		if !c.HasRows() {
+			return nil, false
+		}
+	}
+	parts := make([][]uint32, len(x.chunks))
+	x.forEachChunk(lo, hi, func(i int, c *cracking.Column) cracking.Range {
+		r, local := c.SelectRows(lo, hi)
+		off := uint32(x.offsets[i])
+		for j := range local {
+			local[j] += off
+		}
+		parts[i] = local
+		return r
+	})
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	rows = make([]uint32, 0, total)
+	for _, p := range parts {
+		rows = append(rows, p...)
+	}
+	return rows, true
 }
 
 // consolidate copies the qualifying values of a never-before-seen value

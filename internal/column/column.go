@@ -91,6 +91,23 @@ func SumRange(vals []int64, lo, hi int64) int64 {
 	return s
 }
 
+// MinMaxRange returns the minimum and maximum of the qualifying values
+// and how many qualified; min/max are meaningful only when n > 0.
+func MinMaxRange(vals []int64, lo, hi int64) (mn, mx int64, n int) {
+	for _, v := range vals {
+		if v >= lo && v < hi {
+			if n == 0 || v < mn {
+				mn = v
+			}
+			if n == 0 || v > mx {
+				mx = v
+			}
+			n++
+		}
+	}
+	return mn, mx, n
+}
+
 // ParallelCountRange splits vals into workers contiguous chunks counted
 // concurrently. It implements the paper's "parallel select operator"
 // baseline (plain scans by 32 threads in Section 5.1).
@@ -153,6 +170,47 @@ func ParallelSumRange(vals []int64, lo, hi int64, workers int) int64 {
 		total += s
 	}
 	return total
+}
+
+// ParallelMinMaxRange is the min/max variant of ParallelCountRange.
+func ParallelMinMaxRange(vals []int64, lo, hi int64, workers int) (mn, mx int64, n int) {
+	if workers < 2 || len(vals) < 2*1024 {
+		return MinMaxRange(vals, lo, hi)
+	}
+	mins := make([]int64, workers)
+	maxs := make([]int64, workers)
+	counts := make([]int, workers)
+	var wg sync.WaitGroup
+	chunk := (len(vals) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		start := w * chunk
+		if start >= len(vals) {
+			break
+		}
+		end := start + chunk
+		if end > len(vals) {
+			end = len(vals)
+		}
+		wg.Add(1)
+		go func(w, start, end int) {
+			defer wg.Done()
+			mins[w], maxs[w], counts[w] = MinMaxRange(vals[start:end], lo, hi)
+		}(w, start, end)
+	}
+	wg.Wait()
+	for w := range counts {
+		if counts[w] == 0 {
+			continue
+		}
+		if n == 0 || mins[w] < mn {
+			mn = mins[w]
+		}
+		if n == 0 || maxs[w] > mx {
+			mx = maxs[w]
+		}
+		n += counts[w]
+	}
+	return mn, mx, n
 }
 
 // ParallelScanRange materializes qualifying positions using workers

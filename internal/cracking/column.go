@@ -172,6 +172,14 @@ func (c *Column) Len() int {
 	return len(c.vals)
 }
 
+// HasRows reports whether the column carries a rowid array (built with
+// Config.WithRows), i.e. whether SelectRows can materialize positions.
+func (c *Column) HasRows() bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.rows != nil
+}
+
 // Pieces returns the current number of pieces in the cracker column.
 func (c *Column) Pieces() int {
 	c.mu.RLock()

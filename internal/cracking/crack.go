@@ -272,6 +272,29 @@ func (c *Column) SelectSum(lo, hi int64) (Range, int64) {
 	return r, s
 }
 
+// SelectMinMax cracks on [lo, hi) and returns the smallest and largest
+// qualifying value (meaningful only when the returned range is
+// non-empty), under one column pin like SelectSum.
+func (c *Column) SelectMinMax(lo, hi int64) (Range, int64, int64) {
+	c.global.RLock()
+	defer c.global.RUnlock()
+	r := c.selectRangeLocked(lo, hi)
+	var mn, mx int64
+	n := 0
+	c.forEachSegmentLocked(r.Start, r.End, func(vals []int64, _ []uint32) {
+		for _, v := range vals {
+			if n == 0 || v < mn {
+				mn = v
+			}
+			if n == 0 || v > mx {
+				mx = v
+			}
+			n++
+		}
+	})
+	return r, mn, mx
+}
+
 // SelectValues cracks on [lo, hi) and materializes the qualifying values.
 func (c *Column) SelectValues(lo, hi int64) (Range, []int64) {
 	c.global.RLock()

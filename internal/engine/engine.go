@@ -79,11 +79,26 @@ func (t *Table) Rows() int {
 // Executor is a query-processing mode: it answers range selections over
 // the attributes of one table, building or refining whatever index
 // structures its mode prescribes as a side effect.
+//
+// Beyond Count, every mode answers the aggregate/materialization forms
+// with the aggregation pushed down into its native access path — piece
+// traversal for the cracking modes, binary-search slices for the sorted
+// modes, parallel chunked folds for the scan and CCGI modes — never
+// materialize-then-fold.
 type Executor interface {
 	// Label names the mode as the paper's figures do.
 	Label() string
 	// Count answers "select count(*) from R where lo <= attr < hi".
 	Count(attr string, lo, hi int64) (int, error)
+	// Sum answers "select sum(attr) from R where lo <= attr < hi".
+	Sum(attr string, lo, hi int64) (int64, error)
+	// MinMax answers "select min(attr), max(attr) from R where
+	// lo <= attr < hi"; ok is false when no tuple qualifies.
+	MinMax(attr string, lo, hi int64) (mn, mx int64, ok bool, err error)
+	// SelectRows materializes the base row ids of qualifying tuples, in
+	// unspecified order — the position list late tuple reconstruction
+	// feeds to project operators.
+	SelectRows(attr string, lo, hi int64) ([]uint32, error)
 	// Close releases background resources (daemons).
 	Close()
 }

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"math/rand"
+	"sort"
 	"testing"
 	"time"
 
@@ -49,17 +50,19 @@ func TestTableBasics(t *testing.T) {
 	}
 }
 
-// allExecutors builds one executor per mode over the same table.
+// allExecutors builds one executor per mode over the same table. Cracking
+// configurations carry rowids so the SelectRows form is answerable.
 func allExecutors(t *testing.T, tbl *Table) []Executor {
 	t.Helper()
 	return []Executor{
 		NewScanExecutor(tbl, 2),
 		NewOfflineExecutor(tbl, 2),
 		NewOnlineExecutor(tbl, 2, 20),
-		NewAdaptiveExecutor(tbl, cracking.Config{}, ""),
-		NewAdaptiveExecutor(tbl, cracking.Config{Stochastic: true, Seed: 5}, "stochastic"),
-		NewCCGIExecutor(tbl, 2, 8, cracking.Config{}),
+		NewAdaptiveExecutor(tbl, cracking.Config{WithRows: true}, ""),
+		NewAdaptiveExecutor(tbl, cracking.Config{Stochastic: true, WithRows: true, Seed: 5}, "stochastic"),
+		NewCCGIExecutor(tbl, 2, 8, cracking.Config{WithRows: true}),
 		NewHolisticExecutor(tbl, HolisticConfig{
+			Cracking: cracking.Config{WithRows: true},
 			Daemon:   holistic.Config{Interval: time.Millisecond, Refinements: 4, Seed: 3},
 			L1Values: 256,
 			Contexts: 2,
@@ -95,6 +98,73 @@ func TestAllModesAgreeWithScan(t *testing.T) {
 	}
 }
 
+// TestAllModesAggregatesAgreeWithScan is the executor-level differential
+// test: every mode's Sum, MinMax and SelectRows must agree with the naive
+// scan oracle on random range predicates.
+func TestAllModesAggregatesAgreeWithScan(t *testing.T) {
+	const domain = 1 << 16
+	tbl, bases := testTable(t, 2, 20_000, domain)
+	execs := allExecutors(t, tbl)
+	defer func() {
+		for _, e := range execs {
+			e.Close()
+		}
+	}()
+	rng := rand.New(rand.NewSource(21))
+	for q := 0; q < 40; q++ {
+		a := rng.Intn(2)
+		lo := rng.Int63n(domain)
+		hi := lo + rng.Int63n(domain-lo) + 1
+		wantSum := column.SumRange(bases[a], lo, hi)
+		wantMn, wantMx, wantN := column.MinMaxRange(bases[a], lo, hi)
+		wantRows := column.ScanRange(bases[a], lo, hi)
+		for _, e := range execs {
+			sum, err := e.Sum(attrName(a), lo, hi)
+			if err != nil {
+				t.Fatalf("%s: Sum: %v", e.Label(), err)
+			}
+			if sum != wantSum {
+				t.Fatalf("%s query %d [%d,%d): Sum = %d, want %d", e.Label(), q, lo, hi, sum, wantSum)
+			}
+			mn, mx, ok, err := e.MinMax(attrName(a), lo, hi)
+			if err != nil {
+				t.Fatalf("%s: MinMax: %v", e.Label(), err)
+			}
+			if ok != (wantN > 0) || (ok && (mn != wantMn || mx != wantMx)) {
+				t.Fatalf("%s query %d [%d,%d): MinMax = (%d,%d,%v), want (%d,%d,%v)",
+					e.Label(), q, lo, hi, mn, mx, ok, wantMn, wantMx, wantN > 0)
+			}
+			rows, err := e.SelectRows(attrName(a), lo, hi)
+			if err != nil {
+				t.Fatalf("%s: SelectRows: %v", e.Label(), err)
+			}
+			sort.Slice(rows, func(i, j int) bool { return rows[i] < rows[j] })
+			if len(rows) != len(wantRows) {
+				t.Fatalf("%s query %d [%d,%d): %d rows, want %d", e.Label(), q, lo, hi, len(rows), len(wantRows))
+			}
+			for i := range rows {
+				if rows[i] != wantRows[i] {
+					t.Fatalf("%s query %d: row[%d] = %d, want %d", e.Label(), q, i, rows[i], wantRows[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSelectRowsWithoutRowidsErrors(t *testing.T) {
+	tbl, _ := testTable(t, 1, 1_000, 1000)
+	ad := NewAdaptiveExecutor(tbl, cracking.Config{}, "")
+	defer ad.Close()
+	if _, err := ad.SelectRows("A", 0, 100); err == nil {
+		t.Error("adaptive without WithRows: SelectRows did not error")
+	}
+	cc := NewCCGIExecutor(tbl, 2, 4, cracking.Config{})
+	defer cc.Close()
+	if _, err := cc.SelectRows("A", 0, 100); err == nil {
+		t.Error("ccgi without WithRows: SelectRows did not error")
+	}
+}
+
 func TestUnknownAttributeErrors(t *testing.T) {
 	tbl, _ := testTable(t, 1, 100, 1000)
 	execs := allExecutors(t, tbl)
@@ -105,7 +175,16 @@ func TestUnknownAttributeErrors(t *testing.T) {
 	}()
 	for _, e := range execs {
 		if _, err := e.Count("nope", 0, 10); err == nil {
-			t.Errorf("%s: unknown attribute did not error", e.Label())
+			t.Errorf("%s: unknown attribute did not error on Count", e.Label())
+		}
+		if _, err := e.Sum("nope", 0, 10); err == nil {
+			t.Errorf("%s: unknown attribute did not error on Sum", e.Label())
+		}
+		if _, _, _, err := e.MinMax("nope", 0, 10); err == nil {
+			t.Errorf("%s: unknown attribute did not error on MinMax", e.Label())
+		}
+		if _, err := e.SelectRows("nope", 0, 10); err == nil {
+			t.Errorf("%s: unknown attribute did not error on SelectRows", e.Label())
 		}
 	}
 }
@@ -298,6 +377,41 @@ func TestRunQueriesPropagatesError(t *testing.T) {
 	}
 	if _, err := RunQueries(e, qs, attrName, 4); err == nil {
 		t.Error("multi-client error not propagated")
+	}
+}
+
+// TestRunQueriesMultiClientMidstreamError plants a failing query in the
+// middle of a long sequence: the error must surface, the producer must
+// not deadlock, and queries answered before the failure stay correct.
+func TestRunQueriesMultiClientMidstreamError(t *testing.T) {
+	const domain = 1 << 16
+	tbl, bases := testTable(t, 2, 10_000, domain)
+	e := NewAdaptiveExecutor(tbl, cracking.Config{}, "")
+	defer e.Close()
+	qs := workload.Generate(workload.Config{
+		Pattern: workload.Random, Queries: 200, Domain: domain, Attrs: 2, Seed: 23,
+	})
+	qs[120].Attr = 7 // unknown attribute mid-stream
+	got, err := RunQueries(e, qs, attrName, 4)
+	if err == nil {
+		t.Fatal("mid-stream error not propagated")
+	}
+	// Spot-check an early prefix: with 4 clients the first queries are
+	// dispatched long before the poisoned one, so their slots must hold
+	// the correct counts — an error later in the stream must not zero or
+	// corrupt results already computed.
+	completed := 0
+	for i := 0; i < 8; i++ {
+		want := column.CountRange(bases[qs[i].Attr], qs[i].Lo, qs[i].Hi)
+		if got[i] != want {
+			t.Fatalf("query %d: got %d, want %d", i, got[i], want)
+		}
+		if got[i] > 0 {
+			completed++
+		}
+	}
+	if completed == 0 {
+		t.Fatal("no early query produced a non-zero count; prefix check is vacuous")
 	}
 }
 

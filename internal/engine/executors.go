@@ -33,13 +33,49 @@ func NewScanExecutor(t *Table, threads int) *ScanExecutor {
 // Label implements Executor.
 func (e *ScanExecutor) Label() string { return "no indexing" }
 
-// Count implements Executor.
-func (e *ScanExecutor) Count(attr string, lo, hi int64) (int, error) {
+func (e *ScanExecutor) values(attr string) ([]int64, error) {
 	c := e.table.Column(attr)
 	if c == nil {
-		return 0, fmt.Errorf("engine: unknown attribute %q", attr)
+		return nil, fmt.Errorf("engine: unknown attribute %q", attr)
 	}
-	return column.ParallelCountRange(c.Values(), lo, hi, e.Threads), nil
+	return c.Values(), nil
+}
+
+// Count implements Executor.
+func (e *ScanExecutor) Count(attr string, lo, hi int64) (int, error) {
+	vals, err := e.values(attr)
+	if err != nil {
+		return 0, err
+	}
+	return column.ParallelCountRange(vals, lo, hi, e.Threads), nil
+}
+
+// Sum implements Executor: a parallel chunked fold over the base column.
+func (e *ScanExecutor) Sum(attr string, lo, hi int64) (int64, error) {
+	vals, err := e.values(attr)
+	if err != nil {
+		return 0, err
+	}
+	return column.ParallelSumRange(vals, lo, hi, e.Threads), nil
+}
+
+// MinMax implements Executor.
+func (e *ScanExecutor) MinMax(attr string, lo, hi int64) (mn, mx int64, ok bool, err error) {
+	vals, err := e.values(attr)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	mn, mx, n := column.ParallelMinMaxRange(vals, lo, hi, e.Threads)
+	return mn, mx, n > 0, nil
+}
+
+// SelectRows implements Executor: the parallel position-list scan.
+func (e *ScanExecutor) SelectRows(attr string, lo, hi int64) ([]uint32, error) {
+	vals, err := e.values(attr)
+	if err != nil {
+		return nil, err
+	}
+	return column.ParallelScanRange(vals, lo, hi, e.Threads), nil
 }
 
 // Close implements Executor.
@@ -74,32 +110,73 @@ func (e *OfflineExecutor) Label() string { return "offline indexing" }
 // step, assuming a-priori workload knowledge).
 func (e *OfflineExecutor) PrepareAll() {
 	for _, name := range e.table.ColumnNames() {
-		e.sortedFor(name)
+		e.sortedFor(name, false)
 	}
 }
 
-func (e *OfflineExecutor) sortedFor(attr string) *sortidx.SortedColumn {
+// sortedFor returns attr's sorted column, building it on first use. The
+// count/aggregate forms sort plain values; the first SelectRows on an
+// attribute upgrades it to a rowid-carrying sort (value/rowid pairs cost
+// more to sort and +4 bytes/value to keep, so count-only workloads never
+// pay for them).
+func (e *OfflineExecutor) sortedFor(attr string, needRows bool) *sortidx.SortedColumn {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if s, ok := e.sorted[attr]; ok {
+	if s, ok := e.sorted[attr]; ok && (!needRows || s.HasRows()) {
 		return s
 	}
 	c := e.table.Column(attr)
 	if c == nil {
 		return nil
 	}
-	s := sortidx.Build(attr, c.Values(), e.Threads)
+	var s *sortidx.SortedColumn
+	if needRows {
+		s = sortidx.BuildWithRows(attr, c.Values(), e.Threads)
+	} else {
+		s = sortidx.Build(attr, c.Values(), e.Threads)
+	}
 	e.sorted[attr] = s
 	return s
 }
 
 // Count implements Executor.
 func (e *OfflineExecutor) Count(attr string, lo, hi int64) (int, error) {
-	s := e.sortedFor(attr)
+	s := e.sortedFor(attr, false)
 	if s == nil {
 		return 0, fmt.Errorf("engine: unknown attribute %q", attr)
 	}
 	return s.CountRange(lo, hi), nil
+}
+
+// Sum implements Executor: binary search brackets the slice, then a tight
+// fold over the contiguous run.
+func (e *OfflineExecutor) Sum(attr string, lo, hi int64) (int64, error) {
+	s := e.sortedFor(attr, false)
+	if s == nil {
+		return 0, fmt.Errorf("engine: unknown attribute %q", attr)
+	}
+	return s.SumRange(lo, hi), nil
+}
+
+// MinMax implements Executor: two edge reads on the sorted run.
+func (e *OfflineExecutor) MinMax(attr string, lo, hi int64) (mn, mx int64, ok bool, err error) {
+	s := e.sortedFor(attr, false)
+	if s == nil {
+		return 0, 0, false, fmt.Errorf("engine: unknown attribute %q", attr)
+	}
+	mn, mx, ok = s.MinMaxRange(lo, hi)
+	return mn, mx, ok, nil
+}
+
+// SelectRows implements Executor: the rowids of the sorted run, copied so
+// callers own the result.
+func (e *OfflineExecutor) SelectRows(attr string, lo, hi int64) ([]uint32, error) {
+	s := e.sortedFor(attr, true)
+	if s == nil {
+		return nil, fmt.Errorf("engine: unknown attribute %q", attr)
+	}
+	start, end := s.SelectRange(lo, hi)
+	return append([]uint32(nil), s.Rows(start, end)...), nil
 }
 
 // Close implements Executor.
@@ -134,11 +211,16 @@ func NewOnlineExecutor(t *Table, threads, epoch int) *OnlineExecutor {
 // Label implements Executor.
 func (e *OnlineExecutor) Label() string { return "online indexing" }
 
-// Count implements Executor.
-func (e *OnlineExecutor) Count(attr string, lo, hi int64) (int, error) {
+// index advances the monitoring epoch by one query and returns the
+// sorted column for attr (nil while still inside the epoch) plus the base
+// values for the scan fallback. Every query form — count, aggregate,
+// materialization — counts against the epoch. The epoch sort is a plain
+// value sort; the first SelectRows on an attribute upgrades it to a
+// rowid-carrying sort (see OfflineExecutor.sortedFor).
+func (e *OnlineExecutor) index(attr string, needRows bool) (*sortidx.SortedColumn, []int64, error) {
 	c := e.table.Column(attr)
 	if c == nil {
-		return 0, fmt.Errorf("engine: unknown attribute %q", attr)
+		return nil, nil, fmt.Errorf("engine: unknown attribute %q", attr)
 	}
 	e.mu.Lock()
 	e.queries++
@@ -151,11 +233,63 @@ func (e *OnlineExecutor) Count(attr string, lo, hi int64) (int, error) {
 		}
 	}
 	s := e.sorted[attr]
+	if s != nil && needRows && !s.HasRows() {
+		s = sortidx.BuildWithRows(attr, c.Values(), e.Threads)
+		e.sorted[attr] = s
+	}
 	e.mu.Unlock()
+	return s, c.Values(), nil
+}
+
+// Count implements Executor.
+func (e *OnlineExecutor) Count(attr string, lo, hi int64) (int, error) {
+	s, vals, err := e.index(attr, false)
+	if err != nil {
+		return 0, err
+	}
 	if s != nil {
 		return s.CountRange(lo, hi), nil
 	}
-	return column.ParallelCountRange(c.Values(), lo, hi, e.Threads), nil
+	return column.ParallelCountRange(vals, lo, hi, e.Threads), nil
+}
+
+// Sum implements Executor.
+func (e *OnlineExecutor) Sum(attr string, lo, hi int64) (int64, error) {
+	s, vals, err := e.index(attr, false)
+	if err != nil {
+		return 0, err
+	}
+	if s != nil {
+		return s.SumRange(lo, hi), nil
+	}
+	return column.ParallelSumRange(vals, lo, hi, e.Threads), nil
+}
+
+// MinMax implements Executor.
+func (e *OnlineExecutor) MinMax(attr string, lo, hi int64) (mn, mx int64, ok bool, err error) {
+	s, vals, err := e.index(attr, false)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	if s != nil {
+		mn, mx, ok = s.MinMaxRange(lo, hi)
+		return mn, mx, ok, nil
+	}
+	mn, mx, n := column.ParallelMinMaxRange(vals, lo, hi, e.Threads)
+	return mn, mx, n > 0, nil
+}
+
+// SelectRows implements Executor.
+func (e *OnlineExecutor) SelectRows(attr string, lo, hi int64) ([]uint32, error) {
+	s, vals, err := e.index(attr, true)
+	if err != nil {
+		return nil, err
+	}
+	if s != nil {
+		start, end := s.SelectRange(lo, hi)
+		return append([]uint32(nil), s.Rows(start, end)...), nil
+	}
+	return column.ParallelScanRange(vals, lo, hi, e.Threads), nil
 }
 
 // Close implements Executor.
@@ -183,6 +317,10 @@ type AdaptiveExecutor struct {
 
 	pendMu  sync.Mutex
 	pending map[string]*updates.Pending
+	// nextRow assigns base row ids to pending insertions per attribute:
+	// the first insert lands at position table.Rows(), the next one after
+	// it, matching the positions an append to the base column would take.
+	nextRow map[string]uint32
 }
 
 // NewAdaptiveExecutor builds a cracking executor; cfg selects the kernel,
@@ -197,6 +335,7 @@ func NewAdaptiveExecutor(t *Table, cfg cracking.Config, label string) *AdaptiveE
 		label:    label,
 		crackers: make(map[string]*cracking.Column),
 		pending:  make(map[string]*updates.Pending),
+		nextRow:  make(map[string]uint32),
 	}
 }
 
@@ -248,30 +387,93 @@ func (e *AdaptiveExecutor) Pending(attr string) *updates.Pending {
 
 // Insert implements Inserter: the value becomes a pending insertion,
 // merged lazily by queries (and, under holistic indexing, by workers).
+// Its base row id continues the table's position sequence, so row ids
+// materialized by SelectRows stay unambiguous across inserts.
 func (e *AdaptiveExecutor) Insert(attr string, v int64) error {
 	if e.table.Column(attr) == nil {
 		return fmt.Errorf("engine: unknown attribute %q", attr)
 	}
-	e.Pending(attr).AddInsert(v, 0)
+	p := e.Pending(attr)
+	e.pendMu.Lock()
+	row, ok := e.nextRow[attr]
+	if !ok {
+		row = uint32(e.table.Rows())
+	}
+	e.nextRow[attr] = row + 1
+	e.pendMu.Unlock()
+	p.AddInsert(v, row)
 	return nil
+}
+
+// selectCracker returns attr's cracker with every pending update covering
+// [lo, hi) merged in — the shared front half of all select forms.
+func (e *AdaptiveExecutor) selectCracker(attr string, lo, hi int64) (*cracking.Column, error) {
+	c, _, err := e.Cracker(attr)
+	if err != nil {
+		return nil, err
+	}
+	if p := e.Pending(attr); p.Len() > 0 && p.HasInRange(lo, hi) {
+		p.MergeRange(c, lo, hi)
+	}
+	return c, nil
+}
+
+func (e *AdaptiveExecutor) record(attr string, r cracking.Range) {
+	if e.Registry != nil {
+		e.Registry.RecordAccess(attr, r.ExactHit())
+	}
 }
 
 // Count implements Executor: the cracking select operator. It merges
 // pending updates covering the requested range, cracks, and records
 // statistics.
 func (e *AdaptiveExecutor) Count(attr string, lo, hi int64) (int, error) {
-	c, _, err := e.Cracker(attr)
+	c, err := e.selectCracker(attr, lo, hi)
 	if err != nil {
 		return 0, err
 	}
-	if p := e.Pending(attr); p.Len() > 0 && p.HasInRange(lo, hi) {
-		p.MergeRange(c, lo, hi)
-	}
 	r := c.SelectRange(lo, hi)
-	if e.Registry != nil {
-		e.Registry.RecordAccess(attr, r.ExactHit())
-	}
+	e.record(attr, r)
 	return r.Count(), nil
+}
+
+// Sum implements Executor: crack, then fold the qualifying pieces under
+// their latches — the aggregate never leaves the cracker's segments.
+func (e *AdaptiveExecutor) Sum(attr string, lo, hi int64) (int64, error) {
+	c, err := e.selectCracker(attr, lo, hi)
+	if err != nil {
+		return 0, err
+	}
+	r, s := c.SelectSum(lo, hi)
+	e.record(attr, r)
+	return s, nil
+}
+
+// MinMax implements Executor.
+func (e *AdaptiveExecutor) MinMax(attr string, lo, hi int64) (mn, mx int64, ok bool, err error) {
+	c, err := e.selectCracker(attr, lo, hi)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	r, mn, mx := c.SelectMinMax(lo, hi)
+	e.record(attr, r)
+	return mn, mx, r.Count() > 0, nil
+}
+
+// SelectRows implements Executor: the cracked position range's rowids,
+// materialized piece by piece. The executor's cracking configuration must
+// carry rowids (Config.WithRows).
+func (e *AdaptiveExecutor) SelectRows(attr string, lo, hi int64) ([]uint32, error) {
+	c, err := e.selectCracker(attr, lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	if !c.HasRows() {
+		return nil, fmt.Errorf("engine: %s: SelectRows needs rowids; build with cracking.Config.WithRows", e.label)
+	}
+	r, rows := c.SelectRows(lo, hi)
+	e.record(attr, r)
+	return rows, nil
 }
 
 // TotalPieces sums pieces over all cracker columns (Figure 6(c)).
@@ -379,6 +581,27 @@ func (h *HolisticExecutor) Count(attr string, lo, hi int64) (int, error) {
 	return h.AdaptiveExecutor.Count(attr, lo, hi)
 }
 
+// Sum implements Executor with the same load-accounting bracket.
+func (h *HolisticExecutor) Sum(attr string, lo, hi int64) (int64, error) {
+	h.Acct.Acquire(h.UserThreads)
+	defer h.Acct.Release(h.UserThreads)
+	return h.AdaptiveExecutor.Sum(attr, lo, hi)
+}
+
+// MinMax implements Executor with the same load-accounting bracket.
+func (h *HolisticExecutor) MinMax(attr string, lo, hi int64) (mn, mx int64, ok bool, err error) {
+	h.Acct.Acquire(h.UserThreads)
+	defer h.Acct.Release(h.UserThreads)
+	return h.AdaptiveExecutor.MinMax(attr, lo, hi)
+}
+
+// SelectRows implements Executor with the same load-accounting bracket.
+func (h *HolisticExecutor) SelectRows(attr string, lo, hi int64) ([]uint32, error) {
+	h.Acct.Acquire(h.UserThreads)
+	defer h.Acct.Release(h.UserThreads)
+	return h.AdaptiveExecutor.SelectRows(attr, lo, hi)
+}
+
 // Close stops the daemon.
 func (h *HolisticExecutor) Close() { h.Daemon.Stop() }
 
@@ -405,21 +628,61 @@ func NewCCGIExecutor(t *Table, threads, buckets int, cfg cracking.Config) *CCGIE
 // Label implements Executor.
 func (e *CCGIExecutor) Label() string { return "mP-CCGI" }
 
-// Count implements Executor.
-func (e *CCGIExecutor) Count(attr string, lo, hi int64) (int, error) {
+func (e *CCGIExecutor) index(attr string) (*ccgi.Index, error) {
 	e.mu.Lock()
+	defer e.mu.Unlock()
 	x, ok := e.indexes[attr]
 	if !ok {
 		base := e.table.Column(attr)
 		if base == nil {
-			e.mu.Unlock()
-			return 0, fmt.Errorf("engine: unknown attribute %q", attr)
+			return nil, fmt.Errorf("engine: unknown attribute %q", attr)
 		}
 		x = ccgi.New(attr, base.Values(), e.Threads, e.Buckets, e.cfg)
 		e.indexes[attr] = x
 	}
-	e.mu.Unlock()
+	return x, nil
+}
+
+// Count implements Executor.
+func (e *CCGIExecutor) Count(attr string, lo, hi int64) (int, error) {
+	x, err := e.index(attr)
+	if err != nil {
+		return 0, err
+	}
 	return x.SelectCount(lo, hi), nil
+}
+
+// Sum implements Executor: every chunk cracks and folds in parallel.
+func (e *CCGIExecutor) Sum(attr string, lo, hi int64) (int64, error) {
+	x, err := e.index(attr)
+	if err != nil {
+		return 0, err
+	}
+	return x.SelectSum(lo, hi), nil
+}
+
+// MinMax implements Executor.
+func (e *CCGIExecutor) MinMax(attr string, lo, hi int64) (mn, mx int64, ok bool, err error) {
+	x, err := e.index(attr)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	mn, mx, ok = x.SelectMinMax(lo, hi)
+	return mn, mx, ok, nil
+}
+
+// SelectRows implements Executor: chunk-local rowids shifted to base
+// positions. The executor's cracking configuration must carry rowids.
+func (e *CCGIExecutor) SelectRows(attr string, lo, hi int64) ([]uint32, error) {
+	x, err := e.index(attr)
+	if err != nil {
+		return nil, err
+	}
+	rows, ok := x.SelectRows(lo, hi)
+	if !ok {
+		return nil, fmt.Errorf("engine: %s: SelectRows needs rowids; build with cracking.Config.WithRows", e.Label())
+	}
+	return rows, nil
 }
 
 // Close implements Executor.

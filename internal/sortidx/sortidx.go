@@ -58,6 +58,10 @@ func BuildWithRows(name string, base []int64, workers int) *SortedColumn {
 // Name returns the attribute name.
 func (s *SortedColumn) Name() string { return s.name }
 
+// HasRows reports whether the column carries base row ids (built with
+// BuildWithRows), i.e. whether Rows can reconstruct positions.
+func (s *SortedColumn) HasRows() bool { return s.rows != nil }
+
 // Len returns the number of values.
 func (s *SortedColumn) Len() int { return len(s.vals) }
 
@@ -91,6 +95,17 @@ func (s *SortedColumn) SumRange(lo, hi int64) int64 {
 		sum += v
 	}
 	return sum
+}
+
+// MinMaxRange returns the smallest and largest value in [lo, hi); ok is
+// false when the range is empty. On a sorted column both are edge reads —
+// no data traversal at all.
+func (s *SortedColumn) MinMaxRange(lo, hi int64) (mn, mx int64, ok bool) {
+	start, end := s.SelectRange(lo, hi)
+	if start >= end {
+		return 0, 0, false
+	}
+	return s.vals[start], s.vals[end-1], true
 }
 
 // Rows returns the base row ids of positions [start, end); nil when the
