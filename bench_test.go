@@ -109,6 +109,10 @@ func BenchmarkFig17Clients(b *testing.B) { runExperiment(b, "fig17") }
 // over range predicates, all executors.
 func BenchmarkAggregateWorkload(b *testing.B) { runExperiment(b, "agg") }
 
+// Conjunctive multi-predicate workload: selectivity-ordered planning and
+// late tuple reconstruction through Store.Query (new, beyond the paper).
+func BenchmarkConjunctiveWorkload(b *testing.B) { runExperiment(b, "conj") }
+
 // Ablations of DESIGN.md's called-out design decisions.
 func BenchmarkAblationPivotChoice(b *testing.B) { runExperiment(b, "ablation-pivot") }
 func BenchmarkAblationLatchPolicy(b *testing.B) { runExperiment(b, "ablation-latch") }

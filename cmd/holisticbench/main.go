@@ -15,6 +15,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -38,6 +39,7 @@ func main() {
 		l1          = flag.Int("l1", defaults.L1Values, "optimal piece size in values (|L1|)")
 		tpchOrders  = flag.Int("tpch-orders", defaults.TPCHOrders, "ORDERS cardinality for fig14")
 		seed        = flag.Int64("seed", defaults.Seed, "random seed")
+		jsonPath    = flag.String("json", "", "also write the results as a JSON array to this file")
 	)
 	flag.Parse()
 
@@ -71,6 +73,7 @@ func main() {
 	}
 
 	start := time.Now()
+	var results []*bench.Result
 	for _, name := range names {
 		res, err := bench.Run(name, p)
 		if err != nil {
@@ -78,8 +81,20 @@ func main() {
 			os.Exit(1)
 		}
 		res.Fprint(os.Stdout)
+		results = append(results, res)
 	}
 	if len(names) > 1 {
 		fmt.Printf("total: %v\n", time.Since(start).Round(time.Millisecond))
+	}
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(results, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonPath, append(buf, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "holisticbench: write json:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
 	}
 }

@@ -1,0 +1,269 @@
+package holistic
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// conjOracle mirrors the store's logical row-level semantics for the
+// differential test: per attribute, a value array that grows with
+// inserts (row ids continue the base position sequence per attribute),
+// a dead mask for deletions and in-place value updates. A row qualifies
+// for a conjunction iff it has a live value in range for every
+// predicate attribute; aggregation/projection attributes additionally
+// require a live value (SQL NULL semantics).
+type conjOracle struct {
+	vals [][]int64
+	dead [][]bool
+}
+
+func newConjOracle(bases [][]int64) *conjOracle {
+	o := &conjOracle{vals: make([][]int64, len(bases)), dead: make([][]bool, len(bases))}
+	for a, b := range bases {
+		o.vals[a] = append([]int64(nil), b...)
+		o.dead[a] = make([]bool, len(b))
+	}
+	return o
+}
+
+func (o *conjOracle) insert(a int, v int64) {
+	o.vals[a] = append(o.vals[a], v)
+	o.dead[a] = append(o.dead[a], false)
+}
+
+// lowestLiveRow returns the lowest live row id holding v in attribute
+// a — the row Store.Delete/Update resolve and the row the lazy merge
+// removes (MergeDeleteRow), so the oracle can mirror deletions of
+// duplicated values exactly.
+func (o *conjOracle) lowestLiveRow(a int, v int64) (int, bool) {
+	for i, x := range o.vals[a] {
+		if !o.dead[a][i] && x == v {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+func (o *conjOracle) at(a, row int) (int64, bool) {
+	if row >= len(o.vals[a]) || o.dead[a][row] {
+		return 0, false
+	}
+	return o.vals[a][row], true
+}
+
+type conjPred struct {
+	attr   int
+	lo, hi int64
+}
+
+// evaluate returns the qualifying row ids (ascending) for the
+// conjunction, requiring live values in extra attributes too.
+func (o *conjOracle) evaluate(preds []conjPred, extra []int) []uint32 {
+	maxRows := 0
+	for _, v := range o.vals {
+		if len(v) > maxRows {
+			maxRows = len(v)
+		}
+	}
+	var out []uint32
+rows:
+	for r := 0; r < maxRows; r++ {
+		for _, p := range preds {
+			v, ok := o.at(p.attr, r)
+			if !ok || v < p.lo || v >= p.hi {
+				continue rows
+			}
+		}
+		for _, a := range extra {
+			if _, ok := o.at(a, r); !ok {
+				continue rows
+			}
+		}
+		out = append(out, uint32(r))
+	}
+	return out
+}
+
+// TestConjunctiveQueriesMatchOracleAllModes is the randomized
+// differential test of Store.Query: 1-4 range conjuncts per query, all
+// seven modes, with interleaved inserts, deletes and updates on the
+// modes that support them, checked against a naive full-scan oracle.
+func TestConjunctiveQueriesMatchOracleAllModes(t *testing.T) {
+	const (
+		attrs  = 4
+		rows   = 4_000
+		domain = 1 << 20 // large relative to rows, so most values are unique
+	)
+	modes := []Mode{ModeScan, ModeOffline, ModeOnline, ModeAdaptive, ModeStochastic, ModeCCGI, ModeHolistic}
+	for _, mode := range modes {
+		t.Run(mode.String(), func(t *testing.T) {
+			s, bases := buildStore(t, mode, attrs, rows, domain)
+			defer s.Close()
+			s.Prepare()
+			o := newConjOracle(bases)
+			canUpdate := mode == ModeAdaptive || mode == ModeStochastic || mode == ModeHolistic
+
+			rng := rand.New(rand.NewSource(77 + int64(mode)))
+			for q := 0; q < 60; q++ {
+				if canUpdate {
+					switch q % 4 {
+					case 1: // insert — every third one duplicates a live value,
+						// so later deletes exercise the duplicate path
+						a := rng.Intn(attrs)
+						var v int64
+						if q%3 == 0 {
+							if lv, ok := o.at(a, rng.Intn(len(o.vals[a]))); ok {
+								v = lv
+							} else {
+								v = rng.Int63n(domain)
+							}
+						} else {
+							v = rng.Int63n(domain)
+						}
+						if err := s.Insert(attr(a), v); err != nil {
+							t.Fatal(err)
+						}
+						o.insert(a, v)
+					case 2: // delete a live value (duplicates included: the
+						// merge targets the lowest live row, as the oracle does)
+						a := rng.Intn(attrs)
+						for tries := 0; tries < 10; tries++ {
+							v, ok := o.at(a, rng.Intn(len(o.vals[a])))
+							if !ok {
+								continue
+							}
+							r2, _ := o.lowestLiveRow(a, v)
+							if err := s.Delete(attr(a), v); err != nil {
+								t.Fatal(err)
+							}
+							o.dead[a][r2] = true
+							break
+						}
+					case 3: // update a live value
+						a := rng.Intn(attrs)
+						for tries := 0; tries < 10; tries++ {
+							v, ok := o.at(a, rng.Intn(len(o.vals[a])))
+							if !ok {
+								continue
+							}
+							r2, _ := o.lowestLiveRow(a, v)
+							nv := rng.Int63n(domain)
+							if err := s.Update(attr(a), v, nv); err != nil {
+								t.Fatal(err)
+							}
+							o.vals[a][r2] = nv
+							break
+						}
+					}
+				}
+
+				k := 1 + rng.Intn(attrs)
+				perm := rng.Perm(attrs)
+				preds := make([]conjPred, k)
+				qb := s.Query()
+				for i := 0; i < k; i++ {
+					// Mix of wide and narrow ranges so conjunctions both
+					// prune and retain.
+					var lo, width int64
+					if rng.Intn(2) == 0 {
+						lo = rng.Int63n(domain)
+						width = rng.Int63n(domain/2) + 1
+					} else {
+						lo = rng.Int63n(domain / 2)
+						width = domain/2 + rng.Int63n(domain/2)
+					}
+					hi := lo + width
+					if hi > domain {
+						hi = domain
+					}
+					preds[i] = conjPred{attr: perm[i], lo: lo, hi: hi}
+					qb = qb.Where(attr(perm[i]), lo, hi)
+				}
+
+				sumAttr := rng.Intn(attrs)
+				want := o.evaluate(preds, nil)
+				wantSumRows := o.evaluate(preds, []int{sumAttr})
+
+				n, err := qb.Count()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if n != len(want) {
+					t.Fatalf("query %d (%v): count = %d, want %d", q, preds, n, len(want))
+				}
+
+				got, err := qb.Rows()
+				if err != nil {
+					t.Fatal(err)
+				}
+				sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+				if len(got) != len(want) {
+					t.Fatalf("query %d: %d rows, want %d", q, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("query %d: rows[%d] = %d, want %d", q, i, got[i], want[i])
+					}
+				}
+
+				sum, err := qb.Sum(attr(sumAttr))
+				if err != nil {
+					t.Fatal(err)
+				}
+				var wantSum int64
+				for _, r := range wantSumRows {
+					v, _ := o.at(sumAttr, int(r))
+					wantSum += v
+				}
+				if sum != wantSum {
+					t.Fatalf("query %d: sum(%s) = %d, want %d", q, attr(sumAttr), sum, wantSum)
+				}
+
+				vals, err := qb.Values(attr(sumAttr))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(vals) != 1 || len(vals[0]) != len(wantSumRows) {
+					t.Fatalf("query %d: Values returned %d tuples, want %d", q, len(vals[0]), len(wantSumRows))
+				}
+				for i, r := range wantSumRows {
+					v, _ := o.at(sumAttr, int(r))
+					if vals[0][i] != v {
+						t.Fatalf("query %d: Values[%d] = %d, want %d", q, i, vals[0][i], v)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestQueryBuilderMisc covers builder-level behaviour: no predicates,
+// duplicate-attribute intersection, closed stores.
+func TestQueryBuilderMisc(t *testing.T) {
+	s, bases := buildStore(t, ModeAdaptive, 2, 2_000, 1<<16)
+	if _, err := s.Query().Count(); err == nil {
+		t.Error("query without predicates did not error")
+	}
+	n, err := s.Query().
+		Where("a", 100, 60_000).
+		Where("a", 2_000, 65_000).
+		Where("b", 0, 1<<16).
+		Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for i, v := range bases[0] {
+		if v >= 2_000 && v < 60_000 && bases[1][i] >= 0 {
+			want++
+		}
+	}
+	if n != want {
+		t.Fatalf("intersected count = %d, want %d", n, want)
+	}
+	s.Close()
+	if _, err := s.Query().Where("a", 0, 10).Count(); err == nil {
+		t.Error("query on a closed store did not error")
+	}
+}

@@ -37,3 +37,43 @@ func Example() {
 	// Output:
 	// 10000 rows with 1000 <= price < 2000
 }
+
+// ExampleStore_Query demonstrates a multi-predicate conjunction with
+// selectivity-ordered planning and late tuple reconstruction.
+func ExampleStore_Query() {
+	store := holistic.NewStore(holistic.Config{
+		Mode:           holistic.ModeHolistic,
+		Threads:        2,
+		TuningInterval: time.Millisecond,
+		Seed:           1,
+	})
+	defer store.Close()
+
+	n := 100_000
+	price := make([]int64, n)
+	qty := make([]int64, n)
+	day := make([]int64, n)
+	for i := 0; i < n; i++ {
+		price[i] = int64(i * 7 % 10_000)
+		qty[i] = int64(i % 50)
+		day[i] = int64(i % 365)
+	}
+	store.AddIntColumn("price", price)
+	store.AddIntColumn("quantity", qty)
+	store.AddIntColumn("day", day)
+
+	// The planner drives the most selective conjunct through the
+	// mode's access path; the rest probe positionally.
+	count, err := store.Query().
+		Where("day", 0, 31).        // January
+		Where("price", 1000, 2000). // a price band
+		Where("quantity", 0, 10).   // small orders
+		Count()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%d qualifying rows\n", count)
+	// Output:
+	// 146 qualifying rows
+}

@@ -2,6 +2,13 @@
 // the paper's Figure 14 — plain scans, a pre-sorted projection,
 // sideways-style cracking, and holistic indexing.
 //
+// Q6 runs as a real three-predicate conjunction (l_shipdate ∧
+// l_discount ∧ l_quantity): the planner orders the conjuncts by
+// estimated selectivity, the most selective one runs through the mode's
+// access path, the rest refine its candidate rows by positional probes,
+// and the revenue attributes are fetched late. Under holistic indexing
+// all three conjunct columns join the daemon's index space.
+//
 //	go run ./examples/tpch
 package main
 
@@ -24,6 +31,7 @@ func main() {
 	vs := tpch.Variants(variants, 7)
 
 	modes := []tpch.Mode{tpch.ModeScan, tpch.ModePresorted, tpch.ModeCracking, tpch.ModeHolistic}
+	fmt.Println("Q6* = three-predicate conjunction (shipdate ∧ discount ∧ quantity), planner-ordered")
 	fmt.Printf("%-20s %-6s %12s %12s %12s\n", "mode", "query", "first", "rest avg", "total")
 	for _, m := range modes {
 		r := tpch.NewRunner(data, m, tpch.RunnerConfig{
@@ -55,7 +63,7 @@ func main() {
 		}
 
 		report("Q1", func(v tpch.QueryVariant) { r.Q1(v.Q1Delta) })
-		report("Q6", func(v tpch.QueryVariant) { r.Q6(v.Q6Year, v.Q6Discount, v.Q6Quantity) })
+		report("Q6*", func(v tpch.QueryVariant) { r.Q6(v.Q6Year, v.Q6Discount, v.Q6Quantity) })
 		report("Q12", func(v tpch.QueryVariant) { r.Q12(v.Q12Mode1, v.Q12Mode2, v.Q12Year) })
 		if m == tpch.ModePresorted {
 			fmt.Printf("%-20s (pre-sorting cost excluded above: %v)\n", "", r.PrepareTime.Round(time.Millisecond))

@@ -20,6 +20,15 @@
 // folds, binary-search slices, parallel chunked scans), and with pending
 // insertions merged so results stay correct under updates.
 //
+// Multi-predicate conjunctions run through Store.Query: the planner
+// orders the range conjuncts by estimated selectivity, drives the most
+// selective one through the mode's access path and refines the
+// candidate rows against the rest by positional probes (late tuple
+// reconstruction); under ModeHolistic every conjunct feeds the
+// daemon's index space so refinement spreads across all touched
+// columns. The cracking modes also accept Delete and Update as pending
+// operations merged lazily like inserts. See DESIGN.md §4.
+//
 // Non-integer attributes map onto int64 the way fixed-width column-stores
 // do it: dates as day numbers, decimals as scaled integers, strings as
 // dictionary codes (see internal/column.Dict).
@@ -35,6 +44,7 @@ import (
 	"holistic/internal/cracking"
 	"holistic/internal/engine"
 	"holistic/internal/holistic"
+	"holistic/internal/query"
 	"holistic/internal/stats"
 )
 
@@ -177,6 +187,7 @@ type Store struct {
 	mu     sync.Mutex
 	table  *engine.Table
 	exec   engine.Executor
+	qr     *query.Runner
 	closed bool
 }
 
@@ -330,6 +341,138 @@ func (s *Store) Insert(attr string, v int64) error {
 		return ins.Insert(attr, v)
 	}
 	return fmt.Errorf("holistic: mode %v does not support inserts", s.cfg.Mode)
+}
+
+// Delete removes attr's value from the row currently holding v — the
+// lowest such row id when v occurs more than once — as a pending
+// deletion merged lazily like inserts. Like Insert, it is a
+// per-attribute operation: the row keeps its values in other
+// attributes and only stops qualifying for predicates (and
+// aggregation) on attr. The merge targets the resolved row, so
+// materialized results and conjunctive probes stay consistent even for
+// duplicated values (under Config.NoRowIDs the merge falls back to
+// removing an unspecified occurrence; multiset counts and aggregates
+// are exact either way). Resolving the row scans the attribute once —
+// updates are expected in the paper's small batches, not bulk loads.
+// Supported by the adaptive, stochastic and holistic modes; the sorted
+// and scan modes have no pending-update machinery (their index is the
+// data) and return an error.
+func (s *Store) Delete(attr string, v int64) error {
+	exec, err := s.executor()
+	if err != nil {
+		return err
+	}
+	if d, ok := exec.(engine.Deleter); ok {
+		return d.Delete(attr, v)
+	}
+	return fmt.Errorf("holistic: mode %v does not support deletes", s.cfg.Mode)
+}
+
+// Update changes the tuple whose current value in attr is oldV (the
+// lowest such row id) to newV — a pending deletion followed by a
+// pending insertion at the same row id, so the tuple keeps its
+// identity. Supported by the same modes as Delete.
+func (s *Store) Update(attr string, oldV, newV int64) error {
+	exec, err := s.executor()
+	if err != nil {
+		return err
+	}
+	if u, ok := exec.(engine.Updater); ok {
+		return u.Update(attr, oldV, newV)
+	}
+	return fmt.Errorf("holistic: mode %v does not support updates", s.cfg.Mode)
+}
+
+// runner returns the store's conjunctive query runner, building it (and
+// the executor) on first use.
+func (s *Store) runner() (*query.Runner, error) {
+	if _, err := s.executor(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if s.qr == nil {
+		s.qr = query.New(s.table, s.exec, s.cfg.threads())
+	}
+	return s.qr, nil
+}
+
+// Query starts a multi-predicate query: chain Where clauses (ANDed
+// range conjuncts) and finish with Count, Sum, Rows or Values.
+//
+//	n, err := store.Query().
+//	        Where("shipdate", loDay, hiDay).
+//	        Where("discount", 400, 601).
+//	        Count()
+//
+// The planner estimates every conjunct's selectivity (exactly where the
+// mode's index structures can answer, uniformly over the value domain
+// otherwise), evaluates the most selective conjunct through the mode's
+// native access path, and refines the resulting candidate rows against
+// the remaining conjuncts by positional probes into the base data (late
+// tuple reconstruction). Under ModeHolistic every conjunct also feeds
+// the daemon's index space, so background refinement spreads across all
+// touched attributes. Pending inserts/deletes/updates are merged so
+// results stay correct; rows lacking a value in a referenced attribute
+// (inserted into other attributes only, or deleted) never qualify.
+func (s *Store) Query() *Query {
+	return &Query{s: s}
+}
+
+// Query is a multi-predicate query under construction. Values are
+// returned by the terminal methods; the builder itself never fails
+// early (errors surface at execution).
+type Query struct {
+	s     *Store
+	preds []query.Predicate
+}
+
+// Where adds the conjunct lo <= attr < hi. Repeating an attribute
+// intersects the ranges.
+func (q *Query) Where(attr string, lo, hi int64) *Query {
+	q.preds = append(q.preds, query.Predicate{Attr: attr, Lo: lo, Hi: hi})
+	return q
+}
+
+// Count answers "select count(*) where <conjunction>".
+func (q *Query) Count() (int, error) {
+	r, err := q.s.runner()
+	if err != nil {
+		return 0, err
+	}
+	return r.Count(q.preds)
+}
+
+// Sum answers "select sum(attr) where <conjunction>"; attr need not be
+// among the predicates.
+func (q *Query) Sum(attr string) (int64, error) {
+	r, err := q.s.runner()
+	if err != nil {
+		return 0, err
+	}
+	return r.Sum(attr, q.preds)
+}
+
+// Rows materializes the qualifying base row ids in ascending order.
+func (q *Query) Rows() ([]uint32, error) {
+	r, err := q.s.runner()
+	if err != nil {
+		return nil, err
+	}
+	return r.Rows(q.preds)
+}
+
+// Values materializes the requested attributes of the qualifying
+// tuples, one aligned slice per attribute, in ascending row-id order.
+func (q *Query) Values(attrs ...string) ([][]int64, error) {
+	r, err := q.s.runner()
+	if err != nil {
+		return nil, err
+	}
+	return r.Values(attrs, q.preds)
 }
 
 // AddPotentialIndex registers attr in the potential configuration

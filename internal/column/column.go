@@ -268,6 +268,254 @@ func Project(src []int64, sel PosList) []int64 {
 	return out
 }
 
+// FilterRows keeps the positions of sel whose value in vals lies in
+// [lo, hi), preserving order. It is the residual-predicate kernel of
+// conjunctive selection: after the most selective conjunct produced a
+// candidate position list, every remaining conjunct is evaluated by
+// positional probes into its base array instead of another full select.
+// Positions at or beyond len(vals) are dropped (no value means the
+// predicate cannot hold).
+func FilterRows(vals []int64, sel PosList, lo, hi int64) PosList {
+	out := make(PosList, 0, len(sel))
+	n := Pos(len(vals))
+	for _, p := range sel {
+		if p < n {
+			if v := vals[p]; v >= lo && v < hi {
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+// minParallelSel is the candidate-list length below which the parallel
+// probe kernels fall back to their sequential forms: positional probes
+// are a handful of nanoseconds each, so small lists are not worth the
+// goroutine fan-out.
+const minParallelSel = 1 << 15
+
+// ParallelFilterRows is FilterRows with the probe loop split across
+// workers contiguous chunks of the candidate list; output order is
+// preserved.
+func ParallelFilterRows(vals []int64, sel PosList, lo, hi int64, workers int) PosList {
+	if workers < 2 || len(sel) < minParallelSel {
+		return FilterRows(vals, sel, lo, hi)
+	}
+	parts := make([]PosList, workers)
+	var wg sync.WaitGroup
+	chunk := (len(sel) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		start := w * chunk
+		if start >= len(sel) {
+			break
+		}
+		end := start + chunk
+		if end > len(sel) {
+			end = len(sel)
+		}
+		wg.Add(1)
+		go func(w, start, end int) {
+			defer wg.Done()
+			parts[w] = FilterRows(vals, sel[start:end], lo, hi)
+		}(w, start, end)
+	}
+	wg.Wait()
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make(PosList, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// FetchRows gathers the values of vals at the given positions — the same
+// operation as Project, named from the perspective of the conjunctive
+// query pipeline (fetch the aggregate/projection attribute at the
+// surviving candidate positions). All positions must be in range.
+func FetchRows(vals []int64, sel PosList) []int64 {
+	return Project(vals, sel)
+}
+
+// ParallelFetchRows is FetchRows with the gather split across workers.
+func ParallelFetchRows(vals []int64, sel PosList, workers int) []int64 {
+	if workers < 2 || len(sel) < minParallelSel {
+		return FetchRows(vals, sel)
+	}
+	out := make([]int64, len(sel))
+	var wg sync.WaitGroup
+	chunk := (len(sel) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		start := w * chunk
+		if start >= len(sel) {
+			break
+		}
+		end := start + chunk
+		if end > len(sel) {
+			end = len(sel)
+		}
+		wg.Add(1)
+		go func(start, end int) {
+			defer wg.Done()
+			for i := start; i < end; i++ {
+				out[i] = vals[sel[i]]
+			}
+		}(start, end)
+	}
+	wg.Wait()
+	return out
+}
+
+// View is an update-aware positional view of one attribute: the base
+// array plus the logical overlay accumulated by pending insertions
+// (Tail), deletions (Deleted) and value updates (Updated). Positional
+// probes through a View observe the attribute's current logical state
+// regardless of how much of the pending-update queue has been merged
+// into the attribute's adaptive index — the property the conjunctive
+// query path relies on when it probes non-driving attributes.
+//
+// A View is a snapshot: the maps are owned by the View, and Base/Tail
+// alias storage whose first len() elements are immutable.
+type View struct {
+	// Base is the attribute's base array; row id r < len(Base) stores its
+	// value at Base[r] unless overridden below.
+	Base []int64
+	// Tail holds appended rows: row id len(Base)+i stores Tail[i].
+	Tail []int64
+	// Deleted marks row ids whose tuple was deleted (no value).
+	Deleted map[Pos]struct{}
+	// Updated overrides the value of individual row ids.
+	Updated map[Pos]int64
+}
+
+// Plain reports whether the view is just the base array (no overlay), so
+// callers can take the tight-kernel fast path.
+func (w View) Plain() bool {
+	return len(w.Tail) == 0 && len(w.Deleted) == 0 && len(w.Updated) == 0
+}
+
+// At returns the value at row id p; ok is false when the row has no
+// value in this attribute (deleted, or never inserted here).
+func (w View) At(p Pos) (int64, bool) {
+	if _, dead := w.Deleted[p]; dead {
+		return 0, false
+	}
+	if v, ok := w.Updated[p]; ok {
+		return v, true
+	}
+	if int(p) < len(w.Base) {
+		return w.Base[p], true
+	}
+	if i := int(p) - len(w.Base); i < len(w.Tail) {
+		return w.Tail[i], true
+	}
+	return 0, false
+}
+
+// FilterRows keeps the positions of sel whose current value lies in
+// [lo, hi), preserving order; rows without a value are dropped. Plain
+// views use the parallel probe kernel.
+func (w View) FilterRows(sel PosList, lo, hi int64, workers int) PosList {
+	if w.Plain() {
+		return ParallelFilterRows(w.Base, sel, lo, hi, workers)
+	}
+	out := make(PosList, 0, len(sel))
+	for _, p := range sel {
+		if v, ok := w.At(p); ok && v >= lo && v < hi {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// PresentRows keeps the positions of sel that have a value in this
+// attribute — the presence filter applied to aggregate/projection
+// attributes that were not among the predicates.
+func (w View) PresentRows(sel PosList) PosList {
+	if w.Plain() {
+		n := Pos(len(w.Base))
+		all := true
+		for _, p := range sel {
+			if p >= n {
+				all = false
+				break
+			}
+		}
+		if all {
+			return sel
+		}
+	}
+	out := make(PosList, 0, len(sel))
+	for _, p := range sel {
+		if _, ok := w.At(p); ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// FetchRows gathers the current values at the given positions; every
+// position must have a value (run PresentRows first).
+func (w View) FetchRows(sel PosList, workers int) []int64 {
+	if w.Plain() {
+		return ParallelFetchRows(w.Base, sel, workers)
+	}
+	out := make([]int64, len(sel))
+	for i, p := range sel {
+		v, ok := w.At(p)
+		if !ok {
+			panic(fmt.Sprintf("column: FetchRows at row %d without a value", p))
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// Bounds returns the minimum and maximum value of vals; an empty slice
+// reports the inverted pair (0, -1) so range overlap math naturally
+// yields zero.
+func Bounds(vals []int64) (lo, hi int64) {
+	if len(vals) == 0 {
+		return 0, -1
+	}
+	lo, hi = vals[0], vals[0]
+	for _, v := range vals {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+// UniformEstimate is the shared uniform-domain selectivity guess used
+// by the conjunctive query planners:
+//
+//	rows * |[lo,hi) ∩ [dLo,dHi]| / |[dLo,dHi]|
+//
+// Pass rows = 1 for a bare selectivity fraction.
+func UniformEstimate(rows float64, dLo, dHi, lo, hi int64) float64 {
+	if hi <= lo || dHi < dLo {
+		return 0
+	}
+	span := float64(dHi) - float64(dLo) + 1
+	cLo, cHi := float64(lo), float64(hi)
+	if cLo < float64(dLo) {
+		cLo = float64(dLo)
+	}
+	if cHi > float64(dHi)+1 {
+		cHi = float64(dHi) + 1
+	}
+	if cHi <= cLo {
+		return 0
+	}
+	return rows * (cHi - cLo) / span
+}
+
 // Dict is an order-preserving string dictionary. Low-cardinality string
 // attributes (TPC-H return flags, ship modes, ...) are stored as int64
 // codes in a Column; Dict translates between the two representations.

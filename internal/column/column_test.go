@@ -224,3 +224,119 @@ func BenchmarkParallelScanRange1M(b *testing.B) {
 	}
 	b.SetBytes(int64(len(vals) * 8))
 }
+
+func TestFilterRows(t *testing.T) {
+	vals := []int64{5, 1, 9, 3, 7, 2}
+	sel := PosList{0, 2, 3, 5, 9} // 9 is out of range and must be dropped
+	got := FilterRows(vals, sel, 3, 9)
+	want := PosList{0, 3}
+	if len(got) != len(want) {
+		t.Fatalf("FilterRows = %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("FilterRows = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestParallelFilterAndFetchMatchSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	vals := make([]int64, 200_000)
+	for i := range vals {
+		vals[i] = rng.Int63n(1 << 20)
+	}
+	sel := make(PosList, 0, len(vals))
+	for i := 0; i < len(vals); i += 2 {
+		sel = append(sel, Pos(i))
+	}
+	lo, hi := int64(1<<18), int64(1<<19)
+	seqF := FilterRows(vals, sel, lo, hi)
+	parF := ParallelFilterRows(vals, sel, lo, hi, 4)
+	if len(seqF) != len(parF) {
+		t.Fatalf("parallel filter length %d, sequential %d", len(parF), len(seqF))
+	}
+	for i := range seqF {
+		if seqF[i] != parF[i] {
+			t.Fatalf("filter mismatch at %d: %d vs %d", i, parF[i], seqF[i])
+		}
+	}
+	seqG := FetchRows(vals, seqF)
+	parG := ParallelFetchRows(vals, seqF, 4)
+	for i := range seqG {
+		if seqG[i] != parG[i] {
+			t.Fatalf("fetch mismatch at %d: %d vs %d", i, parG[i], seqG[i])
+		}
+	}
+}
+
+func TestViewOverlay(t *testing.T) {
+	w := View{
+		Base:    []int64{10, 20, 30, 40},
+		Tail:    []int64{50, 60},
+		Deleted: map[Pos]struct{}{1: {}, 4: {}}, // one base row, one tail row
+		Updated: map[Pos]int64{2: 35},
+	}
+	cases := []struct {
+		p  Pos
+		v  int64
+		ok bool
+	}{
+		{0, 10, true},
+		{1, 0, false}, // deleted
+		{2, 35, true}, // updated
+		{3, 40, true},
+		{4, 0, false}, // deleted tail row
+		{5, 60, true}, // tail
+		{6, 0, false}, // beyond tail
+	}
+	for _, c := range cases {
+		v, ok := w.At(c.p)
+		if ok != c.ok || (ok && v != c.v) {
+			t.Errorf("At(%d) = (%d,%v), want (%d,%v)", c.p, v, ok, c.v, c.ok)
+		}
+	}
+
+	sel := PosList{0, 1, 2, 3, 4, 5, 6}
+	got := w.FilterRows(sel, 30, 61, 2)
+	want := PosList{2, 3, 5}
+	if len(got) != len(want) {
+		t.Fatalf("View.FilterRows = %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("View.FilterRows = %v, want %v", got, want)
+		}
+	}
+
+	present := w.PresentRows(sel)
+	wantP := PosList{0, 2, 3, 5}
+	if len(present) != len(wantP) {
+		t.Fatalf("View.PresentRows = %v, want %v", present, wantP)
+	}
+	vals := w.FetchRows(present, 2)
+	wantV := []int64{10, 35, 40, 60}
+	for i := range vals {
+		if vals[i] != wantV[i] {
+			t.Fatalf("View.FetchRows = %v, want %v", vals, wantV)
+		}
+	}
+}
+
+func TestPlainViewFastPaths(t *testing.T) {
+	w := View{Base: []int64{1, 2, 3}}
+	if !w.Plain() {
+		t.Fatal("base-only view is not Plain")
+	}
+	sel := PosList{0, 1, 2, 3} // 3 beyond base: dropped everywhere
+	if got := w.FilterRows(sel, 2, 4, 1); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("plain FilterRows = %v", got)
+	}
+	if got := w.PresentRows(sel); len(got) != 3 {
+		t.Fatalf("plain PresentRows = %v", got)
+	}
+	inRange := PosList{0, 2}
+	if got := w.PresentRows(inRange); len(got) != 2 {
+		t.Fatalf("plain PresentRows (all in range) = %v", got)
+	}
+}

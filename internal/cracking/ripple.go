@@ -106,7 +106,22 @@ func (c *Column) MergeInsertSideways(v int64, row uint32, payload []int64) {
 // MergeDelete removes one occurrence of value v from the cracked column,
 // preserving all piece information, and reports whether it was present.
 // The rowid of the removed tuple is returned when rowids are enabled.
+// Which occurrence of a duplicated value disappears is unspecified; use
+// MergeDeleteRow to target a specific tuple.
 func (c *Column) MergeDelete(v int64) (row uint32, found bool) {
+	return c.mergeDelete(v, 0, false)
+}
+
+// MergeDeleteRow removes the tuple (v, targetRow) from a rowid-carrying
+// cracked column, keeping value-duplicate deletions consistent with
+// row-level bookkeeping above. When the exact tuple is absent (or the
+// column carries no rowids) it falls back to removing an unspecified
+// occurrence of v, preserving multiset semantics.
+func (c *Column) MergeDeleteRow(v int64, targetRow uint32) (row uint32, found bool) {
+	return c.mergeDelete(v, targetRow, true)
+}
+
+func (c *Column) mergeDelete(v int64, targetRow uint32, byRow bool) (row uint32, found bool) {
 	c.global.Lock()
 	defer c.global.Unlock()
 	c.mu.Lock() // see MergeInsertSideways for why
@@ -115,10 +130,20 @@ func (c *Column) MergeDelete(v int64) (row uint32, found bool) {
 	targetKey, p, end, _ := c.pieceSpanLocked(v)
 	// Linear search inside the target piece: pieces are unordered inside.
 	victim := -1
-	for i := p.start; i < end; i++ {
-		if c.vals[i] == v {
-			victim = i
-			break
+	if byRow && c.rows != nil {
+		for i := p.start; i < end; i++ {
+			if c.vals[i] == v && c.rows[i] == targetRow {
+				victim = i
+				break
+			}
+		}
+	}
+	if victim < 0 {
+		for i := p.start; i < end; i++ {
+			if c.vals[i] == v {
+				victim = i
+				break
+			}
 		}
 	}
 	if victim < 0 {

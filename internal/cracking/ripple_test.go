@@ -234,3 +234,53 @@ func TestMergeInsertRacesSelects(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestMergeDeleteRowTargetsSpecificTuple: with duplicated values, the
+// row-targeted merge removes exactly the requested tuple, and falls
+// back to a value match when the tuple is absent.
+func TestMergeDeleteRowTargetsSpecificTuple(t *testing.T) {
+	c := New("a", []int64{5, 7, 5, 9, 5}, Config{WithRows: true})
+	c.SelectRange(6, 8) // crack so the ripple has boundaries to preserve
+
+	if _, found := c.MergeDeleteRow(5, 2); !found {
+		t.Fatal("tuple (5, row 2) not found")
+	}
+	rows := map[uint32]bool{}
+	vals := c.Snapshot()
+	rids := c.SnapshotRows()
+	for i, v := range vals {
+		if v == 5 {
+			rows[rids[i]] = true
+		}
+	}
+	if rows[2] || !rows[0] || !rows[4] {
+		t.Fatalf("rows holding 5 after targeted delete: %v, want {0, 4}", rows)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Absent tuple: falls back to removing some occurrence of the value.
+	if _, found := c.MergeDeleteRow(5, 99); !found {
+		t.Fatal("value 5 not found on fallback")
+	}
+	if n := c.SelectRange(5, 6).Count(); n != 1 {
+		t.Fatalf("%d fives left, want 1", n)
+	}
+	// Absent value: reports not found.
+	if _, found := c.MergeDeleteRow(42, 0); found {
+		t.Fatal("absent value reported found")
+	}
+}
+
+// TestMergeDeleteRowWithoutRows: on a rowid-free column the targeted
+// form degrades to value semantics.
+func TestMergeDeleteRowWithoutRows(t *testing.T) {
+	c := New("a", []int64{5, 5, 7}, Config{})
+	if _, found := c.MergeDeleteRow(5, 1); !found {
+		t.Fatal("value not found")
+	}
+	if n := c.SelectRange(5, 6).Count(); n != 1 {
+		t.Fatalf("%d fives left, want 1", n)
+	}
+}

@@ -109,6 +109,53 @@ type Inserter interface {
 	Insert(attr string, v int64) error
 }
 
+// Deleter is implemented by executors that support pending deletions:
+// Delete removes attr's value from the row currently holding v (the
+// lowest such row id when the value occurs more than once). It is a
+// per-attribute operation, like Insert: the row's values in other
+// attributes are unaffected.
+type Deleter interface {
+	Delete(attr string, v int64) error
+}
+
+// Updater is implemented by executors that support pending value
+// updates, modelled as a deletion followed by an insertion at the same
+// row id, so the tuple keeps its identity across the update.
+type Updater interface {
+	Update(attr string, oldV, newV int64) error
+}
+
+// Viewer provides update-aware positional access to an attribute: the
+// probe side of late tuple reconstruction. The returned view reflects
+// the attribute's current logical state — base values, appended rows,
+// deletions and updates — regardless of how much of the pending-update
+// queue has been merged into the attribute's index structures.
+// Executors without update support are not Viewers; callers fall back
+// to the base column, which is by construction the current state there.
+type Viewer interface {
+	View(attr string) (column.View, error)
+}
+
+// CardEstimator lets an executor answer "how many tuples fall in
+// [lo, hi) on attr" from its index structures without touching data.
+// exact reports a true count (sorted column, existing cracker
+// boundaries); ok is false when the executor has no basis for an
+// estimate and the caller should fall back to a uniform-domain guess.
+// The conjunctive query planner uses this to order predicates by
+// selectivity.
+type CardEstimator interface {
+	EstimateCount(attr string, lo, hi int64) (est float64, exact, ok bool)
+}
+
+// PredicateSink is implemented by executors that want to observe every
+// predicate of a multi-attribute conjunctive query — not only the one
+// the planner chose to drive the select. Holistic indexing uses it to
+// admit every touched attribute into the index space so background
+// refinement spreads across all columns of the workload.
+type PredicateSink interface {
+	NotePredicate(attr string) error
+}
+
 // HashJoin builds a hash table over build and probes it with probe,
 // returning for every probe position the matching build position (-1 if
 // none). Equi-join on int64 keys, enough for TPC-H Q12's

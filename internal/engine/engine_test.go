@@ -529,3 +529,110 @@ func TestOnlineExecutorConcurrentEpochCrossing(t *testing.T) {
 		t.Fatalf("sorted %d columns, want 2", len(e.sorted))
 	}
 }
+
+// TestAdaptiveDeleteUpdateAndView covers the row-level overlay behind
+// conjunctive probes: deletes and updates are visible through View (and
+// through count queries once merged), and the overlay stays consistent
+// with the cracker's value multiset.
+func TestAdaptiveDeleteUpdateAndView(t *testing.T) {
+	base := []int64{10, 20, 30, 40, 50}
+	tab := NewTable("t")
+	tab.MustAddColumn(column.New("a", base))
+	e := NewAdaptiveExecutor(tab, cracking.Config{WithRows: true}, "")
+	defer e.Close()
+
+	if err := e.Insert("a", 60); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Delete("a", 20); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Update("a", 40, 45); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Delete("a", 999); err == nil {
+		t.Fatal("delete of a missing value did not error")
+	}
+	if err := e.Update("a", 999, 1); err == nil {
+		t.Fatal("update of a missing value did not error")
+	}
+
+	w, err := e.View("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := w.At(1); ok {
+		t.Error("deleted row 1 still has a value")
+	}
+	if v, ok := w.At(3); !ok || v != 45 {
+		t.Errorf("updated row 3 = (%d,%v), want (45,true)", v, ok)
+	}
+	if v, ok := w.At(5); !ok || v != 60 {
+		t.Errorf("appended row 5 = (%d,%v), want (60,true)", v, ok)
+	}
+
+	// Counts through the cracker agree with the logical multiset
+	// {10, 30, 45, 50, 60}.
+	n, err := e.Count("a", 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("count after updates = %d, want 5", n)
+	}
+	if n, _ = e.Count("a", 20, 21); n != 0 {
+		t.Fatalf("deleted value still counted: %d", n)
+	}
+	if n, _ = e.Count("a", 45, 46); n != 1 {
+		t.Fatalf("updated value not counted: %d", n)
+	}
+
+	// The view snapshot is isolated from later mutations.
+	if err := e.Delete("a", 30); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := w.At(2); !ok {
+		t.Error("old view snapshot observed a later delete")
+	}
+}
+
+// TestEstimateCount checks the planner's cardinality probes: sorted
+// executors answer exactly once sorted, crackers exactly on boundary
+// hits, and everyone reports ok=false before any index exists.
+func TestEstimateCount(t *testing.T) {
+	vals := make([]int64, 1000)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	tab := NewTable("t")
+	tab.MustAddColumn(column.New("a", vals))
+
+	off := NewOfflineExecutor(tab, 1)
+	if _, _, ok := off.EstimateCount("a", 100, 200); ok {
+		t.Error("offline estimated before sorting")
+	}
+	off.PrepareAll()
+	if est, exact, ok := off.EstimateCount("a", 100, 200); !ok || !exact || est != 100 {
+		t.Errorf("offline estimate = (%v,%v,%v), want (100,true,true)", est, exact, ok)
+	}
+
+	ad := NewAdaptiveExecutor(tab, cracking.Config{}, "")
+	defer ad.Close()
+	if _, _, ok := ad.EstimateCount("a", 100, 200); ok {
+		t.Error("adaptive estimated before any cracker exists")
+	}
+	if _, err := ad.Count("a", 100, 200); err != nil {
+		t.Fatal(err)
+	}
+	if est, exact, ok := ad.EstimateCount("a", 100, 200); !ok || !exact || est != 100 {
+		t.Errorf("adaptive exact estimate = (%v,%v,%v), want (100,true,true)", est, exact, ok)
+	}
+	// Unseen bounds: uniform fallback, inexact but sane.
+	est, exact, ok := ad.EstimateCount("a", 0, 500)
+	if !ok || exact {
+		t.Fatalf("adaptive fallback = (%v,%v,%v), want inexact ok", est, exact, ok)
+	}
+	if est < 250 || est > 750 {
+		t.Errorf("uniform estimate %v implausible for 500/1000", est)
+	}
+}

@@ -139,6 +139,20 @@ func (e *OfflineExecutor) sortedFor(attr string, needRows bool) *sortidx.SortedC
 	return s
 }
 
+// EstimateCount implements CardEstimator: once a column is sorted the
+// count is two binary searches, an exact and near-free estimate. Before
+// the sort there is no index to consult (building one here would move
+// the preparation cost into planning), so ok is false.
+func (e *OfflineExecutor) EstimateCount(attr string, lo, hi int64) (float64, bool, bool) {
+	e.mu.Lock()
+	s := e.sorted[attr]
+	e.mu.Unlock()
+	if s == nil {
+		return 0, false, false
+	}
+	return float64(s.CountRange(lo, hi)), true, true
+}
+
 // Count implements Executor.
 func (e *OfflineExecutor) Count(attr string, lo, hi int64) (int, error) {
 	s := e.sortedFor(attr, false)
@@ -241,6 +255,18 @@ func (e *OnlineExecutor) index(attr string, needRows bool) (*sortidx.SortedColum
 	return s, c.Values(), nil
 }
 
+// EstimateCount implements CardEstimator: exact once the epoch sort has
+// happened, unavailable before (the probe does not advance the epoch).
+func (e *OnlineExecutor) EstimateCount(attr string, lo, hi int64) (float64, bool, bool) {
+	e.mu.Lock()
+	s := e.sorted[attr]
+	e.mu.Unlock()
+	if s == nil {
+		return 0, false, false
+	}
+	return float64(s.CountRange(lo, hi)), true, true
+}
+
 // Count implements Executor.
 func (e *OnlineExecutor) Count(attr string, lo, hi int64) (int, error) {
 	s, vals, err := e.index(attr, false)
@@ -321,6 +347,20 @@ type AdaptiveExecutor struct {
 	// the first insert lands at position table.Rows(), the next one after
 	// it, matching the positions an append to the base column would take.
 	nextRow map[string]uint32
+	// tails, deleted and updated record the logical row-level state of
+	// every update per attribute, independent of how much of the pending
+	// queue has been merged into the cracker: tails[attr][i] is the value
+	// of row table.Rows()+i, deleted marks rows without a value, updated
+	// overrides values of existing rows. Positional probes (View) read
+	// this overlay so conjunctive queries see current data. All guarded
+	// by pendMu.
+	tails   map[string][]int64
+	deleted map[string]map[uint32]struct{}
+	updated map[string]map[uint32]int64
+	// viewCache holds the last snapshot handed out per attribute,
+	// invalidated by the next mutation of that attribute: queries pay
+	// the overlay map copy once per update batch, not once per probe.
+	viewCache map[string]column.View
 }
 
 // NewAdaptiveExecutor builds a cracking executor; cfg selects the kernel,
@@ -336,6 +376,10 @@ func NewAdaptiveExecutor(t *Table, cfg cracking.Config, label string) *AdaptiveE
 		crackers: make(map[string]*cracking.Column),
 		pending:  make(map[string]*updates.Pending),
 		nextRow:  make(map[string]uint32),
+		tails:     make(map[string][]int64),
+		deleted:   make(map[string]map[uint32]struct{}),
+		updated:   make(map[string]map[uint32]int64),
+		viewCache: make(map[string]column.View),
 	}
 }
 
@@ -400,9 +444,156 @@ func (e *AdaptiveExecutor) Insert(attr string, v int64) error {
 		row = uint32(e.table.Rows())
 	}
 	e.nextRow[attr] = row + 1
+	e.tails[attr] = append(e.tails[attr], v)
+	delete(e.viewCache, attr)
 	e.pendMu.Unlock()
 	p.AddInsert(v, row)
 	return nil
+}
+
+// currentRowOfLocked returns the lowest row id whose current logical
+// value in attr equals v, scanning base values and the appended tail
+// through the overlay — O(column) under pendMu, sized for the paper's
+// small update batches rather than bulk deletes. Caller must hold
+// pendMu.
+func (e *AdaptiveExecutor) currentRowOfLocked(attr string, base []int64, v int64) (uint32, bool) {
+	dead := e.deleted[attr]
+	upd := e.updated[attr]
+	at := func(row uint32, raw int64) (int64, bool) {
+		if _, d := dead[row]; d {
+			return 0, false
+		}
+		if nv, ok := upd[row]; ok {
+			return nv, true
+		}
+		return raw, true
+	}
+	for i, raw := range base {
+		if cur, ok := at(uint32(i), raw); ok && cur == v {
+			return uint32(i), true
+		}
+	}
+	for i, raw := range e.tails[attr] {
+		row := uint32(len(base) + i)
+		if cur, ok := at(row, raw); ok && cur == v {
+			return row, true
+		}
+	}
+	return 0, false
+}
+
+// Delete implements Deleter: the tuple whose current value in attr is v
+// becomes a pending deletion, merged lazily like inserts. The lowest
+// row id currently holding v is resolved up front and recorded in both
+// the overlay and the pending operation, so the eventual index merge
+// removes exactly that tuple (MergeDeleteRow) and row-level probes stay
+// consistent with the index even for duplicated values. Only under
+// Config.NoRowIDs does the merge fall back to removing an unspecified
+// occurrence (multiset semantics; conjunctions are unavailable there
+// anyway).
+func (e *AdaptiveExecutor) Delete(attr string, v int64) error {
+	base := e.table.Column(attr)
+	if base == nil {
+		return fmt.Errorf("engine: unknown attribute %q", attr)
+	}
+	p := e.Pending(attr)
+	e.pendMu.Lock()
+	row, ok := e.currentRowOfLocked(attr, base.Values(), v)
+	if !ok {
+		e.pendMu.Unlock()
+		return fmt.Errorf("engine: delete %s = %d: no such value", attr, v)
+	}
+	dead, ok := e.deleted[attr]
+	if !ok {
+		dead = make(map[uint32]struct{})
+		e.deleted[attr] = dead
+	}
+	dead[row] = struct{}{}
+	delete(e.viewCache, attr)
+	e.pendMu.Unlock()
+	p.AddDeleteRow(v, row)
+	return nil
+}
+
+// Update implements Updater: a deletion of oldV followed by an
+// insertion of newV at the same row id, so the tuple keeps its identity
+// (the paper's definition of an update, made row-stable). As with
+// Delete, the target row is the lowest one currently holding oldV and
+// the merge is row-targeted.
+func (e *AdaptiveExecutor) Update(attr string, oldV, newV int64) error {
+	base := e.table.Column(attr)
+	if base == nil {
+		return fmt.Errorf("engine: unknown attribute %q", attr)
+	}
+	p := e.Pending(attr)
+	e.pendMu.Lock()
+	row, ok := e.currentRowOfLocked(attr, base.Values(), oldV)
+	if !ok {
+		e.pendMu.Unlock()
+		return fmt.Errorf("engine: update %s = %d: no such value", attr, oldV)
+	}
+	upd, ok := e.updated[attr]
+	if !ok {
+		upd = make(map[uint32]int64)
+		e.updated[attr] = upd
+	}
+	upd[row] = newV
+	delete(e.viewCache, attr)
+	e.pendMu.Unlock()
+	p.AddUpdate(oldV, newV, row)
+	return nil
+}
+
+// View implements Viewer: a snapshot of attr's current logical state
+// for positional probes. The overlay maps are copied so the snapshot
+// is immutable; the copy is cached and reused until the attribute's
+// next mutation, so query-heavy phases pay it once per update batch.
+// The tail shares storage with the append-only record.
+func (e *AdaptiveExecutor) View(attr string) (column.View, error) {
+	base := e.table.Column(attr)
+	if base == nil {
+		return column.View{}, fmt.Errorf("engine: unknown attribute %q", attr)
+	}
+	e.pendMu.Lock()
+	defer e.pendMu.Unlock()
+	if w, ok := e.viewCache[attr]; ok {
+		return w, nil
+	}
+	w := column.View{Base: base.Values()}
+	if tail := e.tails[attr]; len(tail) > 0 {
+		w.Tail = tail[:len(tail):len(tail)]
+	}
+	if dead := e.deleted[attr]; len(dead) > 0 {
+		w.Deleted = make(map[uint32]struct{}, len(dead))
+		for r := range dead {
+			w.Deleted[r] = struct{}{}
+		}
+	}
+	if upd := e.updated[attr]; len(upd) > 0 {
+		w.Updated = make(map[uint32]int64, len(upd))
+		for r, v := range upd {
+			w.Updated[r] = v
+		}
+	}
+	e.viewCache[attr] = w
+	return w, nil
+}
+
+// EstimateCount implements CardEstimator. An existing cracker whose
+// index already has boundaries at both bounds answers exactly (pending
+// updates excluded — planning only needs relative order); otherwise the
+// cracker's cached domain yields a uniform estimate. ok is false before
+// the first query on attr.
+func (e *AdaptiveExecutor) EstimateCount(attr string, lo, hi int64) (float64, bool, bool) {
+	c := e.CrackerIfExists(attr)
+	if c == nil {
+		return 0, false, false
+	}
+	if r, ok := c.LookupRange(lo, hi); ok {
+		return float64(r.Count()), true, true
+	}
+	dLo, dHi := c.Domain()
+	return column.UniformEstimate(float64(c.Len()), dLo, dHi, lo, hi), false, true
 }
 
 // selectCracker returns attr's cracker with every pending update covering
@@ -570,6 +761,19 @@ func (h *HolisticExecutor) AddPotential(attr string) error {
 	h.crackers[attr] = c
 	h.Daemon.AdmitIndex(attr, c, true)
 	h.Daemon.AttachPending(attr, h.Pending(attr))
+	return nil
+}
+
+// NotePredicate implements PredicateSink: a conjunctive query touched
+// attr without driving its select. The attribute joins the potential
+// configuration (no-op if already indexed) and its access statistics
+// are bumped, so the daemon's refinement effort spreads across every
+// column the workload touches — the paper's multi-column payoff.
+func (h *HolisticExecutor) NotePredicate(attr string) error {
+	if err := h.AddPotential(attr); err != nil {
+		return err
+	}
+	h.Registry.RecordAccess(attr, false)
 	return nil
 }
 

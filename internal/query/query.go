@@ -1,0 +1,325 @@
+// Package query is the multi-predicate query subsystem: a planner and
+// executor for conjunctive select-project-aggregate queries of the form
+//
+//	SELECT agg(c) FROM R WHERE a BETWEEN .. AND b BETWEEN .. [AND ...]
+//
+// over any engine.Executor mode. It follows the column-store pipeline
+// of the paper's Section 3.1, generalized to several predicates:
+//
+//  1. Plan: estimate each conjunct's selectivity — exactly, when the
+//     mode's index structures can answer (sorted columns, existing
+//     cracker boundaries, via engine.CardEstimator), otherwise a
+//     uniform guess over the attribute's cached value domain — and
+//     order the conjuncts most selective first.
+//  2. Drive: evaluate the most selective conjunct through the mode's
+//     native access path (Executor.SelectRows: cracked pieces, sorted
+//     slices or parallel scan), producing a candidate position list.
+//     This is the only conjunct that builds or refines an index.
+//  3. Refine: evaluate every remaining conjunct by positional probes of
+//     the candidate list into the attribute's current data
+//     (column.View.FilterRows — late tuple reconstruction), cheapest
+//     first, so each probe pass runs over the smallest possible list.
+//  4. Project/aggregate: fetch the requested attributes at the
+//     surviving positions and count, sum, or materialize.
+//
+// Under ModeHolistic every conjunct — not only the driving one — is
+// reported to the executor (engine.PredicateSink), so all touched
+// attributes enter the index space and background refinement spreads
+// across them; a later query can then drive on any of them cheaply.
+//
+// Updates: the driving select merges the pending operations covering
+// its range (as every single-attribute select does), and the probe
+// views reflect all logical inserts/deletes/updates regardless of merge
+// state, so conjunctive results are correct under concurrent updates.
+// Rows that lack a value in a referenced attribute (inserted into other
+// attributes only, or deleted) never qualify, mirroring SQL NULL
+// semantics.
+package query
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"holistic/internal/column"
+	"holistic/internal/engine"
+)
+
+// Predicate is one range conjunct: lo <= attr < hi.
+type Predicate struct {
+	Attr   string
+	Lo, Hi int64
+}
+
+// Runner plans and executes conjunctive queries over one table through
+// one executor mode. It is safe for concurrent use.
+type Runner struct {
+	table   *engine.Table
+	exec    engine.Executor
+	threads int
+
+	mu      sync.Mutex
+	domains map[string][2]int64 // cached base-column min/max per attribute
+}
+
+// New builds a runner; threads bounds the parallelism of probe and
+// fetch kernels.
+func New(t *engine.Table, exec engine.Executor, threads int) *Runner {
+	if threads < 1 {
+		threads = 1
+	}
+	return &Runner{table: t, exec: exec, threads: threads, domains: make(map[string][2]int64)}
+}
+
+// ErrNoPredicates is returned by query forms invoked without a single
+// Where clause.
+var ErrNoPredicates = fmt.Errorf("query: at least one predicate is required")
+
+// normalize validates attributes, drops empty ranges to an empty
+// result, and intersects duplicate attributes into one conjunct.
+func (r *Runner) normalize(preds []Predicate) (out []Predicate, empty bool, err error) {
+	if len(preds) == 0 {
+		return nil, false, ErrNoPredicates
+	}
+	byAttr := make(map[string]int, len(preds))
+	for _, p := range preds {
+		if r.table.Column(p.Attr) == nil {
+			return nil, false, fmt.Errorf("query: unknown attribute %q", p.Attr)
+		}
+		if i, ok := byAttr[p.Attr]; ok {
+			q := &out[i]
+			if p.Lo > q.Lo {
+				q.Lo = p.Lo
+			}
+			if p.Hi < q.Hi {
+				q.Hi = p.Hi
+			}
+			continue
+		}
+		byAttr[p.Attr] = len(out)
+		out = append(out, p)
+	}
+	for _, p := range out {
+		if p.Lo >= p.Hi {
+			return nil, true, nil
+		}
+	}
+	return out, false, nil
+}
+
+// domain returns the cached [min, max] of attr's base column, scanning
+// it once on first use.
+func (r *Runner) domain(attr string) (lo, hi int64) {
+	r.mu.Lock()
+	d, ok := r.domains[attr]
+	r.mu.Unlock()
+	if ok {
+		return d[0], d[1]
+	}
+	lo, hi = column.Bounds(r.table.Column(attr).Values())
+	r.mu.Lock()
+	r.domains[attr] = [2]int64{lo, hi}
+	r.mu.Unlock()
+	return lo, hi
+}
+
+// estimate returns the expected number of qualifying tuples for one
+// conjunct: the executor's index-based answer when available, otherwise
+// a uniform guess over the attribute's base domain.
+func (r *Runner) estimate(p Predicate) float64 {
+	if est, ok := r.exec.(engine.CardEstimator); ok {
+		if n, _, ok := est.EstimateCount(p.Attr, p.Lo, p.Hi); ok {
+			return n
+		}
+	}
+	dLo, dHi := r.domain(p.Attr)
+	return column.UniformEstimate(float64(r.table.Rows()), dLo, dHi, p.Lo, p.Hi)
+}
+
+// Plan orders the conjuncts most selective first (stable on ties) and
+// returns the per-conjunct estimates alongside, aligned with the
+// returned order. Exported for telemetry and tests; the query forms
+// plan internally.
+func (r *Runner) Plan(preds []Predicate) ([]Predicate, []float64) {
+	ests := make([]float64, len(preds))
+	idx := make([]int, len(preds))
+	for i, p := range preds {
+		ests[i] = r.estimate(p)
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return ests[idx[a]] < ests[idx[b]] })
+	ordered := make([]Predicate, len(preds))
+	ordEst := make([]float64, len(preds))
+	for i, j := range idx {
+		ordered[i] = preds[j]
+		ordEst[i] = ests[j]
+	}
+	return ordered, ordEst
+}
+
+// view returns the update-aware positional view of attr, falling back
+// to the bare base column on executors without update support (where
+// the base is by construction current).
+func (r *Runner) view(attr string) (column.View, error) {
+	if v, ok := r.exec.(engine.Viewer); ok {
+		return v.View(attr)
+	}
+	c := r.table.Column(attr)
+	if c == nil {
+		return column.View{}, fmt.Errorf("query: unknown attribute %q", attr)
+	}
+	return column.View{Base: c.Values()}, nil
+}
+
+// candidates runs plan steps 1-3 plus the presence filter for the
+// extra (aggregate/projection) attributes, returning the qualifying
+// positions in the driving access path's order together with the view
+// snapshot each attribute was filtered through. Callers that fetch
+// values MUST reuse these views: every position in sel is guaranteed
+// present in them, while a fresh snapshot taken later could already
+// reflect a concurrent delete and would make FetchRows fail.
+func (r *Runner) candidates(preds []Predicate, extraAttrs []string) (column.PosList, map[string]column.View, error) {
+	ordered, _ := r.Plan(preds)
+	drive := ordered[0]
+	rows, err := r.exec.SelectRows(drive.Attr, drive.Lo, drive.Hi)
+	if err != nil {
+		return nil, nil, err
+	}
+	if sink, ok := r.exec.(engine.PredicateSink); ok {
+		for _, p := range ordered[1:] {
+			if err := sink.NotePredicate(p.Attr); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	views := make(map[string]column.View, len(ordered)+len(extraAttrs))
+	sel := column.PosList(rows)
+	for _, p := range ordered[1:] {
+		w, err := r.view(p.Attr)
+		if err != nil {
+			return nil, nil, err
+		}
+		views[p.Attr] = w
+		if len(sel) > 0 {
+			sel = w.FilterRows(sel, p.Lo, p.Hi, r.threads)
+		}
+	}
+	// Range-filtered attributes are present by construction; the other
+	// referenced attributes (including the driving one, whose rows came
+	// from the index rather than a view) get an explicit presence
+	// filter through the snapshot that will serve the fetch.
+	for _, attr := range extraAttrs {
+		if _, ok := views[attr]; ok {
+			continue
+		}
+		w, err := r.view(attr)
+		if err != nil {
+			return nil, nil, err
+		}
+		views[attr] = w
+		if len(sel) > 0 {
+			sel = w.PresentRows(sel)
+		}
+	}
+	return sel, views, nil
+}
+
+// Count answers "select count(*) where <conjunction>". A single
+// conjunct delegates to the mode's native count (no position list is
+// materialized).
+func (r *Runner) Count(preds []Predicate) (int, error) {
+	ps, empty, err := r.normalize(preds)
+	if err != nil || empty {
+		return 0, err
+	}
+	if len(ps) == 1 {
+		return r.exec.Count(ps[0].Attr, ps[0].Lo, ps[0].Hi)
+	}
+	sel, _, err := r.candidates(ps, nil)
+	if err != nil {
+		return 0, err
+	}
+	return len(sel), nil
+}
+
+// Sum answers "select sum(attr) where <conjunction>". When the single
+// conjunct is on attr itself the mode's native pushdown answers
+// directly; otherwise the candidate positions fetch attr late.
+func (r *Runner) Sum(attr string, preds []Predicate) (int64, error) {
+	if r.table.Column(attr) == nil {
+		return 0, fmt.Errorf("query: unknown attribute %q", attr)
+	}
+	ps, empty, err := r.normalize(preds)
+	if err != nil || empty {
+		return 0, err
+	}
+	if len(ps) == 1 && ps[0].Attr == attr {
+		return r.exec.Sum(attr, ps[0].Lo, ps[0].Hi)
+	}
+	sel, views, err := r.candidates(ps, []string{attr})
+	if err != nil {
+		return 0, err
+	}
+	var s int64
+	for _, v := range views[attr].FetchRows(sel, r.threads) {
+		s += v
+	}
+	return s, nil
+}
+
+// Rows materializes the qualifying base row ids in ascending order.
+func (r *Runner) Rows(preds []Predicate) ([]uint32, error) {
+	ps, empty, err := r.normalize(preds)
+	if err != nil || empty {
+		return nil, err
+	}
+	var sel column.PosList
+	if len(ps) == 1 {
+		rows, err := r.exec.SelectRows(ps[0].Attr, ps[0].Lo, ps[0].Hi)
+		if err != nil {
+			return nil, err
+		}
+		sel = rows
+	} else if sel, _, err = r.candidates(ps, nil); err != nil {
+		return nil, err
+	}
+	out := append([]uint32(nil), sel...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// Values materializes the requested attributes of the qualifying
+// tuples: one aligned slice per attribute, tuples in ascending row-id
+// order. This is the project operator over the conjunction's position
+// list.
+func (r *Runner) Values(attrs []string, preds []Predicate) ([][]int64, error) {
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("query: Values needs at least one attribute")
+	}
+	for _, a := range attrs {
+		if r.table.Column(a) == nil {
+			return nil, fmt.Errorf("query: unknown attribute %q", a)
+		}
+	}
+	ps, empty, err := r.normalize(preds)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]int64, len(attrs))
+	if empty {
+		for i := range out {
+			out[i] = []int64{}
+		}
+		return out, nil
+	}
+	sel, views, err := r.candidates(ps, attrs)
+	if err != nil {
+		return nil, err
+	}
+	sorted := append(column.PosList(nil), sel...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for i, a := range attrs {
+		out[i] = views[a].FetchRows(sorted, r.threads)
+	}
+	return out, nil
+}

@@ -1,0 +1,218 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+
+	"holistic/internal/column"
+	"holistic/internal/cracking"
+	"holistic/internal/engine"
+)
+
+// buildTable returns a table of `attrs` uniform columns over [0, domain)
+// plus the raw slices for oracle checks.
+func buildTable(attrs, rows int, domain int64, seed int64) (*engine.Table, [][]int64) {
+	t := engine.NewTable("R")
+	cols := make([][]int64, attrs)
+	rng := rand.New(rand.NewSource(seed))
+	names := []string{"a", "b", "c", "d"}
+	for i := 0; i < attrs; i++ {
+		vals := make([]int64, rows)
+		for j := range vals {
+			vals[j] = rng.Int63n(domain)
+		}
+		cols[i] = vals
+		t.MustAddColumn(column.New(names[i], vals))
+	}
+	return t, cols
+}
+
+// oracle computes the qualifying row set by brute force.
+func oracle(cols [][]int64, names map[string]int, preds []Predicate) []uint32 {
+	if len(preds) == 0 {
+		return nil
+	}
+	n := len(cols[0])
+	var out []uint32
+rows:
+	for i := 0; i < n; i++ {
+		for _, p := range preds {
+			v := cols[names[p.Attr]][i]
+			if v < p.Lo || v >= p.Hi {
+				continue rows
+			}
+		}
+		out = append(out, uint32(i))
+	}
+	return out
+}
+
+var names = map[string]int{"a": 0, "b": 1, "c": 2, "d": 3}
+
+func TestPlanOrdersBySelectivity(t *testing.T) {
+	tab, _ := buildTable(3, 5000, 1000, 1)
+	off := engine.NewOfflineExecutor(tab, 1)
+	off.PrepareAll()
+	r := New(tab, off, 2)
+
+	preds := []Predicate{
+		{Attr: "a", Lo: 0, Hi: 900}, // ~90%
+		{Attr: "b", Lo: 0, Hi: 10},  // ~1%
+		{Attr: "c", Lo: 0, Hi: 300}, // ~30%
+	}
+	ordered, ests := r.Plan(preds)
+	if ordered[0].Attr != "b" || ordered[1].Attr != "c" || ordered[2].Attr != "a" {
+		t.Fatalf("plan order = %v (estimates %v), want b, c, a", ordered, ests)
+	}
+	if ests[0] > ests[1] || ests[1] > ests[2] {
+		t.Fatalf("estimates not ascending: %v", ests)
+	}
+}
+
+func TestPlanUniformFallback(t *testing.T) {
+	tab, _ := buildTable(2, 2000, 1<<20, 2)
+	r := New(tab, engine.NewScanExecutor(tab, 2), 2)
+	ordered, _ := r.Plan([]Predicate{
+		{Attr: "a", Lo: 0, Hi: 1 << 19}, // half the domain
+		{Attr: "b", Lo: 0, Hi: 1 << 10}, // a sliver
+	})
+	if ordered[0].Attr != "b" {
+		t.Fatalf("uniform fallback drove on %q, want b", ordered[0].Attr)
+	}
+}
+
+func TestNormalizeIntersectsDuplicates(t *testing.T) {
+	tab, cols := buildTable(2, 3000, 1000, 3)
+	r := New(tab, engine.NewScanExecutor(tab, 2), 2)
+	got, err := r.Count([]Predicate{
+		{Attr: "a", Lo: 100, Hi: 700},
+		{Attr: "a", Lo: 300, Hi: 900},
+		{Attr: "b", Lo: 0, Hi: 500},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(oracle(cols, names, []Predicate{{Attr: "a", Lo: 300, Hi: 700}, {Attr: "b", Lo: 0, Hi: 500}}))
+	if got != want {
+		t.Fatalf("count = %d, want %d", got, want)
+	}
+	// Contradictory duplicates: empty result, no error.
+	if n, err := r.Count([]Predicate{{Attr: "a", Lo: 0, Hi: 100}, {Attr: "a", Lo: 500, Hi: 600}}); err != nil || n != 0 {
+		t.Fatalf("contradictory conjuncts = (%d, %v), want (0, nil)", n, err)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	tab, _ := buildTable(1, 100, 1000, 4)
+	r := New(tab, engine.NewScanExecutor(tab, 1), 1)
+	if _, err := r.Count(nil); err != ErrNoPredicates {
+		t.Errorf("Count() err = %v, want ErrNoPredicates", err)
+	}
+	if _, err := r.Count([]Predicate{{Attr: "zz", Lo: 0, Hi: 1}}); err == nil {
+		t.Error("unknown predicate attribute did not error")
+	}
+	if _, err := r.Sum("zz", []Predicate{{Attr: "a", Lo: 0, Hi: 1}}); err == nil {
+		t.Error("unknown sum attribute did not error")
+	}
+	if _, err := r.Values(nil, []Predicate{{Attr: "a", Lo: 0, Hi: 1}}); err == nil {
+		t.Error("Values without attributes did not error")
+	}
+}
+
+// TestConjunctionMatchesOracle runs randomized conjunctions through the
+// scan and adaptive access paths and checks all four query forms.
+func TestConjunctionMatchesOracle(t *testing.T) {
+	const domain = 1 << 12
+	tab, cols := buildTable(4, 6000, domain, 5)
+	execs := map[string]engine.Executor{
+		"scan":     engine.NewScanExecutor(tab, 2),
+		"adaptive": engine.NewAdaptiveExecutor(tab, cracking.Config{WithRows: true}, ""),
+	}
+	attrNames := []string{"a", "b", "c", "d"}
+	for label, exec := range execs {
+		t.Run(label, func(t *testing.T) {
+			r := New(tab, exec, 2)
+			rng := rand.New(rand.NewSource(7))
+			for q := 0; q < 40; q++ {
+				k := 2 + rng.Intn(3)
+				perm := rng.Perm(4)
+				preds := make([]Predicate, k)
+				for i := 0; i < k; i++ {
+					lo := rng.Int63n(domain)
+					preds[i] = Predicate{Attr: attrNames[perm[i]], Lo: lo, Hi: lo + rng.Int63n(domain-lo) + 1}
+				}
+				want := oracle(cols, names, preds)
+
+				n, err := r.Count(preds)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if n != len(want) {
+					t.Fatalf("query %d: count = %d, want %d (%v)", q, n, len(want), preds)
+				}
+
+				rows, err := r.Rows(preds)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(rows) != len(want) {
+					t.Fatalf("query %d: %d rows, want %d", q, len(rows), len(want))
+				}
+				for i := range rows {
+					if rows[i] != want[i] {
+						t.Fatalf("query %d: rows[%d] = %d, want %d", q, i, rows[i], want[i])
+					}
+				}
+
+				sumAttr := attrNames[rng.Intn(4)]
+				sum, err := r.Sum(sumAttr, preds)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var wantSum int64
+				for _, row := range want {
+					wantSum += cols[names[sumAttr]][row]
+				}
+				if sum != wantSum {
+					t.Fatalf("query %d: sum(%s) = %d, want %d", q, sumAttr, sum, wantSum)
+				}
+
+				vals, err := r.Values([]string{"a", sumAttr}, preds)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(vals) != 2 || len(vals[0]) != len(want) {
+					t.Fatalf("query %d: Values shape %d/%d, want 2/%d", q, len(vals), len(vals[0]), len(want))
+				}
+				for i, row := range want {
+					if vals[0][i] != cols[0][row] || vals[1][i] != cols[names[sumAttr]][row] {
+						t.Fatalf("query %d: Values[%d] mismatch", q, i)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSinglePredicateFastPaths: one conjunct behaves exactly like the
+// executor's native forms.
+func TestSinglePredicateFastPaths(t *testing.T) {
+	tab, cols := buildTable(2, 4000, 1000, 6)
+	r := New(tab, engine.NewScanExecutor(tab, 2), 2)
+	preds := []Predicate{{Attr: "b", Lo: 200, Hi: 600}}
+	want := oracle(cols, names, preds)
+	if n, err := r.Count(preds); err != nil || n != len(want) {
+		t.Fatalf("Count = (%d, %v), want %d", n, err, len(want))
+	}
+	var wantSum int64
+	for _, row := range want {
+		wantSum += cols[1][row]
+	}
+	if s, err := r.Sum("b", preds); err != nil || s != wantSum {
+		t.Fatalf("Sum = (%d, %v), want %d", s, err, wantSum)
+	}
+	rows, err := r.Rows(preds)
+	if err != nil || len(rows) != len(want) {
+		t.Fatalf("Rows = (%d rows, %v), want %d", len(rows), err, len(want))
+	}
+}

@@ -3,7 +3,9 @@
 // and ORDERS columns used by queries Q1, Q6 and Q12, a qgen-style
 // random-variant generator, and implementations of the three queries over
 // each of the paper's four execution modes (plain scans, pre-sorted
-// projections, sideways-style cracking, holistic indexing).
+// projections, sideways-style cracking, holistic indexing). Q6 runs as
+// a real three-predicate conjunction with selectivity-ordered planning
+// and late tuple reconstruction (see Runner.Q6).
 //
 // Representation follows fixed-width column-store practice: dates are day
 // numbers since 1992-01-01, money is cents, discount/tax are basis

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"holistic/internal/column"
 	"holistic/internal/cpu"
 	"holistic/internal/cracking"
 	"holistic/internal/holistic"
@@ -69,6 +70,16 @@ type Runner struct {
 	mu       sync.Mutex
 	proj     map[string]*projection
 	crackers map[string]*cracking.Column
+	// rowCrackers are plain rowid-carrying crackers (no payloads), one
+	// per conjunct attribute of Q6: the access paths of the conjunctive
+	// select→probe→fetch pipeline. Keyed by attribute; registered with
+	// the daemon under "<attr>.rows" to coexist with the sideways
+	// crackers.
+	rowCrackers map[string]*cracking.Column
+	// domains caches raw-slice min/max per attribute for the uniform
+	// selectivity estimates of the Q6 planner.
+	domains map[string][2]int64
+	threads int
 
 	reg    *stats.Registry
 	daemon *holistic.Daemon
@@ -96,11 +107,17 @@ type RunnerConfig struct {
 // first query pays it lazily).
 func NewRunner(data *Data, mode Mode, cfg RunnerConfig) *Runner {
 	r := &Runner{
-		data:     data,
-		mode:     mode,
-		li:       make(map[string][]int64),
-		proj:     make(map[string]*projection),
-		crackers: make(map[string]*cracking.Column),
+		data:        data,
+		mode:        mode,
+		li:          make(map[string][]int64),
+		proj:        make(map[string]*projection),
+		crackers:    make(map[string]*cracking.Column),
+		rowCrackers: make(map[string]*cracking.Column),
+		domains:     make(map[string][2]int64),
+		threads:     cfg.Contexts,
+	}
+	if r.threads < 1 {
+		r.threads = 1
 	}
 	for _, name := range data.Lineitem.ColumnNames() {
 		r.li[name] = data.Lineitem.Column(name).Values()
@@ -322,45 +339,168 @@ func (r *Runner) Q1(delta int64) []Q1Row {
 	return out
 }
 
+// conjPred is one range conjunct over a LINEITEM attribute: lo <= attr
+// < hi.
+type conjPred struct {
+	attr   string
+	lo, hi int64
+}
+
+// attrDomain caches the min/max of one raw column for the uniform
+// selectivity estimates of the Q6 planner.
+func (r *Runner) attrDomain(attr string) (lo, hi int64) {
+	r.mu.Lock()
+	d, ok := r.domains[attr]
+	r.mu.Unlock()
+	if ok {
+		return d[0], d[1]
+	}
+	lo, hi = column.Bounds(r.li[attr])
+	r.mu.Lock()
+	r.domains[attr] = [2]int64{lo, hi}
+	r.mu.Unlock()
+	return lo, hi
+}
+
+// planConj orders the conjuncts most selective first under a uniform
+// estimate over each attribute's observed domain.
+func (r *Runner) planConj(preds []conjPred) []conjPred {
+	ests := make([]float64, len(preds))
+	for i, p := range preds {
+		dLo, dHi := r.attrDomain(p.attr)
+		ests[i] = column.UniformEstimate(1, dLo, dHi, p.lo, p.hi)
+	}
+	idx := make([]int, len(preds))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return ests[idx[a]] < ests[idx[b]] })
+	out := make([]conjPred, len(preds))
+	for i, j := range idx {
+		out[i] = preds[j]
+	}
+	return out
+}
+
+// rowCracker returns (building if needed) the plain rowid-carrying
+// cracker on attr used by the conjunctive Q6 pipeline; under the
+// holistic mode it joins the daemon's index space as "<attr>.rows".
+func (r *Runner) rowCracker(attr string) *cracking.Column {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.rowCrackers[attr]; ok {
+		return c
+	}
+	c := cracking.New(attr, r.li[attr], cracking.Config{WithRows: true, Seed: int64(len(r.rowCrackers))})
+	r.rowCrackers[attr] = c
+	if r.reg != nil {
+		r.reg.Add(attr+".rows", c, false)
+	}
+	return c
+}
+
+// RowCracker exposes the conjunctive cracker for telemetry (nil before
+// first use).
+func (r *Runner) RowCracker(attr string) *cracking.Column {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rowCrackers[attr]
+}
+
 // Q6 runs the forecasting revenue change query: sum(extprice * discount)
 // over lines shipped in `year` with discount within ±1% of `discount`
-// (basis points) and quantity < `quantity`. Revenue is returned in cents.
+// (basis points) and quantity < `quantity`. Revenue is returned in
+// cents.
+//
+// Q6 is a real three-predicate conjunction over l_shipdate, l_discount
+// and l_quantity, evaluated with the select→probe→fetch pipeline of the
+// query subsystem: the planner orders the conjuncts by estimated
+// selectivity, the most selective one runs through the mode's access
+// path (scan / sorted projection / rowid cracker), the remaining
+// conjuncts refine the candidate positions by positional probes, and
+// the revenue attributes are fetched late. Under the holistic mode
+// every conjunct attribute is admitted to the daemon's index space, so
+// background refinement spreads across all three columns.
 func (r *Runner) Q6(year int, discount, quantity int64) int64 {
 	loDay, hiDay := YearDay(year), YearDay(year+1)
 	dLo, dHi := discount-100, discount+100
+	preds := []conjPred{
+		{"l_shipdate", loDay, hiDay},
+		{"l_discount", dLo, dHi + 1},
+		{"l_quantity", 0, quantity},
+	}
+	plan := r.planConj(preds)
 
-	ship := r.li["l_shipdate"]
-	qty := r.li["l_quantity"]
-	ext := r.li["l_extendedprice"]
-	disc := r.li["l_discount"]
-
-	var revenue int64
+	var sel column.PosList
+	residual := plan[1:]
+	var ext, disc []int64
 	switch r.mode {
 	case ModeScan:
-		for i, s := range ship {
-			if s >= loDay && s < hiDay && disc[i] >= dLo && disc[i] <= dHi && qty[i] < quantity {
-				revenue += ext[i] * disc[i] / 10000
-			}
-		}
+		d := plan[0]
+		sel = column.ParallelScanRange(r.li[d.attr], d.lo, d.hi, r.threads)
+		ext, disc = r.li["l_extendedprice"], r.li["l_discount"]
 	case ModePresorted:
+		// The pre-sorted projection is ordered on l_shipdate, so that
+		// conjunct drives via binary search regardless of plan order;
+		// the others probe the projection's aligned columns. Positions
+		// are projection positions, not base row ids. The first probe
+		// runs fused over the contiguous window, so no identity
+		// position list is ever materialized.
 		p := r.projection("l_shipdate")
 		start := sort.Search(len(p.sortKey), func(i int) bool { return p.sortKey[i] >= loDay })
 		end := sort.Search(len(p.sortKey), func(i int) bool { return p.sortKey[i] >= hiDay })
-		pq, pe, pd := p.cols["l_quantity"], p.cols["l_extendedprice"], p.cols["l_discount"]
-		for i := start; i < end; i++ {
-			if pd[i] >= dLo && pd[i] <= dHi && pq[i] < quantity {
-				revenue += pe[i] * pd[i] / 10000
+		var rest []conjPred
+		for _, q := range plan {
+			if q.attr != "l_shipdate" {
+				rest = append(rest, q)
 			}
 		}
-	case ModeCracking, ModeHolistic:
-		r.selectPayloads("l_shipdate", loDay, hiDay, func(_ []int64, pl [][]int64) {
-			pq, pe, pd := pl[0], pl[1], pl[2]
-			for i := range pq {
-				if pd[i] >= dLo && pd[i] <= dHi && pq[i] < quantity {
-					revenue += pe[i] * pd[i] / 10000
+		residual = nil
+		if len(rest) == 0 {
+			sel = make(column.PosList, 0, end-start)
+			for i := start; i < end; i++ {
+				sel = append(sel, column.Pos(i))
+			}
+		} else {
+			first := rest[0]
+			vals := p.cols[first.attr]
+			sel = make(column.PosList, 0, (end-start)/4+1)
+			for i := start; i < end; i++ {
+				if v := vals[i]; v >= first.lo && v < first.hi {
+					sel = append(sel, column.Pos(i))
 				}
 			}
-		})
+			for _, q := range rest[1:] {
+				sel = column.ParallelFilterRows(p.cols[q.attr], sel, q.lo, q.hi, r.threads)
+			}
+		}
+		ext, disc = p.cols["l_extendedprice"], p.cols["l_discount"]
+	case ModeCracking, ModeHolistic:
+		if r.acct != nil {
+			r.acct.Acquire(1)
+			defer r.acct.Release(1)
+		}
+		c := r.rowCracker(plan[0].attr)
+		rg, rows := c.SelectRows(plan[0].lo, plan[0].hi)
+		if r.reg != nil {
+			r.reg.RecordAccess(plan[0].attr+".rows", rg.ExactHit())
+			// Every other conjunct joins the index space too, so the
+			// daemon's refinement spreads across all touched columns.
+			for _, q := range residual {
+				r.rowCracker(q.attr)
+				r.reg.RecordAccess(q.attr+".rows", false)
+			}
+		}
+		sel = rows
+		ext, disc = r.li["l_extendedprice"], r.li["l_discount"]
+	}
+	for _, q := range residual {
+		sel = column.ParallelFilterRows(r.li[q.attr], sel, q.lo, q.hi, r.threads)
+	}
+
+	var revenue int64
+	for _, pos := range sel {
+		revenue += ext[pos] * disc[pos] / 10000
 	}
 	return revenue
 }

@@ -190,8 +190,8 @@ func TestHolisticRunnerRefinesInBackground(t *testing.T) {
 		Interval: time.Millisecond, Refinements: 16, Seed: 2, L1Values: 128,
 	})
 	defer r.Close()
-	r.Q6(1994, 500, 25) // creates the shipdate cracker
-	c := r.Cracker("l_shipdate")
+	r.Q6(1994, 500, 25) // creates the conjunctive shipdate cracker
+	c := r.RowCracker("l_shipdate")
 	if c == nil {
 		t.Fatal("no cracker after Q6")
 	}
@@ -259,10 +259,10 @@ func TestSidewaysCrackerGrowsWithVariants(t *testing.T) {
 	}
 	prev := 0
 	for _, v := range Variants(10, 12) {
-		r.Q6(v.Q6Year, v.Q6Discount, v.Q6Quantity)
+		r.Q1(v.Q1Delta)
 		c := r.Cracker("l_shipdate")
 		if c == nil {
-			t.Fatal("no cracker after Q6")
+			t.Fatal("no sideways cracker after Q1")
 		}
 		if c.Pieces() < prev {
 			t.Fatalf("pieces shrank: %d -> %d", prev, c.Pieces())
@@ -275,6 +275,44 @@ func TestSidewaysCrackerGrowsWithVariants(t *testing.T) {
 	names := r.Cracker("l_shipdate").PayloadNames()
 	if len(names) != len(sidewaysPayloads["l_shipdate"]) {
 		t.Fatalf("payload names = %v", names)
+	}
+}
+
+// TestConjunctiveQ6Crackers: under the cracking modes Q6 drives its most
+// selective conjunct through a rowid cracker that grows with variants,
+// and under the holistic mode all three conjunct attributes join the
+// index space.
+func TestConjunctiveQ6Crackers(t *testing.T) {
+	d := Generate(3000, 11)
+	r := NewRunner(d, ModeCracking, RunnerConfig{})
+	defer r.Close()
+	prev := 0
+	for _, v := range Variants(10, 12) {
+		r.Q6(v.Q6Year, v.Q6Discount, v.Q6Quantity)
+		c := r.RowCracker("l_shipdate")
+		if c == nil {
+			t.Fatal("no rowid cracker after Q6 (shipdate should drive)")
+		}
+		if c.Pieces() < prev {
+			t.Fatalf("pieces shrank: %d -> %d", prev, c.Pieces())
+		}
+		prev = c.Pieces()
+	}
+	if prev < 3 {
+		t.Fatalf("cracker barely refined: %d pieces after 10 variants", prev)
+	}
+	// Non-driving conjuncts never built an index under plain cracking.
+	if r.RowCracker("l_discount") != nil || r.RowCracker("l_quantity") != nil {
+		t.Fatal("plain cracking built indexes for non-driving conjuncts")
+	}
+
+	h := NewRunner(d, ModeHolistic, RunnerConfig{Interval: time.Millisecond, Refinements: 4, Seed: 3, L1Values: 256})
+	defer h.Close()
+	h.Q6(1994, 500, 25)
+	for _, attr := range []string{"l_shipdate", "l_discount", "l_quantity"} {
+		if h.RowCracker(attr) == nil {
+			t.Errorf("holistic mode did not admit %s to the index space", attr)
+		}
 	}
 }
 

@@ -20,8 +20,14 @@ type Op struct {
 	Delete bool
 	// Value is the attribute value inserted or deleted.
 	Value int64
-	// Row is the base row id of an insertion (unused for deletions).
+	// Row is the base row id of an insertion, or — when HasRow is set —
+	// of the specific tuple a deletion targets.
 	Row uint32
+	// HasRow marks a row-targeted deletion: the merge removes exactly
+	// (Value, Row) from a rowid-carrying cracker instead of an
+	// unspecified occurrence of Value, keeping value-duplicate deletes
+	// consistent with the row-level overlay conjunctive probes read.
+	HasRow bool
 }
 
 // Pending buffers the not-yet-merged updates of one attribute in arrival
@@ -42,18 +48,30 @@ func (p *Pending) AddInsert(v int64, row uint32) {
 	p.mu.Unlock()
 }
 
-// AddDelete buffers a pending deletion.
+// AddDelete buffers a pending deletion of an unspecified occurrence of
+// v (value/multiset semantics).
 func (p *Pending) AddDelete(v int64) {
 	p.mu.Lock()
 	p.ops = append(p.ops, Op{Delete: true, Value: v})
 	p.mu.Unlock()
 }
 
-// AddUpdate buffers an update as a deletion followed by an insertion, the
-// paper's definition of an update.
+// AddDeleteRow buffers a pending deletion of the tuple (v, row): the
+// merge removes exactly that row when the cracker carries rowids.
+func (p *Pending) AddDeleteRow(v int64, row uint32) {
+	p.mu.Lock()
+	p.ops = append(p.ops, Op{Delete: true, Value: v, Row: row, HasRow: true})
+	p.mu.Unlock()
+}
+
+// AddUpdate buffers an update as a deletion followed by an insertion at
+// the same row id, the paper's definition of an update with tuple
+// identity preserved.
 func (p *Pending) AddUpdate(oldV, newV int64, row uint32) {
 	p.mu.Lock()
-	p.ops = append(p.ops, Op{Delete: true, Value: oldV}, Op{Value: newV, Row: row})
+	p.ops = append(p.ops,
+		Op{Delete: true, Value: oldV, Row: row, HasRow: true},
+		Op{Value: newV, Row: row})
 	p.mu.Unlock()
 }
 
@@ -99,13 +117,21 @@ func (p *Pending) MergeRange(col *cracking.Column, lo, hi int64) int {
 	}
 	p.ops = kept
 	for _, op := range toMerge {
-		if op.Delete {
-			col.MergeDelete(op.Value)
-		} else {
-			col.MergeInsert(op.Value, op.Row)
-		}
+		merge(col, op)
 	}
 	return len(toMerge)
+}
+
+// merge applies one operation to the cracker column.
+func merge(col *cracking.Column, op Op) {
+	switch {
+	case !op.Delete:
+		col.MergeInsert(op.Value, op.Row)
+	case op.HasRow:
+		col.MergeDeleteRow(op.Value, op.Row)
+	default:
+		col.MergeDelete(op.Value)
+	}
 }
 
 // MergeAll merges every pending operation into col.
@@ -115,11 +141,7 @@ func (p *Pending) MergeAll(col *cracking.Column) int {
 	toMerge := p.ops
 	p.ops = nil
 	for _, op := range toMerge {
-		if op.Delete {
-			col.MergeDelete(op.Value)
-		} else {
-			col.MergeInsert(op.Value, op.Row)
-		}
+		merge(col, op)
 	}
 	return len(toMerge)
 }

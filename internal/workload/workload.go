@@ -236,6 +236,124 @@ func attrPicker(attrs int, s float64, rng *rand.Rand) func() int {
 	}
 }
 
+// ConjQuery is one conjunctive range selection: the AND of Preds, each
+// a range predicate on a distinct attribute — the multi-attribute
+// workload form the holistic daemon is built for (a query touches
+// several columns; refinement should spread across all of them).
+type ConjQuery struct {
+	Preds []Query
+}
+
+// ConjConfig parameterizes a conjunctive workload. The embedded Config
+// drives the predicate-value pattern, domain, attribute popularity and
+// range widths exactly as for single-predicate workloads.
+type ConjConfig struct {
+	Config
+	// PredDist is the attribute-count distribution: PredDist[i] is the
+	// relative weight of queries with i+1 conjuncts. Defaults to
+	// {0, 1, 1} — an even mix of two- and three-predicate queries.
+	// Entries beyond Attrs are ignored (a query cannot have more
+	// distinct conjunct attributes than there are attributes).
+	PredDist []float64
+}
+
+// GenerateConjunctive builds a conjunctive query sequence: each query
+// draws its conjunct count from PredDist, its (distinct) attributes
+// from the configured popularity distribution, and its predicate ranges
+// from the pattern series — one independent series per conjunct slot,
+// so every conjunct follows the workload pattern.
+func GenerateConjunctive(cfg ConjConfig) []ConjQuery {
+	if cfg.Domain <= 0 {
+		cfg.Domain = 1 << 30
+	}
+	if cfg.Attrs <= 0 {
+		cfg.Attrs = 1
+	}
+	if cfg.MaxWidthFrac <= 0 {
+		cfg.MaxWidthFrac = 0.1
+	}
+	dist := cfg.PredDist
+	if len(dist) == 0 {
+		dist = []float64{0, 1, 1}
+	}
+	if len(dist) > cfg.Attrs {
+		dist = dist[:cfg.Attrs]
+	}
+	total := 0.0
+	for _, w := range dist {
+		if w > 0 {
+			total += w
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 2))
+	drawCount := func() int {
+		if total <= 0 {
+			return 1
+		}
+		u := rng.Float64() * total
+		for i, w := range dist {
+			if w <= 0 {
+				continue
+			}
+			u -= w
+			if u <= 0 {
+				return i + 1
+			}
+		}
+		return len(dist)
+	}
+
+	// One predicate-value series per conjunct slot keeps every conjunct
+	// on the configured pattern.
+	maxK := len(dist)
+	series := make([][]int64, maxK)
+	for k := range series {
+		series[k] = PredicateSeries(cfg.Pattern, cfg.Queries, cfg.Domain, cfg.Seed+int64(100*k))
+	}
+	attrPick := attrPicker(cfg.Attrs, cfg.AttrZipf, rng)
+	maxWidth := int64(cfg.MaxWidthFrac * float64(cfg.Domain))
+	if maxWidth < 1 {
+		maxWidth = 1
+	}
+
+	out := make([]ConjQuery, cfg.Queries)
+	for i := range out {
+		k := drawCount()
+		used := make(map[int]bool, k)
+		preds := make([]Query, 0, k)
+		for len(preds) < k {
+			a := attrPick()
+			if used[a] {
+				// Distinct attributes per query; with a skewed picker a
+				// rejection loop could stall, so fall back to a linear
+				// probe for the next unused attribute.
+				for n := 0; used[a] && n < cfg.Attrs; n++ {
+					a = (a + 1) % cfg.Attrs
+				}
+			}
+			used[a] = true
+			v := series[len(preds)][i]
+			q := Query{Attr: a}
+			if cfg.OneSided {
+				q.Lo, q.Hi = 0, v+1
+			} else {
+				width := rng.Int63n(maxWidth) + 1
+				q.Lo = v
+				q.Hi = v + width
+				if q.Hi > cfg.Domain {
+					q.Hi = cfg.Domain
+				}
+				if q.Lo >= q.Hi {
+					q.Lo = q.Hi - 1
+				}
+			}
+			preds = append(preds, q)
+		}
+		out[i] = ConjQuery{Preds: preds}
+	}
+	return out
+}
+
 // UniformColumn generates n uniformly distributed values over [0, domain)
 // — the base data of every synthetic experiment ("each attribute consists
 // of 2^30 uniformly distributed integers").

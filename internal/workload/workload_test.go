@@ -263,3 +263,72 @@ func TestQuickGeneratedQueriesWellFormed(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestGenerateConjunctive(t *testing.T) {
+	cfg := ConjConfig{
+		Config: Config{
+			Pattern: Random,
+			Queries: 2000,
+			Domain:  1 << 20,
+			Attrs:   5,
+			Seed:    11,
+		},
+		PredDist: []float64{0, 3, 1}, // 75% two conjuncts, 25% three
+	}
+	qs := GenerateConjunctive(cfg)
+	if len(qs) != cfg.Queries {
+		t.Fatalf("generated %d queries, want %d", len(qs), cfg.Queries)
+	}
+	counts := map[int]int{}
+	for qi, q := range qs {
+		counts[len(q.Preds)]++
+		seen := map[int]bool{}
+		for _, p := range q.Preds {
+			if p.Attr < 0 || p.Attr >= cfg.Attrs {
+				t.Fatalf("query %d: attr %d out of range", qi, p.Attr)
+			}
+			if seen[p.Attr] {
+				t.Fatalf("query %d: attribute %d repeated", qi, p.Attr)
+			}
+			seen[p.Attr] = true
+			if p.Lo >= p.Hi || p.Lo < 0 || p.Hi > cfg.Domain {
+				t.Fatalf("query %d: bad range [%d, %d)", qi, p.Lo, p.Hi)
+			}
+		}
+	}
+	if counts[1] != 0 {
+		t.Errorf("PredDist weight 0 still produced %d single-conjunct queries", counts[1])
+	}
+	two, three := float64(counts[2]), float64(counts[3])
+	if two == 0 || three == 0 {
+		t.Fatalf("conjunct counts missing: %v", counts)
+	}
+	if ratio := two / three; ratio < 2 || ratio > 4.5 {
+		t.Errorf("two/three ratio = %.2f, want ~3", ratio)
+	}
+	// Reproducible under the same seed.
+	qs2 := GenerateConjunctive(cfg)
+	for i := range qs {
+		if len(qs[i].Preds) != len(qs2[i].Preds) {
+			t.Fatal("conjunctive workload not reproducible")
+		}
+		for j := range qs[i].Preds {
+			if qs[i].Preds[j] != qs2[i].Preds[j] {
+				t.Fatal("conjunctive workload not reproducible")
+			}
+		}
+	}
+}
+
+func TestGenerateConjunctiveDistCappedByAttrs(t *testing.T) {
+	cfg := ConjConfig{
+		Config:   Config{Pattern: Random, Queries: 200, Domain: 1 << 16, Attrs: 2, Seed: 3},
+		PredDist: []float64{0, 0, 0, 1}, // asks for 4 conjuncts; only 2 attrs exist
+	}
+	qs := GenerateConjunctive(cfg)
+	for _, q := range qs {
+		if len(q.Preds) > 2 {
+			t.Fatalf("query with %d conjuncts on a 2-attribute config", len(q.Preds))
+		}
+	}
+}
