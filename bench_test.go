@@ -40,8 +40,11 @@ func benchParams() bench.Params {
 var printOnce sync.Map
 
 // runExperiment executes one registered experiment per iteration.
+// ReportAllocs is on for every experiment so allocation regressions on
+// the query paths show up in the -bench output without extra flags.
 func runExperiment(b *testing.B, name string) {
 	b.Helper()
+	b.ReportAllocs()
 	p := benchParams()
 	for i := 0; i < b.N; i++ {
 		res, err := bench.Run(name, p)
@@ -112,6 +115,12 @@ func BenchmarkAggregateWorkload(b *testing.B) { runExperiment(b, "agg") }
 // Conjunctive multi-predicate workload: selectivity-ordered planning and
 // late tuple reconstruction through Store.Query (new, beyond the paper).
 func BenchmarkConjunctiveWorkload(b *testing.B) { runExperiment(b, "conj") }
+
+// Selection-vector representation sweep: bitmap vs position-list
+// intermediates across driving selectivity, validating the crossover
+// (new, beyond the paper). Per-query allocation evidence lives in
+// internal/query's BenchmarkConjunctiveCount/BenchmarkConjunctiveSum.
+func BenchmarkSelVecCrossover(b *testing.B) { runExperiment(b, "selvec") }
 
 // Ablations of DESIGN.md's called-out design decisions.
 func BenchmarkAblationPivotChoice(b *testing.B) { runExperiment(b, "ablation-pivot") }

@@ -9,6 +9,7 @@
 //	holisticbench -list                        # enumerate experiments
 //	holisticbench -experiment fig12 -columns 4194304 -queries 1000
 //	holisticbench -experiment agg              # aggregate pushdown (Q6-style)
+//	holisticbench -experiment conj -cpuprofile cpu.out -memprofile mem.out
 //
 // Scale defaults target a laptop-class machine; EXPERIMENTS.md records a
 // full run and compares each result against the paper.
@@ -19,12 +20,20 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"holistic/internal/bench"
 )
 
+// main delegates to run so deferred profile writers flush on every
+// exit path — os.Exit would skip them and truncate the profiles.
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	defaults := bench.DefaultParams()
 	var (
 		experiment  = flag.String("experiment", "all", "experiment name (see -list) or 'all'")
@@ -40,14 +49,44 @@ func main() {
 		tpchOrders  = flag.Int("tpch-orders", defaults.TPCHOrders, "ORDERS cardinality for fig14")
 		seed        = flag.Int64("seed", defaults.Seed, "random seed")
 		jsonPath    = flag.String("json", "", "also write the results as a JSON array to this file")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memProfile  = flag.String("memprofile", "", "write a heap profile taken after the run to this file")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "holisticbench: cpuprofile:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "holisticbench: cpuprofile:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "holisticbench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "holisticbench: memprofile:", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, e := range bench.Experiments() {
 			fmt.Printf("%-16s %s\n", e.Name, e.Title)
 		}
-		return
+		return 0
 	}
 
 	p := bench.Params{
@@ -78,7 +117,7 @@ func main() {
 		res, err := bench.Run(name, p)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "holisticbench:", err)
-			os.Exit(1)
+			return 1
 		}
 		res.Fprint(os.Stdout)
 		results = append(results, res)
@@ -93,8 +132,9 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "holisticbench: write json:", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("wrote %s\n", *jsonPath)
 	}
+	return 0
 }

@@ -413,7 +413,11 @@ func (s *Store) runner() (*query.Runner, error) {
 // otherwise), evaluates the most selective conjunct through the mode's
 // native access path, and refines the resulting candidate rows against
 // the remaining conjuncts by positional probes into the base data (late
-// tuple reconstruction). Under ModeHolistic every conjunct also feeds
+// tuple reconstruction). The intermediate selection vector is chosen
+// per query from those estimates: dense driving conjuncts flow through
+// pooled word-packed bitmaps (branch-free intersection, popcount
+// counts, zero steady-state allocations), sparse ones through position
+// lists (DESIGN.md §5). Under ModeHolistic every conjunct also feeds
 // the daemon's index space, so background refinement spreads across all
 // touched attributes. Pending inserts/deletes/updates are merged so
 // results stay correct; rows lacking a value in a referenced attribute

@@ -248,6 +248,29 @@ func (x *Index) SelectRows(lo, hi int64) (rows []uint32, ok bool) {
 	return rows, true
 }
 
+// SelectRowsFunc cracks every chunk in parallel on [lo, hi) and streams
+// each chunk's qualifying chunk-local rowids to fn together with the
+// chunk's base-position offset, without materializing anything. fn is
+// invoked concurrently from the per-chunk cracking goroutines and must
+// synchronize its own writes (chunk position spans are disjoint but may
+// share a boundary word in packed representations); it must not retain
+// the slice. ok is false when any chunk was built without rowids.
+func (x *Index) SelectRowsFunc(lo, hi int64, fn func(off uint32, rows []uint32)) bool {
+	for _, c := range x.chunks {
+		if !c.HasRows() {
+			return false
+		}
+	}
+	x.forEachChunk(lo, hi, func(i int, c *cracking.Column) cracking.Range {
+		off := uint32(x.offsets[i])
+		r, _ := c.SelectRowsFunc(lo, hi, func(rows []uint32) {
+			fn(off, rows)
+		})
+		return r
+	})
+	return true
+}
+
 // consolidate copies the qualifying values of a never-before-seen value
 // range into one contiguous array, so downstream operators can run tight
 // loops over it. Each value range is written by a single query only

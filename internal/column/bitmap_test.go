@@ -1,0 +1,372 @@
+package column
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// boundaryLens are the column lengths the differential tests sweep:
+// empty, sub-word, exact words and non-multiple-of-64 tails.
+var boundaryLens = []int{0, 1, 63, 64, 65, 127, 128, 129, 1000, 4096}
+
+func randVals(n int, domain int64, seed int64) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = rng.Int63n(domain)
+	}
+	return vals
+}
+
+func posListEqual(a, b PosList) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestScanRangeBitmapMatchesPosList: the bitmap select agrees with the
+// scalar PosList oracle at every boundary length.
+func TestScanRangeBitmapMatchesPosList(t *testing.T) {
+	const domain = 1000
+	for _, n := range boundaryLens {
+		vals := randVals(n, domain, int64(n)+1)
+		rng := rand.New(rand.NewSource(int64(n)))
+		bm := NewBitmap(0)
+		for q := 0; q < 20; q++ {
+			lo := rng.Int63n(domain)
+			hi := lo + rng.Int63n(domain-lo) + 1
+			want := ScanRange(vals, lo, hi)
+
+			ScanRangeBitmap(vals, lo, hi, bm)
+			if got := bm.Count(); got != len(want) {
+				t.Fatalf("n=%d [%d,%d): Count = %d, want %d", n, lo, hi, got, len(want))
+			}
+			if got := bm.AppendPositions(nil); !posListEqual(got, want) {
+				t.Fatalf("n=%d [%d,%d): positions %v, want %v", n, lo, hi, got, want)
+			}
+
+			ParallelScanRangeBitmap(vals, lo, hi, bm, 4)
+			if got := bm.AppendPositions(nil); !posListEqual(got, want) {
+				t.Fatalf("n=%d [%d,%d): parallel positions diverge", n, lo, hi)
+			}
+		}
+	}
+}
+
+// TestFilterBitmapMatchesFilterRows: bitmap residual filtering agrees
+// with the PosList probe kernel, including positions beyond the base
+// array (dropped by both) and the dense branch-free word path.
+func TestFilterBitmapMatchesFilterRows(t *testing.T) {
+	const domain = 100 // small domain => dense words exercise the branch-free lane path
+	for _, n := range boundaryLens {
+		if n == 0 {
+			continue
+		}
+		vals := randVals(n, domain, int64(n)+2)
+		short := vals[:n-n/4] // probe array shorter than the universe
+		rng := rand.New(rand.NewSource(int64(n) * 7))
+		bm := NewBitmap(0)
+		for q := 0; q < 20; q++ {
+			dLo := rng.Int63n(domain)
+			dHi := dLo + rng.Int63n(domain-dLo) + 1
+			fLo := rng.Int63n(domain)
+			fHi := fLo + rng.Int63n(domain-fLo) + 1
+			for _, probe := range [][]int64{vals, short} {
+				drive := ScanRange(vals, dLo, dHi)
+				want := FilterRows(probe, drive, fLo, fHi)
+
+				ScanRangeBitmap(vals, dLo, dHi, bm)
+				FilterBitmap(probe, bm, fLo, fHi)
+				if got := bm.AppendPositions(nil); !posListEqual(got, want) {
+					t.Fatalf("n=%d drive[%d,%d) filter[%d,%d) len(probe)=%d: %v, want %v",
+						n, dLo, dHi, fLo, fHi, len(probe), got, want)
+				}
+
+				ScanRangeBitmap(vals, dLo, dHi, bm)
+				ParallelFilterBitmap(probe, bm, fLo, fHi, 4)
+				if got := bm.AppendPositions(nil); !posListEqual(got, want) {
+					t.Fatalf("n=%d: parallel filter diverges", n)
+				}
+
+				if got := FilterRowsInPlace(probe, append(PosList(nil), drive...), fLo, fHi); !posListEqual(got, want) {
+					t.Fatalf("n=%d: FilterRowsInPlace diverges", n)
+				}
+			}
+		}
+	}
+}
+
+// TestBitmapFetchSumMatchOracle: gather and fold over set bits agree
+// with Project/SumRows over the equivalent position list.
+func TestBitmapFetchSumMatchOracle(t *testing.T) {
+	vals := randVals(1000, 1<<20, 9)
+	bm := NewBitmap(0)
+	ScanRangeBitmap(vals, 1<<18, 1<<19, bm)
+	sel := bm.AppendPositions(nil)
+
+	wantVals := Project(vals, sel)
+	gotVals := FetchBitmapAppend(vals, bm, nil)
+	if len(gotVals) != len(wantVals) {
+		t.Fatalf("fetch %d values, want %d", len(gotVals), len(wantVals))
+	}
+	for i := range gotVals {
+		if gotVals[i] != wantVals[i] {
+			t.Fatalf("fetch[%d] = %d, want %d", i, gotVals[i], wantVals[i])
+		}
+	}
+	if got, want := SumBitmap(vals, bm), SumRows(vals, sel); got != want {
+		t.Fatalf("SumBitmap = %d, want %d", got, want)
+	}
+	if got, want := ParallelSumRows(vals, sel, 4), SumRows(vals, sel); got != want {
+		t.Fatalf("ParallelSumRows = %d, want %d", got, want)
+	}
+}
+
+// TestBitmapSetOps: And/AndNot/ClearFrom/SetRows/Test behave as the
+// set-algebra definitions say, across word boundaries.
+func TestBitmapSetOps(t *testing.T) {
+	a := NewBitmap(130)
+	b := NewBitmap(130)
+	for p := 0; p < 130; p += 2 {
+		a.Set(Pos(p))
+	}
+	for p := 0; p < 130; p += 3 {
+		b.Set(Pos(p))
+	}
+	a.And(b)
+	for p := 0; p < 130; p++ {
+		want := p%6 == 0
+		if a.Test(Pos(p)) != want {
+			t.Fatalf("And: bit %d = %v, want %v", p, a.Test(Pos(p)), want)
+		}
+	}
+	a.AndNot(b) // a ∩ b minus b = empty
+	if a.Count() != 0 {
+		t.Fatalf("AndNot left %d bits", a.Count())
+	}
+	a.SetRows([]uint32{0, 63, 64, 129})
+	a.ClearFrom(64)
+	if a.Count() != 2 || !a.Test(0) || !a.Test(63) || a.Test(64) || a.Test(129) {
+		t.Fatalf("ClearFrom(64): wrong survivors (count %d)", a.Count())
+	}
+	a.ClearFrom(1000) // beyond Len: no-op
+	if a.Count() != 2 {
+		t.Fatalf("ClearFrom beyond Len changed the bitmap")
+	}
+	// Mismatched universes: And clears positions beyond the smaller
+	// operand, AndNot leaves them alone.
+	small := NewBitmap(64)
+	small.Set(0)
+	wide := NewBitmap(130)
+	wide.SetRows([]uint32{0, 63, 129})
+	wide.And(small)
+	if wide.Count() != 1 || !wide.Test(0) {
+		t.Fatalf("And with smaller universe: %d bits", wide.Count())
+	}
+	wide.SetRows([]uint32{63, 129})
+	wide.AndNot(small)
+	if wide.Count() != 2 || wide.Test(0) || !wide.Test(63) || !wide.Test(129) {
+		t.Fatalf("AndNot with smaller universe: %d bits", wide.Count())
+	}
+	if !wide.Any() {
+		t.Fatalf("Any on non-empty bitmap = false")
+	}
+	wide.Reset(130)
+	if wide.Any() {
+		t.Fatalf("Any on empty bitmap = true")
+	}
+	if a.Test(Pos(5000)) {
+		t.Fatalf("Test beyond Len returned true")
+	}
+}
+
+// TestBitmapSetRowsExtend: row ids at or beyond the sized universe grow
+// the bitmap instead of corrupting memory (the adaptive select path's
+// concurrent-insert hazard), preserving existing bits.
+func TestBitmapSetRowsExtend(t *testing.T) {
+	b := NewBitmap(64)
+	b.Set(10)
+	b.SetRowsExtend([]uint32{63, 64, 200})
+	if b.Len() != 201 {
+		t.Fatalf("Len = %d, want 201", b.Len())
+	}
+	for _, p := range []Pos{10, 63, 64, 200} {
+		if !b.Test(p) {
+			t.Fatalf("bit %d lost", p)
+		}
+	}
+	if b.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", b.Count())
+	}
+	// Within-range ids keep the plain path.
+	b.SetRowsExtend([]uint32{0})
+	if b.Len() != 201 || !b.Test(0) {
+		t.Fatalf("in-range extend misbehaved")
+	}
+}
+
+// TestViewBitmapWithOverlay: the overlay-aware bitmap filter, presence
+// filter, sum and fetch agree with the PosList forms of the same View.
+func TestViewBitmapWithOverlay(t *testing.T) {
+	base := randVals(200, 1000, 11)
+	v := View{
+		Base:    base,
+		Tail:    []int64{5, 500, 995},
+		Deleted: map[Pos]struct{}{3: {}, 64: {}, 201: {}},
+		Updated: map[Pos]int64{10: 123, 127: 456},
+	}
+	universe := len(base) + len(v.Tail)
+	all := make(PosList, universe)
+	for i := range all {
+		all[i] = Pos(i)
+	}
+	bm := NewBitmap(universe)
+	for i := 0; i < universe; i++ {
+		bm.Set(Pos(i))
+	}
+
+	wantSel := v.FilterRows(all, 100, 600, 1)
+	v.FilterBitmap(bm, 100, 600, 1)
+	if got := bm.AppendPositions(nil); !posListEqual(got, wantSel) {
+		t.Fatalf("View.FilterBitmap: %v, want %v", got, wantSel)
+	}
+	v.PresentBitmap(bm) // filtered rows are present by construction: no-op
+	if got := bm.AppendPositions(nil); !posListEqual(got, wantSel) {
+		t.Fatalf("View.PresentBitmap dropped present rows")
+	}
+	var wantSum int64
+	for _, val := range v.FetchRows(wantSel, 1) {
+		wantSum += val
+	}
+	if got := v.SumBitmap(bm); got != wantSum {
+		t.Fatalf("View.SumBitmap = %d, want %d", got, wantSum)
+	}
+	if got := v.SumRows(wantSel, 1); got != wantSum {
+		t.Fatalf("View.SumRows = %d, want %d", got, wantSum)
+	}
+	gotVals := v.FetchBitmap(bm, nil)
+	wantVals := v.FetchRows(wantSel, 1)
+	for i := range wantVals {
+		if gotVals[i] != wantVals[i] {
+			t.Fatalf("View.FetchBitmap[%d] = %d, want %d", i, gotVals[i], wantVals[i])
+		}
+	}
+
+	// Presence filter alone drops deletions and keeps the tail.
+	bm2 := NewBitmap(universe + 5)
+	for i := 0; i < universe+5; i++ {
+		bm2.Set(Pos(i))
+	}
+	wantPresent := v.PresentRows(append(all, Pos(universe), Pos(universe+4)))
+	v.PresentBitmap(bm2)
+	if got := bm2.AppendPositions(nil); !posListEqual(got, wantPresent) {
+		t.Fatalf("View.PresentBitmap: %d present, want %d", len(got), len(wantPresent))
+	}
+
+	// In-place PosList forms agree with the allocating ones.
+	if got := v.FilterRowsInPlace(append(PosList(nil), all...), 100, 600, 1); !posListEqual(got, wantSel) {
+		t.Fatalf("View.FilterRowsInPlace diverges")
+	}
+	if got := v.PresentRowsInPlace(append(PosList(nil), all...)); !posListEqual(got, v.PresentRows(all)) {
+		t.Fatalf("View.PresentRowsInPlace diverges")
+	}
+}
+
+// TestRandomizedBitmapDifferential is the randomized end-to-end kernel
+// check: scan → filter → count/fetch pipelines in both representations
+// over random data, lengths and bounds.
+func TestRandomizedBitmapDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	bm := NewBitmap(0)
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(3000)
+		if trial < len(boundaryLens) {
+			n = boundaryLens[trial]
+		}
+		domain := int64(1 + rng.Intn(2000))
+		vals := randVals(n, domain, rng.Int63())
+		other := randVals(n, domain, rng.Int63())
+		lo1, hi1 := rng.Int63n(domain), rng.Int63n(domain)+1
+		lo2, hi2 := rng.Int63n(domain), rng.Int63n(domain)+1
+
+		want := FilterRows(other, ScanRange(vals, lo1, hi1), lo2, hi2)
+		ScanRangeBitmap(vals, lo1, hi1, bm)
+		FilterBitmap(other, bm, lo2, hi2)
+		if bm.Count() != len(want) {
+			t.Fatalf("trial %d (n=%d): count %d, want %d", trial, n, bm.Count(), len(want))
+		}
+		if got := bm.AppendPositions(nil); !posListEqual(got, want) {
+			t.Fatalf("trial %d (n=%d): positions diverge", trial, n)
+		}
+		if got, want := SumBitmap(other, bm), SumRows(other, want); got != want {
+			t.Fatalf("trial %d: sums diverge", trial)
+		}
+	}
+}
+
+// TestPooledBuffersConcurrent hammers the pooled scratch (bitmaps,
+// position lists, worker lists) from concurrent goroutines; run under
+// -race it proves reuse never crosses goroutines while in use.
+func TestPooledBuffersConcurrent(t *testing.T) {
+	const domain = 1 << 16
+	vals := randVals(1<<15, domain, 77)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for q := 0; q < 50; q++ {
+				lo := rng.Int63n(domain)
+				hi := lo + rng.Int63n(domain-lo) + 1
+				want := CountRange(vals, lo, hi)
+
+				bm := GetBitmap(len(vals))
+				ParallelScanRangeBitmap(vals, lo, hi, bm, 4)
+				ParallelFilterBitmap(vals, bm, lo, hi, 4) // idempotent filter
+				if got := bm.Count(); got != want {
+					t.Errorf("goroutine %d: bitmap count %d, want %d", g, got, want)
+				}
+				sel := bm.AppendPositions(nil)
+				if len(sel) != want {
+					t.Errorf("goroutine %d: poslist len %d, want %d", g, len(sel), want)
+				}
+				sel = ParallelFilterRowsInPlace(vals, sel, lo, hi, 4)
+				if len(sel) != want {
+					t.Errorf("goroutine %d: in-place filter len %d, want %d", g, len(sel), want)
+				}
+				PutBitmap(bm)
+
+				if got := len(ParallelScanRange(vals, lo, hi, 4)); got != want {
+					t.Errorf("goroutine %d: ParallelScanRange len %d, want %d", g, got, want)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestZeroAllocBitmapPipeline: the sequential scan → filter → count
+// pipeline over pooled scratch allocates nothing once warm.
+func TestZeroAllocBitmapPipeline(t *testing.T) {
+	vals := randVals(1<<14, 1<<20, 5)
+	bm := GetBitmap(len(vals))
+	defer PutBitmap(bm)
+	allocs := testing.AllocsPerRun(100, func() {
+		ScanRangeBitmap(vals, 1<<17, 1<<19, bm)
+		FilterBitmap(vals, bm, 1<<17, 1<<18)
+		if bm.Count() < 0 {
+			t.Fatal("impossible")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("bitmap pipeline allocates %.1f times per query, want 0", allocs)
+	}
+}

@@ -214,12 +214,14 @@ func ParallelMinMaxRange(vals []int64, lo, hi int64, workers int) (mn, mx int64,
 }
 
 // ParallelScanRange materializes qualifying positions using workers
-// goroutines, preserving global position order.
+// goroutines, preserving global position order. The per-worker output
+// slices come from a pool, so steady-state calls allocate only the
+// returned list.
 func ParallelScanRange(vals []int64, lo, hi int64, workers int) PosList {
 	if workers < 2 || len(vals) < 2*1024 {
 		return ScanRange(vals, lo, hi)
 	}
-	parts := make([]PosList, workers)
+	ws := getWorkerLists(workers)
 	var wg sync.WaitGroup
 	chunk := (len(vals) + workers - 1) / workers
 	for w := 0; w < workers; w++ {
@@ -234,25 +236,26 @@ func ParallelScanRange(vals []int64, lo, hi int64, workers int) PosList {
 		wg.Add(1)
 		go func(w, start, end int) {
 			defer wg.Done()
-			local := make(PosList, 0, (end-start)/8)
+			local := ws.lists[w]
 			for i := start; i < end; i++ {
 				v := vals[i]
 				if v >= lo && v < hi {
 					local = append(local, Pos(i))
 				}
 			}
-			parts[w] = local
+			ws.lists[w] = local
 		}(w, start, end)
 	}
 	wg.Wait()
 	total := 0
-	for _, p := range parts {
+	for _, p := range ws.lists {
 		total += len(p)
 	}
 	out := make(PosList, 0, total)
-	for _, p := range parts {
+	for _, p := range ws.lists {
 		out = append(out, p...)
 	}
+	putWorkerLists(ws)
 	return out
 }
 
@@ -276,16 +279,28 @@ func Project(src []int64, sel PosList) []int64 {
 // Positions at or beyond len(vals) are dropped (no value means the
 // predicate cannot hold).
 func FilterRows(vals []int64, sel PosList, lo, hi int64) PosList {
-	out := make(PosList, 0, len(sel))
+	return AppendFilterRows(make(PosList, 0, len(sel)), vals, sel, lo, hi)
+}
+
+// AppendFilterRows is FilterRows appending into dst, which may alias
+// sel (the output never outruns the input), so refine stages can filter
+// a candidate list in place without allocating.
+func AppendFilterRows(dst PosList, vals []int64, sel PosList, lo, hi int64) PosList {
 	n := Pos(len(vals))
 	for _, p := range sel {
 		if p < n {
 			if v := vals[p]; v >= lo && v < hi {
-				out = append(out, p)
+				dst = append(dst, p)
 			}
 		}
 	}
-	return out
+	return dst
+}
+
+// FilterRowsInPlace filters sel in place and returns the shortened
+// list; the caller must own sel's storage.
+func FilterRowsInPlace(vals []int64, sel PosList, lo, hi int64) PosList {
+	return AppendFilterRows(sel[:0], vals, sel, lo, hi)
 }
 
 // minParallelSel is the candidate-list length below which the parallel
@@ -296,12 +311,45 @@ const minParallelSel = 1 << 15
 
 // ParallelFilterRows is FilterRows with the probe loop split across
 // workers contiguous chunks of the candidate list; output order is
-// preserved.
+// preserved. Per-worker outputs are pooled, so only the returned list
+// is allocated.
 func ParallelFilterRows(vals []int64, sel PosList, lo, hi int64, workers int) PosList {
 	if workers < 2 || len(sel) < minParallelSel {
 		return FilterRows(vals, sel, lo, hi)
 	}
-	parts := make([]PosList, workers)
+	ws := parallelFilterParts(vals, sel, lo, hi, workers)
+	total := 0
+	for _, p := range ws.lists {
+		total += len(p)
+	}
+	out := make(PosList, 0, total)
+	for _, p := range ws.lists {
+		out = append(out, p...)
+	}
+	putWorkerLists(ws)
+	return out
+}
+
+// ParallelFilterRowsInPlace is ParallelFilterRows writing the surviving
+// positions back into sel's storage (which the caller must own),
+// allocating nothing once the worker pools are warm.
+func ParallelFilterRowsInPlace(vals []int64, sel PosList, lo, hi int64, workers int) PosList {
+	if workers < 2 || len(sel) < minParallelSel {
+		return FilterRowsInPlace(vals, sel, lo, hi)
+	}
+	ws := parallelFilterParts(vals, sel, lo, hi, workers)
+	out := sel[:0]
+	for _, p := range ws.lists {
+		out = append(out, p...)
+	}
+	putWorkerLists(ws)
+	return out
+}
+
+// parallelFilterParts runs the chunked probe fan-out into pooled
+// per-worker lists; the caller concatenates and releases them.
+func parallelFilterParts(vals []int64, sel PosList, lo, hi int64, workers int) *workerLists {
+	ws := getWorkerLists(workers)
 	var wg sync.WaitGroup
 	chunk := (len(sel) + workers - 1) / workers
 	for w := 0; w < workers; w++ {
@@ -316,19 +364,11 @@ func ParallelFilterRows(vals []int64, sel PosList, lo, hi int64, workers int) Po
 		wg.Add(1)
 		go func(w, start, end int) {
 			defer wg.Done()
-			parts[w] = FilterRows(vals, sel[start:end], lo, hi)
+			ws.lists[w] = AppendFilterRows(ws.lists[w], vals, sel[start:end], lo, hi)
 		}(w, start, end)
 	}
 	wg.Wait()
-	total := 0
-	for _, p := range parts {
-		total += len(p)
-	}
-	out := make(PosList, 0, total)
-	for _, p := range parts {
-		out = append(out, p...)
-	}
-	return out
+	return ws
 }
 
 // FetchRows gathers the values of vals at the given positions — the same
@@ -366,6 +406,47 @@ func ParallelFetchRows(vals []int64, sel PosList, workers int) []int64 {
 	}
 	wg.Wait()
 	return out
+}
+
+// SumRows folds sum(vals[p]) over the positions of sel without
+// materializing the gathered values. All positions must be in range.
+func SumRows(vals []int64, sel PosList) int64 {
+	var s int64
+	for _, p := range sel {
+		s += vals[p]
+	}
+	return s
+}
+
+// ParallelSumRows is SumRows with the gather-fold split across workers.
+func ParallelSumRows(vals []int64, sel PosList, workers int) int64 {
+	if workers < 2 || len(sel) < minParallelSel {
+		return SumRows(vals, sel)
+	}
+	sums := make([]int64, workers)
+	var wg sync.WaitGroup
+	chunk := (len(sel) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		start := w * chunk
+		if start >= len(sel) {
+			break
+		}
+		end := start + chunk
+		if end > len(sel) {
+			end = len(sel)
+		}
+		wg.Add(1)
+		go func(w, start, end int) {
+			defer wg.Done()
+			sums[w] = SumRows(vals, sel[start:end])
+		}(w, start, end)
+	}
+	wg.Wait()
+	var total int64
+	for _, s := range sums {
+		total += s
+	}
+	return total
 }
 
 // View is an update-aware positional view of one attribute: the base
@@ -414,6 +495,18 @@ func (w View) At(p Pos) (int64, bool) {
 	return 0, false
 }
 
+// appendFilterRows is the overlay-aware probe loop shared by the
+// allocating and in-place filter forms; dst may alias sel (the output
+// never outruns the input).
+func (w View) appendFilterRows(dst, sel PosList, lo, hi int64) PosList {
+	for _, p := range sel {
+		if v, ok := w.At(p); ok && v >= lo && v < hi {
+			dst = append(dst, p)
+		}
+	}
+	return dst
+}
+
 // FilterRows keeps the positions of sel whose current value lies in
 // [lo, hi), preserving order; rows without a value are dropped. Plain
 // views use the parallel probe kernel.
@@ -421,39 +514,62 @@ func (w View) FilterRows(sel PosList, lo, hi int64, workers int) PosList {
 	if w.Plain() {
 		return ParallelFilterRows(w.Base, sel, lo, hi, workers)
 	}
-	out := make(PosList, 0, len(sel))
+	return w.appendFilterRows(make(PosList, 0, len(sel)), sel, lo, hi)
+}
+
+// FilterRowsInPlace is FilterRows writing the survivors back into
+// sel's storage, which the caller must own: the allocation-free refine
+// kernel of the conjunctive hot path.
+func (w View) FilterRowsInPlace(sel PosList, lo, hi int64, workers int) PosList {
+	if w.Plain() {
+		return ParallelFilterRowsInPlace(w.Base, sel, lo, hi, workers)
+	}
+	return w.appendFilterRows(sel[:0], sel, lo, hi)
+}
+
+// allPresent reports whether a plain view covers every position of sel
+// (the common case where the presence filter is the identity).
+func (w View) allPresent(sel PosList) bool {
+	if !w.Plain() {
+		return false
+	}
+	n := Pos(len(w.Base))
 	for _, p := range sel {
-		if v, ok := w.At(p); ok && v >= lo && v < hi {
-			out = append(out, p)
+		if p >= n {
+			return false
 		}
 	}
-	return out
+	return true
+}
+
+// appendPresentRows is the overlay-aware presence loop shared by the
+// allocating and in-place forms; dst may alias sel.
+func (w View) appendPresentRows(dst, sel PosList) PosList {
+	for _, p := range sel {
+		if _, ok := w.At(p); ok {
+			dst = append(dst, p)
+		}
+	}
+	return dst
 }
 
 // PresentRows keeps the positions of sel that have a value in this
 // attribute — the presence filter applied to aggregate/projection
 // attributes that were not among the predicates.
 func (w View) PresentRows(sel PosList) PosList {
-	if w.Plain() {
-		n := Pos(len(w.Base))
-		all := true
-		for _, p := range sel {
-			if p >= n {
-				all = false
-				break
-			}
-		}
-		if all {
-			return sel
-		}
+	if w.allPresent(sel) {
+		return sel
 	}
-	out := make(PosList, 0, len(sel))
-	for _, p := range sel {
-		if _, ok := w.At(p); ok {
-			out = append(out, p)
-		}
+	return w.appendPresentRows(make(PosList, 0, len(sel)), sel)
+}
+
+// PresentRowsInPlace is PresentRows writing the survivors back into
+// sel's storage, which the caller must own.
+func (w View) PresentRowsInPlace(sel PosList) PosList {
+	if w.allPresent(sel) {
+		return sel
 	}
-	return out
+	return w.appendPresentRows(sel[:0], sel)
 }
 
 // FetchRows gathers the current values at the given positions; every
@@ -471,6 +587,24 @@ func (w View) FetchRows(sel PosList, workers int) []int64 {
 		out[i] = v
 	}
 	return out
+}
+
+// SumRows folds sum of the current values at the given positions
+// without materializing them; every position must have a value (run
+// PresentRows first).
+func (w View) SumRows(sel PosList, workers int) int64 {
+	if w.Plain() {
+		return ParallelSumRows(w.Base, sel, workers)
+	}
+	var s int64
+	for _, p := range sel {
+		v, ok := w.At(p)
+		if !ok {
+			panic(fmt.Sprintf("column: SumRows at row %d without a value", p))
+		}
+		s += v
+	}
+	return s
 }
 
 // Bounds returns the minimum and maximum value of vals; an empty slice

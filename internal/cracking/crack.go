@@ -324,6 +324,24 @@ func (c *Column) SelectRows(lo, hi int64) (Range, []uint32) {
 	return r, out
 }
 
+// SelectRowsFunc cracks on [lo, hi) and streams the qualifying rowids
+// to fn segment by segment under the owning pieces' read latches,
+// without materializing a position list — the zero-allocation feed of
+// the bitmap select path. fn must not retain the slice. ok is false
+// (and fn is never called) when the column was built without rowids.
+func (c *Column) SelectRowsFunc(lo, hi int64, fn func(rows []uint32)) (Range, bool) {
+	c.global.RLock()
+	defer c.global.RUnlock()
+	r := c.selectRangeLocked(lo, hi)
+	if c.rows == nil {
+		return r, false
+	}
+	c.forEachSegmentLocked(r.Start, r.End, func(_ []int64, rows []uint32) {
+		fn(rows)
+	})
+	return r, true
+}
+
 // ForEachSegment invokes fn on consecutive stable sub-segments covering
 // positions [start, end), each passed under the owning piece's read
 // latch. fn receives aliased slices and must not retain them. Positions

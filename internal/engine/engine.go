@@ -147,6 +147,19 @@ type CardEstimator interface {
 	EstimateCount(attr string, lo, hi int64) (est float64, exact, ok bool)
 }
 
+// BitmapSelector is implemented by executors whose select operator can
+// deliver the qualifying positions as a word-packed bitmap instead of a
+// materialized position list. The executor resets bm to cover its
+// position universe (base rows plus appended pending rows) and sets one
+// bit per qualifying row id, building or refining its index structures
+// exactly as SelectRows would. Callers pass a pooled bitmap, so a
+// steady-state dense select allocates nothing; the conjunctive query
+// runner picks this path when the driving conjunct is dense enough that
+// bits beat 32-bit positions (see internal/query).
+type BitmapSelector interface {
+	SelectBitmap(attr string, lo, hi int64, bm *column.Bitmap) error
+}
+
 // PredicateSink is implemented by executors that want to observe every
 // predicate of a multi-attribute conjunctive query — not only the one
 // the planner chose to drive the select. Holistic indexing uses it to

@@ -636,3 +636,92 @@ func TestEstimateCount(t *testing.T) {
 		t.Errorf("uniform estimate %v implausible for 500/1000", est)
 	}
 }
+
+// TestSelectBitmapAgreesWithSelectRows is the bitmap-path differential
+// test: every mode's SelectBitmap must mark exactly the rows its
+// SelectRows materializes, on random range predicates.
+func TestSelectBitmapAgreesWithSelectRows(t *testing.T) {
+	const domain = 1 << 16
+	tbl, bases := testTable(t, 2, 20_000, domain)
+	execs := allExecutors(t, tbl)
+	defer func() {
+		for _, e := range execs {
+			e.Close()
+		}
+	}()
+	rng := rand.New(rand.NewSource(33))
+	bm := column.NewBitmap(0)
+	for q := 0; q < 40; q++ {
+		a := rng.Intn(2)
+		lo := rng.Int63n(domain)
+		hi := lo + rng.Int63n(domain-lo) + 1
+		wantRows := column.ScanRange(bases[a], lo, hi) // ascending base positions
+		for _, e := range execs {
+			bs, ok := e.(BitmapSelector)
+			if !ok {
+				t.Fatalf("%s does not implement BitmapSelector", e.Label())
+			}
+			if err := bs.SelectBitmap(attrName(a), lo, hi, bm); err != nil {
+				t.Fatalf("%s: SelectBitmap: %v", e.Label(), err)
+			}
+			if got := bm.Count(); got != len(wantRows) {
+				t.Fatalf("%s query %d [%d,%d): bitmap count %d, want %d", e.Label(), q, lo, hi, got, len(wantRows))
+			}
+			got := bm.AppendPositions(nil)
+			for i := range got {
+				if got[i] != wantRows[i] {
+					t.Fatalf("%s query %d: bitmap pos[%d] = %d, want %d", e.Label(), q, i, got[i], wantRows[i])
+				}
+			}
+		}
+	}
+}
+
+// TestSelectBitmapCoversPendingInserts: after inserts, the adaptive
+// bitmap universe extends past the base rows and marks appended rows
+// once the merge pulls them in.
+func TestSelectBitmapCoversPendingInserts(t *testing.T) {
+	tbl, bases := testTable(t, 1, 5_000, 1<<14)
+	ad := NewAdaptiveExecutor(tbl, cracking.Config{WithRows: true}, "")
+	defer ad.Close()
+	if _, err := ad.SelectRows("A", 0, 1<<14); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := ad.Insert("A", int64(100+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bm := column.NewBitmap(0)
+	if err := ad.SelectBitmap("A", 100, 110, bm); err != nil {
+		t.Fatal(err)
+	}
+	if bm.Len() != len(bases[0])+10 {
+		t.Fatalf("bitmap universe %d, want %d", bm.Len(), len(bases[0])+10)
+	}
+	want := column.CountRange(bases[0], 100, 110) + 10
+	if got := bm.Count(); got != want {
+		t.Fatalf("bitmap count %d, want %d", got, want)
+	}
+	for i := 0; i < 10; i++ {
+		if !bm.Test(uint32(len(bases[0]) + i)) {
+			t.Fatalf("appended row %d not marked", len(bases[0])+i)
+		}
+	}
+}
+
+// TestSelectBitmapWithoutRowidsErrors mirrors the SelectRows guard.
+func TestSelectBitmapWithoutRowidsErrors(t *testing.T) {
+	tbl, _ := testTable(t, 1, 1_000, 1000)
+	ad := NewAdaptiveExecutor(tbl, cracking.Config{}, "")
+	defer ad.Close()
+	bm := column.NewBitmap(0)
+	if err := ad.SelectBitmap("A", 0, 100, bm); err == nil {
+		t.Error("adaptive without WithRows: SelectBitmap did not error")
+	}
+	cc := NewCCGIExecutor(tbl, 2, 4, cracking.Config{})
+	defer cc.Close()
+	if err := cc.SelectBitmap("A", 0, 100, bm); err == nil {
+		t.Error("ccgi without WithRows: SelectBitmap did not error")
+	}
+}

@@ -78,6 +78,17 @@ func (e *ScanExecutor) SelectRows(attr string, lo, hi int64) ([]uint32, error) {
 	return column.ParallelScanRange(vals, lo, hi, e.Threads), nil
 }
 
+// SelectBitmap implements BitmapSelector: the parallel word-packed
+// scan, each worker filling a disjoint 64-aligned span of words.
+func (e *ScanExecutor) SelectBitmap(attr string, lo, hi int64, bm *column.Bitmap) error {
+	vals, err := e.values(attr)
+	if err != nil {
+		return err
+	}
+	column.ParallelScanRangeBitmap(vals, lo, hi, bm, e.Threads)
+	return nil
+}
+
 // Close implements Executor.
 func (e *ScanExecutor) Close() {}
 
@@ -191,6 +202,20 @@ func (e *OfflineExecutor) SelectRows(attr string, lo, hi int64) ([]uint32, error
 	}
 	start, end := s.SelectRange(lo, hi)
 	return append([]uint32(nil), s.Rows(start, end)...), nil
+}
+
+// SelectBitmap implements BitmapSelector: the sorted run's rowids set
+// bit by bit straight off the index — unlike SelectRows, nothing is
+// copied.
+func (e *OfflineExecutor) SelectBitmap(attr string, lo, hi int64, bm *column.Bitmap) error {
+	s := e.sortedFor(attr, true)
+	if s == nil {
+		return fmt.Errorf("engine: unknown attribute %q", attr)
+	}
+	start, end := s.SelectRange(lo, hi)
+	bm.Reset(s.Len())
+	bm.SetRows(s.Rows(start, end))
+	return nil
 }
 
 // Close implements Executor.
@@ -318,6 +343,23 @@ func (e *OnlineExecutor) SelectRows(attr string, lo, hi int64) ([]uint32, error)
 	return column.ParallelScanRange(vals, lo, hi, e.Threads), nil
 }
 
+// SelectBitmap implements BitmapSelector: sorted-run rowids after the
+// epoch, a parallel bitmap scan before.
+func (e *OnlineExecutor) SelectBitmap(attr string, lo, hi int64, bm *column.Bitmap) error {
+	s, vals, err := e.index(attr, true)
+	if err != nil {
+		return err
+	}
+	if s != nil {
+		start, end := s.SelectRange(lo, hi)
+		bm.Reset(s.Len())
+		bm.SetRows(s.Rows(start, end))
+		return nil
+	}
+	column.ParallelScanRangeBitmap(vals, lo, hi, bm, e.Threads)
+	return nil
+}
+
 // Close implements Executor.
 func (e *OnlineExecutor) Close() {}
 
@@ -370,12 +412,12 @@ func NewAdaptiveExecutor(t *Table, cfg cracking.Config, label string) *AdaptiveE
 		label = "adaptive indexing"
 	}
 	return &AdaptiveExecutor{
-		table:    t,
-		cfg:      cfg,
-		label:    label,
-		crackers: make(map[string]*cracking.Column),
-		pending:  make(map[string]*updates.Pending),
-		nextRow:  make(map[string]uint32),
+		table:     t,
+		cfg:       cfg,
+		label:     label,
+		crackers:  make(map[string]*cracking.Column),
+		pending:   make(map[string]*updates.Pending),
+		nextRow:   make(map[string]uint32),
 		tails:     make(map[string][]int64),
 		deleted:   make(map[string]map[uint32]struct{}),
 		updated:   make(map[string]map[uint32]int64),
@@ -667,6 +709,39 @@ func (e *AdaptiveExecutor) SelectRows(attr string, lo, hi int64) ([]uint32, erro
 	return rows, nil
 }
 
+// universe returns the size of the position space row ids of attr can
+// occupy: base rows plus rows appended by pending insertions.
+func (e *AdaptiveExecutor) universe(attr string) int {
+	e.pendMu.Lock()
+	defer e.pendMu.Unlock()
+	n := e.table.Rows()
+	if next, ok := e.nextRow[attr]; ok && int(next) > n {
+		n = int(next)
+	}
+	return n
+}
+
+// SelectBitmap implements BitmapSelector: the cracked position range's
+// rowids streamed segment by segment into the bitmap under the pieces'
+// read latches — the select refines the index exactly like SelectRows
+// but materializes nothing.
+func (e *AdaptiveExecutor) SelectBitmap(attr string, lo, hi int64, bm *column.Bitmap) error {
+	c, err := e.selectCracker(attr, lo, hi)
+	if err != nil {
+		return err
+	}
+	bm.Reset(e.universe(attr))
+	// SetRowsExtend, not SetRows: between sizing and streaming, a
+	// concurrent query can merge a pending insert whose row id lies at
+	// or beyond the universe read above.
+	r, ok := c.SelectRowsFunc(lo, hi, func(rows []uint32) { bm.SetRowsExtend(rows) })
+	if !ok {
+		return fmt.Errorf("engine: %s: SelectBitmap needs rowids; build with cracking.Config.WithRows", e.label)
+	}
+	e.record(attr, r)
+	return nil
+}
+
 // TotalPieces sums pieces over all cracker columns (Figure 6(c)).
 func (e *AdaptiveExecutor) TotalPieces() int {
 	e.mu.Lock()
@@ -806,6 +881,14 @@ func (h *HolisticExecutor) SelectRows(attr string, lo, hi int64) ([]uint32, erro
 	return h.AdaptiveExecutor.SelectRows(attr, lo, hi)
 }
 
+// SelectBitmap implements BitmapSelector with the same load-accounting
+// bracket as the other select forms.
+func (h *HolisticExecutor) SelectBitmap(attr string, lo, hi int64, bm *column.Bitmap) error {
+	h.Acct.Acquire(h.UserThreads)
+	defer h.Acct.Release(h.UserThreads)
+	return h.AdaptiveExecutor.SelectBitmap(attr, lo, hi, bm)
+}
+
 // Close stops the daemon.
 func (h *HolisticExecutor) Close() { h.Daemon.Stop() }
 
@@ -887,6 +970,22 @@ func (e *CCGIExecutor) SelectRows(attr string, lo, hi int64) ([]uint32, error) {
 		return nil, fmt.Errorf("engine: %s: SelectRows needs rowids; build with cracking.Config.WithRows", e.Label())
 	}
 	return rows, nil
+}
+
+// SelectBitmap implements BitmapSelector: every chunk cracks in
+// parallel and ORs its shifted rowids into the bitmap atomically (chunk
+// position spans are disjoint, but two chunks can share a boundary
+// word).
+func (e *CCGIExecutor) SelectBitmap(attr string, lo, hi int64, bm *column.Bitmap) error {
+	x, err := e.index(attr)
+	if err != nil {
+		return err
+	}
+	bm.Reset(e.table.Rows())
+	if !x.SelectRowsFunc(lo, hi, func(off uint32, rows []uint32) { bm.OrRowsAtomic(rows, off) }) {
+		return fmt.Errorf("engine: %s: SelectBitmap needs rowids; build with cracking.Config.WithRows", e.Label())
+	}
+	return nil
 }
 
 // Close implements Executor.

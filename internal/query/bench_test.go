@@ -1,0 +1,77 @@
+package query
+
+import (
+	"fmt"
+	"testing"
+
+	"holistic/internal/engine"
+)
+
+// benchRunner builds a scan-mode runner over a 2^20-row, 3-attribute
+// table (buildTable, shared with the tests): the steady-state
+// conjunctive hot path with no index mutation noise, so allocs/op
+// isolates the query pipeline itself.
+func benchRunner(b *testing.B, threads int) (*Runner, []Predicate) {
+	b.Helper()
+	const domain = 1 << 20
+	tab, _ := buildTable(3, 1<<20, domain, 42)
+	r := New(tab, engine.NewScanExecutor(tab, threads), threads)
+	preds := []Predicate{
+		{Attr: "a", Lo: 0, Hi: domain / 4},      // 25% drives
+		{Attr: "b", Lo: domain / 8, Hi: domain}, // ~88%
+		{Attr: "c", Lo: 0, Hi: 9 * domain / 10}, // 90%
+	}
+	return r, preds
+}
+
+// BenchmarkConjunctiveCount measures the three-conjunct count pipeline
+// per representation. With ReportAllocs the bitmap rows show the
+// allocation-free steady state; the poslist rows pay the driving
+// materialization.
+func BenchmarkConjunctiveCount(b *testing.B) {
+	for _, threads := range []int{1, 4} {
+		r, preds := benchRunner(b, threads)
+		for _, pol := range []struct {
+			name string
+			p    RepPolicy
+		}{{"poslist", RepPosList}, {"bitmap", RepBitmap}, {"auto", RepAuto}} {
+			b.Run(fmt.Sprintf("%s/threads=%d", pol.name, threads), func(b *testing.B) {
+				r.SetRepPolicy(pol.p)
+				if _, err := r.Count(preds); err != nil { // warm pools
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := r.Count(preds); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkConjunctiveSum is BenchmarkConjunctiveCount with a late
+// aggregate fold over a fourth attribute.
+func BenchmarkConjunctiveSum(b *testing.B) {
+	r, preds := benchRunner(b, 1)
+	for _, pol := range []struct {
+		name string
+		p    RepPolicy
+	}{{"poslist", RepPosList}, {"bitmap", RepBitmap}} {
+		b.Run(pol.name, func(b *testing.B) {
+			r.SetRepPolicy(pol.p)
+			if _, err := r.Sum("c", preds); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := r.Sum("c", preds); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -11,16 +11,28 @@
 //     cracker boundaries, via engine.CardEstimator), otherwise a
 //     uniform guess over the attribute's cached value domain — and
 //     order the conjuncts most selective first.
-//  2. Drive: evaluate the most selective conjunct through the mode's
-//     native access path (Executor.SelectRows: cracked pieces, sorted
-//     slices or parallel scan), producing a candidate position list.
-//     This is the only conjunct that builds or refines an index.
-//  3. Refine: evaluate every remaining conjunct by positional probes of
-//     the candidate list into the attribute's current data
-//     (column.View.FilterRows — late tuple reconstruction), cheapest
-//     first, so each probe pass runs over the smallest possible list.
-//  4. Project/aggregate: fetch the requested attributes at the
-//     surviving positions and count, sum, or materialize.
+//  2. Choose a representation for the intermediate selection vector
+//     from the driving conjunct's estimated selectivity: a dense drive
+//     (at or above the bitmap crossover) flows through a word-packed
+//     column.Bitmap — one bit per base position, residual conjuncts
+//     intersect word at a time — while a sparse drive materializes the
+//     classic position list and refines by positional probes. Both
+//     representations live in pooled scratch, so the steady-state
+//     count/aggregate path allocates nothing.
+//  3. Drive: evaluate the most selective conjunct through the mode's
+//     native access path (Executor.SelectBitmap or Executor.SelectRows:
+//     cracked pieces, sorted slices or parallel scan), producing the
+//     candidate selection vector. This is the only conjunct that builds
+//     or refines an index.
+//  4. Refine: evaluate every remaining conjunct against the candidate
+//     vector in place — bitmap words ANDed against branch-free
+//     predicate masks (zero words skipped), or position lists filtered
+//     by probes into the attribute's current data (column.View, late
+//     tuple reconstruction) — cheapest first, so each pass runs over
+//     the smallest possible intermediate.
+//  5. Project/aggregate: count, fold or fetch at the surviving
+//     positions; the bitmap converts to positions (already ascending)
+//     only at this boundary, and only for the materializing forms.
 //
 // Under ModeHolistic every conjunct — not only the driving one — is
 // reported to the executor (engine.PredicateSink), so all touched
@@ -38,8 +50,10 @@ package query
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"holistic/internal/column"
 	"holistic/internal/engine"
@@ -51,12 +65,49 @@ type Predicate struct {
 	Lo, Hi int64
 }
 
+// RepPolicy selects the intermediate-representation policy of a Runner.
+type RepPolicy int32
+
+const (
+	// RepAuto picks per query from the driving conjunct's estimated
+	// selectivity (the crossover rule). The default.
+	RepAuto RepPolicy = iota
+	// RepPosList forces position-list intermediates (the pre-bitmap
+	// behaviour); used by tests and the crossover benchmark.
+	RepPosList
+	// RepBitmap forces bitmap intermediates whenever the executor can
+	// produce them.
+	RepBitmap
+)
+
+// DefaultBitmapCrossover is the driving-conjunct selectivity at and
+// above which RepAuto picks the bitmap representation. A bitmap costs
+// N/8 bytes regardless of selectivity while a position list costs 4
+// bytes per qualifying row, so memory parity sits at ~3% selectivity;
+// time parity sits a little higher because the branch-free word scan
+// pays a fixed O(N/64) pass while the position list's branchy scan is
+// cheap exactly when the branch is predictable (low selectivity) and
+// misprediction-bound when it is not. The selvec benchmark sweeps the
+// crossover empirically: on the development machine the curves met
+// between 5% and 10% driving selectivity (bitmap 0.9x at 5%, 1.25x at
+// 10%, 3.1x at 50%), and the bitmap path additionally runs
+// allocation-free, so the default sits at the low end of that band.
+const DefaultBitmapCrossover = 0.06
+
 // Runner plans and executes conjunctive queries over one table through
 // one executor mode. It is safe for concurrent use.
 type Runner struct {
 	table   *engine.Table
 	exec    engine.Executor
 	threads int
+
+	policy    atomic.Int32
+	crossover atomic.Uint64 // math.Float64bits of the crossover selectivity
+
+	// scratchPool recycles per-query execution state (selection
+	// vectors, view maps, plan arrays) so steady-state queries do not
+	// allocate.
+	scratchPool sync.Pool
 
 	mu      sync.Mutex
 	domains map[string][2]int64 // cached base-column min/max per attribute
@@ -68,43 +119,51 @@ func New(t *engine.Table, exec engine.Executor, threads int) *Runner {
 	if threads < 1 {
 		threads = 1
 	}
-	return &Runner{table: t, exec: exec, threads: threads, domains: make(map[string][2]int64)}
+	r := &Runner{table: t, exec: exec, threads: threads, domains: make(map[string][2]int64)}
+	r.crossover.Store(math.Float64bits(DefaultBitmapCrossover))
+	return r
 }
+
+// SetRepPolicy overrides the intermediate-representation policy; safe
+// to call concurrently with queries.
+func (r *Runner) SetRepPolicy(p RepPolicy) { r.policy.Store(int32(p)) }
+
+// SetBitmapCrossover overrides the RepAuto crossover selectivity; safe
+// to call concurrently with queries.
+func (r *Runner) SetBitmapCrossover(sel float64) { r.crossover.Store(math.Float64bits(sel)) }
 
 // ErrNoPredicates is returned by query forms invoked without a single
 // Where clause.
 var ErrNoPredicates = fmt.Errorf("query: at least one predicate is required")
 
-// normalize validates attributes, drops empty ranges to an empty
-// result, and intersects duplicate attributes into one conjunct.
-func (r *Runner) normalize(preds []Predicate) (out []Predicate, empty bool, err error) {
-	if len(preds) == 0 {
-		return nil, false, ErrNoPredicates
+// scratch is the pooled per-query execution state. Exactly one of sel
+// (position-list form) or bm (bitmap form) carries the candidates after
+// runSel; views holds the snapshot each referenced attribute was
+// filtered through, which the fetch step MUST reuse — a fresh snapshot
+// taken later could already reflect a concurrent delete and would make
+// the fetch fail.
+type scratch struct {
+	preds []Predicate
+	ests  []float64
+	sel   column.PosList
+	bm    *column.Bitmap
+	views map[string]column.View
+}
+
+func (r *Runner) getScratch() *scratch {
+	sc, _ := r.scratchPool.Get().(*scratch)
+	if sc == nil {
+		sc = &scratch{bm: column.NewBitmap(0), views: make(map[string]column.View, 4)}
 	}
-	byAttr := make(map[string]int, len(preds))
-	for _, p := range preds {
-		if r.table.Column(p.Attr) == nil {
-			return nil, false, fmt.Errorf("query: unknown attribute %q", p.Attr)
-		}
-		if i, ok := byAttr[p.Attr]; ok {
-			q := &out[i]
-			if p.Lo > q.Lo {
-				q.Lo = p.Lo
-			}
-			if p.Hi < q.Hi {
-				q.Hi = p.Hi
-			}
-			continue
-		}
-		byAttr[p.Attr] = len(out)
-		out = append(out, p)
-	}
-	for _, p := range out {
-		if p.Lo >= p.Hi {
-			return nil, true, nil
-		}
-	}
-	return out, false, nil
+	return sc
+}
+
+func (r *Runner) putScratch(sc *scratch) {
+	clear(sc.views) // drop references to column data; buckets are retained
+	sc.sel = sc.sel[:0]
+	sc.preds = sc.preds[:0]
+	sc.ests = sc.ests[:0]
+	r.scratchPool.Put(sc)
 }
 
 // domain returns the cached [min, max] of attr's base column, scanning
@@ -139,22 +198,72 @@ func (r *Runner) estimate(p Predicate) float64 {
 // Plan orders the conjuncts most selective first (stable on ties) and
 // returns the per-conjunct estimates alongside, aligned with the
 // returned order. Exported for telemetry and tests; the query forms
-// plan internally.
+// plan internally through pooled scratch.
 func (r *Runner) Plan(preds []Predicate) ([]Predicate, []float64) {
-	ests := make([]float64, len(preds))
-	idx := make([]int, len(preds))
-	for i, p := range preds {
-		ests[i] = r.estimate(p)
-		idx[i] = i
-	}
-	sort.SliceStable(idx, func(a, b int) bool { return ests[idx[a]] < ests[idx[b]] })
 	ordered := make([]Predicate, len(preds))
-	ordEst := make([]float64, len(preds))
-	for i, j := range idx {
-		ordered[i] = preds[j]
-		ordEst[i] = ests[j]
+	ests := make([]float64, len(preds))
+	copy(ordered, preds)
+	for i, p := range ordered {
+		ests[i] = r.estimate(p)
 	}
-	return ordered, ordEst
+	sortByEstimate(ordered, ests)
+	return ordered, ests
+}
+
+// sortByEstimate stably sorts preds ascending by est (insertion sort:
+// conjunct counts are tiny and it allocates nothing).
+func sortByEstimate(preds []Predicate, ests []float64) {
+	for i := 1; i < len(preds); i++ {
+		for j := i; j > 0 && ests[j] < ests[j-1]; j-- {
+			ests[j], ests[j-1] = ests[j-1], ests[j]
+			preds[j], preds[j-1] = preds[j-1], preds[j]
+		}
+	}
+}
+
+// planScratch validates attributes, intersects duplicate attributes
+// into one conjunct, reports empty ranges, and orders the surviving
+// conjuncts most selective first — all into sc, allocating nothing once
+// the scratch is warm.
+func (r *Runner) planScratch(sc *scratch, preds []Predicate) (empty bool, err error) {
+	if len(preds) == 0 {
+		return false, ErrNoPredicates
+	}
+	out := sc.preds[:0]
+	for _, p := range preds {
+		if r.table.Column(p.Attr) == nil {
+			return false, fmt.Errorf("query: unknown attribute %q", p.Attr)
+		}
+		merged := false
+		for i := range out {
+			if out[i].Attr == p.Attr {
+				if p.Lo > out[i].Lo {
+					out[i].Lo = p.Lo
+				}
+				if p.Hi < out[i].Hi {
+					out[i].Hi = p.Hi
+				}
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			out = append(out, p)
+		}
+	}
+	sc.preds = out
+	for _, p := range out {
+		if p.Lo >= p.Hi {
+			return true, nil
+		}
+	}
+	ests := sc.ests[:0]
+	for _, p := range out {
+		ests = append(ests, r.estimate(p))
+	}
+	sc.ests = ests
+	sortByEstimate(sc.preds, sc.ests)
+	return false, nil
 }
 
 // view returns the update-aware positional view of attr, falling back
@@ -171,37 +280,73 @@ func (r *Runner) view(attr string) (column.View, error) {
 	return column.View{Base: c.Values()}, nil
 }
 
-// candidates runs plan steps 1-3 plus the presence filter for the
-// extra (aggregate/projection) attributes, returning the qualifying
-// positions in the driving access path's order together with the view
-// snapshot each attribute was filtered through. Callers that fetch
-// values MUST reuse these views: every position in sel is guaranteed
-// present in them, while a fresh snapshot taken later could already
-// reflect a concurrent delete and would make FetchRows fail.
-func (r *Runner) candidates(preds []Predicate, extraAttrs []string) (column.PosList, map[string]column.View, error) {
-	ordered, _ := r.Plan(preds)
-	drive := ordered[0]
-	rows, err := r.exec.SelectRows(drive.Attr, drive.Lo, drive.Hi)
-	if err != nil {
-		return nil, nil, err
+// chooseBitmap applies the representation policy to the planned query
+// in sc: bitmaps need an executor that can produce them and pay off
+// only when the driving conjunct is dense and there is at least one
+// residual conjunct to intersect.
+func (r *Runner) chooseBitmap(sc *scratch) bool {
+	if len(sc.preds) < 2 {
+		return false
+	}
+	if _, ok := r.exec.(engine.BitmapSelector); !ok {
+		return false
+	}
+	switch RepPolicy(r.policy.Load()) {
+	case RepPosList:
+		return false
+	case RepBitmap:
+		return true
+	}
+	rows := float64(r.table.Rows())
+	if rows <= 0 {
+		return false
+	}
+	return sc.ests[0] >= math.Float64frombits(r.crossover.Load())*rows
+}
+
+// runSel executes plan steps 2-4 plus the presence filter for the
+// extra (aggregate/projection) attributes: the driving conjunct runs
+// through the mode's access path in the chosen representation, the rest
+// refine in place. On return the candidates sit in sc.bm (useBitmap
+// true) or sc.sel, and sc.views holds the snapshot each attribute was
+// filtered through.
+func (r *Runner) runSel(sc *scratch, extraAttrs []string) (useBitmap bool, err error) {
+	drive := sc.preds[0]
+	useBitmap = r.chooseBitmap(sc)
+	if useBitmap {
+		if err := r.exec.(engine.BitmapSelector).SelectBitmap(drive.Attr, drive.Lo, drive.Hi, sc.bm); err != nil {
+			return false, err
+		}
+	} else {
+		rows, err := r.exec.SelectRows(drive.Attr, drive.Lo, drive.Hi)
+		if err != nil {
+			return false, err
+		}
+		sc.sel = rows // SelectRows results are caller-owned: refine in place
 	}
 	if sink, ok := r.exec.(engine.PredicateSink); ok {
-		for _, p := range ordered[1:] {
+		for _, p := range sc.preds[1:] {
 			if err := sink.NotePredicate(p.Attr); err != nil {
-				return nil, nil, err
+				return false, err
 			}
 		}
 	}
-	views := make(map[string]column.View, len(ordered)+len(extraAttrs))
-	sel := column.PosList(rows)
-	for _, p := range ordered[1:] {
+	// live mirrors the poslist path's len > 0 guards: once the
+	// conjunction is empty, later stages skip the data entirely.
+	live := !useBitmap || sc.bm.Any()
+	for _, p := range sc.preds[1:] {
 		w, err := r.view(p.Attr)
 		if err != nil {
-			return nil, nil, err
+			return false, err
 		}
-		views[p.Attr] = w
-		if len(sel) > 0 {
-			sel = w.FilterRows(sel, p.Lo, p.Hi, r.threads)
+		sc.views[p.Attr] = w
+		if useBitmap {
+			if live {
+				w.FilterBitmap(sc.bm, p.Lo, p.Hi, r.threads)
+				live = sc.bm.Any()
+			}
+		} else if len(sc.sel) > 0 {
+			sc.sel = w.FilterRowsInPlace(sc.sel, p.Lo, p.Hi, r.threads)
 		}
 	}
 	// Range-filtered attributes are present by construction; the other
@@ -209,89 +354,111 @@ func (r *Runner) candidates(preds []Predicate, extraAttrs []string) (column.PosL
 	// from the index rather than a view) get an explicit presence
 	// filter through the snapshot that will serve the fetch.
 	for _, attr := range extraAttrs {
-		if _, ok := views[attr]; ok {
+		if _, ok := sc.views[attr]; ok {
 			continue
 		}
 		w, err := r.view(attr)
 		if err != nil {
-			return nil, nil, err
+			return false, err
 		}
-		views[attr] = w
-		if len(sel) > 0 {
-			sel = w.PresentRows(sel)
+		sc.views[attr] = w
+		if useBitmap {
+			if live {
+				w.PresentBitmap(sc.bm)
+				live = sc.bm.Any()
+			}
+		} else if len(sc.sel) > 0 {
+			sc.sel = w.PresentRowsInPlace(sc.sel)
 		}
 	}
-	return sel, views, nil
+	return useBitmap, nil
 }
 
 // Count answers "select count(*) where <conjunction>". A single
-// conjunct delegates to the mode's native count (no position list is
-// materialized).
+// conjunct delegates to the mode's native count; a bitmap conjunction
+// finishes with a popcount — neither materializes a position list.
 func (r *Runner) Count(preds []Predicate) (int, error) {
-	ps, empty, err := r.normalize(preds)
+	sc := r.getScratch()
+	defer r.putScratch(sc)
+	empty, err := r.planScratch(sc, preds)
 	if err != nil || empty {
 		return 0, err
 	}
-	if len(ps) == 1 {
-		return r.exec.Count(ps[0].Attr, ps[0].Lo, ps[0].Hi)
+	if len(sc.preds) == 1 {
+		return r.exec.Count(sc.preds[0].Attr, sc.preds[0].Lo, sc.preds[0].Hi)
 	}
-	sel, _, err := r.candidates(ps, nil)
+	useBm, err := r.runSel(sc, nil)
 	if err != nil {
 		return 0, err
 	}
-	return len(sel), nil
+	if useBm {
+		return sc.bm.Count(), nil
+	}
+	return len(sc.sel), nil
 }
 
 // Sum answers "select sum(attr) where <conjunction>". When the single
 // conjunct is on attr itself the mode's native pushdown answers
-// directly; otherwise the candidate positions fetch attr late.
+// directly; otherwise attr folds late over the surviving candidates —
+// straight off the selection vector, nothing is materialized.
 func (r *Runner) Sum(attr string, preds []Predicate) (int64, error) {
 	if r.table.Column(attr) == nil {
 		return 0, fmt.Errorf("query: unknown attribute %q", attr)
 	}
-	ps, empty, err := r.normalize(preds)
+	sc := r.getScratch()
+	defer r.putScratch(sc)
+	empty, err := r.planScratch(sc, preds)
 	if err != nil || empty {
 		return 0, err
 	}
-	if len(ps) == 1 && ps[0].Attr == attr {
-		return r.exec.Sum(attr, ps[0].Lo, ps[0].Hi)
+	if len(sc.preds) == 1 && sc.preds[0].Attr == attr {
+		return r.exec.Sum(attr, sc.preds[0].Lo, sc.preds[0].Hi)
 	}
-	sel, views, err := r.candidates(ps, []string{attr})
+	extra := [1]string{attr}
+	useBm, err := r.runSel(sc, extra[:])
 	if err != nil {
 		return 0, err
 	}
-	var s int64
-	for _, v := range views[attr].FetchRows(sel, r.threads) {
-		s += v
+	if useBm {
+		return sc.views[attr].SumBitmap(sc.bm), nil
 	}
-	return s, nil
+	return sc.views[attr].SumRows(sc.sel, r.threads), nil
 }
 
 // Rows materializes the qualifying base row ids in ascending order.
+// Bitmap intermediates iterate in ascending position order, so the sort
+// disappears on the dense path.
 func (r *Runner) Rows(preds []Predicate) ([]uint32, error) {
-	ps, empty, err := r.normalize(preds)
+	sc := r.getScratch()
+	defer r.putScratch(sc)
+	empty, err := r.planScratch(sc, preds)
 	if err != nil || empty {
 		return nil, err
 	}
-	var sel column.PosList
-	if len(ps) == 1 {
-		rows, err := r.exec.SelectRows(ps[0].Attr, ps[0].Lo, ps[0].Hi)
+	if len(sc.preds) == 1 {
+		rows, err := r.exec.SelectRows(sc.preds[0].Attr, sc.preds[0].Lo, sc.preds[0].Hi)
 		if err != nil {
 			return nil, err
 		}
-		sel = rows
-	} else if sel, _, err = r.candidates(ps, nil); err != nil {
+		sort.Slice(rows, func(i, j int) bool { return rows[i] < rows[j] })
+		return rows, nil
+	}
+	useBm, err := r.runSel(sc, nil)
+	if err != nil {
 		return nil, err
 	}
-	out := append([]uint32(nil), sel...)
+	if useBm {
+		return sc.bm.AppendPositions(make(column.PosList, 0, sc.bm.Count())), nil
+	}
+	out := append([]uint32(nil), sc.sel...)
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out, nil
 }
 
 // Values materializes the requested attributes of the qualifying
 // tuples: one aligned slice per attribute, tuples in ascending row-id
-// order. This is the project operator over the conjunction's position
-// list.
+// order. This is the project operator over the conjunction's selection
+// vector.
 func (r *Runner) Values(attrs []string, preds []Predicate) ([][]int64, error) {
 	if len(attrs) == 0 {
 		return nil, fmt.Errorf("query: Values needs at least one attribute")
@@ -301,7 +468,9 @@ func (r *Runner) Values(attrs []string, preds []Predicate) ([][]int64, error) {
 			return nil, fmt.Errorf("query: unknown attribute %q", a)
 		}
 	}
-	ps, empty, err := r.normalize(preds)
+	sc := r.getScratch()
+	defer r.putScratch(sc)
+	empty, err := r.planScratch(sc, preds)
 	if err != nil {
 		return nil, err
 	}
@@ -312,14 +481,21 @@ func (r *Runner) Values(attrs []string, preds []Predicate) ([][]int64, error) {
 		}
 		return out, nil
 	}
-	sel, views, err := r.candidates(ps, attrs)
+	useBm, err := r.runSel(sc, attrs)
 	if err != nil {
 		return nil, err
 	}
-	sorted := append(column.PosList(nil), sel...)
+	if useBm {
+		n := sc.bm.Count()
+		for i, a := range attrs {
+			out[i] = sc.views[a].FetchBitmap(sc.bm, make([]int64, 0, n))
+		}
+		return out, nil
+	}
+	sorted := append(column.PosList(nil), sc.sel...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 	for i, a := range attrs {
-		out[i] = views[a].FetchRows(sorted, r.threads)
+		out[i] = sc.views[a].FetchRows(sorted, r.threads)
 	}
 	return out, nil
 }

@@ -3,10 +3,12 @@ package query
 import (
 	"math/rand"
 	"testing"
+	"time"
 
 	"holistic/internal/column"
 	"holistic/internal/cracking"
 	"holistic/internal/engine"
+	"holistic/internal/holistic"
 )
 
 // buildTable returns a table of `attrs` uniform columns over [0, domain)
@@ -214,5 +216,208 @@ func TestSinglePredicateFastPaths(t *testing.T) {
 	rows, err := r.Rows(preds)
 	if err != nil || len(rows) != len(want) {
 		t.Fatalf("Rows = (%d rows, %v), want %d", len(rows), err, len(want))
+	}
+}
+
+// allModeExecutors builds one executor per mode of the paper over the
+// same table; cracking configurations carry rowids so the row and
+// bitmap select forms are answerable.
+func allModeExecutors(t *testing.T, tab *engine.Table) map[string]engine.Executor {
+	t.Helper()
+	return map[string]engine.Executor{
+		"scan":       engine.NewScanExecutor(tab, 2),
+		"offline":    engine.NewOfflineExecutor(tab, 2),
+		"online":     engine.NewOnlineExecutor(tab, 2, 10),
+		"adaptive":   engine.NewAdaptiveExecutor(tab, cracking.Config{WithRows: true}, ""),
+		"stochastic": engine.NewAdaptiveExecutor(tab, cracking.Config{Stochastic: true, WithRows: true, Seed: 5}, "stochastic"),
+		"ccgi":       engine.NewCCGIExecutor(tab, 2, 8, cracking.Config{WithRows: true}),
+		"holistic": engine.NewHolisticExecutor(tab, engine.HolisticConfig{
+			Cracking: cracking.Config{WithRows: true},
+			Daemon:   holistic.Config{Interval: time.Millisecond, Refinements: 4, Seed: 3},
+			L1Values: 256,
+			Contexts: 2,
+		}),
+	}
+}
+
+// TestRepresentationsAgreeAllModes is the tentpole differential test:
+// for every executor mode, the bitmap and position-list pipelines must
+// return identical results for every query form, checked against the
+// brute-force oracle.
+func TestRepresentationsAgreeAllModes(t *testing.T) {
+	const domain = 1 << 12
+	tab, cols := buildTable(4, 6000, domain, 15)
+	execs := allModeExecutors(t, tab)
+	attrNames := []string{"a", "b", "c", "d"}
+	for label, exec := range execs {
+		t.Run(label, func(t *testing.T) {
+			defer exec.Close()
+			r := New(tab, exec, 2)
+			rng := rand.New(rand.NewSource(17))
+			for q := 0; q < 30; q++ {
+				k := 2 + rng.Intn(3)
+				perm := rng.Perm(4)
+				preds := make([]Predicate, k)
+				for i := 0; i < k; i++ {
+					lo := rng.Int63n(domain)
+					preds[i] = Predicate{Attr: attrNames[perm[i]], Lo: lo, Hi: lo + rng.Int63n(domain-lo) + 1}
+				}
+				want := oracle(cols, names, preds)
+				sumAttr := attrNames[rng.Intn(4)]
+				var wantSum int64
+				for _, row := range want {
+					wantSum += cols[names[sumAttr]][row]
+				}
+
+				for _, policy := range []RepPolicy{RepPosList, RepBitmap} {
+					r.SetRepPolicy(policy)
+					n, err := r.Count(preds)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if n != len(want) {
+						t.Fatalf("query %d policy %d: count = %d, want %d (%v)", q, policy, n, len(want), preds)
+					}
+					rows, err := r.Rows(preds)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(rows) != len(want) {
+						t.Fatalf("query %d policy %d: %d rows, want %d", q, policy, len(rows), len(want))
+					}
+					for i := range rows {
+						if rows[i] != want[i] {
+							t.Fatalf("query %d policy %d: rows[%d] = %d, want %d", q, policy, i, rows[i], want[i])
+						}
+					}
+					sum, err := r.Sum(sumAttr, preds)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if sum != wantSum {
+						t.Fatalf("query %d policy %d: sum(%s) = %d, want %d", q, policy, sumAttr, sum, wantSum)
+					}
+					vals, err := r.Values([]string{sumAttr}, preds)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(vals[0]) != len(want) {
+						t.Fatalf("query %d policy %d: Values len %d, want %d", q, policy, len(vals[0]), len(want))
+					}
+					for i, row := range want {
+						if vals[0][i] != cols[names[sumAttr]][row] {
+							t.Fatalf("query %d policy %d: Values[%d] mismatch", q, policy, i)
+						}
+					}
+				}
+				r.SetRepPolicy(RepAuto)
+				if n, err := r.Count(preds); err != nil || n != len(want) {
+					t.Fatalf("query %d auto: count = (%d, %v), want %d", q, n, err, len(want))
+				}
+			}
+		})
+	}
+}
+
+// TestChooseBitmapCrossover: the Auto policy picks the representation
+// from the driving conjunct's estimated selectivity against the
+// crossover, and respects the forced policies.
+func TestChooseBitmapCrossover(t *testing.T) {
+	const domain = 1 << 20
+	tab, _ := buildTable(2, 10_000, domain, 19)
+	r := New(tab, engine.NewScanExecutor(tab, 2), 2)
+	sc := r.getScratch()
+	defer r.putScratch(sc)
+
+	dense := []Predicate{
+		{Attr: "a", Lo: 0, Hi: domain / 2}, // ~50% drives
+		{Attr: "b", Lo: 0, Hi: domain - 1},
+	}
+	sparse := []Predicate{
+		{Attr: "a", Lo: 0, Hi: domain / 1024}, // ~0.1% drives
+		{Attr: "b", Lo: 0, Hi: domain - 1},
+	}
+	single := []Predicate{{Attr: "a", Lo: 0, Hi: domain / 2}}
+
+	if empty, err := r.planScratch(sc, dense); err != nil || empty {
+		t.Fatal(err)
+	}
+	if !r.chooseBitmap(sc) {
+		t.Error("dense drive did not choose bitmap")
+	}
+	r.SetRepPolicy(RepPosList)
+	if r.chooseBitmap(sc) {
+		t.Error("RepPosList still chose bitmap")
+	}
+	r.SetRepPolicy(RepAuto)
+
+	if empty, err := r.planScratch(sc, sparse); err != nil || empty {
+		t.Fatal(err)
+	}
+	if r.chooseBitmap(sc) {
+		t.Error("sparse drive chose bitmap")
+	}
+	r.SetRepPolicy(RepBitmap)
+	if !r.chooseBitmap(sc) {
+		t.Error("RepBitmap did not choose bitmap")
+	}
+	r.SetRepPolicy(RepAuto)
+	r.SetBitmapCrossover(0) // crossover 0: everything is dense enough
+	if !r.chooseBitmap(sc) {
+		t.Error("crossover 0 did not choose bitmap")
+	}
+	r.SetBitmapCrossover(DefaultBitmapCrossover)
+
+	if empty, err := r.planScratch(sc, single); err != nil || empty {
+		t.Fatal(err)
+	}
+	if r.chooseBitmap(sc) {
+		t.Error("single conjunct chose bitmap")
+	}
+}
+
+// TestSteadyStateCountSumAllocationFree: with sequential kernels the
+// bitmap-path Count and Sum allocate nothing per query once the pooled
+// scratch is warm — the tentpole's acceptance criterion.
+func TestSteadyStateCountSumAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; allocation counts are meaningless")
+	}
+	const domain = 1 << 16
+	tab, _ := buildTable(3, 1<<15, domain, 23)
+	r := New(tab, engine.NewScanExecutor(tab, 1), 1)
+	preds := []Predicate{
+		{Attr: "a", Lo: 0, Hi: domain / 2},
+		{Attr: "b", Lo: domain / 4, Hi: domain},
+		{Attr: "c", Lo: 0, Hi: 3 * domain / 4},
+	}
+	// Warm the scratch pool and verify the plan picks the bitmap.
+	if _, err := r.Count(preds); err != nil {
+		t.Fatal(err)
+	}
+	sc := r.getScratch()
+	if empty, err := r.planScratch(sc, preds); err != nil || empty {
+		t.Fatal(err)
+	}
+	if !r.chooseBitmap(sc) {
+		t.Fatal("steady-state test expects the bitmap path")
+	}
+	r.putScratch(sc)
+
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := r.Count(preds); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0.5 {
+		t.Errorf("steady-state Count allocates %.2f times per query, want 0", allocs)
+	}
+	allocs = testing.AllocsPerRun(50, func() {
+		if _, err := r.Sum("c", preds); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0.5 {
+		t.Errorf("steady-state Sum allocates %.2f times per query, want 0", allocs)
 	}
 }
