@@ -17,8 +17,10 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -30,39 +32,48 @@ import (
 // main delegates to run so deferred profile writers flush on every
 // exit path — os.Exit would skip them and truncate the profiles.
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() int {
+// run executes the command against explicit arguments and output
+// streams, so tests can drive the CLI surface in-process.
+func run(args []string, stdout, stderr io.Writer) int {
 	defaults := bench.DefaultParams()
+	fs := flag.NewFlagSet("holisticbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		experiment  = flag.String("experiment", "all", "experiment name (see -list) or 'all'")
-		list        = flag.Bool("list", false, "list available experiments and exit")
-		columns     = flag.Int("columns", defaults.ColumnSize, "values per attribute")
-		queries     = flag.Int("queries", defaults.Queries, "queries per workload")
-		attrs       = flag.Int("attrs", defaults.Attrs, "number of attributes")
-		domain      = flag.Int64("domain", defaults.Domain, "attribute value domain")
-		threads     = flag.Int("threads", defaults.Threads, "hardware-context budget")
-		interval    = flag.Duration("interval", defaults.Interval, "daemon tuning interval")
-		refinements = flag.Int("x", defaults.Refinements, "refinements per holistic worker")
-		l1          = flag.Int("l1", defaults.L1Values, "optimal piece size in values (|L1|)")
-		tpchOrders  = flag.Int("tpch-orders", defaults.TPCHOrders, "ORDERS cardinality for fig14")
-		seed        = flag.Int64("seed", defaults.Seed, "random seed")
-		jsonPath    = flag.String("json", "", "also write the results as a JSON array to this file")
-		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
-		memProfile  = flag.String("memprofile", "", "write a heap profile taken after the run to this file")
+		experiment  = fs.String("experiment", "all", "experiment name (see -list) or 'all'")
+		list        = fs.Bool("list", false, "list available experiments and exit")
+		columns     = fs.Int("columns", defaults.ColumnSize, "values per attribute")
+		queries     = fs.Int("queries", defaults.Queries, "queries per workload")
+		attrs       = fs.Int("attrs", defaults.Attrs, "number of attributes")
+		domain      = fs.Int64("domain", defaults.Domain, "attribute value domain")
+		threads     = fs.Int("threads", defaults.Threads, "hardware-context budget")
+		interval    = fs.Duration("interval", defaults.Interval, "daemon tuning interval")
+		refinements = fs.Int("x", defaults.Refinements, "refinements per holistic worker")
+		l1          = fs.Int("l1", defaults.L1Values, "optimal piece size in values (|L1|)")
+		tpchOrders  = fs.Int("tpch-orders", defaults.TPCHOrders, "ORDERS cardinality for fig14")
+		seed        = fs.Int64("seed", defaults.Seed, "random seed")
+		jsonPath    = fs.String("json", "", "also write the results as a JSON array to this file")
+		cpuProfile  = fs.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memProfile  = fs.String("memprofile", "", "write a heap profile taken after the run to this file")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "holisticbench: cpuprofile:", err)
+			fmt.Fprintln(stderr, "holisticbench: cpuprofile:", err)
 			return 1
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, "holisticbench: cpuprofile:", err)
+			fmt.Fprintln(stderr, "holisticbench: cpuprofile:", err)
 			return 1
 		}
 		defer pprof.StopCPUProfile()
@@ -71,20 +82,20 @@ func run() int {
 		defer func() {
 			f, err := os.Create(*memProfile)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "holisticbench: memprofile:", err)
+				fmt.Fprintln(stderr, "holisticbench: memprofile:", err)
 				return
 			}
 			defer f.Close()
 			runtime.GC() // settle the heap so the profile shows live objects
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintln(os.Stderr, "holisticbench: memprofile:", err)
+				fmt.Fprintln(stderr, "holisticbench: memprofile:", err)
 			}
 		}()
 	}
 
 	if *list {
 		for _, e := range bench.Experiments() {
-			fmt.Printf("%-16s %s\n", e.Name, e.Title)
+			fmt.Fprintf(stdout, "%-16s %s\n", e.Name, e.Title)
 		}
 		return 0
 	}
@@ -116,14 +127,14 @@ func run() int {
 	for _, name := range names {
 		res, err := bench.Run(name, p)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "holisticbench:", err)
+			fmt.Fprintln(stderr, "holisticbench:", err)
 			return 1
 		}
-		res.Fprint(os.Stdout)
+		res.Fprint(stdout)
 		results = append(results, res)
 	}
 	if len(names) > 1 {
-		fmt.Printf("total: %v\n", time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(stdout, "total: %v\n", time.Since(start).Round(time.Millisecond))
 	}
 	if *jsonPath != "" {
 		buf, err := json.MarshalIndent(results, "", "  ")
@@ -131,10 +142,10 @@ func run() int {
 			err = os.WriteFile(*jsonPath, append(buf, '\n'), 0o644)
 		}
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "holisticbench: write json:", err)
+			fmt.Fprintln(stderr, "holisticbench: write json:", err)
 			return 1
 		}
-		fmt.Printf("wrote %s\n", *jsonPath)
+		fmt.Fprintf(stdout, "wrote %s\n", *jsonPath)
 	}
 	return 0
 }

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"holistic/internal/bench"
+)
+
+// TestListEnumeratesEveryExperiment drives `holisticbench -list` and
+// asserts every registered experiment — including the groupby one —
+// appears in the listing.
+func TestListEnumeratesEveryExperiment(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("-list exited %d: %s", code, errOut.String())
+	}
+	listing := out.String()
+	exps := bench.Experiments()
+	if len(exps) == 0 {
+		t.Fatal("no experiments registered")
+	}
+	for _, e := range exps {
+		if !strings.Contains(listing, e.Name) {
+			t.Errorf("experiment %q missing from -list output", e.Name)
+		}
+	}
+	for _, name := range []string{"groupby", "conj", "selvec", "fig6a"} {
+		if !strings.Contains(listing, name) {
+			t.Errorf("expected experiment %q in -list output", name)
+		}
+	}
+	if lines := strings.Count(listing, "\n"); lines != len(exps) {
+		t.Errorf("-list printed %d lines for %d experiments", lines, len(exps))
+	}
+}
+
+// TestEveryListedExperimentRunsAtTinyScale runs each experiment the
+// listing advertises through the CLI at a tiny scale: whatever -list
+// names must actually be runnable.
+func TestEveryListedExperimentRunsAtTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment CLI suite in -short mode")
+	}
+	for _, e := range bench.Experiments() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			var out, errOut bytes.Buffer
+			args := []string{
+				"-experiment", e.Name,
+				"-columns", "8192", "-queries", "40", "-attrs", "3",
+				"-domain", "1048576", "-interval", "1ms", "-x", "4",
+				"-l1", "512", "-tpch-orders", "500",
+			}
+			if code := run(args, &out, &errOut); code != 0 {
+				t.Fatalf("exit %d: %s", code, errOut.String())
+			}
+			if !strings.Contains(out.String(), e.Name) {
+				t.Errorf("output does not mention %q:\n%s", e.Name, out.String())
+			}
+		})
+	}
+}
+
+// TestJSONArtifact covers the -json flag the CI benchmark steps rely
+// on: the file must hold the result array with headers and rows.
+func TestJSONArtifact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	var out, errOut bytes.Buffer
+	args := []string{
+		"-experiment", "groupby", "-json", path,
+		"-columns", "8192", "-queries", "40", "-attrs", "2",
+		"-interval", "1ms", "-x", "4", "-l1", "512",
+	}
+	if code := run(args, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []bench.Result
+	if err := json.Unmarshal(buf, &results); err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].Name != "groupby" || len(results[0].Rows) == 0 {
+		t.Fatalf("unexpected JSON artifact: %+v", results)
+	}
+}
+
+// TestUnknownFlagAndExperiment covers the failure exits.
+func TestUnknownFlagAndExperiment(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &out, &errOut); code != 2 {
+		t.Errorf("unknown flag exited %d, want 2", code)
+	}
+	if code := run([]string{"-experiment", "nope", "-columns", "1024", "-queries", "8"}, &out, &errOut); code != 1 {
+		t.Errorf("unknown experiment exited %d, want 1", code)
+	}
+}
+
+// TestHelpExitsZero preserves the conventional success exit for -h.
+func TestHelpExitsZero(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-h"}, &out, &errOut); code != 0 {
+		t.Errorf("-h exited %d, want 0", code)
+	}
+	if !strings.Contains(errOut.String(), "-experiment") {
+		t.Error("-h did not print usage")
+	}
+}

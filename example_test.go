@@ -77,3 +77,47 @@ func ExampleStore_Query() {
 	// Output:
 	// 146 qualifying rows
 }
+
+// ExampleQuery_GroupBy demonstrates grouped aggregation: a fused
+// count/sum/max plan over the rows surviving a range predicate, grouped
+// by region, returned as an ordered result table.
+func ExampleQuery_GroupBy() {
+	store := holistic.NewStore(holistic.Config{
+		Mode:           holistic.ModeHolistic,
+		Threads:        2,
+		TuningInterval: time.Millisecond,
+		Seed:           1,
+	})
+	defer store.Close()
+
+	n := 100_000
+	region := make([]int64, n) // dictionary codes 0..3
+	sales := make([]int64, n)
+	day := make([]int64, n)
+	for i := 0; i < n; i++ {
+		region[i] = int64(i % 4)
+		sales[i] = int64(i*13%997 + 1)
+		day[i] = int64(i % 365)
+	}
+	store.AddIntColumn("region", region)
+	store.AddIntColumn("sales", sales)
+	store.AddIntColumn("day", day)
+
+	res, err := store.Query().
+		Where("day", 0, 31). // January
+		GroupBy("region").
+		Aggregate(holistic.Count(), holistic.Sum("sales"), holistic.Max("sales"))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for g := 0; g < res.Len(); g++ {
+		fmt.Printf("region %d: %d rows, sum %d, max %d\n",
+			res.Keys[0][g], res.Aggs[0][g], res.Aggs[1][g], res.Aggs[2][g])
+	}
+	// Output:
+	// region 0: 2123 rows, sum 1058619, max 997
+	// region 1: 2124 rows, sum 1057471, max 997
+	// region 2: 2124 rows, sum 1062035, max 997
+	// region 3: 2123 rows, sum 1058219, max 997
+}

@@ -29,6 +29,12 @@
 // columns. The cracking modes also accept Delete and Update as pending
 // operations merged lazily like inserts. See DESIGN.md §4.
 //
+// Grouped aggregation chains GroupBy and Aggregate onto a query:
+// fused COUNT/SUM/MIN/MAX plans over the selection, executed with a
+// per-query physical strategy (dense bit-packed, hash, or sort-based
+// index-clustered grouping — the latter is how background refinement
+// pays off beyond selects). See DESIGN.md §6.
+//
 // Non-integer attributes map onto int64 the way fixed-width column-stores
 // do it: dates as day numbers, decimals as scaled integers, strings as
 // dictionary codes (see internal/column.Dict).
@@ -43,6 +49,7 @@ import (
 	"holistic/internal/column"
 	"holistic/internal/cracking"
 	"holistic/internal/engine"
+	"holistic/internal/groupby"
 	"holistic/internal/holistic"
 	"holistic/internal/query"
 	"holistic/internal/stats"
@@ -477,6 +484,120 @@ func (q *Query) Values(attrs ...string) ([][]int64, error) {
 		return nil, err
 	}
 	return r.Values(attrs, q.preds)
+}
+
+// Min answers "select min(attr) where <conjunction>"; ok is false when
+// no tuple qualifies. A single conjunct on attr itself delegates to the
+// mode's native MinMax pushdown; otherwise the extremum folds late over
+// the surviving selection vector. attr need not be among the
+// predicates.
+func (q *Query) Min(attr string) (v int64, ok bool, err error) {
+	r, err := q.s.runner()
+	if err != nil {
+		return 0, false, err
+	}
+	mn, _, ok, err := r.MinMax(attr, q.preds)
+	return mn, ok, err
+}
+
+// Max answers "select max(attr) where <conjunction>"; ok is false when
+// no tuple qualifies.
+func (q *Query) Max(attr string) (v int64, ok bool, err error) {
+	r, err := q.s.runner()
+	if err != nil {
+		return 0, false, err
+	}
+	_, mx, ok, err := r.MinMax(attr, q.preds)
+	return mx, ok, err
+}
+
+// Agg is one aggregate of a grouped query; build them with Count, Sum,
+// Min and Max and pass them to GroupedQuery.Aggregate.
+type Agg struct {
+	agg groupby.Agg
+}
+
+// Count is the count(*) aggregate of a grouped query.
+func Count() Agg { return Agg{groupby.Count()} }
+
+// Sum is the sum(attr) aggregate of a grouped query.
+func Sum(attr string) Agg { return Agg{groupby.Sum(attr)} }
+
+// Min is the min(attr) aggregate of a grouped query.
+func Min(attr string) Agg { return Agg{groupby.Min(attr)} }
+
+// Max is the max(attr) aggregate of a grouped query.
+func Max(attr string) Agg { return Agg{groupby.Max(attr)} }
+
+// GroupBy turns the query into a grouped aggregation over the given
+// attributes; finish with Aggregate. Zero Where clauses group the whole
+// relation.
+//
+//	res, err := store.Query().
+//	        Where("shipdate", 0, cutoff).
+//	        GroupBy("returnflag", "linestatus").
+//	        Aggregate(holistic.Count(), holistic.Sum("quantity"))
+//
+// The selection pipeline is the conjunctive one (planned drive, bitmap
+// intermediates, update-aware probes); the grouping itself runs fused
+// multi-aggregate kernels under one of three physical strategies picked
+// per query — dense bit-packed accumulators for small composite key
+// domains, open-addressing hash accumulators otherwise, and sort-based
+// grouping that walks the key's index clusters in order with no hash
+// table at all when the group key is an indexed attribute. Under
+// ModeHolistic the group-by attributes join the daemon's index space,
+// so idle-time refinement converts hash grouping into the sort strategy
+// over time. See DESIGN.md §6.
+func (q *Query) GroupBy(attrs ...string) *GroupedQuery {
+	return &GroupedQuery{q: q, keys: attrs}
+}
+
+// GroupedQuery is a grouped aggregation under construction.
+type GroupedQuery struct {
+	q    *Query
+	keys []string
+}
+
+// GroupedResult is an ordered grouped-aggregation result table: group
+// g's key is (Keys[0][g], ..., Keys[k-1][g]) — ascending
+// lexicographically in the GroupBy attribute order — and its aggregate
+// values are (Aggs[0][g], ...), aligned with the Aggregate list.
+type GroupedResult struct {
+	// KeyAttrs echoes the GroupBy attributes.
+	KeyAttrs []string
+	Keys     [][]int64
+	Aggs     [][]int64
+}
+
+// Len returns the number of groups.
+func (r *GroupedResult) Len() int {
+	if len(r.Keys) == 0 {
+		return 0
+	}
+	return len(r.Keys[0])
+}
+
+// Aggregate executes the grouped query with the given fused aggregates
+// (computed in one pass over the qualifying rows) and returns the
+// ordered result table.
+func (g *GroupedQuery) Aggregate(aggs ...Agg) (*GroupedResult, error) {
+	r, err := g.q.s.runner()
+	if err != nil {
+		return nil, err
+	}
+	specs := make([]groupby.Agg, len(aggs))
+	for i, a := range aggs {
+		specs[i] = a.agg
+	}
+	res, err := r.Grouped(g.keys, specs, g.q.preds)
+	if err != nil {
+		return nil, err
+	}
+	return &GroupedResult{
+		KeyAttrs: append([]string(nil), g.keys...),
+		Keys:     res.Keys,
+		Aggs:     res.Aggs,
+	}, nil
 }
 
 // AddPotentialIndex registers attr in the potential configuration

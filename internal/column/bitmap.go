@@ -104,6 +104,34 @@ func (b *Bitmap) AndNot(o *Bitmap) {
 	}
 }
 
+// SetRange marks every position in [start, end): the selection vector of
+// a contiguous qualifying window (a pre-sorted projection slice, or the
+// all-rows universe of a grouped query without predicates), built word
+// at a time.
+func (b *Bitmap) SetRange(start, end int) {
+	if start < 0 {
+		start = 0
+	}
+	if end > b.n {
+		end = b.n
+	}
+	if start >= end {
+		return
+	}
+	first, last := start>>6, (end-1)>>6
+	loMask := ^uint64(0) << uint(start&63)
+	hiMask := ^uint64(0) >> uint(63-(end-1)&63)
+	if first == last {
+		b.words[first] |= loMask & hiMask
+		return
+	}
+	b.words[first] |= loMask
+	for wi := first + 1; wi < last; wi++ {
+		b.words[wi] = ^uint64(0)
+	}
+	b.words[last] |= hiMask
+}
+
 // SetRows marks every row id in rows. All ids must be < Len().
 func (b *Bitmap) SetRows(rows []uint32) {
 	for _, r := range rows {
@@ -175,6 +203,32 @@ func (b *Bitmap) AppendPositions(dst PosList) PosList {
 	}
 	return dst
 }
+
+// AppendPositionsWords is AppendPositions restricted to the words
+// [fromWord, toWord): the chunked bitmap → position-list decode the
+// grouped-aggregation kernels use to process a selection vector through
+// a small pooled buffer (and parallel consumers use to split a bitmap
+// into word-disjoint spans) without materializing the full list.
+func (b *Bitmap) AppendPositionsWords(dst PosList, fromWord, toWord int) PosList {
+	if fromWord < 0 {
+		fromWord = 0
+	}
+	if toWord > len(b.words) {
+		toWord = len(b.words)
+	}
+	for wi := fromWord; wi < toWord; wi++ {
+		w := b.words[wi]
+		base := Pos(wi << 6)
+		for ; w != 0; w &= w - 1 {
+			dst = append(dst, base+Pos(bits.TrailingZeros64(w)))
+		}
+	}
+	return dst
+}
+
+// Words returns the number of 64-position words backing the bitmap —
+// the unit chunked consumers split on.
+func (b *Bitmap) Words() int { return len(b.words) }
 
 // denseLanes is the per-word popcount at and above which the filter
 // kernels evaluate all 64 lanes branch-free and mask, rather than
@@ -355,6 +409,52 @@ func SumBitmap(vals []int64, b *Bitmap) int64 {
 		}
 	}
 	return s
+}
+
+// MinMaxBitmap folds min/max of vals over the qualifying positions and
+// reports how many qualified; mn/mx are meaningful only when n > 0.
+// Every set position must be < len(vals).
+func MinMaxBitmap(vals []int64, b *Bitmap) (mn, mx int64, n int) {
+	for wi, w := range b.words {
+		base := wi << 6
+		for ; w != 0; w &= w - 1 {
+			v := vals[base+bits.TrailingZeros64(w)]
+			if n == 0 || v < mn {
+				mn = v
+			}
+			if n == 0 || v > mx {
+				mx = v
+			}
+			n++
+		}
+	}
+	return mn, mx, n
+}
+
+// MinMaxBitmap folds min/max of the current values at the set positions;
+// every set position must have a value (run PresentBitmap first).
+func (w View) MinMaxBitmap(b *Bitmap) (mn, mx int64, n int) {
+	if w.Plain() {
+		return MinMaxBitmap(w.Base, b)
+	}
+	for wi, word := range b.words {
+		base := Pos(wi << 6)
+		for ; word != 0; word &= word - 1 {
+			p := base + Pos(bits.TrailingZeros64(word))
+			v, ok := w.At(p)
+			if !ok {
+				panic(fmt.Sprintf("column: MinMaxBitmap at row %d without a value", p))
+			}
+			if n == 0 || v < mn {
+				mn = v
+			}
+			if n == 0 || v > mx {
+				mx = v
+			}
+			n++
+		}
+	}
+	return mn, mx, n
 }
 
 // FilterBitmap is the bitmap form of View.FilterRows: it clears from b

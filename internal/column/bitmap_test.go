@@ -370,3 +370,64 @@ func TestZeroAllocBitmapPipeline(t *testing.T) {
 		t.Fatalf("bitmap pipeline allocates %.1f times per query, want 0", allocs)
 	}
 }
+
+// TestSetRange covers the word-boundary cases of the contiguous-range
+// fill: within one word, spanning words, aligned and unaligned edges.
+func TestSetRange(t *testing.T) {
+	for _, tc := range [][2]int{{0, 0}, {0, 1}, {3, 9}, {0, 64}, {63, 65}, {64, 128}, {5, 200}, {190, 200}, {0, 200}, {199, 200}} {
+		b := NewBitmap(200)
+		b.SetRange(tc[0], tc[1])
+		for p := 0; p < 200; p++ {
+			want := p >= tc[0] && p < tc[1]
+			if b.Test(Pos(p)) != want {
+				t.Fatalf("SetRange(%d, %d): bit %d = %v, want %v", tc[0], tc[1], p, b.Test(Pos(p)), want)
+			}
+		}
+		if got, want := b.Count(), tc[1]-tc[0]; got != want {
+			t.Fatalf("SetRange(%d, %d): count = %d, want %d", tc[0], tc[1], got, want)
+		}
+	}
+	// Clamping: out-of-universe bounds are cut, inverted ranges are a no-op.
+	b := NewBitmap(70)
+	b.SetRange(-5, 1000)
+	if b.Count() != 70 {
+		t.Fatalf("clamped SetRange count = %d, want 70", b.Count())
+	}
+	b.Reset(70)
+	b.SetRange(50, 20)
+	if b.Count() != 0 {
+		t.Fatal("inverted SetRange set bits")
+	}
+}
+
+// TestAppendPositionsWords checks the chunked decode against the full
+// decode over word sub-ranges.
+func TestAppendPositionsWords(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	b := NewBitmap(1000)
+	for i := 0; i < 1000; i++ {
+		if rng.Intn(3) == 0 {
+			b.Set(Pos(i))
+		}
+	}
+	full := b.AppendPositions(nil)
+	var chunked PosList
+	for w := 0; w < b.Words(); w += 3 {
+		chunked = b.AppendPositionsWords(chunked, w, w+3)
+	}
+	if len(chunked) != len(full) {
+		t.Fatalf("chunked decode has %d positions, full %d", len(chunked), len(full))
+	}
+	for i := range full {
+		if chunked[i] != full[i] {
+			t.Fatalf("position %d: %d vs %d", i, chunked[i], full[i])
+		}
+	}
+	// Out-of-range word bounds clamp.
+	if got := b.AppendPositionsWords(nil, -2, b.Words()+5); len(got) != len(full) {
+		t.Fatalf("clamped decode has %d positions, want %d", len(got), len(full))
+	}
+	if got := b.AppendPositionsWords(nil, 5, 5); len(got) != 0 {
+		t.Fatal("empty word range decoded positions")
+	}
+}

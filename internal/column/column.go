@@ -449,6 +449,23 @@ func ParallelSumRows(vals []int64, sel PosList, workers int) int64 {
 	return total
 }
 
+// MinMaxRows folds min/max of vals over the positions of sel and
+// reports how many positions were visited; mn/mx are meaningful only
+// when n > 0. All positions must be in range.
+func MinMaxRows(vals []int64, sel PosList) (mn, mx int64, n int) {
+	for _, p := range sel {
+		v := vals[p]
+		if n == 0 || v < mn {
+			mn = v
+		}
+		if n == 0 || v > mx {
+			mx = v
+		}
+		n++
+	}
+	return mn, mx, n
+}
+
 // View is an update-aware positional view of one attribute: the base
 // array plus the logical overlay accumulated by pending insertions
 // (Tail), deletions (Deleted) and value updates (Updated). Positional
@@ -605,6 +622,82 @@ func (w View) SumRows(sel PosList, workers int) int64 {
 		s += v
 	}
 	return s
+}
+
+// MinMaxRows folds min/max of the current values at the given positions
+// without materializing them; every position must have a value (run
+// PresentRows first).
+func (w View) MinMaxRows(sel PosList) (mn, mx int64, n int) {
+	if w.Plain() {
+		return MinMaxRows(w.Base, sel)
+	}
+	for _, p := range sel {
+		v, ok := w.At(p)
+		if !ok {
+			panic(fmt.Sprintf("column: MinMaxRows at row %d without a value", p))
+		}
+		if n == 0 || v < mn {
+			mn = v
+		}
+		if n == 0 || v > mx {
+			mx = v
+		}
+		n++
+	}
+	return mn, mx, n
+}
+
+// GatherRows appends the current values at the given positions to dst —
+// the allocation-free gather the grouped-aggregation kernels run per
+// decoded selection chunk; every position must have a value (run
+// PresentRows first).
+func (w View) GatherRows(dst []int64, sel PosList) []int64 {
+	if w.Plain() {
+		base := w.Base
+		for _, p := range sel {
+			dst = append(dst, base[p])
+		}
+		return dst
+	}
+	for _, p := range sel {
+		v, ok := w.At(p)
+		if !ok {
+			panic(fmt.Sprintf("column: GatherRows at row %d without a value", p))
+		}
+		dst = append(dst, v)
+	}
+	return dst
+}
+
+// Extent returns the size of the view's position universe: base rows
+// plus appended rows. Row ids at or beyond it never have a value.
+func (w View) Extent() int { return len(w.Base) + len(w.Tail) }
+
+// ExtendBounds widens the base-column bounds [lo, hi] by the values the
+// view's overlay can surface (appended tail rows and updated values), so
+// every value observable through the view lies inside the result. An
+// inverted input pair (empty base) is replaced rather than widened.
+// Deletions never add values and are ignored.
+func (w View) ExtendBounds(lo, hi int64) (int64, int64) {
+	widen := func(v int64) {
+		if hi < lo {
+			lo, hi = v, v
+			return
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	for _, v := range w.Tail {
+		widen(v)
+	}
+	for _, v := range w.Updated {
+		widen(v)
+	}
+	return lo, hi
 }
 
 // Bounds returns the minimum and maximum value of vals; an empty slice

@@ -445,6 +445,30 @@ func (c *Column) MaterializeRows(start, end int) []uint32 {
 	return out
 }
 
+// ForEachPiece walks the whole column piece by piece in ascending key
+// order, invoking fn under each piece's read latch with the piece's
+// values and rowids (nil when the column carries none). Pieces are
+// value-disjoint and ordered — every value of an earlier piece is
+// strictly below every value of a later one — so the stream is a
+// key-clustered partition of the column: the access path of sort-based
+// (index-clustered) grouping, which aggregates each piece with a small
+// local accumulator and emits groups in key order with no global hash
+// table. Values inside one piece are unordered. fn receives aliased
+// slices and must not retain them. Concurrent refinement may split a
+// piece mid-walk, in which case its halves are streamed separately —
+// still disjoint, still ascending.
+func (c *Column) ForEachPiece(fn func(vals []int64, rows []uint32)) {
+	c.global.RLock()
+	defer c.global.RUnlock()
+	c.forEachSpanLocked(0, len(c.vals), func(pos, seg int) {
+		if c.rows != nil {
+			fn(c.vals[pos:seg], c.rows[pos:seg])
+		} else {
+			fn(c.vals[pos:seg], nil)
+		}
+	})
+}
+
 // SumRange sums the values at positions [start, end) under piece latches.
 func (c *Column) SumRange(start, end int) int64 {
 	var s int64

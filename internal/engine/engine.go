@@ -17,7 +17,6 @@ package engine
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 
 	"holistic/internal/column"
@@ -160,6 +159,33 @@ type BitmapSelector interface {
 	SelectBitmap(attr string, lo, hi int64, bm *column.Bitmap) error
 }
 
+// KeyOrderWalker is implemented by executors whose index structures can
+// stream an attribute in key-clustered order: a sequence of clusters,
+// each a slice of values with the aligned base row ids, such that the
+// value sets of successive clusters are disjoint and ascending (every
+// value of an earlier cluster is strictly below every value of a later
+// one). Values inside one cluster are unordered. Sorted columns stream
+// one cluster per run of equal values; cracker columns stream their
+// pieces, merging any pending updates first so the stream reflects the
+// attribute's current logical state. The grouped-aggregation subsystem
+// uses this as the access path of sort-based (index-clustered) grouping:
+// each cluster is aggregated with a small local accumulator and groups
+// emit in key order with no global hash table — the holistic payoff,
+// since background refinement keeps shrinking the clusters.
+type KeyOrderWalker interface {
+	// KeyOrderSpan estimates the value span one streamed cluster of attr
+	// covers right now (sorted columns: 1; crackers: domain span divided
+	// by the piece count). ok is false when no key-ordered access path
+	// currently exists for attr, in which case WalkKeyOrder would decline
+	// too.
+	KeyOrderSpan(attr string) (span float64, ok bool)
+	// WalkKeyOrder streams attr's clusters in ascending key order; fn
+	// must not retain the slices. ok is false (and fn is never called)
+	// when the executor has no key-ordered access path for attr — the
+	// caller falls back to hash grouping.
+	WalkKeyOrder(attr string, fn func(vals []int64, rows []uint32)) (ok bool, err error)
+}
+
 // PredicateSink is implemented by executors that want to observe every
 // predicate of a multi-attribute conjunctive query — not only the one
 // the planner chose to drive the select. Holistic indexing uses it to
@@ -226,22 +252,7 @@ func ParallelHashJoin(build, probe []int64, workers int) []int32 {
 	return out
 }
 
-// GroupSums aggregates sum(values) per group key, returning keys in
-// ascending order with their sums — the grouped aggregation TPC-H Q1/Q12
-// need. keys and values must be aligned.
-func GroupSums(keys, values []int64) (groupKeys []int64, sums []int64) {
-	m := make(map[int64]int64)
-	for i, k := range keys {
-		m[k] += values[i]
-	}
-	groupKeys = make([]int64, 0, len(m))
-	for k := range m {
-		groupKeys = append(groupKeys, k)
-	}
-	sort.Slice(groupKeys, func(i, j int) bool { return groupKeys[i] < groupKeys[j] })
-	sums = make([]int64, len(groupKeys))
-	for i, k := range groupKeys {
-		sums[i] = m[k]
-	}
-	return groupKeys, sums
-}
+// Grouped aggregation lives in internal/groupby: fused multi-aggregate
+// plans over selection vectors, with dense/hash/sort physical
+// strategies (the former map-based GroupSums helper it supersedes was
+// removed).

@@ -446,15 +446,120 @@ func TestParallelHashJoinMatches(t *testing.T) {
 	}
 }
 
-func TestGroupSums(t *testing.T) {
-	keys := []int64{2, 1, 2, 3, 1}
-	vals := []int64{10, 20, 30, 40, 50}
-	gk, sums := GroupSums(keys, vals)
-	if len(gk) != 3 || gk[0] != 1 || gk[1] != 2 || gk[2] != 3 {
-		t.Fatalf("group keys = %v", gk)
+// checkKeyOrderClusters asserts the KeyOrderWalker contract over a
+// walk: clusters' value sets are disjoint and ascending, rows align
+// with values, and the multiset of (value, row) pairs equals want.
+func checkKeyOrderClusters(t *testing.T, e KeyOrderWalker, attr string, want map[uint32]int64) {
+	t.Helper()
+	var prevMax int64
+	first := true
+	seen := map[uint32]int64{}
+	ok, err := e.WalkKeyOrder(attr, func(vals []int64, rows []uint32) {
+		if len(vals) == 0 || len(vals) != len(rows) {
+			t.Fatalf("cluster shape %d vals / %d rows", len(vals), len(rows))
+		}
+		mn, mx := vals[0], vals[0]
+		for i, v := range vals {
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+			if _, dup := seen[rows[i]]; dup {
+				t.Fatalf("row %d streamed twice", rows[i])
+			}
+			seen[rows[i]] = v
+		}
+		if !first && mn <= prevMax {
+			t.Fatalf("cluster min %d not above previous cluster max %d", mn, prevMax)
+		}
+		first = false
+		prevMax = mx
+	})
+	if err != nil || !ok {
+		t.Fatalf("WalkKeyOrder = (%v, %v)", ok, err)
 	}
-	if sums[0] != 70 || sums[1] != 40 || sums[2] != 40 {
-		t.Fatalf("sums = %v", sums)
+	if len(seen) != len(want) {
+		t.Fatalf("walk streamed %d rows, want %d", len(seen), len(want))
+	}
+	for r, v := range want {
+		if seen[r] != v {
+			t.Fatalf("row %d streamed value %d, want %d", r, seen[r], v)
+		}
+	}
+}
+
+// TestWalkKeyOrder covers the key-ordered access paths: sorted runs on
+// the offline executor, cracker pieces on the adaptive one — including
+// the pending-update merge the walk performs first.
+func TestWalkKeyOrder(t *testing.T) {
+	tbl, cols := testTable(t, 1, 4_000, 1<<10)
+	attr := attrName(0)
+	want := map[uint32]int64{}
+	for i, v := range cols[0] {
+		want[uint32(i)] = v
+	}
+
+	off := NewOfflineExecutor(tbl, 2)
+	if span, ok := off.KeyOrderSpan(attr); !ok || span != 1 {
+		t.Fatalf("offline KeyOrderSpan = (%v, %v)", span, ok)
+	}
+	checkKeyOrderClusters(t, off, attr, want)
+	if _, ok := off.KeyOrderSpan("nope"); ok {
+		t.Fatal("offline KeyOrderSpan ok for unknown attribute")
+	}
+
+	ad := NewAdaptiveExecutor(tbl, cracking.Config{WithRows: true}, "")
+	if _, ok := ad.KeyOrderSpan(attr); ok {
+		t.Fatal("adaptive KeyOrderSpan ok before any cracker exists")
+	}
+	if ok, err := ad.WalkKeyOrder(attr, nil); ok || err != nil {
+		t.Fatalf("adaptive walk before cracker = (%v, %v), want (false, nil)", ok, err)
+	}
+	if _, err := ad.Count(attr, 100, 600); err != nil {
+		t.Fatal(err)
+	}
+	if span, ok := ad.KeyOrderSpan(attr); !ok || span <= 0 {
+		t.Fatalf("adaptive KeyOrderSpan = (%v, %v)", span, ok)
+	}
+	// Pending updates must be merged before the walk streams: insert,
+	// delete and update, then check the logical state round-trips.
+	if err := ad.Insert(attr, 77); err != nil {
+		t.Fatal(err)
+	}
+	want[uint32(len(cols[0]))] = 77
+	// Delete/Update target the lowest live row holding the value;
+	// resolve the same row in the oracle map.
+	lowestWith := func(v int64) uint32 {
+		best, found := uint32(0), false
+		for r, cur := range want {
+			if cur == v && (!found || r < best) {
+				best, found = r, true
+			}
+		}
+		if !found {
+			t.Fatalf("no live row holds %d", v)
+		}
+		return best
+	}
+	delVictim := cols[0][10]
+	if err := ad.Delete(attr, delVictim); err != nil {
+		t.Fatal(err)
+	}
+	delete(want, lowestWith(delVictim))
+	updVictim := int64(-1)
+	for _, v := range want {
+		updVictim = v
+		break
+	}
+	if err := ad.Update(attr, updVictim, 999); err != nil {
+		t.Fatal(err)
+	}
+	want[lowestWith(updVictim)] = 999
+	checkKeyOrderClusters(t, ad, attr, want)
+	if n := ad.Pending(attr).Len(); n != 0 {
+		t.Fatalf("%d pending operations survived the walk's merge", n)
 	}
 }
 

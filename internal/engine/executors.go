@@ -218,6 +218,41 @@ func (e *OfflineExecutor) SelectBitmap(attr string, lo, hi int64, bm *column.Bit
 	return nil
 }
 
+// walkSortedRuns streams a rowid-carrying sorted column one maximal run
+// of equal values at a time — each run is one key cluster (span 1).
+func walkSortedRuns(s *sortidx.SortedColumn, fn func(vals []int64, rows []uint32)) {
+	vals := s.Values()
+	for i := 0; i < len(vals); {
+		j := i + 1
+		for j < len(vals) && vals[j] == vals[i] {
+			j++
+		}
+		fn(vals[i:j], s.Rows(i, j))
+		i = j
+	}
+}
+
+// KeyOrderSpan implements KeyOrderWalker: a sorted column clusters each
+// distinct value exactly (span 1), and offline indexing sorts on demand,
+// so the path exists for every attribute.
+func (e *OfflineExecutor) KeyOrderSpan(attr string) (float64, bool) {
+	if e.table.Column(attr) == nil {
+		return 0, false
+	}
+	return 1, true
+}
+
+// WalkKeyOrder implements KeyOrderWalker: the rowid-carrying sorted run,
+// streamed one equal-value cluster at a time.
+func (e *OfflineExecutor) WalkKeyOrder(attr string, fn func(vals []int64, rows []uint32)) (bool, error) {
+	s := e.sortedFor(attr, true)
+	if s == nil {
+		return false, fmt.Errorf("engine: unknown attribute %q", attr)
+	}
+	walkSortedRuns(s, fn)
+	return true, nil
+}
+
 // Close implements Executor.
 func (e *OfflineExecutor) Close() {}
 
@@ -358,6 +393,35 @@ func (e *OnlineExecutor) SelectBitmap(attr string, lo, hi int64, bm *column.Bitm
 	}
 	column.ParallelScanRangeBitmap(vals, lo, hi, bm, e.Threads)
 	return nil
+}
+
+// KeyOrderSpan implements KeyOrderWalker: exact clusters once the epoch
+// sort has happened, no path before (the probe does not advance the
+// epoch).
+func (e *OnlineExecutor) KeyOrderSpan(attr string) (float64, bool) {
+	e.mu.Lock()
+	s := e.sorted[attr]
+	e.mu.Unlock()
+	if s == nil {
+		return 0, false
+	}
+	return 1, true
+}
+
+// WalkKeyOrder implements KeyOrderWalker; it counts against the
+// monitoring epoch like every other query form, and declines while the
+// epoch is still running (the caller falls back to hash grouping over
+// the base data).
+func (e *OnlineExecutor) WalkKeyOrder(attr string, fn func(vals []int64, rows []uint32)) (bool, error) {
+	s, _, err := e.index(attr, true)
+	if err != nil {
+		return false, err
+	}
+	if s == nil {
+		return false, nil
+	}
+	walkSortedRuns(s, fn)
+	return true, nil
 }
 
 // Close implements Executor.
@@ -742,6 +806,44 @@ func (e *AdaptiveExecutor) SelectBitmap(attr string, lo, hi int64, bm *column.Bi
 	return nil
 }
 
+// KeyOrderSpan implements KeyOrderWalker: an existing rowid-carrying
+// cracker streams its pieces as clusters, so the expected cluster span
+// is the column's domain span divided by the piece count — the number
+// background refinement keeps shrinking. No cracker yet (attr never
+// drove a select and was never admitted as a potential index) means no
+// key-ordered path.
+func (e *AdaptiveExecutor) KeyOrderSpan(attr string) (float64, bool) {
+	c := e.CrackerIfExists(attr)
+	if c == nil || !c.HasRows() {
+		return 0, false
+	}
+	pieces := c.Pieces()
+	if pieces < 1 {
+		pieces = 1
+	}
+	dLo, dHi := c.Domain()
+	return (float64(dHi) - float64(dLo) + 1) / float64(pieces), true
+}
+
+// WalkKeyOrder implements KeyOrderWalker: every pending update is merged
+// first (a full-column walk is a select over the whole value range, and
+// pays for its merges exactly like any range select does), then the
+// pieces stream in ascending key order under their read latches.
+func (e *AdaptiveExecutor) WalkKeyOrder(attr string, fn func(vals []int64, rows []uint32)) (bool, error) {
+	if e.table.Column(attr) == nil {
+		return false, fmt.Errorf("engine: unknown attribute %q", attr)
+	}
+	c := e.CrackerIfExists(attr)
+	if c == nil || !c.HasRows() {
+		return false, nil
+	}
+	if p := e.Pending(attr); p.Len() > 0 {
+		p.MergeAll(c)
+	}
+	c.ForEachPiece(fn)
+	return true, nil
+}
+
 // TotalPieces sums pieces over all cracker columns (Figure 6(c)).
 func (e *AdaptiveExecutor) TotalPieces() int {
 	e.mu.Lock()
@@ -887,6 +989,15 @@ func (h *HolisticExecutor) SelectBitmap(attr string, lo, hi int64, bm *column.Bi
 	h.Acct.Acquire(h.UserThreads)
 	defer h.Acct.Release(h.UserThreads)
 	return h.AdaptiveExecutor.SelectBitmap(attr, lo, hi, bm)
+}
+
+// WalkKeyOrder implements KeyOrderWalker with the same load-accounting
+// bracket as the select forms, so the daemon sees the walk's contexts as
+// occupied.
+func (h *HolisticExecutor) WalkKeyOrder(attr string, fn func(vals []int64, rows []uint32)) (bool, error) {
+	h.Acct.Acquire(h.UserThreads)
+	defer h.Acct.Release(h.UserThreads)
+	return h.AdaptiveExecutor.WalkKeyOrder(attr, fn)
 }
 
 // Close stops the daemon.

@@ -1,0 +1,239 @@
+package groupby
+
+import (
+	"fmt"
+
+	"holistic/internal/column"
+)
+
+// Acc is the slice-fed face of the subsystem: callers that already hold
+// the group-key and aggregate attributes as position-aligned slices —
+// sideways-cracked payload segments, pre-sorted projection windows —
+// stream them through Segment and collect the ordered result with
+// Finish. It runs the same fused dense/hash accumulators as the
+// selection-vector entry points, chosen by the same composite packing
+// rule, and migrates dense → hash transparently if a key value escapes
+// the declared domain mid-stream.
+type Acc struct {
+	spec  Spec
+	st    *runState
+	dense bool
+	err   error
+}
+
+// NewAcc builds an accumulator over the given key domains (Key.View is
+// ignored — the keys arrive as slices) and fused aggregates. Aggregate
+// views are likewise unused.
+func NewAcc(keys []Key, aggs []Agg) (*Acc, error) {
+	a := &Acc{spec: Spec{Keys: keys, Aggs: aggs, AggViews: make([]column.View, len(aggs))}}
+	if err := a.spec.validate(); err != nil {
+		return nil, err
+	}
+	a.st = getRunState()
+	a.st.buffers()
+	if err := makePacking(&a.st.pk, keys); err != nil {
+		putRunState(a.st)
+		return nil, err
+	}
+	a.dense = a.st.pk.slots > 0 && a.st.pk.slots <= a.spec.denseSlots()
+	if a.dense {
+		a.st.denseFor(&a.spec, a.st.pk.slots)
+	} else {
+		a.st.hashFor(&a.spec)
+	}
+	return a, nil
+}
+
+// Segment folds one position-aligned block into the accumulator:
+// keyCols[i] holds key i's values, aggCols[j] the j-th aggregate's
+// values (ignored — may be nil — for count(*)). All non-nil slices must
+// have equal length. Segments arrive in any order.
+func (a *Acc) Segment(keyCols [][]int64, aggCols [][]int64) {
+	if a.err != nil {
+		return
+	}
+	if len(keyCols) != len(a.spec.Keys) || len(aggCols) != len(a.spec.Aggs) {
+		a.err = fmt.Errorf("groupby: Segment got %d key / %d agg columns, want %d / %d",
+			len(keyCols), len(aggCols), len(a.spec.Keys), len(a.spec.Aggs))
+		return
+	}
+	n := len(keyCols[0])
+	for off := 0; off < n; off += chunkSize {
+		end := off + chunkSize
+		if end > n {
+			end = n
+		}
+		if a.dense {
+			if a.segmentDense(keyCols, aggCols, off, end) {
+				continue
+			}
+			// A key escaped its declared domain: migrate the dense partial
+			// into a hash state and continue there.
+			a.migrate()
+		}
+		a.segmentHash(keyCols, aggCols, off, end)
+	}
+}
+
+// segmentDense folds rows [off, end); false when a key value falls
+// outside the packed domain (nothing of the chunk has been applied yet).
+func (a *Acc) segmentDense(keyCols, aggCols [][]int64, off, end int) bool {
+	st := a.st
+	d := st.dense
+	slots := st.slotbuf[:end-off]
+	for i := range a.spec.Keys {
+		lo, span, shift := st.pk.los[i], st.pk.spans[i], st.pk.shifts[i]
+		vals := keyCols[i][off:end]
+		if i == 0 {
+			for j, v := range vals {
+				dlt := uint64(v - lo)
+				if dlt >= span {
+					return false
+				}
+				slots[j] = int32(dlt << shift)
+			}
+		} else {
+			for j, v := range vals {
+				dlt := uint64(v - lo)
+				if dlt >= span {
+					return false
+				}
+				slots[j] |= int32(dlt << shift)
+			}
+		}
+	}
+	for _, s := range slots {
+		d.counts[s]++
+	}
+	a.foldAggs(d.accs, slots, aggCols, off, end)
+	return true
+}
+
+// segmentHash folds rows [off, end) through the hash accumulator.
+func (a *Acc) segmentHash(keyCols, aggCols [][]int64, off, end int) {
+	st := a.st
+	h := st.hash
+	if !st.pk.packable() {
+		h.toTupleMode()
+	}
+	slots := st.slotbuf[:end-off]
+	if !h.tuple {
+		packed := st.packbuf
+		if cap(packed) < end-off {
+			packed = make([]uint64, end-off)
+			st.packbuf = packed
+		}
+		packed = packed[:end-off]
+		ok := true
+	pack:
+		for i := range a.spec.Keys {
+			lo, span, shift := st.pk.los[i], st.pk.spans[i], st.pk.shifts[i]
+			vals := keyCols[i][off:end]
+			for j, v := range vals {
+				d := uint64(v - lo)
+				if d >= span {
+					ok = false
+					break pack
+				}
+				if i == 0 {
+					packed[j] = d << shift
+				} else {
+					packed[j] |= d << shift
+				}
+			}
+		}
+		if ok {
+			for j := range slots {
+				slots[j] = h.groupOf(&a.spec, &st.pk, packed[j])
+			}
+		} else {
+			h.toTupleMode()
+		}
+	}
+	if h.tuple {
+		tuple := make([]int64, len(a.spec.Keys))
+		for j := 0; j < end-off; j++ {
+			for k := range tuple {
+				tuple[k] = keyCols[k][off+j]
+			}
+			slots[j] = h.groupOfTuple(&a.spec, &st.pk, tuple)
+		}
+	}
+	for _, g := range slots {
+		h.counts[g]++
+	}
+	a.foldAggs(h.accs, slots, aggCols, off, end)
+}
+
+// foldAggs applies every non-count aggregate of rows [off, end) to the
+// accumulator columns indexed by slots.
+func (a *Acc) foldAggs(accs [][]int64, slots []int32, aggCols [][]int64, off, end int) {
+	for ai, agg := range a.spec.Aggs {
+		if agg.Kind == KindCount {
+			continue
+		}
+		acc := accs[ai]
+		vals := aggCols[ai][off:end]
+		switch agg.Kind {
+		case KindSum:
+			for j, v := range vals {
+				acc[slots[j]] += v
+			}
+		case KindMin:
+			for j, v := range vals {
+				if v < acc[slots[j]] {
+					acc[slots[j]] = v
+				}
+			}
+		case KindMax:
+			for j, v := range vals {
+				if v > acc[slots[j]] {
+					acc[slots[j]] = v
+				}
+			}
+		}
+	}
+}
+
+// migrate converts the dense partial into hash groups. A dense slot is
+// the packed composite key itself, so the conversion is a walk over the
+// occupied slots.
+func (a *Acc) migrate() {
+	st := a.st
+	d := st.dense
+	h := st.hashFor(&a.spec)
+	for s, c := range d.counts {
+		if c == 0 {
+			continue
+		}
+		g := h.groupOf(&a.spec, &st.pk, uint64(s))
+		h.counts[g] += c
+		for ai, agg := range a.spec.Aggs {
+			if agg.Kind != KindCount {
+				h.accs[ai][g] = d.accs[ai][s]
+			}
+		}
+	}
+	a.dense = false
+}
+
+// Finish emits the ordered result into res and releases the pooled
+// state; the Acc must not be used afterwards.
+func (a *Acc) Finish(res *Result) error {
+	defer func() {
+		putRunState(a.st)
+		a.st = nil
+	}()
+	if a.err != nil {
+		return a.err
+	}
+	res.reset(len(a.spec.Keys), len(a.spec.Aggs))
+	if a.dense {
+		res.Strategy = StrategyDense
+		emitDense(&a.spec, &a.st.pk, a.st.dense, res)
+	} else {
+		res.Strategy = StrategyHash
+		emitHash(&a.spec, a.st.hash, res)
+	}
+	return nil
+}

@@ -1,0 +1,603 @@
+package groupby
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"holistic/internal/column"
+)
+
+// oracleGroup computes the expected result by brute force: a map from
+// key tuple to accumulators, emitted in ascending lexicographic order.
+func oracleGroup(keyCols [][]int64, aggSpecs []Agg, aggCols [][]int64, sel []uint32) ([][]int64, [][]int64) {
+	type acc struct {
+		count int64
+		vals  []int64
+	}
+	groups := map[string]*acc{}
+	var order []string
+	keyOf := make(map[string][]int64)
+	for _, p := range sel {
+		key := make([]int64, len(keyCols))
+		raw := ""
+		for k, col := range keyCols {
+			key[k] = col[p]
+			raw += string(rune(0)) + itoa(col[p])
+		}
+		g, ok := groups[raw]
+		if !ok {
+			g = &acc{vals: make([]int64, len(aggSpecs))}
+			for a, s := range aggSpecs {
+				switch s.Kind {
+				case KindMin:
+					g.vals[a] = math.MaxInt64
+				case KindMax:
+					g.vals[a] = math.MinInt64
+				}
+			}
+			groups[raw] = g
+			order = append(order, raw)
+			keyOf[raw] = key
+		}
+		g.count++
+		for a, s := range aggSpecs {
+			if s.Kind == KindCount {
+				continue
+			}
+			v := aggCols[a][p]
+			switch s.Kind {
+			case KindSum:
+				g.vals[a] += v
+			case KindMin:
+				if v < g.vals[a] {
+					g.vals[a] = v
+				}
+			case KindMax:
+				if v > g.vals[a] {
+					g.vals[a] = v
+				}
+			}
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := keyOf[order[i]], keyOf[order[j]]
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	keys := make([][]int64, len(keyCols))
+	aggs := make([][]int64, len(aggSpecs))
+	for _, raw := range order {
+		g := groups[raw]
+		for k := range keyCols {
+			keys[k] = append(keys[k], keyOf[raw][k])
+		}
+		for a, s := range aggSpecs {
+			if s.Kind == KindCount {
+				aggs[a] = append(aggs[a], g.count)
+			} else {
+				aggs[a] = append(aggs[a], g.vals[a])
+			}
+		}
+	}
+	return keys, aggs
+}
+
+func itoa(v int64) string {
+	// Unique string encoding; value separator keeps (1, 23) != (12, 3).
+	buf := make([]byte, 0, 12)
+	u := uint64(v)
+	for i := 0; i < 8; i++ {
+		buf = append(buf, byte(u>>(8*i)))
+	}
+	return string(buf)
+}
+
+// checkEqual compares a Result against oracle columns.
+func checkEqual(t *testing.T, res *Result, wantKeys, wantAggs [][]int64) {
+	t.Helper()
+	if len(res.Keys) != len(wantKeys) || len(res.Aggs) != len(wantAggs) {
+		t.Fatalf("shape = %d keys / %d aggs, want %d / %d", len(res.Keys), len(res.Aggs), len(wantKeys), len(wantAggs))
+	}
+	n := 0
+	if len(wantKeys) > 0 {
+		n = len(wantKeys[0])
+	}
+	if res.Len() != n {
+		t.Fatalf("groups = %d, want %d (strategy %v)", res.Len(), n, res.Strategy)
+	}
+	for k := range wantKeys {
+		for g := range wantKeys[k] {
+			if res.Keys[k][g] != wantKeys[k][g] {
+				t.Fatalf("key[%d][%d] = %d, want %d (strategy %v)", k, g, res.Keys[k][g], wantKeys[k][g], res.Strategy)
+			}
+		}
+	}
+	for a := range wantAggs {
+		for g := range wantAggs[a] {
+			if res.Aggs[a][g] != wantAggs[a][g] {
+				t.Fatalf("agg[%d][%d] = %d, want %d (strategy %v)", a, g, res.Aggs[a][g], wantAggs[a][g], res.Strategy)
+			}
+		}
+	}
+}
+
+// buildSpec assembles a spec over plain columns with exact domains.
+func buildSpec(keyCols, aggCols [][]int64, aggSpecs []Agg, threads int) *Spec {
+	spec := &Spec{Aggs: aggSpecs, Threads: threads}
+	for _, col := range keyCols {
+		lo, hi := column.Bounds(col)
+		spec.Keys = append(spec.Keys, Key{View: column.View{Base: col}, Lo: lo, Hi: hi})
+	}
+	for a := range aggSpecs {
+		var v column.View
+		if aggSpecs[a].Kind != KindCount {
+			v = column.View{Base: aggCols[a]}
+		}
+		spec.AggViews = append(spec.AggViews, v)
+	}
+	return spec
+}
+
+// TestStrategiesAgreeWithOracle runs randomized fused plans through the
+// dense and hash strategies — sequential and partition-parallel, both
+// selection-vector forms — against the brute-force oracle.
+func TestStrategiesAgreeWithOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		rows := 500 + rng.Intn(4000)
+		nkeys := 1 + rng.Intn(3)
+		keyCols := make([][]int64, nkeys)
+		for k := range keyCols {
+			domain := int64(2 + rng.Intn(40))
+			base := rng.Int63n(100) - 50
+			col := make([]int64, rows)
+			for i := range col {
+				col[i] = base + rng.Int63n(domain)
+			}
+			keyCols[k] = col
+		}
+		aggSpecs := []Agg{Count(), Sum("x"), Min("x"), Max("x")}
+		aggCols := make([][]int64, len(aggSpecs))
+		vals := make([]int64, rows)
+		for i := range vals {
+			vals[i] = rng.Int63n(10000) - 5000
+		}
+		for a := range aggCols {
+			aggCols[a] = vals
+		}
+		aggCols[0] = nil
+
+		var sel column.PosList
+		bm := column.NewBitmap(rows)
+		for i := 0; i < rows; i++ {
+			if rng.Intn(3) != 0 {
+				sel = append(sel, column.Pos(i))
+				bm.Set(column.Pos(i))
+			}
+		}
+		wantKeys, wantAggs := oracleGroup(keyCols, aggSpecs, aggCols, sel)
+
+		for _, threads := range []int{1, 4} {
+			for _, force := range []Strategy{StrategyAuto, StrategyDense, StrategyHash} {
+				spec := buildSpec(keyCols, aggCols, aggSpecs, threads)
+				spec.Force = force
+				var res Result
+				if err := GroupRows(spec, sel, &res); err != nil {
+					t.Fatal(err)
+				}
+				checkEqual(t, &res, wantKeys, wantAggs)
+				if err := GroupBitmap(spec, bm, &res); err != nil {
+					t.Fatal(err)
+				}
+				checkEqual(t, &res, wantKeys, wantAggs)
+			}
+		}
+	}
+}
+
+// TestParallelCrossesThreshold exercises the partition-parallel merge on
+// a selection large enough to split.
+func TestParallelCrossesThreshold(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	rows := minParallel * 3
+	keyCol := make([]int64, rows)
+	val := make([]int64, rows)
+	for i := range keyCol {
+		keyCol[i] = rng.Int63n(97)
+		val[i] = rng.Int63n(1000)
+	}
+	sel := make(column.PosList, rows)
+	for i := range sel {
+		sel[i] = column.Pos(i)
+	}
+	aggSpecs := []Agg{Count(), Sum("v"), Min("v"), Max("v")}
+	aggCols := [][]int64{nil, val, val, val}
+	wantKeys, wantAggs := oracleGroup([][]int64{keyCol}, aggSpecs, aggCols, sel)
+	for _, force := range []Strategy{StrategyDense, StrategyHash} {
+		spec := buildSpec([][]int64{keyCol}, aggCols, aggSpecs, 4)
+		spec.Force = force
+		var res Result
+		if err := GroupRows(spec, sel, &res); err != nil {
+			t.Fatal(err)
+		}
+		if res.Strategy != force {
+			t.Fatalf("strategy = %v, want %v", res.Strategy, force)
+		}
+		checkEqual(t, &res, wantKeys, wantAggs)
+	}
+}
+
+// TestWideCompositeFallsBackToTupleHash: a composite key wider than 64
+// bits cannot pack; the tuple-keyed hash must still group correctly.
+func TestWideCompositeFallsBackToTupleHash(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	rows := 2000
+	k1 := make([]int64, rows)
+	k2 := make([]int64, rows)
+	val := make([]int64, rows)
+	for i := range k1 {
+		// Spans close to the full int64 range: 63 + 63 bits > 64.
+		k1[i] = rng.Int63n(5) * (math.MaxInt64 / 7)
+		k2[i] = rng.Int63n(5) * (math.MaxInt64 / 11)
+		val[i] = rng.Int63n(100)
+	}
+	sel := make(column.PosList, rows)
+	for i := range sel {
+		sel[i] = column.Pos(i)
+	}
+	aggSpecs := []Agg{Count(), Sum("v")}
+	aggCols := [][]int64{nil, val}
+	wantKeys, wantAggs := oracleGroup([][]int64{k1, k2}, aggSpecs, aggCols, sel)
+	spec := buildSpec([][]int64{k1, k2}, aggCols, aggSpecs, 1)
+	var res Result
+	if err := GroupRows(spec, sel, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategy != StrategyHash {
+		t.Fatalf("strategy = %v, want hash", res.Strategy)
+	}
+	checkEqual(t, &res, wantKeys, wantAggs)
+}
+
+// TestStaleDomainFallsBackToHash: a key value outside the declared
+// domain must not corrupt the dense path — the execution reruns through
+// the hash accumulator and stays correct.
+func TestStaleDomainFallsBackToHash(t *testing.T) {
+	keyCol := []int64{1, 2, 3, 99} // 99 escapes the declared [1, 3]
+	val := []int64{10, 20, 30, 40}
+	sel := column.PosList{0, 1, 2, 3}
+	aggSpecs := []Agg{Count(), Sum("v")}
+	spec := &Spec{
+		Keys:     []Key{{View: column.View{Base: keyCol}, Lo: 1, Hi: 3}},
+		Aggs:     aggSpecs,
+		AggViews: []column.View{{}, {Base: val}},
+		Threads:  1,
+	}
+	var res Result
+	if err := GroupRows(spec, sel, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategy != StrategyHash {
+		t.Fatalf("strategy = %v, want hash fallback", res.Strategy)
+	}
+	wantKeys, wantAggs := oracleGroup([][]int64{keyCol}, aggSpecs, [][]int64{nil, val}, sel)
+	checkEqual(t, &res, wantKeys, wantAggs)
+}
+
+// TestOverlayViews groups through views carrying tails, deletions and
+// updates: the grouped state must reflect the logical overlay.
+func TestOverlayViews(t *testing.T) {
+	base := []int64{1, 1, 2, 2}
+	valBase := []int64{10, 20, 30, 40}
+	keyView := column.View{
+		Base:    base,
+		Tail:    []int64{3},
+		Updated: map[column.Pos]int64{0: 2},
+	}
+	valView := column.View{
+		Base: valBase,
+		Tail: []int64{50},
+	}
+	// Row 0's key updated 1→2; row 4 appended with key 3, value 50.
+	sel := column.PosList{0, 1, 2, 3, 4}
+	lo, hi := keyView.ExtendBounds(column.Bounds(base))
+	spec := &Spec{
+		Keys:     []Key{{View: keyView, Lo: lo, Hi: hi}},
+		Aggs:     []Agg{Count(), Sum("v")},
+		AggViews: []column.View{{}, valView},
+		Threads:  1,
+	}
+	var res Result
+	if err := GroupRows(spec, sel, &res); err != nil {
+		t.Fatal(err)
+	}
+	wantKeys := []int64{1, 2, 3}
+	wantCounts := []int64{1, 3, 1}
+	wantSums := []int64{20, 80, 50}
+	if res.Len() != 3 {
+		t.Fatalf("groups = %d, want 3", res.Len())
+	}
+	for g := range wantKeys {
+		if res.Keys[0][g] != wantKeys[g] || res.Aggs[0][g] != wantCounts[g] || res.Aggs[1][g] != wantSums[g] {
+			t.Fatalf("group %d = (%d, %d, %d), want (%d, %d, %d)", g,
+				res.Keys[0][g], res.Aggs[0][g], res.Aggs[1][g], wantKeys[g], wantCounts[g], wantSums[g])
+		}
+	}
+}
+
+// TestGroupClusters drives the sort strategy through a synthetic walker
+// over a cracked-style clustering (unordered within clusters, ascending
+// across) and checks it against the oracle, for both refined (small)
+// and unrefined (hash-fallback) clusters.
+func TestGroupClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	rows := 6000
+	keyCol := make([]int64, rows)
+	val := make([]int64, rows)
+	for i := range keyCol {
+		keyCol[i] = rng.Int63n(1 << 20) // wide domain: unrefined clusters go through the hash
+		val[i] = rng.Int63n(1000)
+	}
+	bm := column.NewBitmap(rows)
+	var sel column.PosList
+	for i := 0; i < rows; i++ {
+		if rng.Intn(4) != 0 {
+			bm.Set(column.Pos(i))
+			sel = append(sel, column.Pos(i))
+		}
+	}
+	aggSpecs := []Agg{Count(), Sum("v"), Min("v"), Max("v")}
+	aggCols := [][]int64{nil, val, val, val}
+	wantKeys, wantAggs := oracleGroup([][]int64{keyCol}, aggSpecs, aggCols, sel)
+
+	// Build a clustered stream: sort (value, row) pairs, then cut into
+	// clusters at value boundaries and shuffle within each cluster.
+	type pair struct {
+		v int64
+		r uint32
+	}
+	pairs := make([]pair, rows)
+	for i := range pairs {
+		pairs[i] = pair{keyCol[i], uint32(i)}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].v < pairs[j].v })
+	for _, clusterSlots := range []int{0 /* default: dense clusters */, 64 /* tiny: force hash clusters */} {
+		var clusters [][]pair
+		for i := 0; i < rows; {
+			j := i + 1 + rng.Intn(500)
+			if j > rows {
+				j = rows
+			}
+			// Never split equal values across clusters.
+			for j < rows && pairs[j].v == pairs[j-1].v {
+				j++
+			}
+			c := append([]pair(nil), pairs[i:j]...)
+			rng.Shuffle(len(c), func(a, b int) { c[a], c[b] = c[b], c[a] })
+			clusters = append(clusters, c)
+			i = j
+		}
+		spec := buildSpec([][]int64{keyCol}, aggCols, aggSpecs, 1)
+		spec.ClusterSlots = clusterSlots
+		var res Result
+		err := GroupClusters(spec, bm, func(fn func(vals []int64, rows []uint32)) {
+			vbuf := make([]int64, 0, 600)
+			rbuf := make([]uint32, 0, 600)
+			for _, c := range clusters {
+				vbuf, rbuf = vbuf[:0], rbuf[:0]
+				for _, p := range c {
+					vbuf = append(vbuf, p.v)
+					rbuf = append(rbuf, p.r)
+				}
+				fn(vbuf, rbuf)
+			}
+		}, &res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Strategy != StrategySort {
+			t.Fatalf("strategy = %v, want sort", res.Strategy)
+		}
+		checkEqual(t, &res, wantKeys, wantAggs)
+	}
+}
+
+// TestAccMatchesOracle streams slice segments (the sideways-cracking
+// feed) and checks the ordered result, including the dense → hash
+// migration on an escaping key.
+func TestAccMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	rows := 5000
+	k1 := make([]int64, rows)
+	k2 := make([]int64, rows)
+	val := make([]int64, rows)
+	for i := range k1 {
+		k1[i] = rng.Int63n(3)
+		k2[i] = rng.Int63n(5)
+		val[i] = rng.Int63n(100)
+	}
+	sel := make(column.PosList, rows)
+	for i := range sel {
+		sel[i] = column.Pos(i)
+	}
+	aggSpecs := []Agg{Sum("v"), Count(), Min("v")}
+	aggCols := [][]int64{val, nil, val}
+	wantKeys, wantAggs := oracleGroup([][]int64{k1, k2}, aggSpecs, aggCols, sel)
+
+	acc, err := NewAcc([]Key{{Lo: 0, Hi: 2}, {Lo: 0, Hi: 4}}, aggSpecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for off := 0; off < rows; off += 700 {
+		end := off + 700
+		if end > rows {
+			end = rows
+		}
+		acc.Segment([][]int64{k1[off:end], k2[off:end]}, [][]int64{val[off:end], nil, val[off:end]})
+	}
+	var res Result
+	if err := acc.Finish(&res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategy != StrategyDense {
+		t.Fatalf("strategy = %v, want dense", res.Strategy)
+	}
+	checkEqual(t, &res, wantKeys, wantAggs)
+
+	// Stale domain: declare [0, 1] but feed a 2 — the accumulator must
+	// migrate to hash and stay correct.
+	acc2, err := NewAcc([]Key{{Lo: 0, Hi: 1}, {Lo: 0, Hi: 4}}, aggSpecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc2.Segment([][]int64{k1, k2}, [][]int64{val, nil, val})
+	if err := acc2.Finish(&res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategy != StrategyHash {
+		t.Fatalf("post-migration strategy = %v, want hash", res.Strategy)
+	}
+	checkEqual(t, &res, wantKeys, wantAggs)
+}
+
+// TestEmptySelection and validation errors.
+func TestEdgeCases(t *testing.T) {
+	keyCol := []int64{1, 2, 3}
+	spec := buildSpec([][]int64{keyCol}, [][]int64{nil}, []Agg{Count()}, 1)
+	var res Result
+	if err := GroupRows(spec, nil, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 0 {
+		t.Fatalf("empty selection produced %d groups", res.Len())
+	}
+	if err := GroupRows(&Spec{Aggs: []Agg{Count()}}, column.PosList{0}, &res); err == nil {
+		t.Error("no keys did not error")
+	}
+	if err := GroupRows(&Spec{Keys: spec.Keys}, column.PosList{0}, &res); err == nil {
+		t.Error("no aggregates did not error")
+	}
+	if err := GroupClusters(buildSpec([][]int64{keyCol, keyCol}, [][]int64{nil}, []Agg{Count()}, 1), column.NewBitmap(3), func(func([]int64, []uint32)) {}, &res); err == nil {
+		t.Error("multi-key sort grouping did not error")
+	}
+	// Result reuse: a second run truncates prior groups.
+	sel := column.PosList{0, 1, 2}
+	if err := GroupRows(spec, sel, &res); err != nil {
+		t.Fatal(err)
+	}
+	if err := GroupRows(spec, sel[:1], &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 {
+		t.Fatalf("reused result has %d groups, want 1", res.Len())
+	}
+}
+
+// TestAggString covers the debug renderings.
+func TestAggString(t *testing.T) {
+	cases := map[string]string{
+		Count().String():  "count(*)",
+		Sum("x").String(): "sum(x)",
+		Min("y").String(): "min(y)",
+		Max("z").String(): "max(z)",
+	}
+	for got, want := range cases {
+		if got != want {
+			t.Errorf("agg string = %q, want %q", got, want)
+		}
+	}
+	if StrategyDense.String() != "dense" || StrategyHash.String() != "hash" || StrategySort.String() != "sort" || StrategyAuto.String() != "auto" {
+		t.Error("strategy strings wrong")
+	}
+}
+
+// TestConcurrentGroupedQueriesIndependentPacking is the regression test
+// for the pooled-state packing alias: partition-parallel runs used to
+// seed the pool with worker states whose packing slices shared backing
+// arrays, so later concurrent queries with different key domains could
+// corrupt each other's packing mid-query. Two goroutines with disjoint
+// key domains must stay independent (run under -race).
+func TestConcurrentGroupedQueriesIndependentPacking(t *testing.T) {
+	const rows = minParallel * 2
+	mkData := func(seed int64, span int64, base int64) (*Spec, column.PosList, int64) {
+		rng := rand.New(rand.NewSource(seed))
+		key := make([]int64, rows)
+		val := make([]int64, rows)
+		var sum int64
+		for i := range key {
+			key[i] = base + rng.Int63n(span)
+			val[i] = rng.Int63n(100)
+			sum += val[i]
+		}
+		sel := make(column.PosList, rows)
+		for i := range sel {
+			sel[i] = column.Pos(i)
+		}
+		spec := buildSpec([][]int64{key}, [][]int64{nil, val}, []Agg{Count(), Sum("v")}, 4)
+		return spec, sel, sum
+	}
+	specA, selA, sumA := mkData(21, 37, -1000)
+	specB, selB, sumB := mkData(22, 4093, 1<<40) // different domain, width and offset
+
+	// Seed the pool with parallel-run worker states.
+	var warm Result
+	if err := GroupRows(specA, selA, &warm); err != nil {
+		t.Fatal(err)
+	}
+	if err := GroupRows(specB, selB, &warm); err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(spec *Spec, sel column.PosList, wantSum int64) error {
+		var res Result
+		if err := GroupRows(spec, sel, &res); err != nil {
+			return err
+		}
+		var n, s int64
+		for g := 0; g < res.Len(); g++ {
+			k := res.Keys[0][g]
+			if k < spec.Keys[0].Lo || k > spec.Keys[0].Hi {
+				return fmt.Errorf("group key %d outside domain [%d, %d]", k, spec.Keys[0].Lo, spec.Keys[0].Hi)
+			}
+			n += res.Aggs[0][g]
+			s += res.Aggs[1][g]
+		}
+		if n != rows || s != wantSum {
+			return fmt.Errorf("totals (%d, %d), want (%d, %d)", n, s, rows, wantSum)
+		}
+		return nil
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 15; i++ {
+			if errs[0] = check(specA, selA, sumA); errs[0] != nil {
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 15; i++ {
+			if errs[1] = check(specB, selB, sumB); errs[1] != nil {
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"holistic/internal/engine"
+	"holistic/internal/groupby"
 )
 
 // benchRunner builds a scan-mode runner over a 2^20-row, 3-attribute
@@ -49,6 +50,77 @@ func BenchmarkConjunctiveCount(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// benchGroupedRunner builds a scan-mode runner whose first attribute is
+// a small-domain group key, so the dense strategy applies.
+func benchGroupedRunner(b *testing.B, threads int) (*Runner, []Predicate) {
+	b.Helper()
+	const domain = 1 << 20
+	tab, _ := buildTable(3, 1<<20, domain, 71)
+	keyVals := tab.Column("a").Values()
+	for i := range keyVals {
+		keyVals[i] %= 97
+	}
+	r := New(tab, engine.NewScanExecutor(tab, threads), threads)
+	preds := []Predicate{
+		{Attr: "b", Lo: 0, Hi: domain / 2},
+		{Attr: "c", Lo: domain / 8, Hi: domain},
+	}
+	return r, preds
+}
+
+// BenchmarkGroupedCount measures the dense grouped count pipeline: with
+// a reused result and pooled scratch the steady state reports 0
+// allocs/op (the subsystem's allocation bar, enforced by
+// TestSteadyStateGroupedAllocationFree).
+func BenchmarkGroupedCount(b *testing.B) {
+	for _, threads := range []int{1, 4} {
+		r, preds := benchGroupedRunner(b, threads)
+		b.Run(fmt.Sprintf("dense/threads=%d", threads), func(b *testing.B) {
+			r.SetGroupStrategy(groupby.StrategyDense)
+			keys := []string{"a"}
+			aggs := []groupby.Agg{groupby.Count()}
+			var res groupby.Result
+			if err := r.GroupedInto(&res, keys, aggs, preds); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := r.GroupedInto(&res, keys, aggs, preds); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGroupedSum is BenchmarkGroupedCount with the full fused
+// aggregate set (count, sum, min, max) and a strategy comparison.
+func BenchmarkGroupedSum(b *testing.B) {
+	r, preds := benchGroupedRunner(b, 1)
+	keys := []string{"a"}
+	aggs := []groupby.Agg{groupby.Count(), groupby.Sum("c"), groupby.Min("c"), groupby.Max("c")}
+	for _, strat := range []struct {
+		name string
+		s    groupby.Strategy
+	}{{"dense", groupby.StrategyDense}, {"hash", groupby.StrategyHash}} {
+		b.Run(strat.name, func(b *testing.B) {
+			r.SetGroupStrategy(strat.s)
+			var res groupby.Result
+			if err := r.GroupedInto(&res, keys, aggs, preds); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := r.GroupedInto(&res, keys, aggs, preds); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

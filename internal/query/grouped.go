@@ -1,0 +1,280 @@
+// Grouped aggregation: the query runner's face of internal/groupby.
+//
+// A grouped query reuses the conjunctive selection pipeline end to end —
+// plan, drive, refine, presence-filter — always materializing the
+// selection vector as a word-packed bitmap (the grouping accumulators
+// consume positions in chunks, and the sort strategy tests cluster
+// membership bit by bit), then hands the surviving rows plus the
+// update-aware views of every referenced attribute to the grouped
+// fused-aggregate kernels. The physical grouping strategy is chosen per
+// query from domain statistics and the executor's index state:
+//
+//   - dense, when the composite key domain bit-packs small
+//     (groupby.DenseEligible);
+//   - sort (index-clustered), when the single group key has a
+//     key-ordered access path (engine.KeyOrderWalker) whose clusters
+//     are already refined below the per-cluster accumulator bound and
+//     the selection is dense enough to amortize walking the whole
+//     index;
+//   - hash, otherwise.
+//
+// Under ModeHolistic the group-by attributes are reported to the
+// executor like residual conjuncts (engine.PredicateSink), so they
+// enter the daemon's index space: idle-time refinement shrinks their
+// clusters and converts hash grouping into sort-based grouping over
+// time — grouping is how background cracking pays off beyond selects.
+package query
+
+import (
+	"fmt"
+
+	"holistic/internal/column"
+	"holistic/internal/engine"
+	"holistic/internal/groupby"
+)
+
+// sortScanRatio guards the sort strategy against sparse selections: the
+// cluster walk visits every index entry while dense/hash touch only
+// selected rows, so sort is considered when at least 1/sortScanRatio of
+// the position universe is selected.
+const sortScanRatio = 4
+
+// SetGroupStrategy pins the physical grouping strategy
+// (groupby.StrategyAuto restores per-query selection); safe to call
+// concurrently with queries. A forced sort strategy still requires a
+// key-ordered access path and falls back to hash when none exists.
+func (r *Runner) SetGroupStrategy(s groupby.Strategy) { r.groupStrategy.Store(int32(s)) }
+
+// Grouped answers "select keys..., aggs... where <conjunction> group by
+// keys..." with a freshly allocated ordered result table. Zero
+// predicates group the whole relation.
+func (r *Runner) Grouped(keys []string, aggs []groupby.Agg, preds []Predicate) (*groupby.Result, error) {
+	res := &groupby.Result{}
+	if err := r.GroupedInto(res, keys, aggs, preds); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// GroupedInto is Grouped writing into a caller-owned result, whose
+// storage is reused across calls: the steady-state dense path allocates
+// nothing.
+func (r *Runner) GroupedInto(res *groupby.Result, keys []string, aggs []groupby.Agg, preds []Predicate) error {
+	if len(keys) == 0 {
+		return fmt.Errorf("query: GroupBy needs at least one attribute")
+	}
+	if len(aggs) == 0 {
+		return fmt.Errorf("query: grouped query needs at least one aggregate")
+	}
+	for i, k := range keys {
+		if r.table.Column(k) == nil {
+			return fmt.Errorf("query: unknown attribute %q", k)
+		}
+		for _, prev := range keys[:i] {
+			if prev == k {
+				return fmt.Errorf("query: duplicate group-by attribute %q", k)
+			}
+		}
+	}
+	for _, a := range aggs {
+		if a.Kind != groupby.KindCount && r.table.Column(a.Attr) == nil {
+			return fmt.Errorf("query: unknown attribute %q", a.Attr)
+		}
+	}
+	sc := r.getScratch()
+	defer r.putScratch(sc)
+
+	// The referenced attributes: group keys plus aggregate inputs, each
+	// presence-filtered through the snapshot that will also feed the
+	// accumulators.
+	sc.extras = append(sc.extras[:0], keys...)
+	for _, a := range aggs {
+		if a.Kind == groupby.KindCount {
+			continue
+		}
+		seen := false
+		for _, e := range sc.extras {
+			if e == a.Attr {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			sc.extras = append(sc.extras, a.Attr)
+		}
+	}
+
+	useBm := false
+	live := true
+	if len(preds) > 0 {
+		empty, err := r.planScratch(sc, preds)
+		if err != nil {
+			return err
+		}
+		if empty {
+			live = false
+		} else {
+			if useBm, err = r.runSel(sc, sc.extras, repWantBitmap); err != nil {
+				return err
+			}
+		}
+	} else {
+		// No predicates: the selection is the whole position universe of
+		// the referenced attributes, presence-filtered per attribute.
+		universe := 0
+		for _, attr := range sc.extras {
+			w, err := r.view(attr)
+			if err != nil {
+				return err
+			}
+			sc.views[attr] = w
+			if n := w.Extent(); n > universe {
+				universe = n
+			}
+		}
+		sc.bm.Reset(universe)
+		sc.bm.SetRange(0, universe)
+		for _, attr := range sc.extras {
+			sc.views[attr].PresentBitmap(sc.bm)
+		}
+		useBm = true
+	}
+
+	// Group-by attributes join the index space like residual conjuncts:
+	// the daemon's refinement converts their grouping to the sort
+	// strategy over time.
+	if sink, ok := r.exec.(engine.PredicateSink); ok {
+		for _, k := range keys {
+			if err := sink.NotePredicate(k); err != nil {
+				return err
+			}
+		}
+	}
+
+	spec := r.groupSpec(sc, keys, aggs)
+	if !live {
+		return groupby.GroupRows(spec, nil, res)
+	}
+
+	forced := groupby.Strategy(r.groupStrategy.Load())
+	if useBm {
+		if walker, attr, ok := r.chooseSort(sc, spec, keys, forced); ok {
+			walked := false
+			err := groupby.GroupClusters(spec, sc.bm, func(fn func(vals []int64, rows []uint32)) {
+				walked, _ = walker.WalkKeyOrder(attr, fn)
+			}, res)
+			if err != nil {
+				return err
+			}
+			if walked {
+				return nil
+			}
+			// The access path declined after probing (should not happen —
+			// KeyOrderSpan said ok); regroup through the hash path.
+		}
+		switch forced {
+		case groupby.StrategyDense, groupby.StrategyHash:
+			spec.Force = forced
+		}
+		return groupby.GroupBitmap(spec, sc.bm, res)
+	}
+	switch forced {
+	case groupby.StrategyDense, groupby.StrategyHash:
+		spec.Force = forced
+	}
+	return groupby.GroupRows(spec, sc.sel, res)
+}
+
+// groupSpec assembles the groupby.Spec from pooled scratch: views from
+// the selection snapshot, key domains from the cached base bounds
+// widened by each view's overlay.
+func (r *Runner) groupSpec(sc *scratch, keys []string, aggs []groupby.Agg) *groupby.Spec {
+	sc.gkeys = sc.gkeys[:0]
+	for _, k := range keys {
+		w := sc.views[k]
+		lo, hi := r.domain(k)
+		lo, hi = w.ExtendBounds(lo, hi)
+		sc.gkeys = append(sc.gkeys, groupby.Key{View: w, Lo: lo, Hi: hi})
+	}
+	sc.gviews = sc.gviews[:0]
+	for _, a := range aggs {
+		var w column.View
+		if a.Kind != groupby.KindCount {
+			w = sc.views[a.Attr]
+		}
+		sc.gviews = append(sc.gviews, w)
+	}
+	sc.gspec = groupby.Spec{
+		Keys:     sc.gkeys,
+		Aggs:     aggs,
+		AggViews: sc.gviews,
+		Threads:  r.threads,
+	}
+	return &sc.gspec
+}
+
+// chooseSort applies the sort-strategy rule: a single group key with a
+// key-ordered access path whose current clusters fit the per-cluster
+// accumulator, skipped when the dense strategy qualifies (a small packed
+// domain groups faster through direct array indexing) or when the
+// selection is too sparse to justify walking the whole index. A forced
+// sort strategy skips the profitability checks but not the
+// availability ones.
+func (r *Runner) chooseSort(sc *scratch, spec *groupby.Spec, keys []string, forced groupby.Strategy) (engine.KeyOrderWalker, string, bool) {
+	if forced != groupby.StrategyAuto && forced != groupby.StrategySort {
+		return nil, "", false
+	}
+	if len(keys) != 1 {
+		return nil, "", false
+	}
+	walker, ok := r.exec.(engine.KeyOrderWalker)
+	if !ok {
+		return nil, "", false
+	}
+	span, ok := walker.KeyOrderSpan(keys[0])
+	if !ok || span > float64(groupby.DefaultClusterSlots) {
+		return nil, "", false
+	}
+	if forced == groupby.StrategySort {
+		return walker, keys[0], true
+	}
+	if groupby.DenseEligible(spec.Keys, 0) {
+		return nil, "", false
+	}
+	if sc.bm.Count()*sortScanRatio < sc.bm.Len() {
+		return nil, "", false
+	}
+	return walker, keys[0], true
+}
+
+// MinMax answers "select min(attr), max(attr) where <conjunction>"; ok
+// is false when no tuple qualifies. A single conjunct on attr itself
+// delegates to the mode's native MinMax pushdown; otherwise the extrema
+// fold late over the surviving selection vector — off set bits on the
+// bitmap path, by positional probes on the position-list path.
+func (r *Runner) MinMax(attr string, preds []Predicate) (mn, mx int64, ok bool, err error) {
+	if r.table.Column(attr) == nil {
+		return 0, 0, false, fmt.Errorf("query: unknown attribute %q", attr)
+	}
+	sc := r.getScratch()
+	defer r.putScratch(sc)
+	empty, err := r.planScratch(sc, preds)
+	if err != nil || empty {
+		return 0, 0, false, err
+	}
+	if len(sc.preds) == 1 && sc.preds[0].Attr == attr {
+		return r.exec.MinMax(attr, sc.preds[0].Lo, sc.preds[0].Hi)
+	}
+	extra := [1]string{attr}
+	useBm, err := r.runSel(sc, extra[:], repByPolicy)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	var n int
+	if useBm {
+		mn, mx, n = sc.views[attr].MinMaxBitmap(sc.bm)
+	} else {
+		mn, mx, n = sc.views[attr].MinMaxRows(sc.sel)
+	}
+	return mn, mx, n > 0, nil
+}

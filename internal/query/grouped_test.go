@@ -1,0 +1,491 @@
+package query
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"holistic/internal/column"
+	"holistic/internal/cracking"
+	"holistic/internal/engine"
+	"holistic/internal/groupby"
+)
+
+// groupOracle computes a grouped aggregation by brute force over the
+// raw columns: rows qualifying every predicate, grouped by the key
+// tuple, emitted ascending.
+type groupOracleRow struct {
+	key  []int64
+	aggs []int64
+}
+
+func groupOracle(cols [][]int64, names map[string]int, keys []string, aggs []groupby.Agg, preds []Predicate) []groupOracleRow {
+	n := len(cols[0])
+	groups := map[string]*groupOracleRow{}
+	var out []*groupOracleRow
+rows:
+	for i := 0; i < n; i++ {
+		for _, p := range preds {
+			v := cols[names[p.Attr]][i]
+			if v < p.Lo || v >= p.Hi {
+				continue rows
+			}
+		}
+		key := make([]int64, len(keys))
+		raw := ""
+		for k, attr := range keys {
+			key[k] = cols[names[attr]][i]
+			raw += "\x00" + string(rune(key[k]&0xffff)) + string(rune((key[k]>>16)&0xffff))
+		}
+		g, ok := groups[raw]
+		if !ok {
+			g = &groupOracleRow{key: key, aggs: make([]int64, len(aggs))}
+			for a, s := range aggs {
+				switch s.Kind {
+				case groupby.KindMin:
+					g.aggs[a] = 1 << 62
+				case groupby.KindMax:
+					g.aggs[a] = -(1 << 62)
+				}
+			}
+			groups[raw] = g
+			out = append(out, g)
+		}
+		for a, s := range aggs {
+			switch s.Kind {
+			case groupby.KindCount:
+				g.aggs[a]++
+			case groupby.KindSum:
+				g.aggs[a] += cols[names[s.Attr]][i]
+			case groupby.KindMin:
+				if v := cols[names[s.Attr]][i]; v < g.aggs[a] {
+					g.aggs[a] = v
+				}
+			case groupby.KindMax:
+				if v := cols[names[s.Attr]][i]; v > g.aggs[a] {
+					g.aggs[a] = v
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		for k := range out[i].key {
+			if out[i].key[k] != out[j].key[k] {
+				return out[i].key[k] < out[j].key[k]
+			}
+		}
+		return false
+	})
+	rowsOut := make([]groupOracleRow, len(out))
+	for i, g := range out {
+		rowsOut[i] = *g
+	}
+	return rowsOut
+}
+
+func checkGrouped(t *testing.T, res *groupby.Result, want []groupOracleRow, ctx string) {
+	t.Helper()
+	if res.Len() != len(want) {
+		t.Fatalf("%s: %d groups, want %d (strategy %v)", ctx, res.Len(), len(want), res.Strategy)
+	}
+	for g, w := range want {
+		for k := range w.key {
+			if res.Keys[k][g] != w.key[k] {
+				t.Fatalf("%s: group %d key %d = %d, want %d (strategy %v)", ctx, g, k, res.Keys[k][g], w.key[k], res.Strategy)
+			}
+		}
+		for a := range w.aggs {
+			if res.Aggs[a][g] != w.aggs[a] {
+				t.Fatalf("%s: group %d agg %d = %d, want %d (strategy %v)", ctx, g, a, res.Aggs[a][g], w.aggs[a], res.Strategy)
+			}
+		}
+	}
+}
+
+// TestGroupedMatchesOracleAllModes is the grouped differential test:
+// randomized key sets, fused aggregate lists and predicate sets run
+// through every executor mode under every forceable strategy, checked
+// against the brute-force oracle.
+func TestGroupedMatchesOracleAllModes(t *testing.T) {
+	const domain = 1 << 10
+	tab, cols := buildTable(4, 5000, domain, 29)
+	execs := allModeExecutors(t, tab)
+	attrNames := []string{"a", "b", "c", "d"}
+	for label, exec := range execs {
+		t.Run(label, func(t *testing.T) {
+			defer exec.Close()
+			r := New(tab, exec, 2)
+			rng := rand.New(rand.NewSource(31))
+			for q := 0; q < 25; q++ {
+				perm := rng.Perm(4)
+				nk := 1 + rng.Intn(2)
+				keys := make([]string, nk)
+				for i := range keys {
+					keys[i] = attrNames[perm[i]]
+				}
+				aggAttr := attrNames[perm[nk%4]]
+				aggs := []groupby.Agg{groupby.Count(), groupby.Sum(aggAttr), groupby.Min(aggAttr), groupby.Max(aggAttr)}
+				np := rng.Intn(3)
+				preds := make([]Predicate, np)
+				for i := range preds {
+					lo := rng.Int63n(domain)
+					preds[i] = Predicate{Attr: attrNames[rng.Intn(4)], Lo: lo, Hi: lo + rng.Int63n(domain-lo) + 1}
+				}
+				// Mirror the runner's duplicate-attribute intersection for
+				// the oracle.
+				merged := mergePreds(preds)
+				want := groupOracle(cols, names, keys, aggs, merged)
+
+				for _, strat := range []groupby.Strategy{groupby.StrategyAuto, groupby.StrategyDense, groupby.StrategyHash, groupby.StrategySort} {
+					r.SetGroupStrategy(strat)
+					res, err := r.Grouped(keys, aggs, preds)
+					if err != nil {
+						t.Fatal(err)
+					}
+					checkGrouped(t, res, want, label)
+				}
+				r.SetGroupStrategy(groupby.StrategyAuto)
+			}
+		})
+	}
+}
+
+// mergePreds intersects duplicate attributes (the planner's
+// normalization) so the oracle sees the same conjunction.
+func mergePreds(preds []Predicate) []Predicate {
+	var out []Predicate
+	for _, p := range preds {
+		merged := false
+		for i := range out {
+			if out[i].Attr == p.Attr {
+				if p.Lo > out[i].Lo {
+					out[i].Lo = p.Lo
+				}
+				if p.Hi < out[i].Hi {
+					out[i].Hi = p.Hi
+				}
+				merged = true
+			}
+		}
+		if !merged {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// TestGroupedSortStrategyRuns pins the sort strategy on an executor with
+// a key-ordered access path and verifies it actually executes (and
+// agrees with the oracle); on an executor without one it must fall back
+// to hash, not fail.
+func TestGroupedSortStrategyRuns(t *testing.T) {
+	const domain = 1 << 10
+	tab, cols := buildTable(2, 4000, domain, 37)
+	off := engine.NewOfflineExecutor(tab, 2)
+	r := New(tab, off, 2)
+	r.SetGroupStrategy(groupby.StrategySort)
+	aggs := []groupby.Agg{groupby.Count(), groupby.Sum("b")}
+	preds := []Predicate{{Attr: "b", Lo: 0, Hi: domain / 2}}
+	res, err := r.Grouped([]string{"a"}, aggs, preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategy != groupby.StrategySort {
+		t.Fatalf("offline forced-sort strategy = %v, want sort", res.Strategy)
+	}
+	checkGrouped(t, res, groupOracle(cols, names, []string{"a"}, aggs, preds), "offline")
+
+	// Adaptive: no cracker on "a" yet → sort unavailable → hash fallback.
+	ad := engine.NewAdaptiveExecutor(tab, cracking.Config{WithRows: true}, "")
+	ra := New(tab, ad, 2)
+	ra.SetGroupStrategy(groupby.StrategySort)
+	res2, err := ra.Grouped([]string{"a"}, aggs, preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Strategy == groupby.StrategySort {
+		t.Fatal("sort strategy ran without a key-ordered access path")
+	}
+	checkGrouped(t, res2, groupOracle(cols, names, []string{"a"}, aggs, preds), "adaptive-fallback")
+
+	// After a select drives on "a", the cracker exists and forced sort
+	// walks it.
+	if _, err := ra.Count([]Predicate{{Attr: "a", Lo: 0, Hi: domain / 3}}); err != nil {
+		t.Fatal(err)
+	}
+	res3, err := ra.Grouped([]string{"a"}, aggs, preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.Strategy != groupby.StrategySort {
+		t.Fatalf("adaptive forced-sort strategy = %v, want sort", res3.Strategy)
+	}
+	checkGrouped(t, res3, groupOracle(cols, names, []string{"a"}, aggs, preds), "adaptive-sort")
+}
+
+// TestGroupedNoPredicates groups the whole relation.
+func TestGroupedNoPredicates(t *testing.T) {
+	tab, cols := buildTable(2, 3000, 64, 41)
+	r := New(tab, engine.NewScanExecutor(tab, 2), 2)
+	aggs := []groupby.Agg{groupby.Count(), groupby.Sum("b")}
+	res, err := r.Grouped([]string{"a"}, aggs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGrouped(t, res, groupOracle(cols, names, []string{"a"}, aggs, nil), "no-preds")
+}
+
+// TestGroupedErrors covers the validation paths.
+func TestGroupedErrors(t *testing.T) {
+	tab, _ := buildTable(2, 100, 64, 43)
+	r := New(tab, engine.NewScanExecutor(tab, 1), 1)
+	if _, err := r.Grouped(nil, []groupby.Agg{groupby.Count()}, nil); err == nil {
+		t.Error("no keys did not error")
+	}
+	if _, err := r.Grouped([]string{"a"}, nil, nil); err == nil {
+		t.Error("no aggregates did not error")
+	}
+	if _, err := r.Grouped([]string{"zz"}, []groupby.Agg{groupby.Count()}, nil); err == nil {
+		t.Error("unknown key did not error")
+	}
+	if _, err := r.Grouped([]string{"a", "a"}, []groupby.Agg{groupby.Count()}, nil); err == nil {
+		t.Error("duplicate key did not error")
+	}
+	if _, err := r.Grouped([]string{"a"}, []groupby.Agg{groupby.Sum("zz")}, nil); err == nil {
+		t.Error("unknown aggregate attribute did not error")
+	}
+	// Contradictory predicates: empty result with the right shape.
+	res, err := r.Grouped([]string{"a"}, []groupby.Agg{groupby.Count()}, []Predicate{
+		{Attr: "b", Lo: 10, Hi: 20}, {Attr: "b", Lo: 30, Hi: 40},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 0 || len(res.Keys) != 1 || len(res.Aggs) != 1 {
+		t.Fatalf("contradictory grouped query = %d groups, shape %d/%d", res.Len(), len(res.Keys), len(res.Aggs))
+	}
+}
+
+// TestMinMaxMatchesOracleAllModes covers the Min/Max terminal
+// aggregates over conjunctions, both representations, every mode.
+func TestMinMaxMatchesOracleAllModes(t *testing.T) {
+	const domain = 1 << 12
+	tab, cols := buildTable(3, 5000, domain, 47)
+	execs := allModeExecutors(t, tab)
+	attrNames := []string{"a", "b", "c"}
+	for label, exec := range execs {
+		t.Run(label, func(t *testing.T) {
+			defer exec.Close()
+			r := New(tab, exec, 2)
+			rng := rand.New(rand.NewSource(53))
+			for q := 0; q < 30; q++ {
+				k := 1 + rng.Intn(3)
+				perm := rng.Perm(3)
+				preds := make([]Predicate, k)
+				for i := 0; i < k; i++ {
+					lo := rng.Int63n(domain)
+					preds[i] = Predicate{Attr: attrNames[perm[i]], Lo: lo, Hi: lo + rng.Int63n(domain-lo) + 1}
+				}
+				target := attrNames[rng.Intn(3)]
+				sel := oracle(cols, names, preds)
+				var wantMn, wantMx int64
+				wantOk := false
+				for _, row := range sel {
+					v := cols[names[target]][row]
+					if !wantOk || v < wantMn {
+						wantMn = v
+					}
+					if !wantOk || v > wantMx {
+						wantMx = v
+					}
+					wantOk = true
+				}
+				for _, pol := range []RepPolicy{RepAuto, RepPosList, RepBitmap} {
+					r.SetRepPolicy(pol)
+					mn, mx, ok, err := r.MinMax(target, preds)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if ok != wantOk || (ok && (mn != wantMn || mx != wantMx)) {
+						t.Fatalf("query %d policy %d: MinMax(%s) = (%d,%d,%v), want (%d,%d,%v)",
+							q, pol, target, mn, mx, ok, wantMn, wantMx, wantOk)
+					}
+				}
+				r.SetRepPolicy(RepAuto)
+			}
+		})
+	}
+}
+
+// TestRepeatedAttributeIntersection is the property test of the
+// duplicate-conjunct normalization: any set of overlapping, disjoint or
+// inverted ranges on one attribute must behave exactly like the single
+// merged predicate — across every executor mode and both selection-
+// vector representations, for every query form.
+func TestRepeatedAttributeIntersection(t *testing.T) {
+	const domain = 1 << 12
+	tab, cols := buildTable(2, 4000, domain, 59)
+	execs := allModeExecutors(t, tab)
+	for label, exec := range execs {
+		t.Run(label, func(t *testing.T) {
+			defer exec.Close()
+			r := New(tab, exec, 2)
+			rng := rand.New(rand.NewSource(61))
+			for trial := 0; trial < 40; trial++ {
+				nr := 2 + rng.Intn(3)
+				preds := make([]Predicate, 0, nr+1)
+				mLo, mHi := int64(0), int64(domain)
+				for i := 0; i < nr; i++ {
+					var lo, hi int64
+					switch rng.Intn(4) {
+					case 0: // wide overlapping
+						lo, hi = rng.Int63n(domain/4), domain/2+rng.Int63n(domain/2)
+					case 1: // narrow
+						lo = rng.Int63n(domain)
+						hi = lo + rng.Int63n(domain/8) + 1
+					case 2: // potentially disjoint from earlier ranges
+						lo = rng.Int63n(domain)
+						hi = lo + rng.Int63n(domain/2)
+					default: // inverted (empty)
+						hi = rng.Int63n(domain)
+						lo = hi + 1 + rng.Int63n(16)
+					}
+					preds = append(preds, Predicate{Attr: "a", Lo: lo, Hi: hi})
+					if lo > mLo {
+						mLo = lo
+					}
+					if hi < mHi {
+						mHi = hi
+					}
+				}
+				// Sometimes add a second-attribute conjunct so both the
+				// single- and multi-predicate paths are exercised.
+				var extra []Predicate
+				if rng.Intn(2) == 0 {
+					lo := rng.Int63n(domain / 2)
+					extra = []Predicate{{Attr: "b", Lo: lo, Hi: lo + rng.Int63n(domain-lo) + 1}}
+					preds = append(preds, extra...)
+				}
+				merged := append([]Predicate{{Attr: "a", Lo: mLo, Hi: mHi}}, extra...)
+				want := oracle(cols, names, merged)
+
+				for _, pol := range []RepPolicy{RepPosList, RepBitmap} {
+					r.SetRepPolicy(pol)
+					n, err := r.Count(preds)
+					if err != nil {
+						t.Fatal(err)
+					}
+					nm, err := r.Count(merged)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if n != len(want) || nm != len(want) {
+						t.Fatalf("trial %d policy %d: count repeated=%d merged=%d, want %d (%v)", trial, pol, n, nm, len(want), preds)
+					}
+					rows, err := r.Rows(preds)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(rows) != len(want) {
+						t.Fatalf("trial %d policy %d: %d rows, want %d", trial, pol, len(rows), len(want))
+					}
+					for i := range rows {
+						if rows[i] != want[i] {
+							t.Fatalf("trial %d policy %d: rows[%d] = %d, want %d", trial, pol, i, rows[i], want[i])
+						}
+					}
+					var wantSum int64
+					for _, row := range want {
+						wantSum += cols[1][row]
+					}
+					s, err := r.Sum("b", preds)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if s != wantSum {
+						t.Fatalf("trial %d policy %d: sum = %d, want %d", trial, pol, s, wantSum)
+					}
+				}
+				r.SetRepPolicy(RepAuto)
+			}
+		})
+	}
+}
+
+// TestSteadyStateGroupedAllocationFree: the dense grouped path through
+// pooled scratch and a reused result allocates nothing per query — the
+// tentpole's allocation bar, matching the conjunctive count/sum one.
+func TestSteadyStateGroupedAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; allocation counts are meaningless")
+	}
+	const domain = 1 << 16
+	tab, _ := buildTable(3, 1<<15, domain, 67)
+	// Key domain small: overwrite column a with group ids.
+	keyVals := tab.Column("a").Values()
+	for i := range keyVals {
+		keyVals[i] = keyVals[i] % 61
+	}
+	r := New(tab, engine.NewScanExecutor(tab, 1), 1)
+	keys := []string{"a"}
+	aggs := []groupby.Agg{groupby.Count(), groupby.Sum("c"), groupby.Min("c"), groupby.Max("c")}
+	preds := []Predicate{
+		{Attr: "b", Lo: 0, Hi: domain / 2},
+		{Attr: "c", Lo: domain / 8, Hi: domain},
+	}
+	var res groupby.Result
+	if err := r.GroupedInto(&res, keys, aggs, preds); err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategy != groupby.StrategyDense {
+		t.Fatalf("steady-state test expects the dense strategy, got %v", res.Strategy)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := r.GroupedInto(&res, keys, aggs, preds); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0.5 {
+		t.Errorf("steady-state grouped query allocates %.2f times per query, want 0", allocs)
+	}
+	// The no-predicate grouped form shares the pooled path.
+	if err := r.GroupedInto(&res, keys, aggs, nil); err != nil {
+		t.Fatal(err)
+	}
+	allocs = testing.AllocsPerRun(50, func() {
+		if err := r.GroupedInto(&res, keys, aggs, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0.5 {
+		t.Errorf("steady-state whole-relation grouped query allocates %.2f times per query, want 0", allocs)
+	}
+}
+
+// colView builds a plain view for kernel-level checks.
+func colView(vals []int64) column.View { return column.View{Base: vals} }
+
+// TestMinMaxKernels sanity-checks the new column kernels directly.
+func TestMinMaxKernels(t *testing.T) {
+	vals := []int64{5, -3, 8, 0, 7}
+	sel := column.PosList{1, 2, 4}
+	mn, mx, n := column.MinMaxRows(vals, sel)
+	if mn != -3 || mx != 8 || n != 3 {
+		t.Fatalf("MinMaxRows = (%d,%d,%d)", mn, mx, n)
+	}
+	bm := column.NewBitmap(len(vals))
+	for _, p := range sel {
+		bm.Set(p)
+	}
+	mn, mx, n = column.MinMaxBitmap(vals, bm)
+	if mn != -3 || mx != 8 || n != 3 {
+		t.Fatalf("MinMaxBitmap = (%d,%d,%d)", mn, mx, n)
+	}
+	w := colView(vals)
+	if mn, mx, n = w.MinMaxRows(sel); mn != -3 || mx != 8 || n != 3 {
+		t.Fatalf("View.MinMaxRows = (%d,%d,%d)", mn, mx, n)
+	}
+	if mn, mx, n = w.MinMaxBitmap(bm); mn != -3 || mx != 8 || n != 3 {
+		t.Fatalf("View.MinMaxBitmap = (%d,%d,%d)", mn, mx, n)
+	}
+}

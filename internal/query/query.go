@@ -57,6 +57,7 @@ import (
 
 	"holistic/internal/column"
 	"holistic/internal/engine"
+	"holistic/internal/groupby"
 )
 
 // Predicate is one range conjunct: lo <= attr < hi.
@@ -101,8 +102,9 @@ type Runner struct {
 	exec    engine.Executor
 	threads int
 
-	policy    atomic.Int32
-	crossover atomic.Uint64 // math.Float64bits of the crossover selectivity
+	policy        atomic.Int32
+	crossover     atomic.Uint64 // math.Float64bits of the crossover selectivity
+	groupStrategy atomic.Int32  // groupby.Strategy override for grouped queries
 
 	// scratchPool recycles per-query execution state (selection
 	// vectors, view maps, plan arrays) so steady-state queries do not
@@ -148,6 +150,12 @@ type scratch struct {
 	sel   column.PosList
 	bm    *column.Bitmap
 	views map[string]column.View
+	// Grouped-query extensions: the referenced-attribute work list and
+	// the groupby spec (with its backing arrays), reused per query.
+	extras []string
+	gkeys  []groupby.Key
+	gviews []column.View
+	gspec  groupby.Spec
 }
 
 func (r *Runner) getScratch() *scratch {
@@ -163,6 +171,12 @@ func (r *Runner) putScratch(sc *scratch) {
 	sc.sel = sc.sel[:0]
 	sc.preds = sc.preds[:0]
 	sc.ests = sc.ests[:0]
+	sc.extras = sc.extras[:0]
+	clear(sc.gkeys) // drop view references; capacity is retained
+	sc.gkeys = sc.gkeys[:0]
+	clear(sc.gviews)
+	sc.gviews = sc.gviews[:0]
+	sc.gspec = groupby.Spec{}
 	r.scratchPool.Put(sc)
 }
 
@@ -304,15 +318,30 @@ func (r *Runner) chooseBitmap(sc *scratch) bool {
 	return sc.ests[0] >= math.Float64frombits(r.crossover.Load())*rows
 }
 
+// repChoice tells runSel how to represent the intermediate selection
+// vector: by the crossover rule, or pinned (the grouped path always
+// wants the bitmap — its accumulators and the sort strategy's cluster
+// membership tests both consume bits).
+type repChoice int
+
+const (
+	repByPolicy repChoice = iota
+	repWantBitmap
+)
+
 // runSel executes plan steps 2-4 plus the presence filter for the
 // extra (aggregate/projection) attributes: the driving conjunct runs
 // through the mode's access path in the chosen representation, the rest
 // refine in place. On return the candidates sit in sc.bm (useBitmap
 // true) or sc.sel, and sc.views holds the snapshot each attribute was
 // filtered through.
-func (r *Runner) runSel(sc *scratch, extraAttrs []string) (useBitmap bool, err error) {
+func (r *Runner) runSel(sc *scratch, extraAttrs []string, rep repChoice) (useBitmap bool, err error) {
 	drive := sc.preds[0]
-	useBitmap = r.chooseBitmap(sc)
+	if rep == repWantBitmap {
+		_, useBitmap = r.exec.(engine.BitmapSelector)
+	} else {
+		useBitmap = r.chooseBitmap(sc)
+	}
 	if useBitmap {
 		if err := r.exec.(engine.BitmapSelector).SelectBitmap(drive.Attr, drive.Lo, drive.Hi, sc.bm); err != nil {
 			return false, err
@@ -387,7 +416,7 @@ func (r *Runner) Count(preds []Predicate) (int, error) {
 	if len(sc.preds) == 1 {
 		return r.exec.Count(sc.preds[0].Attr, sc.preds[0].Lo, sc.preds[0].Hi)
 	}
-	useBm, err := r.runSel(sc, nil)
+	useBm, err := r.runSel(sc, nil, repByPolicy)
 	if err != nil {
 		return 0, err
 	}
@@ -415,7 +444,7 @@ func (r *Runner) Sum(attr string, preds []Predicate) (int64, error) {
 		return r.exec.Sum(attr, sc.preds[0].Lo, sc.preds[0].Hi)
 	}
 	extra := [1]string{attr}
-	useBm, err := r.runSel(sc, extra[:])
+	useBm, err := r.runSel(sc, extra[:], repByPolicy)
 	if err != nil {
 		return 0, err
 	}
@@ -443,7 +472,7 @@ func (r *Runner) Rows(preds []Predicate) ([]uint32, error) {
 		sort.Slice(rows, func(i, j int) bool { return rows[i] < rows[j] })
 		return rows, nil
 	}
-	useBm, err := r.runSel(sc, nil)
+	useBm, err := r.runSel(sc, nil, repByPolicy)
 	if err != nil {
 		return nil, err
 	}
@@ -481,7 +510,7 @@ func (r *Runner) Values(attrs []string, preds []Predicate) ([][]int64, error) {
 		}
 		return out, nil
 	}
-	useBm, err := r.runSel(sc, attrs)
+	useBm, err := r.runSel(sc, attrs, repByPolicy)
 	if err != nil {
 		return nil, err
 	}

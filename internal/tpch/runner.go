@@ -2,6 +2,7 @@ package tpch
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -9,6 +10,7 @@ import (
 	"holistic/internal/column"
 	"holistic/internal/cpu"
 	"holistic/internal/cracking"
+	"holistic/internal/groupby"
 	"holistic/internal/holistic"
 	"holistic/internal/stats"
 )
@@ -122,6 +124,21 @@ func NewRunner(data *Data, mode Mode, cfg RunnerConfig) *Runner {
 	for _, name := range data.Lineitem.ColumnNames() {
 		r.li[name] = data.Lineitem.Column(name).Values()
 	}
+	// Materialized derived columns for the grouped-aggregation form of
+	// Q1: discounted price and charge, computed once with exactly the
+	// fixed-point arithmetic of the hand-rolled oracle (q1acc.add), so
+	// the subsystem's sums are byte-identical to the oracle's. They join
+	// r.li like base attributes: pre-sorted projections reorder them and
+	// the shipdate sideways cracker drags them as payloads.
+	ext, disc, tax := r.li["l_extendedprice"], r.li["l_discount"], r.li["l_tax"]
+	dp := make([]int64, len(ext))
+	charge := make([]int64, len(ext))
+	for i := range ext {
+		dp[i] = ext[i] * (10000 - disc[i]) / 10000
+		charge[i] = dp[i] * (10000 + tax[i]) / 10000
+	}
+	r.li["l_discprice"] = dp
+	r.li["l_charge"] = charge
 	okeys := data.Orders.Column("o_orderkey").Values()
 	prios := data.Orders.Column("o_orderpriority").Values()
 	r.prio = make([]int64, len(okeys))
@@ -207,7 +224,7 @@ func (r *Runner) projection(attr string) *projection {
 // attributes the three queries project through it: the payload set of its
 // sideways cracker (self-organizing tuple reconstruction, [29]).
 var sidewaysPayloads = map[string][]string{
-	"l_shipdate":    {"l_quantity", "l_extendedprice", "l_discount", "l_tax", "l_returnflag", "l_linestatus"},
+	"l_shipdate":    {"l_quantity", "l_extendedprice", "l_discount", "l_tax", "l_returnflag", "l_linestatus", "l_discprice", "l_charge"},
 	"l_receiptdate": {"l_shipmode", "l_commitdate", "l_shipdate", "l_orderkey"},
 }
 
@@ -279,8 +296,104 @@ func (a *q1acc) add(qty, ext, disc, tax int64) {
 
 // Q1 runs the pricing summary report: lines with
 // l_shipdate <= 1998-12-01 - delta days, grouped by returnflag and
-// linestatus.
+// linestatus. It executes on the grouped-aggregation subsystem
+// (internal/groupby): one fused multi-aggregate plan — four sums and a
+// count in a single pass — over the composite (returnflag, linestatus)
+// key, with the qualifying rows delivered by the mode's access path: a
+// parallel bitmap scan (MonetDB), the pre-sorted projection's
+// contiguous window (presorted), or the sideways cracker's payload
+// segments streamed straight into a slice-fed accumulator (cracking and
+// holistic). The retained hand-rolled loops (Q1Oracle) serve as the
+// differential oracle: both must return byte-identical rows.
 func (r *Runner) Q1(delta int64) []Q1Row {
+	cutoff := Q1CutoffBase - delta // shipdate <= cutoff, i.e. < cutoff+1
+	keys := r.q1Keys()
+	aggs := []groupby.Agg{
+		groupby.Sum("l_quantity"), groupby.Sum("l_extendedprice"),
+		groupby.Sum("l_discprice"), groupby.Sum("l_charge"), groupby.Count(),
+	}
+	var res groupby.Result
+	switch r.mode {
+	case ModeScan:
+		bm := column.GetBitmap(0)
+		defer column.PutBitmap(bm)
+		column.ParallelScanRangeBitmap(r.li["l_shipdate"], math.MinInt64, cutoff+1, bm, r.threads)
+		spec := r.q1Spec(keys, aggs, r.li)
+		if err := groupby.GroupBitmap(spec, bm, &res); err != nil {
+			panic(err)
+		}
+	case ModePresorted:
+		p := r.projection("l_shipdate")
+		end := sort.Search(len(p.sortKey), func(i int) bool { return p.sortKey[i] > cutoff })
+		bm := column.GetBitmap(len(p.sortKey))
+		defer column.PutBitmap(bm)
+		bm.SetRange(0, end)
+		spec := r.q1Spec(keys, aggs, p.cols)
+		if err := groupby.GroupBitmap(spec, bm, &res); err != nil {
+			panic(err)
+		}
+	case ModeCracking, ModeHolistic:
+		acc, err := groupby.NewAcc(keys, aggs)
+		if err != nil {
+			panic(err)
+		}
+		// Payload order: qty, ext, disc, tax, flag, status, discprice,
+		// charge (sidewaysPayloads); the fused plan reads five of them.
+		r.selectPayloads("l_shipdate", 0, cutoff+1, func(_ []int64, pl [][]int64) {
+			acc.Segment([][]int64{pl[4], pl[5]}, [][]int64{pl[0], pl[1], pl[6], pl[7], nil})
+		})
+		if err := acc.Finish(&res); err != nil {
+			panic(err)
+		}
+	}
+	out := make([]Q1Row, 0, res.Len())
+	for g := 0; g < res.Len(); g++ {
+		out = append(out, Q1Row{
+			ReturnFlag: r.data.Flags.Decode(res.Keys[0][g]),
+			LineStatus: r.data.Status.Decode(res.Keys[1][g]),
+			SumQty:     res.Aggs[0][g],
+			SumBase:    res.Aggs[1][g],
+			SumDisc:    res.Aggs[2][g],
+			SumCharge:  res.Aggs[3][g],
+			Count:      res.Aggs[4][g],
+		})
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// q1Keys builds the composite grouping key of Q1 — (returnflag,
+// linestatus), most significant first, with exact dictionary-code
+// domains — matching the flag*2+status group enumeration of the oracle.
+func (r *Runner) q1Keys() []groupby.Key {
+	fLo, fHi := r.attrDomain("l_returnflag")
+	sLo, sHi := r.attrDomain("l_linestatus")
+	return []groupby.Key{{Lo: fLo, Hi: fHi}, {Lo: sLo, Hi: sHi}}
+}
+
+// q1Spec assembles the selection-vector spec of Q1 over the given
+// column set (base slices, or a projection's reordered copies).
+func (r *Runner) q1Spec(keys []groupby.Key, aggs []groupby.Agg, cols map[string][]int64) *groupby.Spec {
+	keys[0].View = column.View{Base: cols["l_returnflag"]}
+	keys[1].View = column.View{Base: cols["l_linestatus"]}
+	return &groupby.Spec{
+		Keys: keys,
+		Aggs: aggs,
+		AggViews: []column.View{
+			{Base: cols["l_quantity"]}, {Base: cols["l_extendedprice"]},
+			{Base: cols["l_discprice"]}, {Base: cols["l_charge"]}, {},
+		},
+		Threads: r.threads,
+	}
+}
+
+// Q1Oracle is the original hand-rolled Q1: per-mode tight loops over a
+// fixed 6-slot group array. Retained as the differential oracle for the
+// grouped-aggregation subsystem — TestQ1MatchesOracleAllModes asserts
+// Q1 and Q1Oracle return byte-identical rows in every mode.
+func (r *Runner) Q1Oracle(delta int64) []Q1Row {
 	cutoff := Q1CutoffBase - delta // shipdate <= cutoff, i.e. < cutoff+1
 	var groups [6]q1acc
 

@@ -96,6 +96,33 @@ func TestQ1AllModesAgree(t *testing.T) {
 	}
 }
 
+// TestQ1MatchesOracleAllModes is the differential test of the grouped-
+// aggregation rewrite: under every execution mode, the subsystem-based
+// Q1 must return byte-identical rows to the retained hand-rolled
+// oracle, across deltas that cover empty, partial and full selections.
+func TestQ1MatchesOracleAllModes(t *testing.T) {
+	d := testData(t)
+	rs := allRunners(t, d)
+	defer func() {
+		for _, r := range rs {
+			r.Close()
+		}
+	}()
+	deltas := []int64{-1000, 60, 90, 120, 100000}
+	for _, v := range Variants(5, 3) {
+		deltas = append(deltas, v.Q1Delta)
+	}
+	for _, r := range rs {
+		for _, delta := range deltas {
+			want := r.Q1Oracle(delta)
+			got := r.Q1(delta)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%v: Q1(%d) = %+v, oracle %+v", r.Mode(), delta, got, want)
+			}
+		}
+	}
+}
+
 func TestQ6AllModesAgree(t *testing.T) {
 	d := testData(t)
 	rs := allRunners(t, d)

@@ -354,6 +354,188 @@ func GenerateConjunctive(cfg ConjConfig) []ConjQuery {
 	return out
 }
 
+// GroupedConfig parameterizes a grouped-aggregation workload: the data
+// side (a group-key column with a configurable group count and skew)
+// and the query side (grouped queries whose predicates follow the
+// embedded Config's pattern).
+type GroupedConfig struct {
+	Config
+	// Groups is the number of distinct group-key values of the generated
+	// key columns (default 64).
+	Groups int
+	// Skew is the zipf-like exponent of the group-size distribution:
+	// group k receives rows proportionally to 1/(k+1)^Skew. 0 sizes the
+	// groups uniformly.
+	Skew float64
+	// MaxKeys bounds the group-by attributes per query (default 1; keys
+	// draw without replacement from the configured attributes).
+	MaxKeys int
+	// PredDist is the predicate-count distribution: PredDist[i] is the
+	// relative weight of queries with i conjuncts (index 0 = no Where
+	// clause, grouping the whole relation). Defaults to {1, 2, 1}.
+	PredDist []float64
+}
+
+// GroupedQuery is one grouped aggregation: group by the (distinct) Keys
+// attributes, filtered by the conjunction Preds (possibly empty).
+type GroupedQuery struct {
+	Keys  []int
+	Preds []Query
+}
+
+// GroupKeyColumn generates n group-key values over {0, ..., groups-1}
+// with a zipf-like group-size skew (s = skew; 0 = uniform): the data
+// half of a grouped workload. Values are dense group ids — the shape
+// dictionary-encoded grouping attributes take in a column-store.
+func GroupKeyColumn(n, groups int, skew float64, seed int64) []int64 {
+	if groups < 1 {
+		groups = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	pick := zipfPicker(groups, skew, rng)
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(pick())
+	}
+	return out
+}
+
+// zipfPicker samples {0, ..., n-1} with probability proportional to
+// 1/(k+1)^s (uniform when s <= 0), by binary search over the CDF.
+func zipfPicker(n int, s float64, rng *rand.Rand) func() int {
+	if n == 1 {
+		return func() int { return 0 }
+	}
+	if s <= 0 {
+		return func() int { return rng.Intn(n) }
+	}
+	cdf := make([]float64, n)
+	acc := 0.0
+	for k := range cdf {
+		acc += 1 / math.Pow(float64(k+1), s)
+		cdf[k] = acc
+	}
+	total := acc
+	return func() int {
+		u := rng.Float64() * total
+		lo, hi := 0, n-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cdf[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo
+	}
+}
+
+// GenerateGrouped builds a grouped-query sequence: each query draws its
+// key count (1..MaxKeys) and its predicate count from PredDist, keys
+// and predicate attributes are distinct per query, and predicate ranges
+// follow the configured pattern series — one independent series per
+// conjunct slot, as in GenerateConjunctive.
+func GenerateGrouped(cfg GroupedConfig) []GroupedQuery {
+	if cfg.Domain <= 0 {
+		cfg.Domain = 1 << 30
+	}
+	if cfg.Attrs <= 0 {
+		cfg.Attrs = 1
+	}
+	if cfg.MaxWidthFrac <= 0 {
+		cfg.MaxWidthFrac = 0.1
+	}
+	if cfg.MaxKeys <= 0 {
+		cfg.MaxKeys = 1
+	}
+	if cfg.MaxKeys > cfg.Attrs {
+		cfg.MaxKeys = cfg.Attrs
+	}
+	dist := cfg.PredDist
+	if len(dist) == 0 {
+		dist = []float64{1, 2, 1}
+	}
+	if len(dist) > cfg.Attrs+1 {
+		dist = dist[:cfg.Attrs+1]
+	}
+	total := 0.0
+	for _, w := range dist {
+		if w > 0 {
+			total += w
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 3))
+	drawPreds := func() int {
+		if total <= 0 {
+			return 0
+		}
+		u := rng.Float64() * total
+		for i, w := range dist {
+			if w <= 0 {
+				continue
+			}
+			u -= w
+			if u <= 0 {
+				return i
+			}
+		}
+		return len(dist) - 1
+	}
+	maxP := len(dist) - 1
+	series := make([][]int64, maxP)
+	for k := range series {
+		series[k] = PredicateSeries(cfg.Pattern, cfg.Queries, cfg.Domain, cfg.Seed+int64(100*k))
+	}
+	attrPick := attrPicker(cfg.Attrs, cfg.AttrZipf, rng)
+	maxWidth := int64(cfg.MaxWidthFrac * float64(cfg.Domain))
+	if maxWidth < 1 {
+		maxWidth = 1
+	}
+
+	out := make([]GroupedQuery, cfg.Queries)
+	for i := range out {
+		nk := 1 + rng.Intn(cfg.MaxKeys)
+		np := drawPreds()
+		used := make(map[int]bool, nk+np)
+		draw := func() int {
+			a := attrPick()
+			if used[a] {
+				for n := 0; used[a] && n < cfg.Attrs; n++ {
+					a = (a + 1) % cfg.Attrs
+				}
+			}
+			used[a] = true
+			return a
+		}
+		q := GroupedQuery{Keys: make([]int, 0, nk)}
+		for len(q.Keys) < nk {
+			q.Keys = append(q.Keys, draw())
+		}
+		for len(q.Preds) < np && len(used) < cfg.Attrs {
+			a := draw()
+			v := series[len(q.Preds)][i]
+			p := Query{Attr: a}
+			if cfg.OneSided {
+				p.Lo, p.Hi = 0, v+1
+			} else {
+				width := rng.Int63n(maxWidth) + 1
+				p.Lo = v
+				p.Hi = v + width
+				if p.Hi > cfg.Domain {
+					p.Hi = cfg.Domain
+				}
+				if p.Lo >= p.Hi {
+					p.Lo = p.Hi - 1
+				}
+			}
+			q.Preds = append(q.Preds, p)
+		}
+		out[i] = q
+	}
+	return out
+}
+
 // UniformColumn generates n uniformly distributed values over [0, domain)
 // — the base data of every synthetic experiment ("each attribute consists
 // of 2^30 uniformly distributed integers").

@@ -332,3 +332,118 @@ func TestGenerateConjunctiveDistCappedByAttrs(t *testing.T) {
 		}
 	}
 }
+
+func TestGroupKeyColumn(t *testing.T) {
+	const n, groups = 50_000, 32
+	vals := GroupKeyColumn(n, groups, 0, 7)
+	if len(vals) != n {
+		t.Fatalf("len = %d", len(vals))
+	}
+	counts := make([]int, groups)
+	for _, v := range vals {
+		if v < 0 || v >= groups {
+			t.Fatalf("group id %d out of [0, %d)", v, groups)
+		}
+		counts[v]++
+	}
+	// Uniform: every group populated, none wildly over-represented.
+	for g, c := range counts {
+		if c == 0 {
+			t.Fatalf("group %d empty under uniform sizing", g)
+		}
+		if c > 3*n/groups {
+			t.Fatalf("group %d has %d rows, uniform share is %d", g, c, n/groups)
+		}
+	}
+
+	// Skewed: group 0 dominates and sizes decay with rank.
+	sk := GroupKeyColumn(n, groups, 1.2, 7)
+	skCounts := make([]int, groups)
+	for _, v := range sk {
+		skCounts[v]++
+	}
+	if skCounts[0] < 4*n/groups {
+		t.Errorf("skew 1.2: top group has %d rows, want far above the uniform share %d", skCounts[0], n/groups)
+	}
+	if skCounts[0] <= skCounts[groups-1] {
+		t.Error("skew 1.2: top group not larger than bottom group")
+	}
+
+	// Deterministic under the seed.
+	again := GroupKeyColumn(n, groups, 1.2, 7)
+	for i := range sk {
+		if sk[i] != again[i] {
+			t.Fatal("grouped key column not reproducible")
+		}
+	}
+}
+
+func TestGenerateGrouped(t *testing.T) {
+	cfg := GroupedConfig{
+		Config:   Config{Pattern: Random, Queries: 600, Domain: 1 << 20, Attrs: 4, Seed: 9},
+		Groups:   64,
+		MaxKeys:  2,
+		PredDist: []float64{1, 2, 1},
+	}
+	qs := GenerateGrouped(cfg)
+	if len(qs) != cfg.Queries {
+		t.Fatalf("generated %d queries, want %d", len(qs), cfg.Queries)
+	}
+	predCounts := make([]int, 4)
+	sawTwoKeys := false
+	for qi, q := range qs {
+		if len(q.Keys) < 1 || len(q.Keys) > 2 {
+			t.Fatalf("query %d has %d keys", qi, len(q.Keys))
+		}
+		if len(q.Keys) == 2 {
+			sawTwoKeys = true
+		}
+		seen := map[int]bool{}
+		for _, k := range q.Keys {
+			if k < 0 || k >= cfg.Attrs || seen[k] {
+				t.Fatalf("query %d: bad or duplicate key attr %d", qi, k)
+			}
+			seen[k] = true
+		}
+		if len(q.Preds) > 2 {
+			t.Fatalf("query %d has %d predicates, dist allows at most 2", qi, len(q.Preds))
+		}
+		predCounts[len(q.Preds)]++
+		for _, p := range q.Preds {
+			if p.Attr < 0 || p.Attr >= cfg.Attrs || seen[p.Attr] {
+				t.Fatalf("query %d: bad or duplicate predicate attr %d", qi, p.Attr)
+			}
+			seen[p.Attr] = true
+			if p.Lo >= p.Hi || p.Lo < 0 || p.Hi > cfg.Domain {
+				t.Fatalf("query %d: bad range [%d, %d)", qi, p.Lo, p.Hi)
+			}
+		}
+	}
+	if !sawTwoKeys {
+		t.Error("no two-key grouped queries generated")
+	}
+	if predCounts[0] == 0 || predCounts[1] == 0 || predCounts[2] == 0 {
+		t.Fatalf("predicate counts missing: %v", predCounts)
+	}
+	if ratio := float64(predCounts[1]) / float64(predCounts[0]); ratio < 1.2 || ratio > 3.2 {
+		t.Errorf("one/zero predicate ratio = %.2f, want ~2", ratio)
+	}
+
+	// Reproducible under the same seed.
+	qs2 := GenerateGrouped(cfg)
+	for i := range qs {
+		if len(qs[i].Keys) != len(qs2[i].Keys) || len(qs[i].Preds) != len(qs2[i].Preds) {
+			t.Fatal("grouped workload not reproducible")
+		}
+		for j := range qs[i].Keys {
+			if qs[i].Keys[j] != qs2[i].Keys[j] {
+				t.Fatal("grouped workload not reproducible")
+			}
+		}
+		for j := range qs[i].Preds {
+			if qs[i].Preds[j] != qs2[i].Preds[j] {
+				t.Fatal("grouped workload not reproducible")
+			}
+		}
+	}
+}
