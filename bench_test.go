@@ -122,6 +122,11 @@ func BenchmarkConjunctiveWorkload(b *testing.B) { runExperiment(b, "conj") }
 // internal/query's BenchmarkConjunctiveCount/BenchmarkConjunctiveSum.
 func BenchmarkSelVecCrossover(b *testing.B) { runExperiment(b, "selvec") }
 
+// BenchmarkJoinWorkload reproduces the join experiment: hash vs
+// index-clustered merge join before and after the holistic daemons
+// refine both join-key indexes.
+func BenchmarkJoinWorkload(b *testing.B) { runExperiment(b, "join") }
+
 // Ablations of DESIGN.md's called-out design decisions.
 func BenchmarkAblationPivotChoice(b *testing.B) { runExperiment(b, "ablation-pivot") }
 func BenchmarkAblationLatchPolicy(b *testing.B) { runExperiment(b, "ablation-latch") }

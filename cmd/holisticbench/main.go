@@ -9,6 +9,7 @@
 //	holisticbench -list                        # enumerate experiments
 //	holisticbench -experiment fig12 -columns 4194304 -queries 1000
 //	holisticbench -experiment agg              # aggregate pushdown (Q6-style)
+//	holisticbench -experiment join             # hash vs index-clustered merge join
 //	holisticbench -experiment conj -cpuprofile cpu.out -memprofile mem.out
 //
 // Scale defaults target a laptop-class machine; EXPERIMENTS.md records a

@@ -78,6 +78,49 @@ func ExampleStore_Query() {
 	// 146 qualifying rows
 }
 
+// ExampleQuery_Join demonstrates an equi-join between two stores:
+// lineitems join their orders, with aggregate and grouped terminals
+// over either side's columns.
+func ExampleQuery_Join() {
+	orders := holistic.NewStore(holistic.Config{Mode: holistic.ModeHolistic, Threads: 2, TuningInterval: time.Millisecond, Seed: 1})
+	items := holistic.NewStore(holistic.Config{Mode: holistic.ModeHolistic, Threads: 2, TuningInterval: time.Millisecond, Seed: 1})
+	defer orders.Close()
+	defer items.Close()
+
+	orders.AddIntColumn("o_id", []int64{0, 1, 2, 3})
+	orders.AddIntColumn("region", []int64{0, 1, 0, 1})
+	items.AddIntColumn("order", []int64{0, 0, 1, 2, 2, 2})
+	items.AddIntColumn("price", []int64{10, 20, 30, 40, 50, 60})
+
+	// Total revenue of every item whose order exists.
+	revenue, err := items.Query().
+		Join(orders.Query(), "order", "o_id").
+		Sum("price")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("revenue %d\n", revenue)
+
+	// Revenue by the order's region: a join→group pipeline — the group
+	// key comes from the orders side, the aggregate from the items side.
+	res, err := items.Query().
+		Join(orders.Query(), "order", "o_id").
+		GroupBy("region").
+		Aggregate(holistic.Count(), holistic.Sum("price"))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for g := 0; g < res.Len(); g++ {
+		fmt.Printf("region %d: %d items, revenue %d\n", res.Keys[0][g], res.Aggs[0][g], res.Aggs[1][g])
+	}
+	// Output:
+	// revenue 210
+	// region 0: 5 items, revenue 180
+	// region 1: 1 items, revenue 30
+}
+
 // ExampleQuery_GroupBy demonstrates grouped aggregation: a fused
 // count/sum/max plan over the rows surviving a range predicate, grouped
 // by region, returned as an ordered result table.

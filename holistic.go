@@ -35,6 +35,15 @@
 // index-clustered grouping — the latter is how background refinement
 // pays off beyond selects). See DESIGN.md §6.
 //
+// Equi-joins chain Join onto a query, matching it against another
+// query (typically over a second Store) with Count, Sum, Pairs and
+// GroupBy/Aggregate terminals over either side's columns. Two physical
+// strategies exist — a radix-partitioned open-addressing hash join and
+// an index-clustered merge join that intersects cluster value ranges
+// with no hash table at all — and the join attributes of both
+// relations feed the holistic daemons, so idle refinement converts
+// hash joins into merge joins over time. See DESIGN.md §7.
+//
 // Non-integer attributes map onto int64 the way fixed-width column-stores
 // do it: dates as day numbers, decimals as scaled integers, strings as
 // dictionary codes (see internal/column.Dict).
@@ -43,6 +52,7 @@ package holistic
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -51,6 +61,7 @@ import (
 	"holistic/internal/engine"
 	"holistic/internal/groupby"
 	"holistic/internal/holistic"
+	"holistic/internal/join"
 	"holistic/internal/query"
 	"holistic/internal/stats"
 )
@@ -590,6 +601,173 @@ func (g *GroupedQuery) Aggregate(aggs ...Agg) (*GroupedResult, error) {
 		specs[i] = a.agg
 	}
 	res, err := r.Grouped(g.keys, specs, g.q.preds)
+	if err != nil {
+		return nil, err
+	}
+	return &GroupedResult{
+		KeyAttrs: append([]string(nil), g.keys...),
+		Keys:     res.Keys,
+		Aggs:     res.Aggs,
+	}, nil
+}
+
+// Join turns the query into the left side of an equi-join with another
+// query (typically over a different Store — the right side), matching
+// rows with equal values in leftAttr and rightAttr. Each side's Where
+// conjuncts pre-filter its relation through the usual selectivity-
+// ordered pipeline; a side without predicates joins its whole relation.
+// Finish with Count, Sum, Pairs, or GroupBy/Aggregate:
+//
+//	n, err := lineitem.Query().
+//	        Where("l_receiptdate", lo, hi).
+//	        Join(orders.Query(), "l_orderkey", "o_orderkey").
+//	        Count()
+//
+// The physical strategy is picked per query (DESIGN.md §7): a
+// radix-partitioned open-addressing hash join building over the
+// smaller filtered side, or — when both join attributes have refined
+// key-ordered index paths — an index-clustered merge join that
+// intersects cluster value ranges and builds no hash table at all.
+// Under ModeHolistic both join attributes feed their daemons' index
+// spaces, so idle refinement converts hash joins into merge joins over
+// time. Rows lacking a value in the join attribute (or in any
+// referenced payload attribute) never match.
+func (q *Query) Join(other *Query, leftAttr, rightAttr string) *JoinQuery {
+	return &JoinQuery{left: q, right: other, leftAttr: leftAttr, rightAttr: rightAttr}
+}
+
+// JoinQuery is an equi-join under construction. Values are returned by
+// the terminal methods; errors surface at execution.
+type JoinQuery struct {
+	left, right         *Query
+	leftAttr, rightAttr string
+}
+
+// build resolves both sides' runners and assembles the executable join.
+func (jq *JoinQuery) build() (*query.Join, error) {
+	lr, err := jq.left.s.runner()
+	if err != nil {
+		return nil, err
+	}
+	rr, err := jq.right.s.runner()
+	if err != nil {
+		return nil, err
+	}
+	return lr.Join(rr, jq.leftAttr, jq.rightAttr, jq.left.preds, jq.right.preds), nil
+}
+
+// side resolves which relation an attribute belongs to: it must exist
+// in exactly one of the two (qualify by splitting the query sides
+// otherwise — the join builder has no rename machinery).
+func (jq *JoinQuery) side(attr string) (join.Side, error) {
+	inL := jq.left.s.table.Column(attr) != nil
+	inR := jq.right.s.table.Column(attr) != nil
+	switch {
+	case inL && inR:
+		return 0, fmt.Errorf("holistic: attribute %q exists on both join sides", attr)
+	case inL:
+		return join.Left, nil
+	case inR:
+		return join.Right, nil
+	default:
+		return 0, fmt.Errorf("holistic: unknown attribute %q", attr)
+	}
+}
+
+// Count answers "select count(*)" over the matching pairs.
+func (jq *JoinQuery) Count() (int64, error) {
+	j, err := jq.build()
+	if err != nil {
+		return 0, err
+	}
+	return j.Count()
+}
+
+// Sum answers "select sum(attr)" over the matching pairs; attr may
+// live on either side (a row matching k rows of the other relation
+// contributes its value k times).
+func (jq *JoinQuery) Sum(attr string) (int64, error) {
+	side, err := jq.side(attr)
+	if err != nil {
+		return 0, err
+	}
+	j, err := jq.build()
+	if err != nil {
+		return 0, err
+	}
+	return j.Sum(side, attr)
+}
+
+// Pairs materializes the matching (left row id, right row id) pairs,
+// sorted ascending by left then right row id.
+func (jq *JoinQuery) Pairs() (left, right []uint32, err error) {
+	j, err := jq.build()
+	if err != nil {
+		return nil, nil, err
+	}
+	left, right, err = j.Pairs()
+	if err != nil {
+		return nil, nil, err
+	}
+	sort.Sort(&pairSorter{left, right})
+	return left, right, nil
+}
+
+type pairSorter struct{ l, r []uint32 }
+
+func (p *pairSorter) Len() int { return len(p.l) }
+func (p *pairSorter) Less(i, j int) bool {
+	if p.l[i] != p.l[j] {
+		return p.l[i] < p.l[j]
+	}
+	return p.r[i] < p.r[j]
+}
+func (p *pairSorter) Swap(i, j int) {
+	p.l[i], p.l[j] = p.l[j], p.l[i]
+	p.r[i], p.r[j] = p.r[j], p.r[i]
+}
+
+// GroupBy turns the join into a grouped aggregation over the matching
+// pairs; the group-by attributes and the aggregates may reference
+// either side's columns. Finish with Aggregate.
+func (jq *JoinQuery) GroupBy(attrs ...string) *JoinGroupedQuery {
+	return &JoinGroupedQuery{jq: jq, keys: attrs}
+}
+
+// JoinGroupedQuery is a grouped join aggregation under construction.
+type JoinGroupedQuery struct {
+	jq   *JoinQuery
+	keys []string
+}
+
+// Aggregate executes the grouped join with the given fused aggregates
+// and returns the ordered result table.
+func (g *JoinGroupedQuery) Aggregate(aggs ...Agg) (*GroupedResult, error) {
+	j, err := g.jq.build()
+	if err != nil {
+		return nil, err
+	}
+	keys := make([]query.GroupKey, len(g.keys))
+	for i, k := range g.keys {
+		side, err := g.jq.side(k)
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = query.GroupKey{Side: side, Attr: k}
+	}
+	gaggs := make([]query.GroupAgg, len(aggs))
+	for i, a := range aggs {
+		ga := query.GroupAgg{Agg: a.agg}
+		if a.agg.Kind != groupby.KindCount {
+			side, err := g.jq.side(a.agg.Attr)
+			if err != nil {
+				return nil, err
+			}
+			ga.Side = side
+		}
+		gaggs[i] = ga
+	}
+	res, err := j.Grouped(keys, gaggs)
 	if err != nil {
 		return nil, err
 	}

@@ -20,6 +20,7 @@ import (
 	"sync"
 
 	"holistic/internal/column"
+	"holistic/internal/join"
 )
 
 // Table is a named set of equally long columns (one relation, vertically
@@ -197,16 +198,16 @@ type PredicateSink interface {
 
 // HashJoin builds a hash table over build and probes it with probe,
 // returning for every probe position the matching build position (-1 if
-// none). Equi-join on int64 keys, enough for TPC-H Q12's
-// lineitem-orders join on orderkey.
+// none; the last build occurrence wins for duplicated keys). The table
+// is the join subsystem's open-addressing map rather than a Go map —
+// no per-bucket pointer chasing, no interface boxing; full join plans
+// (radix-partitioned, duplicate-preserving, selection-aware) live in
+// internal/join.
 func HashJoin(build, probe []int64) []int32 {
-	ht := make(map[int64]int32, len(build))
-	for i, k := range build {
-		ht[k] = int32(i)
-	}
+	ht := buildJoinMap(build)
 	out := make([]int32, len(probe))
 	for i, k := range probe {
-		if j, ok := ht[k]; ok {
+		if j, ok := ht.Get(k); ok {
 			out[i] = j
 		} else {
 			out[i] = -1
@@ -215,15 +216,20 @@ func HashJoin(build, probe []int64) []int32 {
 	return out
 }
 
+func buildJoinMap(build []int64) *join.Map {
+	ht := join.NewMap(len(build))
+	for i, k := range build {
+		ht.Put(k, int32(i))
+	}
+	return ht
+}
+
 // ParallelHashJoin is HashJoin with the probe phase split across workers.
 func ParallelHashJoin(build, probe []int64, workers int) []int32 {
 	if workers < 2 || len(probe) < 4096 {
 		return HashJoin(build, probe)
 	}
-	ht := make(map[int64]int32, len(build))
-	for i, k := range build {
-		ht[k] = int32(i)
-	}
+	ht := buildJoinMap(build)
 	out := make([]int32, len(probe))
 	var wg sync.WaitGroup
 	chunk := (len(probe) + workers - 1) / workers
@@ -240,7 +246,7 @@ func ParallelHashJoin(build, probe []int64, workers int) []int32 {
 		go func(lo, hi int) {
 			defer wg.Done()
 			for i := lo; i < hi; i++ {
-				if j, ok := ht[probe[i]]; ok {
+				if j, ok := ht.Get(probe[i]); ok {
 					out[i] = j
 				} else {
 					out[i] = -1

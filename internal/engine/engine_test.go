@@ -427,6 +427,60 @@ func TestHashJoin(t *testing.T) {
 	}
 }
 
+// mapHashJoin is the retired Go-map implementation of HashJoin, kept
+// as the differential oracle for the open-addressing rewrite: the map
+// semantics (last build occurrence wins for duplicated keys, -1 on
+// miss) are the contract.
+func mapHashJoin(build, probe []int64) []int32 {
+	ht := make(map[int64]int32, len(build))
+	for i, k := range build {
+		ht[k] = int32(i)
+	}
+	out := make([]int32, len(probe))
+	for i, k := range probe {
+		if j, ok := ht[k]; ok {
+			out[i] = j
+		} else {
+			out[i] = -1
+		}
+	}
+	return out
+}
+
+// TestHashJoinMatchesMapOracle drives the open-addressing HashJoin
+// against the map oracle across duplicated keys (last-wins), negative
+// keys, misses and empty sides.
+func TestHashJoinMatchesMapOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	cases := []struct {
+		nb, np int
+		domain int64
+	}{
+		{0, 10, 8}, {10, 0, 8}, {1, 1, 1},
+		{100, 400, 30}, // heavy duplication: last build index must win
+		{5000, 5000, 1 << 40},
+	}
+	for _, tc := range cases {
+		build := make([]int64, tc.nb)
+		probe := make([]int64, tc.np)
+		for i := range build {
+			build[i] = rng.Int63n(tc.domain) - tc.domain/2
+		}
+		for i := range probe {
+			probe[i] = rng.Int63n(tc.domain) - tc.domain/2
+		}
+		want := mapHashJoin(build, probe)
+		for _, workers := range []int{1, 4} {
+			got := ParallelHashJoin(build, probe, workers)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("case %+v workers=%d: out[%d] = %d, oracle %d", tc, workers, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
 func TestParallelHashJoinMatches(t *testing.T) {
 	rng := rand.New(rand.NewSource(12))
 	build := make([]int64, 10_000)

@@ -1,0 +1,83 @@
+package join
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// benchInputs builds an M:N join: n build keys, 2n probe keys, keys
+// over a quarter-sized pool so real fan-out occurs.
+func benchInputs(n int) (Input, Input) {
+	rng := rand.New(rand.NewSource(13))
+	domain := int64(n / 4)
+	if domain < 16 {
+		domain = 16
+	}
+	return randInput(rng, n, domain), randInput(rng, 2*n, domain)
+}
+
+// BenchmarkJoinCountHash measures the radix-partitioned hash-join
+// count kernel; ReportAllocs shows the pooled steady state (0 B/op
+// sequential — the bar TestHashCountAllocationFree enforces).
+func BenchmarkJoinCountHash(b *testing.B) {
+	left, right := benchInputs(1 << 16)
+	for _, threads := range []int{1, 4} {
+		b.Run(fmt.Sprintf("threads=%d", threads), func(b *testing.B) {
+			Hash(Op{Kind: OpCount}, left, right, threads, nil)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Hash(Op{Kind: OpCount}, left, right, threads, nil)
+			}
+		})
+	}
+}
+
+// BenchmarkJoinCountMerge measures the index-clustered merge-join
+// count kernel over fully refined (span-1) cluster streams — the
+// post-convergence shape the holistic daemon produces.
+func BenchmarkJoinCountMerge(b *testing.B) {
+	left, right := benchInputs(1 << 16)
+	mkStream := func(in Input) Stream {
+		type kv struct {
+			k int64
+			r uint32
+		}
+		s := make([]kv, len(in.Keys))
+		for i := range in.Keys {
+			s[i] = kv{in.Keys[i], in.Rows[i]}
+		}
+		sort.Slice(s, func(a, b int) bool { return s[a].k < s[b].k })
+		vals := make([]int64, len(s))
+		rows := make([]uint32, len(s))
+		for i, e := range s {
+			vals[i] = e.k
+			rows[i] = e.r
+		}
+		return Stream{
+			Walk: func(fn func([]int64, []uint32)) bool {
+				for i := 0; i < len(vals); {
+					j := i + 1
+					for j < len(vals) && vals[j] == vals[i] {
+						j++
+					}
+					fn(vals[i:j], rows[i:j])
+					i = j
+				}
+				return true
+			},
+			Count: len(vals),
+		}
+	}
+	ls, rs := mkStream(left), mkStream(right)
+	b.Run("spans=1", func(b *testing.B) {
+		Merge(Op{Kind: OpCount}, ls, rs, 0, nil)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			Merge(Op{Kind: OpCount}, ls, rs, 0, nil)
+		}
+	})
+}

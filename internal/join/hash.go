@@ -1,0 +1,425 @@
+package join
+
+import "sync"
+
+const (
+	// minPartitionKeys is the build cardinality below which the hash
+	// join keeps a single partition: one table of a few thousand keys is
+	// already cache-resident, so radix scatter would be pure overhead.
+	minPartitionKeys = 1 << 14
+	// targetPartKeys is the per-partition build cardinality the radix
+	// split aims for: ~4096 keys keep a partition's slot region inside
+	// the L2 cache during both build and probe.
+	targetPartKeys = 1 << 12
+	// maxPartitionBits caps the radix width (64 partitions).
+	maxPartitionBits = 6
+	// minParallelJoin is the side cardinality below which the kernels
+	// stay sequential: goroutine fan-out costs allocations and the
+	// steady-state count path promises zero.
+	minParallelJoin = 1 << 15
+)
+
+// hashState is the pooled per-execution scratch of the radix-
+// partitioned hash join: the scattered build side, the per-partition
+// slot arena and the per-worker partials, all recycled so steady-state
+// joins allocate nothing.
+type hashState struct {
+	bits   int
+	hist   []int32 // per-partition build counts
+	starts []int32 // partition entry offsets (len nparts+1)
+	cur    []int32 // scatter cursors
+
+	// Scattered build side: entry e of partition p lives at
+	// [starts[p], starts[p+1]) in these aligned arrays.
+	bkeys []int64
+	brows []uint32
+	bvals []int64
+	next  []int32 // duplicate chain per entry (1-based entry index, 0 = end)
+
+	// Slot arena: partition p's open-addressing region is
+	// [slotOff[p], slotOff[p+1]), a power of two of at least twice the
+	// partition's entries (load factor <= 1/2). shead == 0 marks an
+	// empty slot; skey needs no clearing because shead gates it.
+	slotOff []int32
+	skey    []int64
+	shead   []int32 // 1-based entry index of the key's newest duplicate
+	scnt    []int32 // duplicates of the key
+	ssum    []int64 // payload sum over the duplicates (OpSum on build)
+
+	// Per-worker probe partials.
+	wcount []int64
+	wsum   []int64
+}
+
+var hashStatePool = sync.Pool{New: func() any { return new(hashState) }}
+
+func getHashState() *hashState { return hashStatePool.Get().(*hashState) }
+
+func putHashState(st *hashState) { hashStatePool.Put(st) }
+
+func grow32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func grow64(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	return s[:n]
+}
+
+func growU32(s []uint32, n int) []uint32 {
+	if cap(s) < n {
+		return make([]uint32, n)
+	}
+	return s[:n]
+}
+
+// partitionBits picks the radix width from the build cardinality.
+func partitionBits(n int) int {
+	if n < minPartitionKeys {
+		return 0
+	}
+	bits := 0
+	for (n>>bits) > targetPartKeys && bits < maxPartitionBits {
+		bits++
+	}
+	return bits
+}
+
+// Hash executes the radix-partitioned hash join: build over the
+// smaller side, probe with the larger, fold the terminal. pairs is
+// required (and filled) only for OpPairs; count reports the number of
+// matching pairs for every op, and sum the OpSum fold.
+func Hash(op Op, left, right Input, threads int, pairs *Pairs) (count, sum int64) {
+	if pairs != nil {
+		pairs.reset()
+	}
+	if len(left.Keys) == 0 || len(right.Keys) == 0 {
+		return 0, 0
+	}
+	build, probe := left, right
+	swapped := false
+	if len(right.Keys) < len(left.Keys) {
+		build, probe = right, left
+		swapped = true
+	}
+	// Does the build side carry the OpSum payload?
+	sumOnBuild := op.Kind == OpSum && ((op.SumSide == Left) != swapped)
+	st := getHashState()
+	defer putHashState(st)
+	st.build(build, sumOnBuild, threads)
+	return st.probe(op, probe, swapped, sumOnBuild, threads, pairs)
+}
+
+// build scatters the build side into hash partitions and erects each
+// partition's open-addressing table. Partition builds are independent
+// (partition-disjoint slot regions and entry ranges), so they run in
+// parallel on large builds.
+func (st *hashState) build(in Input, sumOnBuild bool, threads int) {
+	n := len(in.Keys)
+	st.bits = partitionBits(n)
+	nparts := 1 << uint(st.bits)
+
+	// Histogram + partition offsets.
+	st.hist = grow32(st.hist, nparts)
+	clear(st.hist)
+	if st.bits > 0 {
+		shift := uint(64 - st.bits)
+		for _, k := range in.Keys {
+			st.hist[splitmix64(uint64(k))>>shift]++
+		}
+	} else {
+		st.hist[0] = int32(n)
+	}
+	st.starts = grow32(st.starts, nparts+1)
+	st.slotOff = grow32(st.slotOff, nparts+1)
+	st.cur = grow32(st.cur, nparts)
+	off, slots := int32(0), int32(0)
+	for p := 0; p < nparts; p++ {
+		st.starts[p] = off
+		st.cur[p] = off
+		st.slotOff[p] = slots
+		off += st.hist[p]
+		if st.hist[p] > 0 {
+			slots += int32(pow2(2 * int(st.hist[p])))
+		}
+	}
+	st.starts[nparts] = off
+	st.slotOff[nparts] = slots
+
+	// Scatter keys, rows and (when the sum folds over the build side)
+	// payload values into partition order.
+	st.bkeys = grow64(st.bkeys, n)
+	st.brows = growU32(st.brows, n)
+	st.next = grow32(st.next, n)
+	if sumOnBuild {
+		st.bvals = grow64(st.bvals, n)
+	}
+	if st.bits > 0 {
+		shift := uint(64 - st.bits)
+		for i, k := range in.Keys {
+			p := splitmix64(uint64(k)) >> shift
+			e := st.cur[p]
+			st.cur[p] = e + 1
+			st.bkeys[e] = k
+			st.brows[e] = in.Rows[i]
+			if sumOnBuild {
+				st.bvals[e] = in.Vals[i]
+			}
+		}
+	} else {
+		copy(st.bkeys, in.Keys)
+		copy(st.brows, in.Rows)
+		if sumOnBuild {
+			copy(st.bvals, in.Vals)
+		}
+	}
+
+	st.skey = grow64(st.skey, int(slots))
+	st.shead = grow32(st.shead, int(slots))
+	st.scnt = grow32(st.scnt, int(slots))
+	if sumOnBuild {
+		st.ssum = grow64(st.ssum, int(slots))
+	}
+	clear(st.shead)
+
+	if threads > 1 && n >= minParallelJoin && nparts > 1 {
+		workers := threads
+		if workers > nparts {
+			workers = nparts
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for p := w; p < nparts; p += workers {
+					st.buildPart(p, sumOnBuild)
+				}
+			}(w)
+		}
+		wg.Wait()
+		return
+	}
+	for p := 0; p < nparts; p++ {
+		st.buildPart(p, sumOnBuild)
+	}
+}
+
+// buildPart inserts partition p's entries into its slot region:
+// linear-probing on the key, duplicates chained through next with a
+// running per-key count and payload sum.
+func (st *hashState) buildPart(p int, sumOnBuild bool) {
+	slotLo, slotHi := st.slotOff[p], st.slotOff[p+1]
+	if slotLo == slotHi {
+		return
+	}
+	mask := uint64(slotHi-slotLo) - 1
+	for e := st.starts[p]; e < st.starts[p+1]; e++ {
+		k := st.bkeys[e]
+		s := slotLo + int32(splitmix64(uint64(k))&mask)
+		for {
+			if st.shead[s] == 0 {
+				st.skey[s] = k
+				st.shead[s] = e + 1
+				st.next[e] = 0
+				st.scnt[s] = 1
+				if sumOnBuild {
+					st.ssum[s] = st.bvals[e]
+				}
+				break
+			}
+			if st.skey[s] == k {
+				st.next[e] = st.shead[s]
+				st.shead[s] = e + 1
+				st.scnt[s]++
+				if sumOnBuild {
+					st.ssum[s] += st.bvals[e]
+				}
+				break
+			}
+			s++
+			if s == slotHi {
+				s = slotLo
+			}
+		}
+	}
+}
+
+// probe streams the probe side against the partition tables. Count and
+// sum fold per-slot aggregates — duplicate chains are never walked —
+// and split across workers on large probes; OpPairs walks chains
+// sequentially into pairs.
+func (st *hashState) probe(op Op, in Input, swapped, sumOnBuild bool, threads int, pairs *Pairs) (count, sum int64) {
+	n := len(in.Keys)
+	if op.Kind != OpPairs && threads > 1 && n >= minParallelJoin {
+		workers := threads
+		st.wcount = grow64(st.wcount, workers)
+		st.wsum = grow64(st.wsum, workers)
+		clear(st.wcount)
+		clear(st.wsum)
+		chunk := (n + workers - 1) / workers
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			if lo >= n {
+				break
+			}
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				st.wcount[w], st.wsum[w] = st.probeRange(op, in, swapped, sumOnBuild, lo, hi, nil)
+			}(w, lo, hi)
+		}
+		wg.Wait()
+		for w := 0; w < workers; w++ {
+			count += st.wcount[w]
+			sum += st.wsum[w]
+		}
+		return count, sum
+	}
+	return st.probeRange(op, in, swapped, sumOnBuild, 0, n, pairs)
+}
+
+func (st *hashState) probeRange(op Op, in Input, swapped, sumOnBuild bool, lo, hi int, pairs *Pairs) (count, sum int64) {
+	shift := uint(64 - st.bits)
+	for i := lo; i < hi; i++ {
+		k := in.Keys[i]
+		h := splitmix64(uint64(k))
+		p := 0
+		if st.bits > 0 {
+			p = int(h >> shift)
+		}
+		slotLo, slotHi := st.slotOff[p], st.slotOff[p+1]
+		if slotLo == slotHi {
+			continue
+		}
+		mask := uint64(slotHi-slotLo) - 1
+		s := slotLo + int32(h&mask)
+		for {
+			g := st.shead[s]
+			if g == 0 {
+				break
+			}
+			if st.skey[s] == k {
+				c := int64(st.scnt[s])
+				count += c
+				if op.Kind == OpSum {
+					if sumOnBuild {
+						sum += st.ssum[s]
+					} else {
+						sum += c * in.Vals[i]
+					}
+				}
+				if pairs != nil {
+					bl, pl := &pairs.Left, &pairs.Right
+					if swapped {
+						bl, pl = &pairs.Right, &pairs.Left
+					}
+					for e := g; e != 0; e = st.next[e-1] {
+						*bl = append(*bl, st.brows[e-1])
+						*pl = append(*pl, in.Rows[i])
+					}
+				}
+				break
+			}
+			s++
+			if s == slotHi {
+				s = slotLo
+			}
+		}
+	}
+	return count, sum
+}
+
+// Map is a minimal open-addressing int64 -> int32 table with last-wins
+// puts: the drop-in core that replaced the Go map inside
+// engine.HashJoin (the map version survives as the differential oracle
+// in engine's tests).
+type Map struct {
+	keys []int64
+	vals []int32 // stored value + 1; 0 = empty
+	mask uint64
+	n    int
+}
+
+// NewMap returns a table pre-sized for n keys.
+func NewMap(n int) *Map {
+	slots := pow2(2 * n)
+	if slots < 8 {
+		slots = 8
+	}
+	return &Map{keys: make([]int64, slots), vals: make([]int32, slots), mask: uint64(slots - 1)}
+}
+
+// Put inserts or overwrites k's value. v must be non-negative: values
+// are stored biased by one with 0 as the empty-slot sentinel, so a
+// negative value would alias it.
+func (m *Map) Put(k int64, v int32) {
+	if v < 0 {
+		panic("join: Map values must be non-negative")
+	}
+	s := splitmix64(uint64(k)) & m.mask
+	for {
+		if m.vals[s] == 0 {
+			m.keys[s] = k
+			m.vals[s] = v + 1
+			m.n++
+			if uint64(m.n)*2 >= uint64(len(m.keys)) {
+				m.grow()
+			}
+			return
+		}
+		if m.keys[s] == k {
+			m.vals[s] = v + 1
+			return
+		}
+		s = (s + 1) & m.mask
+	}
+}
+
+// Get returns k's value; ok is false when absent.
+func (m *Map) Get(k int64) (int32, bool) {
+	s := splitmix64(uint64(k)) & m.mask
+	for {
+		v := m.vals[s]
+		if v == 0 {
+			return 0, false
+		}
+		if m.keys[s] == k {
+			return v - 1, true
+		}
+		s = (s + 1) & m.mask
+	}
+}
+
+// Len returns the number of distinct keys.
+func (m *Map) Len() int { return m.n }
+
+func (m *Map) grow() {
+	ok, ov := m.keys, m.vals
+	slots := len(ok) * 2
+	m.keys = make([]int64, slots)
+	m.vals = make([]int32, slots)
+	m.mask = uint64(slots - 1)
+	for s, v := range ov {
+		if v == 0 {
+			continue
+		}
+		k := ok[s]
+		i := splitmix64(uint64(k)) & m.mask
+		for m.vals[i] != 0 {
+			i = (i + 1) & m.mask
+		}
+		m.keys[i] = k
+		m.vals[i] = v
+	}
+}

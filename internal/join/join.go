@@ -1,0 +1,249 @@
+// Package join is the equi-join subsystem: fused join plans over the
+// selection vectors the conjunctive query runner produces, with two
+// physical strategies picked per query from each side's filtered
+// cardinality and index statistics — the operator-completeness step the
+// holistic processing model needs (MorphStore, arXiv:2004.09350) so
+// that multi-relation analytics ride the partial indexes idle cores
+// keep refining:
+//
+//   - Hash (hash.go): a radix-partitioned open-addressing hash join.
+//     The build side — always the smaller filtered cardinality, so the
+//     table and its partitions stay cache-resident — is scattered into
+//     hash-disjoint partitions, each partition builds its own
+//     linear-probing table over one shared slot arena (distinct keys
+//     carry a running count, an optional payload sum and a duplicate
+//     chain), and the probe side streams through in parallel chunks.
+//     The count and sum terminals fold per-slot aggregates without ever
+//     walking duplicate chains, and the whole path runs through pooled
+//     scratch: a steady-state count is allocation-free.
+//
+//   - Merge (merge.go): an index-clustered merge join. Both sides
+//     stream in ascending key-cluster order (engine.KeyOrderWalker:
+//     sorted runs, or cracker pieces with pending updates merged
+//     first), the smaller side's clusters are buffered once, and the
+//     cluster value ranges are intersected as the larger side walks:
+//     only overlapping cluster pairs touch each other, each pair joins
+//     through a small dense accumulator offset by the intersection
+//     minimum (refined clusters always fit — the holistic payoff), and
+//     no hash table over either relation exists at any point.
+//
+// Rows flow through update-aware column.Views, so joins observe each
+// relation's current logical state; rows without a value in the join
+// attribute (inserted elsewhere, or deleted) never match, mirroring the
+// SQL NULL semantics of the rest of the query subsystem. Matched pairs
+// can be materialized (Pairs) or fed straight into the grouped-
+// aggregation subsystem (Grouped) for join→group pipelines.
+package join
+
+import (
+	"fmt"
+	"sync"
+
+	"holistic/internal/column"
+	"holistic/internal/groupby"
+)
+
+// Side names one input of a join; terminals and grouped columns use it
+// to say which relation an attribute comes from.
+type Side int
+
+const (
+	// Left is the left input relation.
+	Left Side = iota
+	// Right is the right input relation.
+	Right
+)
+
+// String names the side.
+func (s Side) String() string {
+	if s == Left {
+		return "left"
+	}
+	return "right"
+}
+
+// OpKind enumerates the join terminals the kernels execute directly.
+type OpKind int
+
+const (
+	// OpCount counts the matching pairs.
+	OpCount OpKind = iota
+	// OpSum sums one side's payload values over the matching pairs (a
+	// row matching k rows of the other side contributes its value k
+	// times).
+	OpSum
+	// OpPairs materializes the matching (left row, right row) pairs.
+	OpPairs
+)
+
+// Op describes one join execution's terminal.
+type Op struct {
+	Kind OpKind
+	// SumSide says which side's payload feeds OpSum (that side's Input
+	// must carry Vals, or its Stream a payload View).
+	SumSide Side
+}
+
+// Pairs holds materialized join matches: Left[i] joined Right[i]. The
+// storage is reused across executions when the caller passes the same
+// Pairs back in. Order is unspecified (the grouped consumer does not
+// care; callers that do must sort).
+type Pairs struct {
+	Left, Right column.PosList
+}
+
+// Len returns the number of matched pairs.
+func (p *Pairs) Len() int { return len(p.Left) }
+
+func (p *Pairs) reset() {
+	p.Left = p.Left[:0]
+	p.Right = p.Right[:0]
+}
+
+var pairsPool = sync.Pool{New: func() any { return new(Pairs) }}
+
+// GetPairs borrows a pooled, emptied Pairs.
+func GetPairs() *Pairs {
+	p := pairsPool.Get().(*Pairs)
+	p.reset()
+	return p
+}
+
+// PutPairs recycles a Pairs obtained from GetPairs; the caller must
+// not retain it or its slices.
+func PutPairs(p *Pairs) {
+	if p != nil {
+		pairsPool.Put(p)
+	}
+}
+
+// Input is one gathered side of a hash join: the join-key values of the
+// side's selected rows with the aligned base row ids, and — for OpSum
+// on this side — the aligned payload values.
+type Input struct {
+	Keys []int64
+	Rows []uint32
+	Vals []int64
+}
+
+// Stream is one side of a merge join: a key-ordered cluster stream
+// (engine.KeyOrderWalker's contract — cluster value sets disjoint and
+// ascending, values within one cluster unordered), the selection
+// bitmap rows must pass (nil selects every streamed row), an
+// update-aware payload view for OpSum on this side, and the side's
+// selected cardinality (the build-side choice).
+type Stream struct {
+	// Walk streams the clusters; it returns false (without calling fn)
+	// when the side has no key-ordered access path, in which case Merge
+	// reports ok=false and the caller falls back to the hash join.
+	Walk  func(fn func(vals []int64, rows []uint32)) bool
+	Sel   *column.Bitmap
+	Vals  column.View
+	Count int
+}
+
+// DefaultMergeSpan bounds the per-cluster-pair dense accumulator of the
+// merge join, mirroring groupby.DefaultClusterSlots: an intersection
+// whose value span fits joins through dense arrays offset by the
+// intersection minimum; wider pairs — unrefined indexes — fall back to
+// a small open-addressing table scoped to the pair.
+const DefaultMergeSpan = 1 << 16
+
+// PairCol addresses one attribute of the join result: the side it
+// lives on and its update-aware view. The grouped terminal gathers it
+// at the pair's row on that side.
+type PairCol struct {
+	Side Side
+	View column.View
+}
+
+func (pc PairCol) rows(p *Pairs) column.PosList {
+	if pc.Side == Right {
+		return p.Right
+	}
+	return p.Left
+}
+
+// groupChunk is the number of pairs gathered and folded at a time by
+// Grouped — the same cache-resident block size the grouped-aggregation
+// kernels use.
+const groupChunk = 4096
+
+// Grouped executes a fused grouped-aggregation plan over materialized
+// join pairs: group keys and aggregate inputs are gathered from either
+// side (PairCol), keyBounds[i] is key i's inclusive value domain (it
+// drives the dense/hash accumulator choice exactly as in
+// internal/groupby), and the ordered result lands in res. Every
+// referenced attribute must have a value at every paired row (the
+// query runner's pre-join selection pipeline presence-filters each
+// side's referenced attributes).
+func Grouped(p *Pairs, keys []PairCol, keyBounds [][2]int64, aggs []groupby.Agg, aggCols []PairCol, res *groupby.Result) error {
+	if len(keys) != len(keyBounds) {
+		return fmt.Errorf("join: %d key bounds for %d keys", len(keyBounds), len(keys))
+	}
+	if len(aggs) != len(aggCols) {
+		return fmt.Errorf("join: %d aggregate columns for %d aggregates", len(aggCols), len(aggs))
+	}
+	gkeys := make([]groupby.Key, len(keys))
+	for i := range keys {
+		lo, hi := keyBounds[i][0], keyBounds[i][1]
+		if hi < lo && p.Len() == 0 {
+			// An inverted domain is legal only when nothing joined (an
+			// empty side yields empty bounds); the accumulator still
+			// needs a well-formed packing to emit the empty result.
+			lo, hi = 0, 0
+		}
+		gkeys[i] = groupby.Key{Lo: lo, Hi: hi}
+	}
+	acc, err := groupby.NewAcc(gkeys, aggs)
+	if err != nil {
+		return err
+	}
+	n := p.Len()
+	keyBufs := make([][]int64, len(keys))
+	aggBufs := make([][]int64, len(aggs))
+	keyCols := make([][]int64, len(keys))
+	aggVals := make([][]int64, len(aggs))
+	for off := 0; off < n; off += groupChunk {
+		end := off + groupChunk
+		if end > n {
+			end = n
+		}
+		for i, pc := range keys {
+			keyBufs[i] = pc.View.GatherRows(keyBufs[i][:0], pc.rows(p)[off:end])
+			keyCols[i] = keyBufs[i]
+		}
+		for i, a := range aggs {
+			if a.Kind == groupby.KindCount {
+				aggVals[i] = nil
+				continue
+			}
+			pc := aggCols[i]
+			aggBufs[i] = pc.View.GatherRows(aggBufs[i][:0], pc.rows(p)[off:end])
+			aggVals[i] = aggBufs[i]
+		}
+		acc.Segment(keyCols, aggVals)
+	}
+	return acc.Finish(res)
+}
+
+// splitmix64 is the avalanche finalizer of the splitmix64 generator —
+// the hash both join kernels key on (partition id from the top bits,
+// slot index from the bottom bits, so the two are independent).
+func splitmix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// pow2 returns the smallest power of two >= n (minimum 1).
+func pow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}

@@ -119,23 +119,8 @@ func (r *Runner) GroupedInto(res *groupby.Result, keys []string, aggs []groupby.
 			}
 		}
 	} else {
-		// No predicates: the selection is the whole position universe of
-		// the referenced attributes, presence-filtered per attribute.
-		universe := 0
-		for _, attr := range sc.extras {
-			w, err := r.view(attr)
-			if err != nil {
-				return err
-			}
-			sc.views[attr] = w
-			if n := w.Extent(); n > universe {
-				universe = n
-			}
-		}
-		sc.bm.Reset(universe)
-		sc.bm.SetRange(0, universe)
-		for _, attr := range sc.extras {
-			sc.views[attr].PresentBitmap(sc.bm)
+		if err := r.selectUniverse(sc, sc.extras); err != nil {
+			return err
 		}
 		useBm = true
 	}
@@ -183,6 +168,30 @@ func (r *Runner) GroupedInto(res *groupby.Result, keys []string, aggs []groupby.
 		spec.Force = forced
 	}
 	return groupby.GroupRows(spec, sc.sel, res)
+}
+
+// selectUniverse fills sc.bm with the whole position universe of the
+// referenced attributes, presence-filtered per attribute, and records
+// their views in sc.views — the selection of a query without
+// predicates (whole-relation grouping, unfiltered join sides).
+func (r *Runner) selectUniverse(sc *scratch, extras []string) error {
+	universe := 0
+	for _, attr := range extras {
+		w, err := r.view(attr)
+		if err != nil {
+			return err
+		}
+		sc.views[attr] = w
+		if n := w.Extent(); n > universe {
+			universe = n
+		}
+	}
+	sc.bm.Reset(universe)
+	sc.bm.SetRange(0, universe)
+	for _, attr := range extras {
+		sc.views[attr].PresentBitmap(sc.bm)
+	}
+	return nil
 }
 
 // groupSpec assembles the groupby.Spec from pooled scratch: views from

@@ -1,0 +1,442 @@
+// Join execution: the query runner's face of internal/join.
+//
+// A join runs the conjunctive selection pipeline once per side — plan,
+// drive, refine, presence-filter (the join attribute and every payload
+// attribute a terminal references are presence-filtered, so NULL rows
+// never match) — then hands both selections to the join kernels. The
+// physical strategy is chosen per query from each side's filtered
+// cardinality and index statistics, mirroring the grouped-aggregation
+// subsystem's strategy selection:
+//
+//   - merge (index-clustered), when both sides have a key-ordered
+//     access path on their join attribute (engine.KeyOrderWalker) whose
+//     clusters are already refined below the per-pair accumulator
+//     bound and whose selections are dense enough to amortize walking
+//     the whole index — no hash table over either relation;
+//   - hash (radix-partitioned open-addressing), otherwise, with the
+//     build side always the smaller filtered cardinality.
+//
+// Under ModeHolistic the join attributes of both relations are
+// reported to their executors (engine.PredicateSink), so they enter
+// the daemons' index spaces: idle-time refinement shrinks their
+// clusters and converts hash joins into merge joins over time — the
+// same convergence grouped aggregation proved, now across relations.
+package query
+
+import (
+	"fmt"
+
+	"holistic/internal/column"
+	"holistic/internal/engine"
+	"holistic/internal/groupby"
+	"holistic/internal/join"
+)
+
+// JoinStrategy pins the physical join strategy of a runner's joins.
+type JoinStrategy int32
+
+const (
+	// JoinAuto picks per query from cardinality and index statistics.
+	JoinAuto JoinStrategy = iota
+	// JoinHash forces the radix-partitioned hash join.
+	JoinHash
+	// JoinMerge forces the index-clustered merge join where a
+	// key-ordered access path exists on both sides (hash otherwise).
+	JoinMerge
+)
+
+// joinScanRatio guards the auto merge strategy against sparse
+// selections, mirroring the grouped subsystem's sortScanRatio: the
+// cluster walks visit every index entry of both sides, so merge is
+// considered only when at least 1/joinScanRatio of each side's
+// position universe is selected.
+const joinScanRatio = 4
+
+// SetJoinStrategy pins the join strategy of joins driven by this
+// runner (the left side); JoinAuto restores per-query selection. Safe
+// to call concurrently with queries.
+func (r *Runner) SetJoinStrategy(s JoinStrategy) { r.joinStrategy.Store(int32(s)) }
+
+// Join is an equi-join under construction: left ⋈ right on
+// leftAttr = rightAttr, each side pre-filtered by its own conjunction
+// (nil or empty selects the whole relation). Terminals execute it.
+type Join struct {
+	left, right         *Runner
+	leftAttr, rightAttr string
+	leftPreds           []Predicate
+	rightPreds          []Predicate
+
+	// count/sum carry the folds of the last execution from runInto to
+	// the terminal. They are per-call temporaries: a Join value is not
+	// safe for concurrent terminal execution, matching the builder
+	// semantics of Query.
+	count, sum int64
+}
+
+// Join starts an equi-join between this runner's relation (the left
+// side) and another runner's (the right side — possibly the same
+// runner, a self-join).
+func (r *Runner) Join(right *Runner, leftAttr, rightAttr string, leftPreds, rightPreds []Predicate) *Join {
+	return &Join{
+		left: r, right: right,
+		leftAttr: leftAttr, rightAttr: rightAttr,
+		leftPreds: leftPreds, rightPreds: rightPreds,
+	}
+}
+
+// GroupKey is one group-by attribute of a grouped join terminal: the
+// side it lives on and its name there.
+type GroupKey struct {
+	Side join.Side
+	Attr string
+}
+
+// GroupAgg is one aggregate of a grouped join terminal; Side says
+// which relation Agg.Attr comes from (ignored for count(*)).
+type GroupAgg struct {
+	Side join.Side
+	Agg  groupby.Agg
+}
+
+// Count answers "select count(*) from L join R on ...": the number of
+// matching pairs. On the hash path this folds per-slot match counts
+// through pooled scratch — the steady state allocates nothing.
+func (j *Join) Count() (int64, error) {
+	count, _, err := j.run(join.Op{Kind: join.OpCount}, nil, nil, nil)
+	return count, err
+}
+
+// Sum answers "select sum(attr)" over the matching pairs, attr taken
+// from the given side (a row matching k rows of the other relation
+// contributes its value k times).
+func (j *Join) Sum(side join.Side, attr string) (int64, error) {
+	sumAttr := [1]string{attr}
+	var lExtra, rExtra []string
+	if side == join.Left {
+		lExtra = sumAttr[:]
+	} else {
+		rExtra = sumAttr[:]
+	}
+	_, sum, err := j.run(join.Op{Kind: join.OpSum, SumSide: side}, lExtra, rExtra, nil)
+	return sum, err
+}
+
+// Pairs materializes the matching (left row id, right row id) pairs
+// into freshly allocated slices, in unspecified order.
+func (j *Join) Pairs() (left, right []uint32, err error) {
+	p := join.GetPairs()
+	defer join.PutPairs(p)
+	if _, _, err := j.run(join.Op{Kind: join.OpPairs}, nil, nil, p); err != nil {
+		return nil, nil, err
+	}
+	return append([]uint32(nil), p.Left...), append([]uint32(nil), p.Right...), nil
+}
+
+// Grouped answers "select keys..., aggs... group by keys..." over the
+// matching pairs with a freshly allocated ordered result table.
+func (j *Join) Grouped(keys []GroupKey, aggs []GroupAgg) (*groupby.Result, error) {
+	res := &groupby.Result{}
+	if err := j.GroupedInto(res, keys, aggs); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// GroupedInto is Grouped writing into a caller-owned result whose
+// storage is reused across calls.
+func (j *Join) GroupedInto(res *groupby.Result, keys []GroupKey, aggs []GroupAgg) error {
+	if len(keys) == 0 {
+		return fmt.Errorf("query: grouped join needs at least one group-by attribute")
+	}
+	if len(aggs) == 0 {
+		return fmt.Errorf("query: grouped join needs at least one aggregate")
+	}
+	var lExtra, rExtra []string
+	addExtra := func(side join.Side, attr string) {
+		lst := &lExtra
+		if side == join.Right {
+			lst = &rExtra
+		}
+		for _, e := range *lst {
+			if e == attr {
+				return
+			}
+		}
+		*lst = append(*lst, attr)
+	}
+	for _, k := range keys {
+		addExtra(k.Side, k.Attr)
+	}
+	for _, a := range aggs {
+		if a.Agg.Kind != groupby.KindCount {
+			addExtra(a.Side, a.Agg.Attr)
+		}
+	}
+	p := join.GetPairs()
+	defer join.PutPairs(p)
+	lsc, rsc, err := j.runInto(join.Op{Kind: join.OpPairs}, lExtra, rExtra, p)
+	if lsc != nil {
+		defer j.left.putScratch(lsc)
+	}
+	if rsc != nil {
+		defer j.right.putScratch(rsc)
+	}
+	if err != nil {
+		return err
+	}
+	sideOf := func(side join.Side, attr string) (join.PairCol, [2]int64) {
+		r, sc := j.left, lsc
+		if side == join.Right {
+			r, sc = j.right, rsc
+		}
+		w := sc.views[attr]
+		lo, hi := r.domain(attr)
+		lo, hi = w.ExtendBounds(lo, hi)
+		return join.PairCol{Side: side, View: w}, [2]int64{lo, hi}
+	}
+	pkeys := make([]join.PairCol, len(keys))
+	bounds := make([][2]int64, len(keys))
+	for i, k := range keys {
+		pkeys[i], bounds[i] = sideOf(k.Side, k.Attr)
+	}
+	gaggs := make([]groupby.Agg, len(aggs))
+	aggCols := make([]join.PairCol, len(aggs))
+	for i, a := range aggs {
+		gaggs[i] = a.Agg
+		if a.Agg.Kind != groupby.KindCount {
+			aggCols[i], _ = sideOf(a.Side, a.Agg.Attr)
+		}
+	}
+	return join.Grouped(p, pkeys, bounds, gaggs, aggCols, res)
+}
+
+// run executes the join and releases both sides' scratch before
+// returning — usable for the scalar terminals, whose results do not
+// reference scratch-held views.
+func (j *Join) run(op join.Op, lExtra, rExtra []string, pairs *join.Pairs) (count, sum int64, err error) {
+	lsc, rsc, err := j.runInto(op, lExtra, rExtra, pairs)
+	if lsc != nil {
+		j.left.putScratch(lsc)
+	}
+	if rsc != nil {
+		j.right.putScratch(rsc)
+	}
+	if err != nil {
+		return 0, 0, err
+	}
+	return j.count, j.sum, nil
+}
+
+// runInto executes the join, leaving both sides' scratch (and the
+// views the grouped terminal gathers through) alive for the caller to
+// release.
+func (j *Join) runInto(op join.Op, lExtra, rExtra []string, pairs *join.Pairs) (lsc, rsc *scratch, err error) {
+	j.count, j.sum = 0, 0
+	if pairs != nil {
+		pairs.Left = pairs.Left[:0]
+		pairs.Right = pairs.Right[:0]
+	}
+	if j.left.table.Column(j.leftAttr) == nil {
+		return nil, nil, fmt.Errorf("query: unknown join attribute %q", j.leftAttr)
+	}
+	if j.right.table.Column(j.rightAttr) == nil {
+		return nil, nil, fmt.Errorf("query: unknown join attribute %q", j.rightAttr)
+	}
+	for _, a := range lExtra {
+		if j.left.table.Column(a) == nil {
+			return nil, nil, fmt.Errorf("query: unknown attribute %q", a)
+		}
+	}
+	for _, a := range rExtra {
+		if j.right.table.Column(a) == nil {
+			return nil, nil, fmt.Errorf("query: unknown attribute %q", a)
+		}
+	}
+
+	// Join attributes enter the index space on both sides, like the
+	// residual conjuncts and group-by keys before them: the daemons'
+	// idle refinement converts hash joins into merge joins over time.
+	if sink, ok := j.left.exec.(engine.PredicateSink); ok {
+		if err := sink.NotePredicate(j.leftAttr); err != nil {
+			return nil, nil, err
+		}
+	}
+	if sink, ok := j.right.exec.(engine.PredicateSink); ok {
+		if err := sink.NotePredicate(j.rightAttr); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	lsc = j.left.getScratch()
+	rsc = j.right.getScratch()
+	lLive, lUseBm, err := selectSide(j.left, lsc, j.leftPreds, j.leftAttr, lExtra)
+	if err != nil {
+		return lsc, rsc, err
+	}
+	if !lLive {
+		// A provably empty left side joins nothing: skip the right
+		// side's selection pass entirely.
+		return lsc, rsc, nil
+	}
+	rLive, rUseBm, err := selectSide(j.right, rsc, j.rightPreds, j.rightAttr, rExtra)
+	if err != nil {
+		return lsc, rsc, err
+	}
+	if !rLive {
+		return lsc, rsc, nil
+	}
+
+	if j.chooseMerge(lsc, rsc, lUseBm, rUseBm) {
+		var walkErr error
+		mkStream := func(r *Runner, sc *scratch, attr string, sumSide bool) join.Stream {
+			w := r.exec.(engine.KeyOrderWalker)
+			s := join.Stream{
+				Walk: func(fn func(vals []int64, rows []uint32)) bool {
+					ok, err := w.WalkKeyOrder(attr, fn)
+					if err != nil && walkErr == nil {
+						walkErr = err
+					}
+					return err == nil && ok
+				},
+				Sel:   sc.bm,
+				Count: sc.bm.Count(),
+			}
+			if sumSide {
+				s.Vals = sc.views[sumAttr(op, lExtra, rExtra)]
+			}
+			return s
+		}
+		ls := mkStream(j.left, lsc, j.leftAttr, op.Kind == join.OpSum && op.SumSide == join.Left)
+		rs := mkStream(j.right, rsc, j.rightAttr, op.Kind == join.OpSum && op.SumSide == join.Right)
+		count, sum, ok := join.Merge(op, ls, rs, 0, pairs)
+		if walkErr != nil {
+			return lsc, rsc, walkErr
+		}
+		if ok {
+			j.count, j.sum = count, sum
+			return lsc, rsc, nil
+		}
+		// The access path declined after probing (should not happen —
+		// KeyOrderSpan said ok); rejoin through the hash path.
+	}
+
+	lIn := gatherJoinSide(lsc, j.leftAttr, lUseBm)
+	rIn := gatherJoinSide(rsc, j.rightAttr, rUseBm)
+	if op.Kind == join.OpSum {
+		attr := sumAttr(op, lExtra, rExtra)
+		if op.SumSide == join.Left {
+			lIn.Vals = lsc.views[attr].GatherRows(lsc.jvals[:0], lIn.Rows)
+			lsc.jvals = lIn.Vals
+		} else {
+			rIn.Vals = rsc.views[attr].GatherRows(rsc.jvals[:0], rIn.Rows)
+			rsc.jvals = rIn.Vals
+		}
+	}
+	j.count, j.sum = join.Hash(op, lIn, rIn, j.left.threads, pairs)
+	return lsc, rsc, nil
+}
+
+// sumAttr recovers the OpSum attribute from the extras the Sum
+// terminal threaded through (exactly one side carries it).
+func sumAttr(op join.Op, lExtra, rExtra []string) string {
+	if op.SumSide == join.Left {
+		return lExtra[0]
+	}
+	return rExtra[0]
+}
+
+// selectSide runs one side's pre-join selection: its conjunction
+// through the usual pipeline when predicates exist, the
+// presence-filtered universe otherwise. The join attribute and the
+// side's payload attributes ride along as extras, so every selected
+// row has a value in all of them. live is false when the selection is
+// provably empty.
+func selectSide(r *Runner, sc *scratch, preds []Predicate, joinAttr string, extra []string) (live, useBm bool, err error) {
+	sc.extras = append(sc.extras[:0], joinAttr)
+	for _, a := range extra {
+		dup := false
+		for _, e := range sc.extras {
+			if e == a {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			sc.extras = append(sc.extras, a)
+		}
+	}
+	if len(preds) == 0 {
+		if err := r.selectUniverse(sc, sc.extras); err != nil {
+			return false, false, err
+		}
+		return sc.bm.Any(), true, nil
+	}
+	empty, err := r.planScratch(sc, preds)
+	if err != nil {
+		return false, false, err
+	}
+	if empty {
+		return false, false, nil
+	}
+	useBm, err = r.runSel(sc, sc.extras, repWantBitmap)
+	if err != nil {
+		return false, false, err
+	}
+	if useBm {
+		return sc.bm.Any(), true, nil
+	}
+	return len(sc.sel) > 0, false, nil
+}
+
+// gatherJoinSide materializes one side's selected join keys and rows
+// into the side's pooled scratch — the hash join's input form.
+func gatherJoinSide(sc *scratch, attr string, useBm bool) join.Input {
+	var rows column.PosList
+	if useBm {
+		rows = sc.bm.AppendPositions(sc.jrows[:0])
+		sc.jrows = rows
+	} else {
+		rows = sc.sel
+	}
+	keys := sc.views[attr].GatherRows(sc.jkeys[:0], rows)
+	sc.jkeys = keys
+	return join.Input{Keys: keys, Rows: rows}
+}
+
+// chooseMerge applies the join-strategy rule: both sides need a
+// key-ordered access path on their join attribute whose current
+// clusters fit the per-pair accumulator, and — under JoinAuto — whose
+// selections are dense enough to justify walking both indexes end to
+// end. A forced merge strategy skips the profitability checks but not
+// the availability ones.
+func (j *Join) chooseMerge(lsc, rsc *scratch, lUseBm, rUseBm bool) bool {
+	forced := JoinStrategy(j.left.joinStrategy.Load())
+	if forced == JoinHash {
+		return false
+	}
+	if !lUseBm || !rUseBm {
+		return false // merge filters rows through the bitmaps
+	}
+	sideOK := func(r *Runner, attr string) (float64, bool) {
+		w, ok := r.exec.(engine.KeyOrderWalker)
+		if !ok {
+			return 0, false
+		}
+		return w.KeyOrderSpan(attr)
+	}
+	lSpan, lOK := sideOK(j.left, j.leftAttr)
+	rSpan, rOK := sideOK(j.right, j.rightAttr)
+	if !lOK || !rOK {
+		return false
+	}
+	if forced == JoinMerge {
+		return true
+	}
+	if lSpan > float64(join.DefaultMergeSpan) || rSpan > float64(join.DefaultMergeSpan) {
+		return false
+	}
+	if lsc.bm.Count()*joinScanRatio < lsc.bm.Len() || rsc.bm.Count()*joinScanRatio < rsc.bm.Len() {
+		return false
+	}
+	return true
+}

@@ -105,6 +105,7 @@ type Runner struct {
 	policy        atomic.Int32
 	crossover     atomic.Uint64 // math.Float64bits of the crossover selectivity
 	groupStrategy atomic.Int32  // groupby.Strategy override for grouped queries
+	joinStrategy  atomic.Int32  // JoinStrategy override for joins driven by this runner
 
 	// scratchPool recycles per-query execution state (selection
 	// vectors, view maps, plan arrays) so steady-state queries do not
@@ -156,6 +157,11 @@ type scratch struct {
 	gkeys  []groupby.Key
 	gviews []column.View
 	gspec  groupby.Spec
+	// Join-side extensions: the gathered join keys, their aligned rows
+	// and the payload values of one side, reused per query.
+	jkeys []int64
+	jrows column.PosList
+	jvals []int64
 }
 
 func (r *Runner) getScratch() *scratch {
@@ -177,6 +183,9 @@ func (r *Runner) putScratch(sc *scratch) {
 	clear(sc.gviews)
 	sc.gviews = sc.gviews[:0]
 	sc.gspec = groupby.Spec{}
+	sc.jkeys = sc.jkeys[:0]
+	sc.jrows = sc.jrows[:0]
+	sc.jvals = sc.jvals[:0]
 	r.scratchPool.Put(sc)
 }
 

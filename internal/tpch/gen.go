@@ -46,16 +46,22 @@ var ShipModes = []string{"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB
 // order is urgent or high (codes 0 and 1) against the rest.
 var Priorities = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
 
+// Segments are the five TPC-H market segments (Q3 filters customers by
+// one of them).
+var Segments = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+
 // Data is the generated database: the two tables plus the dictionaries
 // that decode their string-typed columns.
 type Data struct {
 	Lineitem *engine.Table
 	Orders   *engine.Table
+	Customer *engine.Table
 
 	Flags     *column.Dict // l_returnflag: R, A, N
 	Status    *column.Dict // l_linestatus: O, F
 	Modes     *column.Dict // l_shipmode
 	Prios     *column.Dict // o_orderpriority
+	Segs      *column.Dict // c_mktsegment
 	LinesPerO float64
 }
 
@@ -69,6 +75,7 @@ func Generate(orders int, seed int64) *Data {
 		Status: column.NewDict(),
 		Modes:  column.NewDict(),
 		Prios:  column.NewDict(),
+		Segs:   column.NewDict(),
 	}
 	// Fix dictionary codes in canonical order.
 	for _, s := range []string{"R", "A", "N"} {
@@ -83,10 +90,28 @@ func Generate(orders int, seed int64) *Data {
 	for _, s := range Priorities {
 		d.Prios.Encode(s)
 	}
+	for _, s := range Segments {
+		d.Segs.Encode(s)
+	}
+
+	// Customers: dbgen's SF 1 has 150k customers to 1.5M orders, so one
+	// customer per ten orders, dense custkeys, one market segment each.
+	customers := orders / 10
+	if customers < 1 {
+		customers = 1
+	}
+	cCustkey := make([]int64, customers)
+	cSegment := make([]int64, customers)
+	for c := range cCustkey {
+		cCustkey[c] = int64(c)
+		cSegment[c] = int64(rng.Intn(len(Segments)))
+	}
 
 	oOrderkey := make([]int64, orders)
 	oOrderdate := make([]int64, orders)
 	oPriority := make([]int64, orders)
+	oCustkey := make([]int64, orders)
+	oShippriority := make([]int64, orders) // constant 0, as dbgen generates it
 
 	var (
 		lOrderkey, lQuantity, lExtended, lDiscount, lTax []int64
@@ -103,6 +128,7 @@ func Generate(orders int, seed int64) *Data {
 		orderDay := rng.Int63n(MaxOrderDay + 1)
 		oOrderdate[o] = orderDay
 		oPriority[o] = int64(rng.Intn(len(Priorities)))
+		oCustkey[o] = int64(rng.Intn(customers))
 
 		lines := 1 + rng.Intn(7)
 		for l := 0; l < lines; l++ {
@@ -146,6 +172,12 @@ func Generate(orders int, seed int64) *Data {
 	ordersT.MustAddColumn(column.New("o_orderkey", oOrderkey))
 	ordersT.MustAddColumn(column.New("o_orderdate", oOrderdate))
 	ordersT.MustAddColumn(column.New("o_orderpriority", oPriority))
+	ordersT.MustAddColumn(column.New("o_custkey", oCustkey))
+	ordersT.MustAddColumn(column.New("o_shippriority", oShippriority))
+
+	custT := engine.NewTable("customer")
+	custT.MustAddColumn(column.New("c_custkey", cCustkey))
+	custT.MustAddColumn(column.New("c_mktsegment", cSegment))
 
 	li := engine.NewTable("lineitem")
 	li.MustAddColumn(column.New("l_orderkey", lOrderkey))
@@ -162,6 +194,7 @@ func Generate(orders int, seed int64) *Data {
 
 	d.Lineitem = li
 	d.Orders = ordersT
+	d.Customer = custT
 	if orders > 0 {
 		d.LinesPerO = float64(li.Rows()) / float64(orders)
 	}
@@ -181,6 +214,10 @@ type QueryVariant struct {
 	// Q12: two distinct shipmode codes and a year (1993..1997).
 	Q12Mode1, Q12Mode2 int64
 	Q12Year            int
+	// Q3: a market-segment code and a cutoff day (orders before it,
+	// shipments after it — qgen draws dates in March 1995).
+	Q3Segment int64
+	Q3Day     int64
 }
 
 // Variants generates n qgen-style random parameter sets.
@@ -201,6 +238,8 @@ func Variants(n int, seed int64) []QueryVariant {
 			Q12Mode1:   m1,
 			Q12Mode2:   m2,
 			Q12Year:    1993 + rng.Intn(5),
+			Q3Segment:  int64(rng.Intn(len(Segments))),
+			Q3Day:      YearDay(1995) + 59 + rng.Int63n(31), // March 1995
 		}
 	}
 	return out

@@ -12,6 +12,7 @@ import (
 	"holistic/internal/cracking"
 	"holistic/internal/groupby"
 	"holistic/internal/holistic"
+	"holistic/internal/join"
 	"holistic/internal/stats"
 )
 
@@ -63,11 +64,19 @@ type Runner struct {
 	mode Mode
 
 	// Columns the queries read, cached as raw slices.
-	li map[string][]int64
+	li   map[string][]int64
+	ord  map[string][]int64
+	cust map[string][]int64
 	// prio[l_orderkey] is the order's priority code (dense positional
 	// join index: o_orderkey is the dense 0..N-1 key the generator
-	// produces, as in dbgen).
+	// produces, as in dbgen). Used by the hand-rolled Q12 oracle.
 	prio []int64
+	// prioHi[order row] is 1 when the order's priority is urgent or
+	// high — the derived flag the subsystem-based Q12 sums per group.
+	prioHi []int64
+	// ordRows holds the identity row ids 0..N-1 shared by every join
+	// input built over in-place relations (read-only, prefix-sliced).
+	ordRows []uint32
 
 	mu       sync.Mutex
 	proj     map[string]*projection
@@ -112,6 +121,8 @@ func NewRunner(data *Data, mode Mode, cfg RunnerConfig) *Runner {
 		data:        data,
 		mode:        mode,
 		li:          make(map[string][]int64),
+		ord:         make(map[string][]int64),
+		cust:        make(map[string][]int64),
 		proj:        make(map[string]*projection),
 		crackers:    make(map[string]*cracking.Column),
 		rowCrackers: make(map[string]*cracking.Column),
@@ -123,6 +134,12 @@ func NewRunner(data *Data, mode Mode, cfg RunnerConfig) *Runner {
 	}
 	for _, name := range data.Lineitem.ColumnNames() {
 		r.li[name] = data.Lineitem.Column(name).Values()
+	}
+	for _, name := range data.Orders.ColumnNames() {
+		r.ord[name] = data.Orders.Column(name).Values()
+	}
+	for _, name := range data.Customer.ColumnNames() {
+		r.cust[name] = data.Customer.Column(name).Values()
 	}
 	// Materialized derived columns for the grouped-aggregation form of
 	// Q1: discounted price and charge, computed once with exactly the
@@ -145,6 +162,13 @@ func NewRunner(data *Data, mode Mode, cfg RunnerConfig) *Runner {
 	for i, k := range okeys {
 		r.prio[k] = prios[i]
 	}
+	r.prioHi = make([]int64, len(prios))
+	for i, p := range prios {
+		if p <= 1 {
+			r.prioHi[i] = 1
+		}
+	}
+	r.ordRows = identityRows(len(okeys))
 	if mode == ModeHolistic {
 		if cfg.Contexts < 1 {
 			cfg.Contexts = 2
@@ -224,8 +248,18 @@ func (r *Runner) projection(attr string) *projection {
 // attributes the three queries project through it: the payload set of its
 // sideways cracker (self-organizing tuple reconstruction, [29]).
 var sidewaysPayloads = map[string][]string{
-	"l_shipdate":    {"l_quantity", "l_extendedprice", "l_discount", "l_tax", "l_returnflag", "l_linestatus", "l_discprice", "l_charge"},
+	"l_shipdate":    {"l_quantity", "l_extendedprice", "l_discount", "l_tax", "l_returnflag", "l_linestatus", "l_discprice", "l_charge", "l_orderkey"},
 	"l_receiptdate": {"l_shipmode", "l_commitdate", "l_shipdate", "l_orderkey"},
+}
+
+// identityRows returns the row ids 0..n-1 — the Rows of a join input
+// built over a relation scanned in place.
+func identityRows(n int) []uint32 {
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = uint32(i)
+	}
+	return out
 }
 
 // cracker returns (building if needed) the sideways cracker column on
@@ -626,10 +660,107 @@ type Q12Row struct {
 	LowCount  int64
 }
 
+// q12Lines collects the qualifying lineitems of Q12 — received in
+// [loDay, hiDay), ship mode in {m1, m2}, commitdate < receiptdate,
+// shipdate < commitdate — through the mode's access path, as aligned
+// (orderkey, shipmode) arrays: the probe side of the Q12 join.
+func (r *Runner) q12Lines(m1, m2, loDay, hiDay int64) (lkeys, lmode []int64) {
+	keep := func(mode, commit, ship, receipt, okey int64) {
+		if (mode == m1 || mode == m2) && commit < receipt && ship < commit {
+			lkeys = append(lkeys, okey)
+			lmode = append(lmode, mode)
+		}
+	}
+	switch r.mode {
+	case ModeScan:
+		receipt := r.li["l_receiptdate"]
+		commit := r.li["l_commitdate"]
+		ship := r.li["l_shipdate"]
+		mode := r.li["l_shipmode"]
+		okey := r.li["l_orderkey"]
+		for i, rc := range receipt {
+			if rc >= loDay && rc < hiDay {
+				keep(mode[i], commit[i], ship[i], rc, okey[i])
+			}
+		}
+	case ModePresorted:
+		p := r.projection("l_receiptdate")
+		start := sort.Search(len(p.sortKey), func(i int) bool { return p.sortKey[i] >= loDay })
+		end := sort.Search(len(p.sortKey), func(i int) bool { return p.sortKey[i] >= hiDay })
+		pm, pc, ps, po := p.cols["l_shipmode"], p.cols["l_commitdate"], p.cols["l_shipdate"], p.cols["l_orderkey"]
+		pr := p.cols["l_receiptdate"]
+		for i := start; i < end; i++ {
+			keep(pm[i], pc[i], ps[i], pr[i], po[i])
+		}
+	case ModeCracking, ModeHolistic:
+		r.selectPayloads("l_receiptdate", loDay, hiDay, func(vals []int64, pl [][]int64) {
+			pm, pc, ps, po := pl[0], pl[1], pl[2], pl[3]
+			for i := range pm {
+				keep(pm[i], pc[i], ps[i], vals[i], po[i])
+			}
+		})
+	}
+	return lkeys, lmode
+}
+
 // Q12 runs the shipping-modes query: lines received in `year` with ship
 // mode in {m1, m2}, commitdate < receiptdate and shipdate < commitdate,
 // joined to ORDERS for the priority split, grouped by ship mode.
+//
+// It executes on the join subsystem (internal/join) in every mode: the
+// qualifying lines stream out of the mode's access path (scan,
+// pre-sorted projection window, or the receiptdate sideways cracker's
+// payload segments), join ORDERS on orderkey through the
+// radix-partitioned hash join, and the matched pairs feed a fused
+// grouped plan keyed by ship mode that sums the order's urgent/high
+// flag — HighCount directly, LowCount as the remainder of the group
+// count. The retained hand-rolled loops (Q12Oracle) are the
+// differential oracle: both must return byte-identical rows.
 func (r *Runner) Q12(m1, m2 int64, year int) []Q12Row {
+	lkeys, lmode := r.q12Lines(m1, m2, YearDay(year), YearDay(year+1))
+
+	pairs := join.GetPairs()
+	defer join.PutPairs(pairs)
+	join.Hash(join.Op{Kind: join.OpPairs},
+		join.Input{Keys: r.ord["o_orderkey"], Rows: r.ordRows},
+		join.Input{Keys: lkeys, Rows: identityRows(len(lkeys))},
+		r.threads, pairs)
+
+	mLo, mHi := r.attrDomain("l_shipmode")
+	var res groupby.Result
+	if err := join.Grouped(pairs,
+		[]join.PairCol{{Side: join.Right, View: column.View{Base: lmode}}},
+		[][2]int64{{mLo, mHi}},
+		[]groupby.Agg{groupby.Sum("high"), groupby.Count()},
+		[]join.PairCol{{Side: join.Left, View: column.View{Base: r.prioHi}}, {}},
+		&res); err != nil {
+		panic(err)
+	}
+
+	var out []Q12Row
+	for _, m := range []int64{m1, m2} {
+		for g := 0; g < res.Len(); g++ {
+			if res.Keys[0][g] != m {
+				continue
+			}
+			high := res.Aggs[0][g]
+			out = append(out, Q12Row{
+				ShipMode:  r.data.Modes.Decode(m),
+				HighCount: high,
+				LowCount:  res.Aggs[1][g] - high,
+			})
+			break
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ShipMode < out[j].ShipMode })
+	return out
+}
+
+// Q12Oracle is the original hand-rolled Q12: per-mode tight loops over
+// a positional priority lookup. Retained as the differential oracle
+// for the join-subsystem rewrite — TestQ12MatchesOracleAllModes
+// asserts Q12 and Q12Oracle return byte-identical rows in every mode.
+func (r *Runner) Q12Oracle(m1, m2 int64, year int) []Q12Row {
 	loDay, hiDay := YearDay(year), YearDay(year+1)
 
 	receipt := r.li["l_receiptdate"]
@@ -690,4 +821,199 @@ func (r *Runner) Q12(m1, m2 int64, year int) []Q12Row {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ShipMode < out[j].ShipMode })
 	return out
+}
+
+// Q3Row is one result row of the shipping-priority query: an order's
+// revenue over its qualifying lines.
+type Q3Row struct {
+	OrderKey     int64
+	Revenue      int64 // cents, sum(l_extendedprice*(1-l_discount))
+	OrderDate    int64
+	ShipPriority int64
+}
+
+// q3Lines collects the lineitems shipped after `day` through the
+// mode's access path, as aligned (orderkey, discounted price) arrays:
+// the probe side of Q3's second join. The discounted price reuses the
+// derived l_discprice column, whose fixed-point arithmetic matches the
+// oracle exactly.
+func (r *Runner) q3Lines(day int64) (lkeys, ldisc []int64) {
+	switch r.mode {
+	case ModeScan:
+		ship := r.li["l_shipdate"]
+		okey := r.li["l_orderkey"]
+		dp := r.li["l_discprice"]
+		for i, s := range ship {
+			if s > day {
+				lkeys = append(lkeys, okey[i])
+				ldisc = append(ldisc, dp[i])
+			}
+		}
+	case ModePresorted:
+		p := r.projection("l_shipdate")
+		start := sort.Search(len(p.sortKey), func(i int) bool { return p.sortKey[i] > day })
+		po, pd := p.cols["l_orderkey"], p.cols["l_discprice"]
+		lkeys = append(lkeys, po[start:]...)
+		ldisc = append(ldisc, pd[start:]...)
+	case ModeCracking, ModeHolistic:
+		// Shipdate sideways payload order: qty, ext, disc, tax, flag,
+		// status, discprice, charge, orderkey.
+		r.selectPayloads("l_shipdate", day+1, math.MaxInt64, func(_ []int64, pl [][]int64) {
+			lkeys = append(lkeys, pl[8]...)
+			ldisc = append(ldisc, pl[6]...)
+		})
+	}
+	return lkeys, ldisc
+}
+
+// Q3 runs the shipping-priority query: customers of one market
+// segment, their orders placed before `day`, and the revenue of each
+// such order's lines shipped after `day`, grouped by (orderkey,
+// orderdate, shippriority) and cut to the ten highest-revenue orders.
+//
+// It is a three-table plan on the join subsystem in every mode:
+// CUSTOMER (filtered by segment) joins ORDERS (filtered by orderdate)
+// on custkey, the surviving orders join LINEITEM (filtered by
+// shipdate through the mode's access path) on orderkey, and the
+// matched pairs feed a fused grouped plan summing the discounted
+// price. The dimension scans are in-place — the big relation's access
+// path is where the modes differ. Q3Oracle is the hand-rolled
+// differential oracle; both must return byte-identical rows.
+func (r *Runner) Q3(segment, day int64) []Q3Row {
+	// Customer side: custkeys of the segment.
+	var ckeys []int64
+	cseg := r.cust["c_mktsegment"]
+	ckey := r.cust["c_custkey"]
+	for i, seg := range cseg {
+		if seg == segment {
+			ckeys = append(ckeys, ckey[i])
+		}
+	}
+	// Orders side: custkey (join key), orderkey, orderdate and
+	// shippriority of the orders placed before day.
+	var oc, okeys, odates, oprios []int64
+	ocust := r.ord["o_custkey"]
+	okey := r.ord["o_orderkey"]
+	odate := r.ord["o_orderdate"]
+	oprio := r.ord["o_shippriority"]
+	for i, d := range odate {
+		if d < day {
+			oc = append(oc, ocust[i])
+			okeys = append(okeys, okey[i])
+			odates = append(odates, d)
+			oprios = append(oprios, oprio[i])
+		}
+	}
+
+	// Join 1: customer ⋈ orders on custkey — the surviving orders.
+	pairs := join.GetPairs()
+	defer join.PutPairs(pairs)
+	join.Hash(join.Op{Kind: join.OpPairs},
+		join.Input{Keys: ckeys, Rows: identityRows(len(ckeys))},
+		join.Input{Keys: oc, Rows: identityRows(len(oc))},
+		r.threads, pairs)
+	if pairs.Len() == 0 {
+		return nil // no qualifying orders: skip the LINEITEM pass entirely
+	}
+	subKeys := make([]int64, 0, pairs.Len())
+	subDates := make([]int64, 0, pairs.Len())
+	subPrios := make([]int64, 0, pairs.Len())
+	for _, oi := range pairs.Right {
+		subKeys = append(subKeys, okeys[oi])
+		subDates = append(subDates, odates[oi])
+		subPrios = append(subPrios, oprios[oi])
+	}
+
+	// Join 2: surviving orders ⋈ lineitem on orderkey, grouped by the
+	// order with the revenue summed from the lineitem side.
+	lkeys, ldisc := r.q3Lines(day)
+	pairs2 := join.GetPairs()
+	defer join.PutPairs(pairs2)
+	join.Hash(join.Op{Kind: join.OpPairs},
+		join.Input{Keys: subKeys, Rows: identityRows(len(subKeys))},
+		join.Input{Keys: lkeys, Rows: identityRows(len(lkeys))},
+		r.threads, pairs2)
+
+	kLo, kHi := column.Bounds(subKeys)
+	dLo, dHi := column.Bounds(subDates)
+	pLo, pHi := column.Bounds(subPrios)
+	var res groupby.Result
+	if err := join.Grouped(pairs2,
+		[]join.PairCol{
+			{Side: join.Left, View: column.View{Base: subKeys}},
+			{Side: join.Left, View: column.View{Base: subDates}},
+			{Side: join.Left, View: column.View{Base: subPrios}},
+		},
+		[][2]int64{{kLo, kHi}, {dLo, dHi}, {pLo, pHi}},
+		[]groupby.Agg{groupby.Sum("l_discprice")},
+		[]join.PairCol{{Side: join.Right, View: column.View{Base: ldisc}}},
+		&res); err != nil {
+		panic(err)
+	}
+
+	out := make([]Q3Row, 0, res.Len())
+	for g := 0; g < res.Len(); g++ {
+		out = append(out, Q3Row{
+			OrderKey:     res.Keys[0][g],
+			Revenue:      res.Aggs[0][g],
+			OrderDate:    res.Keys[1][g],
+			ShipPriority: res.Keys[2][g],
+		})
+	}
+	return topQ3(out)
+}
+
+// topQ3 orders rows by revenue descending (orderkey ascending on
+// ties — the deterministic cut both Q3 and its oracle share) and keeps
+// the top ten.
+func topQ3(rows []Q3Row) []Q3Row {
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Revenue != rows[j].Revenue {
+			return rows[i].Revenue > rows[j].Revenue
+		}
+		return rows[i].OrderKey < rows[j].OrderKey
+	})
+	if len(rows) > 10 {
+		rows = rows[:10]
+	}
+	if len(rows) == 0 {
+		return nil
+	}
+	return rows
+}
+
+// Q3Oracle is the hand-rolled Q3: a segment lookup table, a qualifying-
+// order filter, and one scan of LINEITEM accumulating revenue per
+// order. Mode-independent (the data is shared), it is the differential
+// oracle TestQ3MatchesOracleAllModes checks every mode's Q3 against.
+func (r *Runner) Q3Oracle(segment, day int64) []Q3Row {
+	inSeg := make([]bool, len(r.cust["c_custkey"]))
+	for i, seg := range r.cust["c_mktsegment"] {
+		if seg == segment {
+			inSeg[r.cust["c_custkey"][i]] = true
+		}
+	}
+	// o_orderkey is dense 0..N-1, so qualifying orders index directly.
+	odate := r.ord["o_orderdate"]
+	qual := make([]bool, len(odate))
+	for i, d := range odate {
+		if d < day && inSeg[r.ord["o_custkey"][i]] {
+			qual[r.ord["o_orderkey"][i]] = true
+		}
+	}
+	ship := r.li["l_shipdate"]
+	okey := r.li["l_orderkey"]
+	dp := r.li["l_discprice"]
+	rev := make(map[int64]int64)
+	for i, s := range ship {
+		if s > day && qual[okey[i]] {
+			rev[okey[i]] += dp[i]
+		}
+	}
+	oprio := r.ord["o_shippriority"]
+	out := make([]Q3Row, 0, len(rev))
+	for k, v := range rev {
+		out = append(out, Q3Row{OrderKey: k, Revenue: v, OrderDate: odate[k], ShipPriority: oprio[k]})
+	}
+	return topQ3(out)
 }

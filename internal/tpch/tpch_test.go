@@ -176,6 +176,97 @@ func TestQ12AllModesAgree(t *testing.T) {
 	}
 }
 
+// TestQ12MatchesOracleAllModes is the differential test of the join-
+// subsystem rewrite: under every execution mode, Q12 must return
+// byte-identical rows to the retained hand-rolled oracle.
+func TestQ12MatchesOracleAllModes(t *testing.T) {
+	d := testData(t)
+	rs := allRunners(t, d)
+	defer func() {
+		for _, r := range rs {
+			r.Close()
+		}
+	}()
+	for _, r := range rs {
+		for _, v := range Variants(8, 5) {
+			want := r.Q12Oracle(v.Q12Mode1, v.Q12Mode2, v.Q12Year)
+			got := r.Q12(v.Q12Mode1, v.Q12Mode2, v.Q12Year)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%v: Q12(%d,%d,%d) = %+v, oracle %+v",
+					r.Mode(), v.Q12Mode1, v.Q12Mode2, v.Q12Year, got, want)
+			}
+		}
+		// A year with no qualifying lines must match the oracle's empty
+		// result too.
+		if got, want := r.Q12(0, 1, 2100), r.Q12Oracle(0, 1, 2100); !reflect.DeepEqual(got, want) {
+			t.Fatalf("%v: empty Q12 = %+v, oracle %+v", r.Mode(), got, want)
+		}
+	}
+}
+
+// TestQ3MatchesOracleAllModes checks the three-table join query —
+// customer ⋈ orders ⋈ lineitem with group-by and top-k — against the
+// hand-rolled oracle in every mode.
+func TestQ3MatchesOracleAllModes(t *testing.T) {
+	d := testData(t)
+	rs := allRunners(t, d)
+	defer func() {
+		for _, r := range rs {
+			r.Close()
+		}
+	}()
+	nonzero := false
+	for _, r := range rs {
+		for _, v := range Variants(6, 8) {
+			want := r.Q3Oracle(v.Q3Segment, v.Q3Day)
+			got := r.Q3(v.Q3Segment, v.Q3Day)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%v: Q3(%d,%d) = %+v, oracle %+v", r.Mode(), v.Q3Segment, v.Q3Day, got, want)
+			}
+			if len(got) > 0 {
+				nonzero = true
+			}
+			for i := 1; i < len(got); i++ {
+				if got[i].Revenue > got[i-1].Revenue {
+					t.Fatalf("%v: Q3 rows not revenue-descending", r.Mode())
+				}
+			}
+			if len(got) > 10 {
+				t.Fatalf("%v: Q3 returned %d rows, top-k is 10", r.Mode(), len(got))
+			}
+		}
+		// Degenerate cutoffs: no orders qualify / no lines qualify.
+		if got := r.Q3(0, 0); got != nil {
+			t.Fatalf("%v: Q3 before any order = %+v, want nil", r.Mode(), got)
+		}
+		if got, want := r.Q3(1, 100000), r.Q3Oracle(1, 100000); !reflect.DeepEqual(got, want) {
+			t.Fatalf("%v: late-cutoff Q3 = %+v, oracle %+v", r.Mode(), got, want)
+		}
+	}
+	if !nonzero {
+		t.Error("every Q3 variant returned no rows — generator selectivities broken")
+	}
+}
+
+func TestQ3AllModesAgree(t *testing.T) {
+	d := testData(t)
+	rs := allRunners(t, d)
+	defer func() {
+		for _, r := range rs {
+			r.Close()
+		}
+	}()
+	for _, v := range Variants(4, 9) {
+		want := rs[0].Q3(v.Q3Segment, v.Q3Day)
+		for _, r := range rs[1:] {
+			got := r.Q3(v.Q3Segment, v.Q3Day)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%v Q3(%d,%d) = %+v, want %+v", r.Mode(), v.Q3Segment, v.Q3Day, got, want)
+			}
+		}
+	}
+}
+
 func TestQ1Totals(t *testing.T) {
 	d := testData(t)
 	r := NewRunner(d, ModeScan, RunnerConfig{})

@@ -536,6 +536,110 @@ func GenerateGrouped(cfg GroupedConfig) []GroupedQuery {
 	return out
 }
 
+// FanOut shapes the key multiplicity of a generated join workload.
+type FanOut int
+
+const (
+	// FanOneToOne: every key appears at most once on each side (row
+	// counts clamp to the key-pool size).
+	FanOneToOne FanOut = iota
+	// FanOneToMany: keys are unique on the left side and repeat on the
+	// right (the classic primary-key ⋈ foreign-key shape).
+	FanOneToMany
+	// FanManyToMany: keys repeat on both sides.
+	FanManyToMany
+)
+
+// String names the fan-out as join literature does.
+func (f FanOut) String() string {
+	switch f {
+	case FanOneToOne:
+		return "1:1"
+	case FanOneToMany:
+		return "1:N"
+	case FanManyToMany:
+		return "M:N"
+	default:
+		return fmt.Sprintf("FanOut(%d)", int(f))
+	}
+}
+
+// JoinConfig parameterizes a generated equi-join workload: two key
+// columns whose domains overlap by a configurable fraction, with
+// configurable key multiplicity and popularity skew.
+type JoinConfig struct {
+	// LeftRows/RightRows are the relation cardinalities.
+	LeftRows, RightRows int
+	// Keys is the size of each side's key pool (default 64).
+	Keys int
+	// Overlap in [0, 1] is the fraction of the key pools the two sides
+	// share: 1 draws both sides from the same pool, 0 from disjoint
+	// pools (no row ever matches). Default 1.
+	Overlap float64
+	// Fan selects the key multiplicity shape.
+	Fan FanOut
+	// Skew is the zipf-like exponent of key popularity on the repeating
+	// side(s): key k is drawn proportionally to 1/(k+1)^Skew. 0 draws
+	// keys uniformly.
+	Skew float64
+	// Seed makes the workload reproducible.
+	Seed int64
+}
+
+// GenerateJoin builds the two join-key columns of a join workload. The
+// left pool is [0, Keys); the right pool is shifted so that exactly
+// the Overlap fraction of it intersects the left pool — every matching
+// pair's key lies in the intersection.
+func GenerateJoin(cfg JoinConfig) (left, right []int64) {
+	if cfg.Keys <= 0 {
+		cfg.Keys = 64
+	}
+	if cfg.Overlap < 0 {
+		cfg.Overlap = 0
+	}
+	if cfg.Overlap > 1 {
+		cfg.Overlap = 1
+	}
+	shift := int64(float64(cfg.Keys) * (1 - cfg.Overlap))
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	unique := func(n int) []int64 {
+		if n > cfg.Keys {
+			n = cfg.Keys
+		}
+		perm := rng.Perm(cfg.Keys)
+		out := make([]int64, n)
+		for i := range out {
+			out[i] = int64(perm[i])
+		}
+		return out
+	}
+	repeating := func(n int) []int64 {
+		pick := zipfPicker(cfg.Keys, cfg.Skew, rng)
+		out := make([]int64, n)
+		for i := range out {
+			out[i] = int64(pick())
+		}
+		return out
+	}
+
+	switch cfg.Fan {
+	case FanOneToOne:
+		left = unique(cfg.LeftRows)
+		right = unique(cfg.RightRows)
+	case FanOneToMany:
+		left = unique(cfg.LeftRows)
+		right = repeating(cfg.RightRows)
+	default:
+		left = repeating(cfg.LeftRows)
+		right = repeating(cfg.RightRows)
+	}
+	for i := range right {
+		right[i] += shift
+	}
+	return left, right
+}
+
 // UniformColumn generates n uniformly distributed values over [0, domain)
 // — the base data of every synthetic experiment ("each attribute consists
 // of 2^30 uniformly distributed integers").

@@ -171,6 +171,70 @@ func TestAttrZipfSkewsPopularity(t *testing.T) {
 	}
 }
 
+func TestGenerateJoinShapes(t *testing.T) {
+	// 1:1 — unique keys per side, rows clamped to the key pool.
+	l, r := GenerateJoin(JoinConfig{LeftRows: 100, RightRows: 40, Keys: 64, Overlap: 1, Fan: FanOneToOne, Seed: 3})
+	if len(l) != 64 || len(r) != 40 {
+		t.Fatalf("1:1 sizes = %d/%d, want 64/40", len(l), len(r))
+	}
+	seen := map[int64]bool{}
+	for _, k := range l {
+		if seen[k] {
+			t.Fatal("1:1 left side repeated a key")
+		}
+		seen[k] = true
+	}
+
+	// 1:N — left unique, right repeats keys from the same pool.
+	l, r = GenerateJoin(JoinConfig{LeftRows: 50, RightRows: 500, Keys: 50, Overlap: 1, Fan: FanOneToMany, Skew: 1, Seed: 4})
+	if len(l) != 50 || len(r) != 500 {
+		t.Fatalf("1:N sizes = %d/%d", len(l), len(r))
+	}
+	rep := map[int64]int{}
+	for _, k := range r {
+		rep[k]++
+		if k < 0 || k >= 50 {
+			t.Fatalf("1:N right key %d outside pool", k)
+		}
+	}
+	if len(rep) >= 500 {
+		t.Fatal("1:N right side never repeated a key")
+	}
+
+	// Overlap 0 — pools disjoint, no key matches.
+	l, r = GenerateJoin(JoinConfig{LeftRows: 200, RightRows: 200, Keys: 100, Overlap: 0, Fan: FanManyToMany, Seed: 5})
+	lset := map[int64]bool{}
+	for _, k := range l {
+		lset[k] = true
+	}
+	for _, k := range r {
+		if lset[k] {
+			t.Fatalf("overlap=0 produced a shared key %d", k)
+		}
+	}
+
+	// Overlap 0.5 — roughly half the right pool intersects the left.
+	_, r = GenerateJoin(JoinConfig{LeftRows: 0, RightRows: 2000, Keys: 100, Overlap: 0.5, Fan: FanManyToMany, Seed: 6})
+	in := 0
+	for _, k := range r {
+		if k < 100 {
+			in++
+		}
+	}
+	if in == 0 || in == len(r) {
+		t.Fatalf("overlap=0.5: %d/%d right keys in the left pool", in, len(r))
+	}
+
+	// Determinism.
+	a1, b1 := GenerateJoin(JoinConfig{LeftRows: 30, RightRows: 30, Keys: 16, Fan: FanManyToMany, Skew: 0.5, Seed: 7})
+	a2, b2 := GenerateJoin(JoinConfig{LeftRows: 30, RightRows: 30, Keys: 16, Fan: FanManyToMany, Skew: 0.5, Seed: 7})
+	for i := range a1 {
+		if a1[i] != a2[i] || b1[i] != b2[i] {
+			t.Fatal("GenerateJoin not deterministic for equal seeds")
+		}
+	}
+}
+
 func TestUniformColumn(t *testing.T) {
 	vals := UniformColumn(10_000, 1<<20, 8)
 	if len(vals) != 10_000 {
