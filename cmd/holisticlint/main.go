@@ -1,0 +1,95 @@
+// Command holisticlint runs the repository's custom static-analysis
+// suite: the noalloc, latch and pool checks over the holistic module
+// (see internal/lint and DESIGN.md §8).
+//
+// Usage:
+//
+//	holisticlint ./...                       # whole module
+//	holisticlint ./internal/query ./internal/join
+//	holisticlint -check latch,pool ./...     # subset of checks
+//	holisticlint -list                       # enumerate checks
+//
+// Exit status is 0 when every check passes, 1 when diagnostics were
+// reported, 2 on usage or load errors. Diagnostics print one per line
+// as file:line:col: [check] message, so editors and CI logs link them.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"holistic/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the command against explicit arguments and output
+// streams, so tests can drive the CLI surface in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("holisticlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		list   = fs.Bool("list", false, "list available checks and exit")
+		checks = fs.String("check", "", "comma-separated checks to run (default: all)")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: holisticlint [-list] [-check noalloc,latch,pool] [packages]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if *list {
+		for _, c := range lint.Checks() {
+			fmt.Fprintf(stdout, "%-8s %s\n", c.Name, c.Desc)
+		}
+		return 0
+	}
+
+	var names []string
+	if *checks != "" {
+		for _, n := range strings.Split(*checks, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+		known := make(map[string]bool)
+		for _, c := range lint.Checks() {
+			known[c.Name] = true
+		}
+		for _, n := range names {
+			if !known[n] {
+				fmt.Fprintf(stderr, "holisticlint: unknown check %q (see -list)\n", n)
+				return 2
+			}
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	mod, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, "holisticlint:", err)
+		return 2
+	}
+	diags := mod.Run(names...)
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "holisticlint: %d problem(s) in %d package(s)\n", len(diags), len(mod.Requested))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"holistic/internal/lint"
+)
+
+// Fixture packages relative to this package's directory, which is the
+// working directory while the tests run.
+const (
+	dirtyFixture = "../../internal/lint/testdata/pool"
+	cleanFixture = "../../internal/lint/testdata/clean"
+)
+
+// TestListEnumeratesEveryCheck drives `holisticlint -list` and asserts
+// every registered check appears, one per line.
+func TestListEnumeratesEveryCheck(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("-list exited %d: %s", code, errOut.String())
+	}
+	listing := out.String()
+	checks := lint.Checks()
+	if len(checks) == 0 {
+		t.Fatal("no checks registered")
+	}
+	for _, c := range checks {
+		if !strings.Contains(listing, c.Name) {
+			t.Errorf("check %q missing from -list output", c.Name)
+		}
+	}
+	for _, name := range []string{"noalloc", "latch", "pool"} {
+		if !strings.Contains(listing, name) {
+			t.Errorf("expected check %q in -list output", name)
+		}
+	}
+	if lines := strings.Count(listing, "\n"); lines != len(checks) {
+		t.Errorf("-list printed %d lines for %d checks", lines, len(checks))
+	}
+}
+
+// TestCleanPackageExitsZero runs the CLI over the clean fixture: no
+// diagnostics, exit 0, silence on stdout.
+func TestCleanPackageExitsZero(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{cleanFixture}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d on clean fixture: %s%s", code, out.String(), errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean run printed diagnostics:\n%s", out.String())
+	}
+}
+
+// TestDirtyPackageExitsOne runs the CLI over the intentionally broken
+// pool fixture: diagnostics on stdout in file:line:col form, a summary
+// on stderr, exit 1.
+func TestDirtyPackageExitsOne(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{dirtyFixture}, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d on dirty fixture, want 1: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "[pool]") {
+		t.Errorf("diagnostics do not carry the [pool] tag:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "pool.go:") {
+		t.Errorf("diagnostics do not point into the fixture file:\n%s", out.String())
+	}
+	if !strings.Contains(errOut.String(), "problem(s)") {
+		t.Errorf("missing summary line on stderr: %q", errOut.String())
+	}
+}
+
+// TestCheckSelection covers -check: a disjoint check over the pool
+// fixture passes; the pool check alone fails; an unknown name is a
+// usage error.
+func TestCheckSelection(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-check", "latch", dirtyFixture}, &out, &errOut); code != 0 {
+		t.Errorf("-check latch on the pool fixture exited %d, want 0:\n%s", code, out.String())
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-check", "pool", dirtyFixture}, &out, &errOut); code != 1 {
+		t.Errorf("-check pool on the pool fixture exited %d, want 1", code)
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-check", "nosuch", dirtyFixture}, &out, &errOut); code != 2 {
+		t.Errorf("-check nosuch exited %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown check") {
+		t.Errorf("unknown-check error missing: %q", errOut.String())
+	}
+}
+
+// TestUsageErrors covers the remaining exit-2 paths and the
+// conventional exit 0 for -h.
+func TestUsageErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &out, &errOut); code != 2 {
+		t.Errorf("unknown flag exited %d, want 2", code)
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"./no/such/dir"}, &out, &errOut); code != 2 {
+		t.Errorf("bad pattern exited %d, want 2", code)
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-h"}, &out, &errOut); code != 0 {
+		t.Errorf("-h exited %d, want 0", code)
+	}
+	if !strings.Contains(errOut.String(), "usage: holisticlint") {
+		t.Error("-h did not print usage")
+	}
+}

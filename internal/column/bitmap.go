@@ -32,6 +32,8 @@ func NewBitmap(n int) *Bitmap {
 
 // Reset resizes the bitmap to cover positions [0, n) and clears every
 // bit, reusing the backing array when it is large enough.
+//
+//holistic:alloc-ok grows the retained buffer on first use or resize
 func (b *Bitmap) Reset(n int) {
 	nw := (n + 63) >> 6
 	if cap(b.words) < nw {
@@ -47,9 +49,13 @@ func (b *Bitmap) Reset(n int) {
 func (b *Bitmap) Len() int { return b.n }
 
 // Set marks position p as qualifying. p must be < Len().
+//
+//holistic:noalloc
 func (b *Bitmap) Set(p Pos) { b.words[p>>6] |= 1 << (p & 63) }
 
 // Test reports whether position p qualifies.
+//
+//holistic:noalloc
 func (b *Bitmap) Test(p Pos) bool {
 	if int(p) >= b.n {
 		return false
@@ -59,6 +65,8 @@ func (b *Bitmap) Test(p Pos) bool {
 
 // Count returns the number of qualifying positions: a popcount fold,
 // the bitmap's count(*) with no materialization.
+//
+//holistic:noalloc
 func (b *Bitmap) Count() int {
 	n := 0
 	for _, w := range b.words {
@@ -70,6 +78,8 @@ func (b *Bitmap) Count() int {
 // Any reports whether any position qualifies, short-circuiting on the
 // first non-zero word — the cheap emptiness probe the refine loop uses
 // to stop touching data once a conjunction has gone dry.
+//
+//holistic:noalloc
 func (b *Bitmap) Any() bool {
 	for _, w := range b.words {
 		if w != 0 {
@@ -81,6 +91,8 @@ func (b *Bitmap) Any() bool {
 
 // And intersects b with o in place, word at a time; positions beyond
 // o's universe are absent from o and therefore cleared.
+//
+//holistic:noalloc
 func (b *Bitmap) And(o *Bitmap) {
 	n := len(b.words)
 	if len(o.words) < n {
@@ -94,6 +106,8 @@ func (b *Bitmap) And(o *Bitmap) {
 
 // AndNot clears from b every position set in o, word at a time;
 // positions beyond o's universe are unaffected.
+//
+//holistic:noalloc
 func (b *Bitmap) AndNot(o *Bitmap) {
 	n := len(b.words)
 	if len(o.words) < n {
@@ -108,6 +122,8 @@ func (b *Bitmap) AndNot(o *Bitmap) {
 // a contiguous qualifying window (a pre-sorted projection slice, or the
 // all-rows universe of a grouped query without predicates), built word
 // at a time.
+//
+//holistic:noalloc
 func (b *Bitmap) SetRange(start, end int) {
 	if start < 0 {
 		start = 0
@@ -133,6 +149,8 @@ func (b *Bitmap) SetRange(start, end int) {
 }
 
 // SetRows marks every row id in rows. All ids must be < Len().
+//
+//holistic:noalloc
 func (b *Bitmap) SetRows(rows []uint32) {
 	for _, r := range rows {
 		b.words[r>>6] |= 1 << (r & 63)
@@ -144,6 +162,8 @@ func (b *Bitmap) SetRows(rows []uint32) {
 // was sized before the select: a pending insert merged by a concurrent
 // query can legitimately surface a row id assigned after the sizing,
 // and must extend the bitmap instead of corrupting memory.
+//
+//holistic:noalloc
 func (b *Bitmap) SetRowsExtend(rows []uint32) {
 	for _, r := range rows {
 		if int(r) >= b.n {
@@ -154,6 +174,8 @@ func (b *Bitmap) SetRowsExtend(rows []uint32) {
 }
 
 // extend grows the bitmap to cover [0, n) keeping existing bits.
+//
+//holistic:alloc-ok grows the retained buffer on first use or resize
 func (b *Bitmap) extend(n int) {
 	nw := (n + 63) >> 6
 	for len(b.words) < nw {
@@ -166,6 +188,8 @@ func (b *Bitmap) extend(n int) {
 // word ORs so concurrent writers producing disjoint row ids (the CCGI
 // chunks, whose position spans may share a boundary word) need no
 // further synchronization.
+//
+//holistic:noalloc
 func (b *Bitmap) OrRowsAtomic(rows []uint32, off uint32) {
 	for _, r := range rows {
 		p := r + off
@@ -176,6 +200,8 @@ func (b *Bitmap) OrRowsAtomic(rows []uint32, off uint32) {
 // ClearFrom clears every position >= n without shrinking the bitmap:
 // the presence filter against an attribute whose base array is shorter
 // than the position universe (rows appended to other attributes only).
+//
+//holistic:noalloc
 func (b *Bitmap) ClearFrom(n int) {
 	if n < 0 {
 		n = 0
@@ -194,6 +220,8 @@ func (b *Bitmap) ClearFrom(n int) {
 // AppendPositions appends the qualifying positions to dst in ascending
 // order — the bitmap → position-list conversion performed once at the
 // project/aggregate boundary.
+//
+//holistic:noalloc
 func (b *Bitmap) AppendPositions(dst PosList) PosList {
 	for wi, w := range b.words {
 		base := Pos(wi << 6)
@@ -209,6 +237,8 @@ func (b *Bitmap) AppendPositions(dst PosList) PosList {
 // grouped-aggregation kernels use to process a selection vector through
 // a small pooled buffer (and parallel consumers use to split a bitmap
 // into word-disjoint spans) without materializing the full list.
+//
+//holistic:noalloc
 func (b *Bitmap) AppendPositionsWords(dst PosList, fromWord, toWord int) PosList {
 	if fromWord < 0 {
 		fromWord = 0
@@ -245,6 +275,8 @@ const signBit = 1 << 63
 // branch-free through the bits.Sub64 borrow, so 50%-selective scans pay
 // no branch mispredictions. Callers must handle hi <= lo themselves
 // (the span would wrap).
+//
+//holistic:noalloc
 func rangeBits(lo, hi int64) (ulo, span uint64) {
 	ulo = uint64(lo) ^ signBit
 	return ulo, (uint64(hi) ^ signBit) - ulo
@@ -254,6 +286,8 @@ func rangeBits(lo, hi int64) (ulo, span uint64) {
 // 64-position word and returns w intersected with the outcome. Lanes at
 // or beyond len(vals) never qualify (mirroring FilterRows, which drops
 // positions without a value).
+//
+//holistic:noalloc
 func filterWord(vals []int64, base int, w uint64, ulo, span uint64) uint64 {
 	end := len(vals) - base
 	if end >= 64 && bits.OnesCount64(w) >= denseLanes {
@@ -277,6 +311,8 @@ func filterWord(vals []int64, base int, w uint64, ulo, span uint64) uint64 {
 // ScanRangeBitmap is the bitmap-producing select operator: it resets b
 // to cover vals and sets bit p iff lo <= vals[p] < hi, built word at a
 // time with branch-free lane evaluation.
+//
+//holistic:noalloc
 func ScanRangeBitmap(vals []int64, lo, hi int64, b *Bitmap) {
 	b.Reset(len(vals))
 	if hi <= lo {
@@ -288,6 +324,8 @@ func ScanRangeBitmap(vals []int64, lo, hi int64, b *Bitmap) {
 // scanWords fills the words covering positions [start, end); start must
 // be 64-aligned so writers of adjacent spans touch disjoint words, and
 // the caller must have rejected hi <= lo.
+//
+//holistic:noalloc
 func scanWords(vals []int64, lo, hi int64, words []uint64, start, end int) {
 	ulo, span := rangeBits(lo, hi)
 	p := start
@@ -309,6 +347,8 @@ func scanWords(vals []int64, lo, hi int64, words []uint64, start, end int) {
 // ParallelScanRangeBitmap is ScanRangeBitmap with the scan split across
 // workers contiguous 64-aligned chunks, so every worker owns whole
 // words and no write is shared.
+//
+//holistic:alloc-ok goroutine fan-out for the parallel path
 func ParallelScanRangeBitmap(vals []int64, lo, hi int64, b *Bitmap, workers int) {
 	if workers < 2 || len(vals) < 2*1024 {
 		ScanRangeBitmap(vals, lo, hi, b)
@@ -338,6 +378,8 @@ func ParallelScanRangeBitmap(vals []int64, lo, hi int64, b *Bitmap, workers int)
 // hi: the residual-conjunct kernel on the bitmap representation. Zero
 // words — already-disqualified regions — are skipped without touching
 // the data.
+//
+//holistic:noalloc
 func FilterBitmap(vals []int64, b *Bitmap, lo, hi int64) {
 	if hi <= lo {
 		clear(b.words)
@@ -348,6 +390,8 @@ func FilterBitmap(vals []int64, b *Bitmap, lo, hi int64) {
 
 // filterWords filters the words (which cover positions starting at word
 // index from) in place; the caller must have rejected hi <= lo.
+//
+//holistic:noalloc
 func filterWords(vals []int64, words []uint64, from int, lo, hi int64) {
 	ulo, span := rangeBits(lo, hi)
 	for wi, w := range words {
@@ -360,6 +404,8 @@ func filterWords(vals []int64, words []uint64, from int, lo, hi int64) {
 
 // ParallelFilterBitmap is FilterBitmap with the word array split across
 // workers contiguous chunks; writes are word-disjoint by construction.
+//
+//holistic:alloc-ok goroutine fan-out for the parallel path
 func ParallelFilterBitmap(vals []int64, b *Bitmap, lo, hi int64, workers int) {
 	if workers < 2 || b.n < minParallelSel {
 		FilterBitmap(vals, b, lo, hi)
@@ -388,6 +434,8 @@ func ParallelFilterBitmap(vals []int64, b *Bitmap, lo, hi int64, workers int) {
 // FetchBitmapAppend appends vals at the qualifying positions to dst in
 // ascending position order — the gather at the project boundary. Every
 // set position must be < len(vals).
+//
+//holistic:noalloc
 func FetchBitmapAppend(vals []int64, b *Bitmap, dst []int64) []int64 {
 	for wi, w := range b.words {
 		base := wi << 6
@@ -400,6 +448,8 @@ func FetchBitmapAppend(vals []int64, b *Bitmap, dst []int64) []int64 {
 
 // SumBitmap folds sum(vals[p]) over the qualifying positions without
 // materializing anything. Every set position must be < len(vals).
+//
+//holistic:noalloc
 func SumBitmap(vals []int64, b *Bitmap) int64 {
 	var s int64
 	for wi, w := range b.words {
@@ -414,6 +464,8 @@ func SumBitmap(vals []int64, b *Bitmap) int64 {
 // MinMaxBitmap folds min/max of vals over the qualifying positions and
 // reports how many qualified; mn/mx are meaningful only when n > 0.
 // Every set position must be < len(vals).
+//
+//holistic:noalloc
 func MinMaxBitmap(vals []int64, b *Bitmap) (mn, mx int64, n int) {
 	for wi, w := range b.words {
 		base := wi << 6
@@ -433,6 +485,8 @@ func MinMaxBitmap(vals []int64, b *Bitmap) (mn, mx int64, n int) {
 
 // MinMaxBitmap folds min/max of the current values at the set positions;
 // every set position must have a value (run PresentBitmap first).
+//
+//holistic:noalloc
 func (w View) MinMaxBitmap(b *Bitmap) (mn, mx int64, n int) {
 	if w.Plain() {
 		return MinMaxBitmap(w.Base, b)
@@ -461,6 +515,8 @@ func (w View) MinMaxBitmap(b *Bitmap) (mn, mx int64, n int) {
 // every position whose current value is outside [lo, hi) (or that has
 // no value), in place. Plain views run the word-parallel kernel;
 // overlaid views probe set bit by set bit through At.
+//
+//holistic:noalloc
 func (w View) FilterBitmap(b *Bitmap, lo, hi int64, workers int) {
 	if w.Plain() {
 		ParallelFilterBitmap(w.Base, b, lo, hi, workers)
@@ -484,6 +540,8 @@ func (w View) FilterBitmap(b *Bitmap, lo, hi int64, workers int) {
 
 // PresentBitmap is the bitmap form of View.PresentRows: it clears from
 // b every position without a value in this attribute, in place.
+//
+//holistic:noalloc
 func (w View) PresentBitmap(b *Bitmap) {
 	if w.Plain() {
 		b.ClearFrom(len(w.Base))
@@ -507,6 +565,8 @@ func (w View) PresentBitmap(b *Bitmap) {
 
 // SumBitmap folds sum of the current values at the set positions;
 // every set position must have a value (run PresentBitmap first).
+//
+//holistic:noalloc
 func (w View) SumBitmap(b *Bitmap) int64 {
 	if w.Plain() {
 		return SumBitmap(w.Base, b)
@@ -528,6 +588,8 @@ func (w View) SumBitmap(b *Bitmap) int64 {
 
 // FetchBitmap gathers the current values at the set positions in
 // ascending position order; every set position must have a value.
+//
+//holistic:noalloc
 func (w View) FetchBitmap(b *Bitmap, dst []int64) []int64 {
 	if w.Plain() {
 		return FetchBitmapAppend(w.Base, b, dst)
@@ -559,6 +621,8 @@ func (w View) FetchBitmap(b *Bitmap, dst []int64) []int64 {
 var bitmapPool = sync.Pool{New: func() any { return new(Bitmap) }}
 
 // GetBitmap returns a pooled bitmap reset to cover [0, n).
+//
+//holistic:alloc-ok pool warm-up allocates the recycled object
 func GetBitmap(n int) *Bitmap {
 	b := bitmapPool.Get().(*Bitmap)
 	b.Reset(n)
@@ -567,6 +631,8 @@ func GetBitmap(n int) *Bitmap {
 
 // PutBitmap recycles a bitmap obtained from GetBitmap. The caller must
 // not retain it.
+//
+//holistic:noalloc
 func PutBitmap(b *Bitmap) {
 	if b != nil {
 		bitmapPool.Put(b)
@@ -582,6 +648,7 @@ type workerLists struct {
 
 var workerListsPool = sync.Pool{New: func() any { return new(workerLists) }}
 
+//holistic:alloc-ok pool warm-up allocates the recycled object
 func getWorkerLists(workers int) *workerLists {
 	p := workerListsPool.Get().(*workerLists)
 	if cap(p.lists) < workers {
@@ -595,4 +662,5 @@ func getWorkerLists(workers int) *workerLists {
 	return p
 }
 
+//holistic:noalloc
 func putWorkerLists(p *workerLists) { workerListsPool.Put(p) }

@@ -69,6 +69,8 @@ func ScanRange(vals []int64, lo, hi int64) PosList {
 
 // CountRange returns |{p : lo <= vals[p] < hi}| without materializing
 // positions.
+//
+//holistic:noalloc
 func CountRange(vals []int64, lo, hi int64) int {
 	n := 0
 	for _, v := range vals {
@@ -81,6 +83,8 @@ func CountRange(vals []int64, lo, hi int64) int {
 
 // SumRange returns the sum of qualifying values; the cheapest aggregate
 // the microbenchmarks consume so that selects cannot be optimized away.
+//
+//holistic:noalloc
 func SumRange(vals []int64, lo, hi int64) int64 {
 	var s int64
 	for _, v := range vals {
@@ -93,6 +97,8 @@ func SumRange(vals []int64, lo, hi int64) int64 {
 
 // MinMaxRange returns the minimum and maximum of the qualifying values
 // and how many qualified; min/max are meaningful only when n > 0.
+//
+//holistic:noalloc
 func MinMaxRange(vals []int64, lo, hi int64) (mn, mx int64, n int) {
 	for _, v := range vals {
 		if v >= lo && v < hi {
@@ -111,6 +117,8 @@ func MinMaxRange(vals []int64, lo, hi int64) (mn, mx int64, n int) {
 // ParallelCountRange splits vals into workers contiguous chunks counted
 // concurrently. It implements the paper's "parallel select operator"
 // baseline (plain scans by 32 threads in Section 5.1).
+//
+//holistic:alloc-ok goroutine fan-out for the parallel path
 func ParallelCountRange(vals []int64, lo, hi int64, workers int) int {
 	if workers < 2 || len(vals) < 2*1024 {
 		return CountRange(vals, lo, hi)
@@ -142,6 +150,8 @@ func ParallelCountRange(vals []int64, lo, hi int64, workers int) int {
 }
 
 // ParallelSumRange is the aggregating variant of ParallelCountRange.
+//
+//holistic:alloc-ok goroutine fan-out for the parallel path
 func ParallelSumRange(vals []int64, lo, hi int64, workers int) int64 {
 	if workers < 2 || len(vals) < 2*1024 {
 		return SumRange(vals, lo, hi)
@@ -173,6 +183,8 @@ func ParallelSumRange(vals []int64, lo, hi int64, workers int) int64 {
 }
 
 // ParallelMinMaxRange is the min/max variant of ParallelCountRange.
+//
+//holistic:alloc-ok goroutine fan-out for the parallel path
 func ParallelMinMaxRange(vals []int64, lo, hi int64, workers int) (mn, mx int64, n int) {
 	if workers < 2 || len(vals) < 2*1024 {
 		return MinMaxRange(vals, lo, hi)
@@ -217,6 +229,8 @@ func ParallelMinMaxRange(vals []int64, lo, hi int64, workers int) (mn, mx int64,
 // goroutines, preserving global position order. The per-worker output
 // slices come from a pool, so steady-state calls allocate only the
 // returned list.
+//
+//holistic:alloc-ok goroutine fan-out for the parallel path
 func ParallelScanRange(vals []int64, lo, hi int64, workers int) PosList {
 	if workers < 2 || len(vals) < 2*1024 {
 		return ScanRange(vals, lo, hi)
@@ -285,6 +299,8 @@ func FilterRows(vals []int64, sel PosList, lo, hi int64) PosList {
 // AppendFilterRows is FilterRows appending into dst, which may alias
 // sel (the output never outruns the input), so refine stages can filter
 // a candidate list in place without allocating.
+//
+//holistic:noalloc
 func AppendFilterRows(dst PosList, vals []int64, sel PosList, lo, hi int64) PosList {
 	n := Pos(len(vals))
 	for _, p := range sel {
@@ -299,6 +315,8 @@ func AppendFilterRows(dst PosList, vals []int64, sel PosList, lo, hi int64) PosL
 
 // FilterRowsInPlace filters sel in place and returns the shortened
 // list; the caller must own sel's storage.
+//
+//holistic:noalloc
 func FilterRowsInPlace(vals []int64, sel PosList, lo, hi int64) PosList {
 	return AppendFilterRows(sel[:0], vals, sel, lo, hi)
 }
@@ -313,6 +331,8 @@ const minParallelSel = 1 << 15
 // workers contiguous chunks of the candidate list; output order is
 // preserved. Per-worker outputs are pooled, so only the returned list
 // is allocated.
+//
+//holistic:alloc-ok goroutine fan-out for the parallel path
 func ParallelFilterRows(vals []int64, sel PosList, lo, hi int64, workers int) PosList {
 	if workers < 2 || len(sel) < minParallelSel {
 		return FilterRows(vals, sel, lo, hi)
@@ -333,6 +353,8 @@ func ParallelFilterRows(vals []int64, sel PosList, lo, hi int64, workers int) Po
 // ParallelFilterRowsInPlace is ParallelFilterRows writing the surviving
 // positions back into sel's storage (which the caller must own),
 // allocating nothing once the worker pools are warm.
+//
+//holistic:alloc-ok goroutine fan-out for the parallel path
 func ParallelFilterRowsInPlace(vals []int64, sel PosList, lo, hi int64, workers int) PosList {
 	if workers < 2 || len(sel) < minParallelSel {
 		return FilterRowsInPlace(vals, sel, lo, hi)
@@ -348,6 +370,8 @@ func ParallelFilterRowsInPlace(vals []int64, sel PosList, lo, hi int64, workers 
 
 // parallelFilterParts runs the chunked probe fan-out into pooled
 // per-worker lists; the caller concatenates and releases them.
+//
+//holistic:alloc-ok goroutine fan-out for the parallel path
 func parallelFilterParts(vals []int64, sel PosList, lo, hi int64, workers int) *workerLists {
 	ws := getWorkerLists(workers)
 	var wg sync.WaitGroup
@@ -380,6 +404,8 @@ func FetchRows(vals []int64, sel PosList) []int64 {
 }
 
 // ParallelFetchRows is FetchRows with the gather split across workers.
+//
+//holistic:alloc-ok goroutine fan-out for the parallel path
 func ParallelFetchRows(vals []int64, sel PosList, workers int) []int64 {
 	if workers < 2 || len(sel) < minParallelSel {
 		return FetchRows(vals, sel)
@@ -410,6 +436,8 @@ func ParallelFetchRows(vals []int64, sel PosList, workers int) []int64 {
 
 // SumRows folds sum(vals[p]) over the positions of sel without
 // materializing the gathered values. All positions must be in range.
+//
+//holistic:noalloc
 func SumRows(vals []int64, sel PosList) int64 {
 	var s int64
 	for _, p := range sel {
@@ -419,6 +447,8 @@ func SumRows(vals []int64, sel PosList) int64 {
 }
 
 // ParallelSumRows is SumRows with the gather-fold split across workers.
+//
+//holistic:alloc-ok goroutine fan-out for the parallel path
 func ParallelSumRows(vals []int64, sel PosList, workers int) int64 {
 	if workers < 2 || len(sel) < minParallelSel {
 		return SumRows(vals, sel)
@@ -452,6 +482,8 @@ func ParallelSumRows(vals []int64, sel PosList, workers int) int64 {
 // MinMaxRows folds min/max of vals over the positions of sel and
 // reports how many positions were visited; mn/mx are meaningful only
 // when n > 0. All positions must be in range.
+//
+//holistic:noalloc
 func MinMaxRows(vals []int64, sel PosList) (mn, mx int64, n int) {
 	for _, p := range sel {
 		v := vals[p]
@@ -496,6 +528,8 @@ func (w View) Plain() bool {
 
 // At returns the value at row id p; ok is false when the row has no
 // value in this attribute (deleted, or never inserted here).
+//
+//holistic:noalloc
 func (w View) At(p Pos) (int64, bool) {
 	if _, dead := w.Deleted[p]; dead {
 		return 0, false
@@ -515,6 +549,8 @@ func (w View) At(p Pos) (int64, bool) {
 // appendFilterRows is the overlay-aware probe loop shared by the
 // allocating and in-place filter forms; dst may alias sel (the output
 // never outruns the input).
+//
+//holistic:noalloc
 func (w View) appendFilterRows(dst, sel PosList, lo, hi int64) PosList {
 	for _, p := range sel {
 		if v, ok := w.At(p); ok && v >= lo && v < hi {
@@ -537,6 +573,8 @@ func (w View) FilterRows(sel PosList, lo, hi int64, workers int) PosList {
 // FilterRowsInPlace is FilterRows writing the survivors back into
 // sel's storage, which the caller must own: the allocation-free refine
 // kernel of the conjunctive hot path.
+//
+//holistic:noalloc
 func (w View) FilterRowsInPlace(sel PosList, lo, hi int64, workers int) PosList {
 	if w.Plain() {
 		return ParallelFilterRowsInPlace(w.Base, sel, lo, hi, workers)
@@ -546,6 +584,8 @@ func (w View) FilterRowsInPlace(sel PosList, lo, hi int64, workers int) PosList 
 
 // allPresent reports whether a plain view covers every position of sel
 // (the common case where the presence filter is the identity).
+//
+//holistic:noalloc
 func (w View) allPresent(sel PosList) bool {
 	if !w.Plain() {
 		return false
@@ -561,6 +601,8 @@ func (w View) allPresent(sel PosList) bool {
 
 // appendPresentRows is the overlay-aware presence loop shared by the
 // allocating and in-place forms; dst may alias sel.
+//
+//holistic:noalloc
 func (w View) appendPresentRows(dst, sel PosList) PosList {
 	for _, p := range sel {
 		if _, ok := w.At(p); ok {
@@ -582,6 +624,8 @@ func (w View) PresentRows(sel PosList) PosList {
 
 // PresentRowsInPlace is PresentRows writing the survivors back into
 // sel's storage, which the caller must own.
+//
+//holistic:noalloc
 func (w View) PresentRowsInPlace(sel PosList) PosList {
 	if w.allPresent(sel) {
 		return sel
@@ -609,6 +653,8 @@ func (w View) FetchRows(sel PosList, workers int) []int64 {
 // SumRows folds sum of the current values at the given positions
 // without materializing them; every position must have a value (run
 // PresentRows first).
+//
+//holistic:noalloc
 func (w View) SumRows(sel PosList, workers int) int64 {
 	if w.Plain() {
 		return ParallelSumRows(w.Base, sel, workers)
@@ -627,6 +673,8 @@ func (w View) SumRows(sel PosList, workers int) int64 {
 // MinMaxRows folds min/max of the current values at the given positions
 // without materializing them; every position must have a value (run
 // PresentRows first).
+//
+//holistic:noalloc
 func (w View) MinMaxRows(sel PosList) (mn, mx int64, n int) {
 	if w.Plain() {
 		return MinMaxRows(w.Base, sel)
@@ -651,6 +699,8 @@ func (w View) MinMaxRows(sel PosList) (mn, mx int64, n int) {
 // the allocation-free gather the grouped-aggregation kernels run per
 // decoded selection chunk; every position must have a value (run
 // PresentRows first).
+//
+//holistic:noalloc
 func (w View) GatherRows(dst []int64, sel PosList) []int64 {
 	if w.Plain() {
 		base := w.Base
@@ -703,6 +753,8 @@ func (w View) ExtendBounds(lo, hi int64) (int64, int64) {
 // Bounds returns the minimum and maximum value of vals; an empty slice
 // reports the inverted pair (0, -1) so range overlap math naturally
 // yields zero.
+//
+//holistic:noalloc
 func Bounds(vals []int64) (lo, hi int64) {
 	if len(vals) == 0 {
 		return 0, -1
@@ -725,6 +777,8 @@ func Bounds(vals []int64) (lo, hi int64) {
 //	rows * |[lo,hi) ∩ [dLo,dHi]| / |[dLo,dHi]|
 //
 // Pass rows = 1 for a bare selectivity fraction.
+//
+//holistic:noalloc
 func UniformEstimate(rows float64, dLo, dHi, lo, hi int64) float64 {
 	if hi <= lo || dHi < dLo {
 		return 0

@@ -10,6 +10,8 @@ const vectorSize = 1024
 // crackInTwoInPlace partitions vals[lo:hi] (and rows in lockstep when
 // non-nil) so that values < pivot precede values >= pivot, returning the
 // index of the first value >= pivot. Classic two-cursor crack-in-two.
+//
+//holistic:noalloc
 func crackInTwoInPlace(vals []int64, rows []uint32, lo, hi int, pivot int64) int {
 	i, j := lo, hi-1
 	if rows == nil {
@@ -49,6 +51,8 @@ func crackInTwoInPlace(vals []int64, rows []uint32, lo, hi int, pivot int64) int
 
 // getScratch returns a partition buffer of at least n values (and n rows
 // when needRows is set), reusing pooled buffers.
+//
+//holistic:alloc-ok pool warm-up allocates the recycled object
 func (c *Column) getScratch(n int, needRows bool) ([]int64, []uint32) {
 	var sv []int64
 	if p, _ := c.scratch.Get().(*[]int64); p != nil && cap(*p) >= n {
@@ -67,6 +71,7 @@ func (c *Column) getScratch(n int, needRows bool) ([]int64, []uint32) {
 	return sv, sr
 }
 
+//holistic:noalloc
 func (c *Column) putScratch(sv []int64, sr []uint32) {
 	c.scratch.Put(&sv)
 	if sr != nil {
@@ -80,6 +85,8 @@ func (c *Column) putScratch(sv []int64, sr []uint32) {
 // cursor of a scratch buffer; the scratch is then copied back. The tail
 // half ends up reversed, which is irrelevant — order inside a piece
 // carries no information.
+//
+//holistic:noalloc
 func crackInTwoVectorized(vals, scratchV []int64, rows, scratchR []uint32, lo, hi int, pivot int64) int {
 	n := hi - lo
 	head, tail := 0, n-1
@@ -129,6 +136,8 @@ func crackInTwoVectorized(vals, scratchV []int64, rows, scratchR []uint32, lo, h
 
 // crackInTwoSideways is crack-in-two with payload columns (and optional
 // rowids) swapped in lockstep: the sideways-cracking kernel.
+//
+//holistic:noalloc
 func crackInTwoSideways(vals []int64, rows []uint32, payloads [][]int64, lo, hi int, pivot int64) int {
 	i, j := lo, hi-1
 	for {
@@ -155,6 +164,8 @@ func crackInTwoSideways(vals []int64, rows []uint32, payloads [][]int64, lo, hi 
 }
 
 // crackInThreeSideways is crack-in-three with payloads in lockstep.
+//
+//holistic:noalloc
 func crackInThreeSideways(vals []int64, rows []uint32, payloads [][]int64, lo, hi int, a, b int64) (m1, m2 int) {
 	low, mid, high := lo, lo, hi-1
 	swap := func(x, y int) {
@@ -185,6 +196,8 @@ func crackInThreeSideways(vals []int64, rows []uint32, payloads [][]int64, lo, h
 // crackInThree partitions vals[lo:hi] into [< a | a <= v < b | >= b] in a
 // single pass (Dutch national flag), returning the two split points. Used
 // when both bounds of a range select fall into the same piece.
+//
+//holistic:noalloc
 func crackInThree(vals []int64, rows []uint32, lo, hi int, a, b int64) (m1, m2 int) {
 	low, mid, high := lo, lo, hi-1
 	if rows == nil {
@@ -230,6 +243,8 @@ func crackInThree(vals []int64, rows []uint32, lo, hi int, a, b int64) (m1, m2 i
 // values < pivot form a prefix. The concentric slice layout of the
 // original is replaced by contiguous slices plus an explicit merge copy
 // (identical output and parallel structure; see DESIGN.md §3).
+//
+//holistic:alloc-ok goroutine fan-out for the parallel path
 func (c *Column) parallelCrack(vals []int64, rows []uint32, lo, hi int, pivot int64, workers int) int {
 	n := hi - lo
 	if workers > n {
@@ -330,12 +345,16 @@ func (c *Column) parallelCrack(vals []int64, rows []uint32, lo, hi int, pivot in
 
 // partition cracks vals[lo:hi] at pivot using the configured kernel and
 // the user-query thread budget. Caller holds the piece's write latch.
+//
+//holistic:noalloc
 func (c *Column) partition(lo, hi int, pivot int64) int {
 	return c.partitionWith(lo, hi, pivot, c.cfg.ParallelWorkers)
 }
 
 // partitionWith cracks vals[lo:hi] at pivot with an explicit thread
 // budget; holistic refinement passes its own (RefineWorkers).
+//
+//holistic:alloc-ok goroutine fan-out for the parallel path
 func (c *Column) partitionWith(lo, hi int, pivot int64, workers int) int {
 	n := hi - lo
 	if n == 0 {

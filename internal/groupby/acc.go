@@ -1,8 +1,6 @@
 package groupby
 
 import (
-	"fmt"
-
 	"holistic/internal/column"
 )
 
@@ -24,6 +22,8 @@ type Acc struct {
 // NewAcc builds an accumulator over the given key domains (Key.View is
 // ignored — the keys arrive as slices) and fused aggregates. Aggregate
 // views are likewise unused.
+//
+//holistic:alloc-ok builds the accumulator and its pooled run state
 func NewAcc(keys []Key, aggs []Agg) (*Acc, error) {
 	a := &Acc{spec: Spec{Keys: keys, Aggs: aggs, AggViews: make([]column.View, len(aggs))}}
 	if err := a.spec.validate(); err != nil {
@@ -48,12 +48,14 @@ func NewAcc(keys []Key, aggs []Agg) (*Acc, error) {
 // keyCols[i] holds key i's values, aggCols[j] the j-th aggregate's
 // values (ignored — may be nil — for count(*)). All non-nil slices must
 // have equal length. Segments arrive in any order.
+//
+//holistic:noalloc
 func (a *Acc) Segment(keyCols [][]int64, aggCols [][]int64) {
 	if a.err != nil {
 		return
 	}
 	if len(keyCols) != len(a.spec.Keys) || len(aggCols) != len(a.spec.Aggs) {
-		a.err = fmt.Errorf("groupby: Segment got %d key / %d agg columns, want %d / %d",
+		a.err = errf("groupby: Segment got %d key / %d agg columns, want %d / %d",
 			len(keyCols), len(aggCols), len(a.spec.Keys), len(a.spec.Aggs))
 		return
 	}
@@ -77,6 +79,8 @@ func (a *Acc) Segment(keyCols [][]int64, aggCols [][]int64) {
 
 // segmentDense folds rows [off, end); false when a key value falls
 // outside the packed domain (nothing of the chunk has been applied yet).
+//
+//holistic:noalloc
 func (a *Acc) segmentDense(keyCols, aggCols [][]int64, off, end int) bool {
 	st := a.st
 	d := st.dense
@@ -110,6 +114,8 @@ func (a *Acc) segmentDense(keyCols, aggCols [][]int64, off, end int) bool {
 }
 
 // segmentHash folds rows [off, end) through the hash accumulator.
+//
+//holistic:noalloc
 func (a *Acc) segmentHash(keyCols, aggCols [][]int64, off, end int) {
 	st := a.st
 	h := st.hash
@@ -118,12 +124,8 @@ func (a *Acc) segmentHash(keyCols, aggCols [][]int64, off, end int) {
 	}
 	slots := st.slotbuf[:end-off]
 	if !h.tuple {
+		st.packbuf = growU64(st.packbuf, end-off)
 		packed := st.packbuf
-		if cap(packed) < end-off {
-			packed = make([]uint64, end-off)
-			st.packbuf = packed
-		}
-		packed = packed[:end-off]
 		ok := true
 	pack:
 		for i := range a.spec.Keys {
@@ -151,7 +153,8 @@ func (a *Acc) segmentHash(keyCols, aggCols [][]int64, off, end int) {
 		}
 	}
 	if h.tuple {
-		tuple := make([]int64, len(a.spec.Keys))
+		st.tuplebuf = grow64(st.tuplebuf, len(a.spec.Keys))
+		tuple := st.tuplebuf
 		for j := 0; j < end-off; j++ {
 			for k := range tuple {
 				tuple[k] = keyCols[k][off+j]
@@ -167,6 +170,8 @@ func (a *Acc) segmentHash(keyCols, aggCols [][]int64, off, end int) {
 
 // foldAggs applies every non-count aggregate of rows [off, end) to the
 // accumulator columns indexed by slots.
+//
+//holistic:noalloc
 func (a *Acc) foldAggs(accs [][]int64, slots []int32, aggCols [][]int64, off, end int) {
 	for ai, agg := range a.spec.Aggs {
 		if agg.Kind == KindCount {
@@ -198,6 +203,8 @@ func (a *Acc) foldAggs(accs [][]int64, slots []int32, aggCols [][]int64, off, en
 // migrate converts the dense partial into hash groups. A dense slot is
 // the packed composite key itself, so the conversion is a walk over the
 // occupied slots.
+//
+//holistic:alloc-ok grows the retained buffer on first use or resize
 func (a *Acc) migrate() {
 	st := a.st
 	d := st.dense
@@ -219,6 +226,8 @@ func (a *Acc) migrate() {
 
 // Finish emits the ordered result into res and releases the pooled
 // state; the Acc must not be used afterwards.
+//
+//holistic:noalloc
 func (a *Acc) Finish(res *Result) error {
 	defer func() {
 		putRunState(a.st)

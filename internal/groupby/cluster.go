@@ -1,9 +1,8 @@
 package groupby
 
 import (
-	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"holistic/internal/column"
 )
@@ -17,6 +16,7 @@ type aggSrc struct {
 	view column.View
 }
 
+//holistic:noalloc
 func (s *aggSrc) at(row uint32) (int64, bool) {
 	if s.base != nil {
 		return s.base[row], true
@@ -34,6 +34,7 @@ type clusterState struct {
 	srcs    []aggSrc
 }
 
+//holistic:alloc-ok grows the retained buffer on first use or resize
 func (st *runState) clusterFor(spec *Spec, slots int) *clusterState {
 	cs := st.cluster
 	if cs == nil {
@@ -94,15 +95,17 @@ var identityPk = packing{
 // skipped. The key values come from the index stream itself (the walk
 // reflects the attribute's current, merged state), while the aggregate
 // attributes are fetched through their update-aware views.
+//
+//holistic:noalloc
 func GroupClusters(spec *Spec, bm *column.Bitmap, walk func(fn func(vals []int64, rows []uint32)), res *Result) error {
 	if err := spec.validate(); err != nil {
 		return err
 	}
 	if len(spec.Keys) != 1 {
-		return fmt.Errorf("groupby: sort-based grouping needs exactly one group-by attribute, have %d", len(spec.Keys))
+		return errf("groupby: sort-based grouping needs exactly one group-by attribute, have %d", len(spec.Keys))
 	}
 	if bm == nil {
-		return fmt.Errorf("groupby: sort-based grouping needs a bitmap selection vector")
+		return errf("groupby: sort-based grouping needs a bitmap selection vector")
 	}
 	res.reset(1, len(spec.Aggs))
 	res.Strategy = StrategySort
@@ -151,6 +154,8 @@ func GroupClusters(spec *Spec, bm *column.Bitmap, walk func(fn func(vals []int64
 
 // clusterDense aggregates one cluster through the dense local
 // accumulator (slot = key - mn) and emits its groups in key order.
+//
+//holistic:noalloc
 func clusterDense(cs *clusterState, bm *column.Bitmap, vals []int64, rows []uint32, mn int64, res *Result) {
 	for i, row := range rows {
 		if !bm.Test(row) {
@@ -194,7 +199,7 @@ func clusterDense(cs *clusterState, bm *column.Bitmap, vals []int64, rows []uint
 			}
 		}
 	}
-	sort.Slice(cs.touched, func(i, j int) bool { return cs.touched[i] < cs.touched[j] })
+	slices.Sort(cs.touched)
 	for _, slot := range cs.touched {
 		res.Keys[0] = append(res.Keys[0], mn+int64(slot))
 		for a := range cs.srcs {
@@ -212,6 +217,8 @@ func clusterDense(cs *clusterState, bm *column.Bitmap, vals []int64, rows []uint
 // clusterHash aggregates one over-wide cluster through a local hash
 // table; ordering within the cluster comes from the hash emit sort, and
 // cluster disjointness keeps the global order intact.
+//
+//holistic:noalloc
 func clusterHash(spec *Spec, cs *clusterState, h *hashState, bm *column.Bitmap, vals []int64, rows []uint32, res *Result) {
 	for i, row := range rows {
 		if !bm.Test(row) {

@@ -41,7 +41,7 @@ package groupby
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"sync"
 
 	"holistic/internal/column"
@@ -189,6 +189,7 @@ type Spec struct {
 	Force Strategy
 }
 
+//holistic:noalloc
 func (s *Spec) denseSlots() int {
 	if s.DenseSlots > 0 {
 		return s.DenseSlots
@@ -196,6 +197,7 @@ func (s *Spec) denseSlots() int {
 	return DefaultDenseSlots
 }
 
+//holistic:noalloc
 func (s *Spec) clusterSlots() int {
 	if s.ClusterSlots > 0 {
 		return s.ClusterSlots
@@ -203,6 +205,7 @@ func (s *Spec) clusterSlots() int {
 	return DefaultClusterSlots
 }
 
+//holistic:alloc-ok error paths format diagnostics
 func (s *Spec) validate() error {
 	if len(s.Keys) == 0 {
 		return fmt.Errorf("groupby: at least one group-by attribute is required")
@@ -244,6 +247,7 @@ func (r *Result) reset(nk, na int) {
 	r.Strategy = StrategyAuto
 }
 
+//holistic:alloc-ok grows the retained buffer on first use or resize
 func resizeCols(s [][]int64, n int) [][]int64 {
 	for len(s) < n {
 		s = append(s, nil)
@@ -270,6 +274,7 @@ type packing struct {
 
 const maxDenseBits = 30 // 1<<30 slots would never pass the slot bound anyway
 
+//holistic:alloc-ok error paths format diagnostics
 func makePacking(pk *packing, keys []Key) error {
 	pk.los = pk.los[:0]
 	pk.spans = pk.spans[:0]
@@ -307,6 +312,7 @@ func makePacking(pk *packing, keys []Key) error {
 // table's fast path.
 func (pk *packing) packable() bool { return pk.bits <= 64 }
 
+//holistic:noalloc
 func bitsLen(v uint64) int {
 	n := 0
 	for v != 0 {
@@ -317,6 +323,8 @@ func bitsLen(v uint64) int {
 }
 
 // unpack recovers key i's attribute value from a packed composite.
+//
+//holistic:noalloc
 func (pk *packing) unpack(packed uint64, i int) int64 {
 	v := packed >> pk.shifts[i]
 	if b := bitsLen(pk.spans[i] - 1); b < 64 {
@@ -331,6 +339,8 @@ func (pk *packing) unpack(packed uint64, i int) int64 {
 // packs into a dense accumulator of at most denseSlots slots (0 keeps
 // DefaultDenseSlots) — the planner-side probe of the dense/hash
 // crossover, answerable from domain statistics alone.
+//
+//holistic:noalloc
 func DenseEligible(keys []Key, denseSlots int) bool {
 	if denseSlots <= 0 {
 		denseSlots = DefaultDenseSlots
@@ -351,15 +361,20 @@ func DenseEligible(keys []Key, denseSlots int) bool {
 // GroupRows executes the fused plan over a position-list selection
 // vector. Positions must be presence-filtered for every referenced
 // attribute. The result is written into res (reusing its storage).
+//
+//holistic:noalloc
 func GroupRows(spec *Spec, sel column.PosList, res *Result) error {
 	return group(spec, sel, nil, res)
 }
 
 // GroupBitmap executes the fused plan over a bitmap selection vector.
+//
+//holistic:noalloc
 func GroupBitmap(spec *Spec, bm *column.Bitmap, res *Result) error {
 	return group(spec, nil, bm, res)
 }
 
+//holistic:noalloc
 func group(spec *Spec, sel column.PosList, bm *column.Bitmap, res *Result) error {
 	if err := spec.validate(); err != nil {
 		return err
@@ -405,6 +420,8 @@ func group(spec *Spec, sel column.PosList, bm *column.Bitmap, res *Result) error
 // chooseDense applies the dense/hash crossover: the packed domain must
 // be indexable and small, and — above denseMinSlots — the selection must
 // fill it densely enough to amortize the O(slots) clear and emit scan.
+//
+//holistic:noalloc
 func chooseDense(spec *Spec, pk *packing, n int) bool {
 	switch spec.Force {
 	case StrategyDense:
@@ -439,8 +456,10 @@ type runState struct {
 
 var runStatePool = sync.Pool{New: func() any { return new(runState) }}
 
+//holistic:alloc-ok pool warm-up allocates the recycled object
 func getRunState() *runState { return runStatePool.Get().(*runState) }
 
+//holistic:noalloc
 func putRunState(st *runState) {
 	for i := range st.workers {
 		putRunState(st.workers[i])
@@ -450,6 +469,7 @@ func putRunState(st *runState) {
 	runStatePool.Put(st)
 }
 
+//holistic:alloc-ok grows the retained buffer on first use or resize
 func (st *runState) buffers() {
 	if cap(st.posbuf) < chunkSize {
 		st.posbuf = make(column.PosList, chunkSize)
@@ -477,6 +497,7 @@ type denseState struct {
 	accs   [][]int64 // per aggregate; nil for KindCount
 }
 
+//holistic:alloc-ok grows the retained buffer on first use or resize
 func (st *runState) denseFor(spec *Spec, slots int) *denseState {
 	d := st.dense
 	if d == nil {
@@ -504,6 +525,40 @@ func (st *runState) denseFor(spec *Spec, slots int) *denseState {
 	return d
 }
 
+// errf builds a formatted error; hot entry points route their cold
+// error paths through it so the allocation sits behind one reviewed
+// boundary.
+//
+//holistic:alloc-ok error paths format their diagnostics
+func errf(format string, args ...any) error {
+	return fmt.Errorf(format, args...)
+}
+
+//holistic:alloc-ok grows the retained buffer on first use or resize
+func grow64(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	return s[:n]
+}
+
+//holistic:alloc-ok grows the retained buffer on first use or resize
+func grow32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+//holistic:alloc-ok grows the retained buffer on first use or resize
+func growU64(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	return s[:n]
+}
+
+//holistic:alloc-ok grows the retained buffer on first use or resize
 func resizeZero(s []int64, n int) []int64 {
 	if cap(s) < n {
 		return make([]int64, n)
@@ -513,6 +568,7 @@ func resizeZero(s []int64, n int) []int64 {
 	return s
 }
 
+//holistic:alloc-ok grows the retained buffer on first use or resize
 func resizeFill(s []int64, n int, v int64) []int64 {
 	if cap(s) < n {
 		s = make([]int64, n)
@@ -527,6 +583,8 @@ func resizeFill(s []int64, n int, v int64) []int64 {
 // groupDense runs the dense strategy; ok is false when a key value fell
 // outside its declared domain (stale bounds), in which case nothing has
 // been emitted and the caller reruns through the hash path.
+//
+//holistic:alloc-ok goroutine fan-out for the parallel path
 func groupDense(spec *Spec, st *runState, sel column.PosList, bm *column.Bitmap, n int, res *Result) (bool, error) {
 	workers := partitions(spec.Threads, n)
 	if workers <= 1 {
@@ -568,6 +626,8 @@ func groupDense(spec *Spec, st *runState, sel column.PosList, bm *column.Bitmap,
 
 // workerStates borrows one pooled runState per partition; they are
 // released with the parent.
+//
+//holistic:alloc-ok pool warm-up for the per-worker states
 func (st *runState) workerStates(n int) []*runState {
 	for len(st.workers) < n {
 		st.workers = append(st.workers, getRunState())
@@ -576,6 +636,8 @@ func (st *runState) workerStates(n int) []*runState {
 }
 
 // partitions bounds the partition parallelism by the selection size.
+//
+//holistic:noalloc
 func partitions(threads, n int) int {
 	if threads < 2 || n < minParallel {
 		return 1
@@ -585,6 +647,8 @@ func partitions(threads, n int) int {
 
 // partEnd returns the iteration bound of the whole selection: positions
 // for a list, words for a bitmap.
+//
+//holistic:noalloc
 func partEnd(sel column.PosList, bm *column.Bitmap) int {
 	if bm != nil {
 		return bm.Words()
@@ -594,6 +658,8 @@ func partEnd(sel column.PosList, bm *column.Bitmap) int {
 
 // splitParts cuts the selection into contiguous per-worker spans —
 // index ranges of the position list, word ranges of the bitmap.
+//
+//holistic:alloc-ok sizes the per-worker partition table
 func splitParts(sel column.PosList, bm *column.Bitmap, workers int) [][2]int {
 	total := partEnd(sel, bm)
 	chunk := (total + workers - 1) / workers
@@ -612,6 +678,8 @@ func splitParts(sel column.PosList, bm *column.Bitmap, workers int) [][2]int {
 // partition [*cursor, end): a slice of the position list, or set bits of
 // the next word range. It returns a borrowed slice valid until the next
 // call.
+//
+//holistic:noalloc
 func nextChunk(st *runState, sel column.PosList, bm *column.Bitmap, cursor *int, end int) column.PosList {
 	if bm == nil {
 		lo := *cursor
@@ -647,6 +715,8 @@ func nextChunk(st *runState, sel column.PosList, bm *column.Bitmap, cursor *int,
 // belongs to the query's root state, never to pooled worker states
 // (copying its slice headers into them would alias the backing arrays
 // across pooled states).
+//
+//holistic:noalloc
 func gatherKeys(spec *Spec, st *runState, pk *packing, chunk column.PosList) bool {
 	slots := st.slotbuf[:len(chunk)]
 	for i, k := range spec.Keys {
@@ -677,6 +747,8 @@ func gatherKeys(spec *Spec, st *runState, pk *packing, chunk column.PosList) boo
 
 // accumulateDense drives the decode → gather → fuse pipeline of one
 // partition into d.
+//
+//holistic:noalloc
 func accumulateDense(spec *Spec, st *runState, pk *packing, d *denseState, sel column.PosList, bm *column.Bitmap, lo, hi int) bool {
 	cursor := lo
 	for {
@@ -721,6 +793,8 @@ func accumulateDense(spec *Spec, st *runState, pk *packing, d *denseState, sel c
 }
 
 // mergeDense folds worker partials into dst slot by slot.
+//
+//holistic:noalloc
 func mergeDense(spec *Spec, dst, src *denseState) {
 	for s, c := range src.counts {
 		if c == 0 {
@@ -747,6 +821,8 @@ func mergeDense(spec *Spec, dst, src *denseState) {
 // emitDense scans the slots in ascending order — which is ascending
 // lexicographic key order, by the packing rule — and appends the
 // occupied ones to res.
+//
+//holistic:noalloc
 func emitDense(spec *Spec, pk *packing, d *denseState, res *Result) {
 	for s, c := range d.counts {
 		if c == 0 {
@@ -782,8 +858,11 @@ type hashState struct {
 	counts []int64
 	accs   [][]int64
 	n      int
+	tupbuf []int64 // merge-side tuple scratch, retained across runs
+	order  []int32 // emit ordering scratch, retained across runs
 }
 
+//holistic:alloc-ok grows the retained buffer on first use or resize
 func (st *runState) hashFor(spec *Spec) *hashState {
 	h := st.hash
 	if h == nil {
@@ -794,6 +873,7 @@ func (st *runState) hashFor(spec *Spec) *hashState {
 	return h
 }
 
+//holistic:alloc-ok grows the retained buffer on first use or resize
 func (h *hashState) reset(spec *Spec) {
 	if len(h.table) < 64 {
 		h.table = make([]int32, 64)
@@ -817,6 +897,8 @@ func (h *hashState) reset(spec *Spec) {
 // toTupleMode rekeys the table by raw tuple: existing groups keep their
 // indices (the stored raw keys are exact), only the probe table is
 // rebuilt. A no-op when already tuple-keyed.
+//
+//holistic:alloc-ok grows the retained buffer on first use or resize
 func (h *hashState) toTupleMode() {
 	if h.tuple {
 		return
@@ -834,6 +916,8 @@ func (h *hashState) toTupleMode() {
 
 // splitmix64 is the avalanche finalizer of the splitmix64 generator — a
 // cheap, well-mixed hash for packed keys.
+//
+//holistic:noalloc
 func splitmix64(x uint64) uint64 {
 	x ^= x >> 30
 	x *= 0xbf58476d1ce4e5b9
@@ -844,6 +928,8 @@ func splitmix64(x uint64) uint64 {
 }
 
 // grow doubles the probe table and reinserts every group.
+//
+//holistic:alloc-ok grows the retained buffer on first use or resize
 func (h *hashState) grow(pk *packing) {
 	nt := make([]int32, len(h.table)*2)
 	mask := uint64(len(nt) - 1)
@@ -864,6 +950,7 @@ func (h *hashState) grow(pk *packing) {
 	h.mask = mask
 }
 
+//holistic:noalloc
 func hashTuple(keys [][]int64, g int) uint64 {
 	hv := uint64(1469598103934665603)
 	for _, col := range keys {
@@ -874,6 +961,8 @@ func hashTuple(keys [][]int64, g int) uint64 {
 
 // groupOf finds or creates the group of the packed key (packable path),
 // initializing its accumulators on creation.
+//
+//holistic:noalloc
 func (h *hashState) groupOf(spec *Spec, pk *packing, packed uint64) int32 {
 	i := splitmix64(packed) & h.mask
 	for {
@@ -900,6 +989,8 @@ func (h *hashState) groupOf(spec *Spec, pk *packing, packed uint64) int32 {
 
 // groupOfTuple is groupOf for composites wider than 64 bits, keyed by
 // the raw tuple in keybufs at row j.
+//
+//holistic:noalloc
 func (h *hashState) groupOfTuple(spec *Spec, pk *packing, tuple []int64) int32 {
 	hv := uint64(1469598103934665603)
 	for _, v := range tuple {
@@ -932,6 +1023,8 @@ probe:
 }
 
 // newGroup appends a fresh group with identity-initialized accumulators.
+//
+//holistic:alloc-ok grows the retained buffer on first use or resize
 func (h *hashState) newGroup(spec *Spec) int {
 	g := h.n
 	h.n++
@@ -953,6 +1046,8 @@ func (h *hashState) newGroup(spec *Spec) int {
 // when the composite fits 64 bits, and switches the state to tuple
 // keying the moment a key value escapes its declared domain (stale
 // bounds must never produce ambiguous packed keys).
+//
+//holistic:noalloc
 func accumulateHash(spec *Spec, st *runState, pk *packing, h *hashState, sel column.PosList, bm *column.Bitmap, lo, hi int) {
 	if !pk.packable() {
 		h.toTupleMode()
@@ -976,10 +1071,8 @@ func accumulateHash(spec *Spec, st *runState, pk *packing, h *hashState, sel col
 		if h.tuple {
 			// Gather each key column, transpose to row-major tuples, probe.
 			nk := len(spec.Keys)
-			if cap(st.tuplebuf) < nk*len(chunk) {
-				st.tuplebuf = make([]int64, nk*len(chunk))
-			}
-			tb := st.tuplebuf[:nk*len(chunk)]
+			st.tuplebuf = grow64(st.tuplebuf, nk*len(chunk))
+			tb := st.tuplebuf
 			for k := range spec.Keys {
 				vals := spec.Keys[k].View.GatherRows(st.keybuf[:0], chunk)
 				st.keybuf = vals
@@ -1026,11 +1119,11 @@ func accumulateHash(spec *Spec, st *runState, pk *packing, h *hashState, sel col
 // packChunkKeys packs the chunk's composite keys into st.packbuf; false
 // when a key value escapes its declared domain (nothing is consumed and
 // the caller switches to tuple keying).
+//
+//holistic:noalloc
 func packChunkKeys(spec *Spec, st *runState, pk *packing, chunk column.PosList) bool {
-	if cap(st.packbuf) < len(chunk) {
-		st.packbuf = make([]uint64, len(chunk))
-	}
-	packed := st.packbuf[:len(chunk)]
+	st.packbuf = growU64(st.packbuf, len(chunk))
+	packed := st.packbuf
 	for i, k := range spec.Keys {
 		vals := k.View.GatherRows(st.keybuf[:0], chunk)
 		st.keybuf = vals
@@ -1059,6 +1152,8 @@ func packChunkKeys(spec *Spec, st *runState, pk *packing, chunk column.PosList) 
 
 // groupHash runs the hash strategy, partition-parallel with per-worker
 // accumulator merge, and emits the groups in ascending key order.
+//
+//holistic:alloc-ok goroutine fan-out for the parallel path
 func groupHash(spec *Spec, st *runState, sel column.PosList, bm *column.Bitmap, n int, res *Result) error {
 	workers := partitions(spec.Threads, n)
 	var h *hashState
@@ -1092,11 +1187,14 @@ func groupHash(spec *Spec, st *runState, sel column.PosList, bm *column.Bitmap, 
 // mergeHash folds src's groups into dst. If either side switched to
 // tuple keying, the merge goes through raw tuples (dst converting
 // first); packed merges stay on the fast path.
+//
+//holistic:noalloc
 func mergeHash(spec *Spec, pk *packing, dst, src *hashState) {
 	if src.tuple {
 		dst.toTupleMode()
 	}
-	tuple := make([]int64, len(spec.Keys))
+	dst.tupbuf = grow64(dst.tupbuf, len(spec.Keys))
+	tuple := dst.tupbuf
 	for g := 0; g < src.n; g++ {
 		var dg int32
 		if !dst.tuple {
@@ -1129,19 +1227,24 @@ func mergeHash(spec *Spec, pk *packing, dst, src *hashState) {
 // res. The ordering pass is the price the hash strategy pays for the
 // ordered-result contract — exactly what the dense and sort strategies
 // get for free.
+//
+//holistic:noalloc
 func emitHash(spec *Spec, h *hashState, res *Result) {
-	order := make([]int32, h.n)
+	h.order = grow32(h.order, h.n)
+	order := h.order
 	for i := range order {
 		order[i] = int32(i)
 	}
-	sort.Slice(order, func(a, b int) bool {
-		ga, gb := order[a], order[b]
+	slices.SortFunc(order, func(ga, gb int32) int {
 		for k := range h.keys {
 			if h.keys[k][ga] != h.keys[k][gb] {
-				return h.keys[k][ga] < h.keys[k][gb]
+				if h.keys[k][ga] < h.keys[k][gb] {
+					return -1
+				}
+				return 1
 			}
 		}
-		return false
+		return 0
 	})
 	for _, g := range order {
 		for k := range h.keys {

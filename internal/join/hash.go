@@ -53,10 +53,13 @@ type hashState struct {
 
 var hashStatePool = sync.Pool{New: func() any { return new(hashState) }}
 
+//holistic:alloc-ok pool warm-up allocates the recycled object
 func getHashState() *hashState { return hashStatePool.Get().(*hashState) }
 
+//holistic:noalloc
 func putHashState(st *hashState) { hashStatePool.Put(st) }
 
+//holistic:alloc-ok grows the retained buffer on first use or resize
 func grow32(s []int32, n int) []int32 {
 	if cap(s) < n {
 		return make([]int32, n)
@@ -64,6 +67,7 @@ func grow32(s []int32, n int) []int32 {
 	return s[:n]
 }
 
+//holistic:alloc-ok grows the retained buffer on first use or resize
 func grow64(s []int64, n int) []int64 {
 	if cap(s) < n {
 		return make([]int64, n)
@@ -71,6 +75,7 @@ func grow64(s []int64, n int) []int64 {
 	return s[:n]
 }
 
+//holistic:alloc-ok grows the retained buffer on first use or resize
 func growU32(s []uint32, n int) []uint32 {
 	if cap(s) < n {
 		return make([]uint32, n)
@@ -79,6 +84,8 @@ func growU32(s []uint32, n int) []uint32 {
 }
 
 // partitionBits picks the radix width from the build cardinality.
+//
+//holistic:noalloc
 func partitionBits(n int) int {
 	if n < minPartitionKeys {
 		return 0
@@ -94,6 +101,8 @@ func partitionBits(n int) int {
 // smaller side, probe with the larger, fold the terminal. pairs is
 // required (and filled) only for OpPairs; count reports the number of
 // matching pairs for every op, and sum the OpSum fold.
+//
+//holistic:alloc-ok goroutine fan-out for the parallel path
 func Hash(op Op, left, right Input, threads int, pairs *Pairs) (count, sum int64) {
 	if pairs != nil {
 		pairs.reset()
@@ -119,6 +128,8 @@ func Hash(op Op, left, right Input, threads int, pairs *Pairs) (count, sum int64
 // partition's open-addressing table. Partition builds are independent
 // (partition-disjoint slot regions and entry ranges), so they run in
 // parallel on large builds.
+//
+//holistic:alloc-ok goroutine fan-out for the parallel path
 func (st *hashState) build(in Input, sumOnBuild bool, threads int) {
 	n := len(in.Keys)
 	st.bits = partitionBits(n)
@@ -213,6 +224,8 @@ func (st *hashState) build(in Input, sumOnBuild bool, threads int) {
 // buildPart inserts partition p's entries into its slot region:
 // linear-probing on the key, duplicates chained through next with a
 // running per-key count and payload sum.
+//
+//holistic:noalloc
 func (st *hashState) buildPart(p int, sumOnBuild bool) {
 	slotLo, slotHi := st.slotOff[p], st.slotOff[p+1]
 	if slotLo == slotHi {
@@ -254,6 +267,8 @@ func (st *hashState) buildPart(p int, sumOnBuild bool) {
 // sum fold per-slot aggregates — duplicate chains are never walked —
 // and split across workers on large probes; OpPairs walks chains
 // sequentially into pairs.
+//
+//holistic:alloc-ok goroutine fan-out for the parallel path
 func (st *hashState) probe(op Op, in Input, swapped, sumOnBuild bool, threads int, pairs *Pairs) (count, sum int64) {
 	n := len(in.Keys)
 	if op.Kind != OpPairs && threads > 1 && n >= minParallelJoin {
@@ -289,6 +304,7 @@ func (st *hashState) probe(op Op, in Input, swapped, sumOnBuild bool, threads in
 	return st.probeRange(op, in, swapped, sumOnBuild, 0, n, pairs)
 }
 
+//holistic:noalloc
 func (st *hashState) probeRange(op Op, in Input, swapped, sumOnBuild bool, lo, hi int, pairs *Pairs) (count, sum int64) {
 	shift := uint(64 - st.bits)
 	for i := lo; i < hi; i++ {

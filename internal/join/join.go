@@ -95,6 +95,7 @@ type Pairs struct {
 // Len returns the number of matched pairs.
 func (p *Pairs) Len() int { return len(p.Left) }
 
+//holistic:noalloc
 func (p *Pairs) reset() {
 	p.Left = p.Left[:0]
 	p.Right = p.Right[:0]
@@ -103,6 +104,8 @@ func (p *Pairs) reset() {
 var pairsPool = sync.Pool{New: func() any { return new(Pairs) }}
 
 // GetPairs borrows a pooled, emptied Pairs.
+//
+//holistic:alloc-ok pool warm-up allocates the recycled object
 func GetPairs() *Pairs {
 	p := pairsPool.Get().(*Pairs)
 	p.reset()
@@ -111,6 +114,8 @@ func GetPairs() *Pairs {
 
 // PutPairs recycles a Pairs obtained from GetPairs; the caller must
 // not retain it or its slices.
+//
+//holistic:noalloc
 func PutPairs(p *Pairs) {
 	if p != nil {
 		pairsPool.Put(p)
@@ -157,6 +162,7 @@ type PairCol struct {
 	View column.View
 }
 
+//holistic:noalloc
 func (pc PairCol) rows(p *Pairs) column.PosList {
 	if pc.Side == Right {
 		return p.Right
@@ -177,6 +183,8 @@ const groupChunk = 4096
 // referenced attribute must have a value at every paired row (the
 // query runner's pre-join selection pipeline presence-filters each
 // side's referenced attributes).
+//
+//holistic:alloc-ok per-call plan and chunk buffers; the fused accumulators it feeds are noalloc
 func Grouped(p *Pairs, keys []PairCol, keyBounds [][2]int64, aggs []groupby.Agg, aggCols []PairCol, res *groupby.Result) error {
 	if len(keys) != len(keyBounds) {
 		return fmt.Errorf("join: %d key bounds for %d keys", len(keyBounds), len(keys))
@@ -230,6 +238,8 @@ func Grouped(p *Pairs, keys []PairCol, keyBounds [][2]int64, aggs []groupby.Agg,
 // splitmix64 is the avalanche finalizer of the splitmix64 generator —
 // the hash both join kernels key on (partition id from the top bits,
 // slot index from the bottom bits, so the two are independent).
+//
+//holistic:noalloc
 func splitmix64(x uint64) uint64 {
 	x ^= x >> 30
 	x *= 0xbf58476d1ce4e5b9
@@ -240,6 +250,8 @@ func splitmix64(x uint64) uint64 {
 }
 
 // pow2 returns the smallest power of two >= n (minimum 1).
+//
+//holistic:noalloc
 func pow2(n int) int {
 	p := 1
 	for p < n {

@@ -58,6 +58,8 @@ var mergeStatePool = sync.Pool{New: func() any { return new(mergeState) }}
 // the overlapping build entries scatter into value-indexed slots and
 // the probe entries fold against them. Wider probe clusters fall back
 // to a per-build-cluster pass with a pair-scoped hash table.
+//
+//holistic:noalloc
 func Merge(op Op, left, right Stream, spanLimit int, pairs *Pairs) (count, sum int64, ok bool) {
 	if pairs != nil {
 		pairs.reset()
@@ -149,6 +151,8 @@ func Merge(op Op, left, right Stream, spanLimit int, pairs *Pairs) (count, sum i
 // bufferBuild copies the build side's selected rows into flat cluster
 // storage (walk callbacks must not retain the streamed slices); false
 // when the side has no key-ordered access path.
+//
+//holistic:alloc-ok grows the retained buffer on first use or resize
 func (st *mergeState) bufferBuild(b *Stream, sumOnBuild, needRows bool) bool {
 	st.bkeys = st.bkeys[:0]
 	st.brows = st.brows[:0]
@@ -200,14 +204,14 @@ func (st *mergeState) bufferBuild(b *Stream, sumOnBuild, needRows bool) bool {
 // cluster through one dense accumulator covering the probe cluster's
 // value range [lo, hi]: every overlapping build entry scatters once,
 // every probe entry folds once.
+//
+//holistic:noalloc
 func (st *mergeState) joinSpan(op Op, kLo, kHi int, lo, hi int64, swapped, sumOnBuild bool, pairs *Pairs) (count, sum int64) {
 	span := int(hi-lo) + 1
-	if cap(st.cnt) < span {
-		st.head = make([]int32, span)
-		st.cnt = make([]int32, span)
-		st.sum = make([]int64, span)
-	}
-	head, cnt, ssum := st.head[:span], st.cnt[:span], st.sum[:span]
+	st.head = grow32(st.head, span)
+	st.cnt = grow32(st.cnt, span)
+	st.sum = grow64(st.sum, span)
+	head, cnt, ssum := st.head, st.cnt, st.sum
 	needChain := pairs != nil
 	for e, e1 := int(st.cstart[kLo]), int(st.cstart[kHi]); e < e1; e++ {
 		v := st.bkeys[e]
@@ -267,6 +271,8 @@ func (st *mergeState) joinSpan(op Op, kLo, kHi int, lo, hi int64, swapped, sumOn
 // when the probe cluster's span exceeds the dense bound (an unrefined
 // index): a small open-addressing table keyed by the exact value,
 // scoped to the build cluster's entries inside the range overlap.
+//
+//holistic:noalloc
 func (st *mergeState) joinWide(op Op, k int, pmin, pmax int64, swapped, sumOnBuild bool, pairs *Pairs) (count, sum int64) {
 	lo, hi := st.cmin[k], st.cmax[k]
 	if pmin > lo {
@@ -280,14 +286,12 @@ func (st *mergeState) joinWide(op Op, k int, pmin, pmax int64, swapped, sumOnBui
 	if slots < 8 {
 		slots = 8
 	}
-	if cap(st.whead) < slots {
-		st.wkey = make([]int64, slots)
-		st.whead = make([]int32, slots)
-		st.wcnt = make([]int32, slots)
-		st.wsum = make([]int64, slots)
-	}
-	wkey, whead := st.wkey[:slots], st.whead[:slots]
-	wcnt, wsum := st.wcnt[:slots], st.wsum[:slots]
+	st.wkey = grow64(st.wkey, slots)
+	st.whead = grow32(st.whead, slots)
+	st.wcnt = grow32(st.wcnt, slots)
+	st.wsum = grow64(st.wsum, slots)
+	wkey, whead := st.wkey, st.whead
+	wcnt, wsum := st.wcnt, st.wsum
 	clear(whead)
 	mask := uint64(slots - 1)
 	needChain := pairs != nil
@@ -345,6 +349,8 @@ func (st *mergeState) joinWide(op Op, k int, pmin, pmax int64, swapped, sumOnBui
 }
 
 // emitChain appends one probe row's matched build chain to pairs.
+//
+//holistic:noalloc
 func (st *mergeState) emitChain(head int32, probeRow uint32, swapped bool, pairs *Pairs) {
 	bl, pl := &pairs.Left, &pairs.Right
 	if swapped {

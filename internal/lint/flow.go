@@ -1,0 +1,363 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// The latch and pool checks share one structured abstract
+// interpretation over function bodies: resources (held latches,
+// borrowed pool objects) are acquired and released along paths, and the
+// walker maintains a per-path state, merging at control-flow joins.
+//
+// The analysis is deliberately intra-procedural and conservative in one
+// direction only: a resource is flagged when it is *definitely* leaked
+// — acquired on every path into an exit that releases it on none —
+// while conditionally-held states ("maybe") pass silently. That keeps
+// the checks free of false positives on the revalidation loops the
+// cracking latch protocol uses, at the cost of missing some
+// conditional leaks; the runtime gates and -race step back those up.
+
+// holdInfo tracks one held resource along a path.
+type holdInfo struct {
+	kind     string    // acquisition flavor, e.g. "Lock" / "RLock" / pool name
+	pos      token.Pos // acquisition site
+	definite bool      // held on every path that reaches here
+	depth    int       // loop depth at acquisition (continue/break checks)
+}
+
+// flowState is the per-path analysis state: resources currently held,
+// keyed by every name they are known under (aliases share the same
+// *holdInfo), plus the set of defer-released resource keys.
+type flowState struct {
+	held   map[string]*holdInfo
+	defers map[string]string // resource key → release kind
+	depth  int               // current loop nesting depth
+}
+
+func newFlowState() *flowState {
+	return &flowState{held: make(map[string]*holdInfo), defers: make(map[string]string)}
+}
+
+func (st *flowState) clone() *flowState {
+	c := &flowState{
+		held:   make(map[string]*holdInfo, len(st.held)),
+		defers: make(map[string]string, len(st.defers)),
+		depth:  st.depth,
+	}
+	// Aliased keys must keep sharing one holdInfo in the clone.
+	copied := make(map[*holdInfo]*holdInfo, len(st.held))
+	for k, info := range st.held {
+		ci, ok := copied[info]
+		if !ok {
+			dup := *info
+			ci = &dup
+			copied[info] = ci
+		}
+		c.held[k] = ci
+	}
+	for k, v := range st.defers {
+		c.defers[k] = v
+	}
+	return c
+}
+
+// acquire records a resource as held under key.
+func (st *flowState) acquire(key, kind string, pos token.Pos) {
+	st.held[key] = &holdInfo{kind: kind, pos: pos, definite: true, depth: st.depth}
+}
+
+// release drops a resource and every alias of it. It reports whether
+// the resource was held at all on this path.
+func (st *flowState) release(key string) (*holdInfo, bool) {
+	info, ok := st.held[key]
+	if !ok {
+		return nil, false
+	}
+	for k, i := range st.held {
+		if i == info {
+			delete(st.held, k)
+		}
+	}
+	return info, true
+}
+
+// alias registers newKey as another name for the resource currently
+// held under oldKey.
+func (st *flowState) alias(oldKey, newKey string) {
+	if info, ok := st.held[oldKey]; ok {
+		st.held[newKey] = info
+	}
+}
+
+// deferRelease records that a defer releases key with the given kind on
+// every exit from here on.
+func (st *flowState) deferRelease(key, kind string) { st.defers[key] = kind }
+
+// deferred reports the defer-release kind registered for key, if any.
+func (st *flowState) deferred(key string) (string, bool) {
+	k, ok := st.defers[key]
+	return k, ok
+}
+
+// mergeFrom folds another branch's exit state into st: resources held
+// in both stay definite, resources held in one become maybe-held, and
+// defers union.
+func (st *flowState) mergeFrom(other *flowState) {
+	for k, info := range st.held {
+		if _, ok := other.held[k]; !ok {
+			info.definite = false
+		}
+	}
+	for k, info := range other.held {
+		if _, ok := st.held[k]; !ok {
+			dup := *info
+			dup.definite = false
+			st.held[k] = &dup
+		}
+	}
+	for k, v := range other.defers {
+		st.defers[k] = v
+	}
+}
+
+// replaceWith makes st take other's contents (used when one branch of a
+// join terminated, so the join state is just the live branch's).
+func (st *flowState) replaceWith(other *flowState) {
+	st.held = other.held
+	st.defers = other.defers
+}
+
+// flowHooks are the tracker callbacks the walker drives.
+type flowHooks struct {
+	// simple handles one non-control-flow statement (assignments,
+	// expression statements, defers, declarations, go statements).
+	simple func(st *flowState, stmt ast.Stmt)
+	// ret handles a return statement; the walker terminates the path
+	// afterwards.
+	ret func(st *flowState, stmt *ast.ReturnStmt)
+	// cond may transfer state into the branches of an if statement
+	// based on its condition (the TryLock idiom). Either state may be
+	// mutated; cond runs after the condition's sub-expressions were
+	// shown to simple via the enclosing statement.
+	cond func(c ast.Expr, thenSt, elseSt *flowState)
+	// atEnd handles falling off the end of the function.
+	atEnd func(st *flowState, pos token.Pos)
+	// atBranch handles break/continue statements.
+	atBranch func(st *flowState, stmt *ast.BranchStmt)
+}
+
+// loopCtx collects the states of break statements targeting the
+// innermost loop, to merge at the loop exit.
+type loopCtx struct {
+	breaks []*flowState
+}
+
+type flowWalker struct {
+	hooks *flowHooks
+	loops []*loopCtx
+}
+
+// walkBody runs the analysis over a function body.
+func walkBody(body *ast.BlockStmt, hooks *flowHooks) {
+	w := &flowWalker{hooks: hooks}
+	st := newFlowState()
+	if !w.stmts(body.List, st) {
+		hooks.atEnd(st, body.Rbrace)
+	}
+}
+
+// stmts processes a statement list; it reports whether every path
+// through the list terminates (return, panic, or branching out).
+func (w *flowWalker) stmts(list []ast.Stmt, st *flowState) (terminated bool) {
+	for _, s := range list {
+		if w.stmt(s, st) {
+			return true
+		}
+	}
+	return false
+}
+
+// stmt processes one statement; it reports whether the path terminates.
+func (w *flowWalker) stmt(s ast.Stmt, st *flowState) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		w.hooks.ret(st, s)
+		return true
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			w.hooks.atBranch(st, s)
+			if len(w.loops) > 0 {
+				lc := w.loops[len(w.loops)-1]
+				lc.breaks = append(lc.breaks, st.clone())
+			}
+			return true
+		case token.CONTINUE:
+			w.hooks.atBranch(st, s)
+			return true
+		case token.GOTO:
+			// Rare; treated as falling through (documented limitation).
+			return false
+		default: // fallthrough
+			return false
+		}
+	case *ast.BlockStmt:
+		return w.stmts(s.List, st)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, st)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.hooks.simple(st, s.Init)
+		}
+		thenSt := st.clone()
+		elseSt := st
+		w.hooks.cond(s.Cond, thenSt, elseSt)
+		thenTerm := w.stmts(s.Body.List, thenSt)
+		elseTerm := false
+		if s.Else != nil {
+			elseTerm = w.stmt(s.Else, elseSt)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return true
+		case thenTerm:
+			// st is elseSt already.
+			return false
+		case elseTerm:
+			st.replaceWith(thenSt)
+			return false
+		default:
+			st.mergeFrom(thenSt)
+			return false
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.hooks.simple(st, s.Init)
+		}
+		lc := &loopCtx{}
+		w.loops = append(w.loops, lc)
+		bodySt := st.clone()
+		bodySt.depth++
+		w.stmts(s.Body.List, bodySt)
+		if s.Post != nil {
+			w.hooks.simple(bodySt, s.Post)
+		}
+		w.loops = w.loops[:len(w.loops)-1]
+		bodySt.depth--
+		infinite := s.Cond == nil
+		if infinite && len(lc.breaks) == 0 {
+			// for {} with no break: the only exits are returns inside.
+			return true
+		}
+		if !infinite {
+			// Zero-iteration path: entry state already in st.
+			st.mergeFrom(bodySt)
+		} else {
+			st.replaceWith(bodySt)
+		}
+		for _, bs := range lc.breaks {
+			bs.depth--
+			st.mergeFrom(bs)
+		}
+		return false
+	case *ast.RangeStmt:
+		lc := &loopCtx{}
+		w.loops = append(w.loops, lc)
+		bodySt := st.clone()
+		bodySt.depth++
+		w.stmts(s.Body.List, bodySt)
+		w.loops = w.loops[:len(w.loops)-1]
+		bodySt.depth--
+		st.mergeFrom(bodySt)
+		for _, bs := range lc.breaks {
+			bs.depth--
+			st.mergeFrom(bs)
+		}
+		return false
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return w.cases(s, st)
+	case *ast.ExprStmt:
+		w.hooks.simple(st, s)
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+		return false
+	default:
+		w.hooks.simple(st, s)
+		return false
+	}
+}
+
+// cases handles switch/type-switch/select uniformly: every clause is
+// analyzed from a clone of the entry state, and the exit is the merge
+// of all non-terminated clause exits (plus the entry when no default
+// clause guarantees a clause runs).
+func (w *flowWalker) cases(s ast.Stmt, st *flowState) bool {
+	var body *ast.BlockStmt
+	hasDefault := false
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.hooks.simple(st, s.Init)
+		}
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.hooks.simple(st, s.Init)
+		}
+		body = s.Body
+	case *ast.SelectStmt:
+		body = s.Body
+	}
+	// break inside switch/select targets the switch, not a loop; push a
+	// loop context so such breaks do not leak into an enclosing loop's
+	// merge, then fold them into the switch exit.
+	lc := &loopCtx{}
+	w.loops = append(w.loops, lc)
+	var live []*flowState
+	allTerm := true
+	for _, c := range body.List {
+		var stmts []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			stmts = c.Body
+			if c.List == nil {
+				hasDefault = true
+			}
+		case *ast.CommClause:
+			stmts = c.Body
+			if c.Comm == nil {
+				hasDefault = true
+			} else {
+				w.hooks.simple(st, c.Comm)
+			}
+		}
+		cs := st.clone()
+		if !w.stmts(stmts, cs) {
+			live = append(live, cs)
+			allTerm = false
+		}
+	}
+	w.loops = w.loops[:len(w.loops)-1]
+	live = append(live, lc.breaks...)
+	if len(lc.breaks) > 0 {
+		allTerm = false
+	}
+	if hasDefault && allTerm && len(live) == 0 {
+		return true
+	}
+	if hasDefault && len(live) > 0 {
+		st.replaceWith(live[0])
+		for _, ls := range live[1:] {
+			st.mergeFrom(ls)
+		}
+		return false
+	}
+	for _, ls := range live {
+		st.mergeFrom(ls)
+	}
+	return false
+}

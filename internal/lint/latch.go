@@ -1,0 +1,265 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The latch check enforces the per-column latch discipline the
+// concurrent executors rely on (DESIGN.md §8): within the function that
+// acquires a sync.Mutex / sync.RWMutex, every path to an exit must
+// release it — by defer or by explicit path-complete pairing — and the
+// same latch must never be re-acquired (or read/write upgraded) while
+// definitely held. Latches are identified by the source text of their
+// receiver expression; simple pointer aliasing (`pre = np`) is
+// followed, and the TryLock early-exit idiom is understood.
+
+// runLatch runs the latch check over the requested packages.
+func runLatch(ix *modIndex) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range ix.mod.Requested {
+		lc := &latchChecker{pkg: pkg, diags: &diags}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				lc.checkScopes(fd.Body)
+			}
+		}
+	}
+	return diags
+}
+
+type latchChecker struct {
+	pkg   *Package
+	diags *[]Diagnostic
+
+	// tryBinds maps a bool variable to the latch whose TryLock result
+	// it holds, so `ok := mu.TryLock(); if ok { ... }` is understood.
+	tryBinds map[types.Object]tryBind
+	// reported dedups per-scope diagnostics by acquisition site and
+	// reason, so a latch leaked past five returns reports once.
+	reported map[string]bool
+}
+
+type tryBind struct {
+	key  string
+	kind string
+}
+
+// checkScopes analyzes body as one scope, then every function literal
+// inside it as its own scope (a goroutine or callback body pairs its
+// own latches; literals that merely release via defer are handled by
+// the defer scan and skipped here).
+func (lc *latchChecker) checkScopes(body *ast.BlockStmt) {
+	deferred := make(map[*ast.FuncLit]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			if fl, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+				deferred[fl] = true
+			}
+		}
+		return true
+	})
+	lc.checkOne(body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok && !deferred[fl] {
+			lc.checkOne(fl.Body)
+		}
+		return true
+	})
+}
+
+// checkOne runs the flow analysis over one scope.
+func (lc *latchChecker) checkOne(body *ast.BlockStmt) {
+	lc.tryBinds = make(map[types.Object]tryBind)
+	lc.reported = make(map[string]bool)
+	hooks := &flowHooks{
+		simple:   lc.simple,
+		ret:      func(st *flowState, s *ast.ReturnStmt) { lc.checkExit(st, s.Pos(), "return") },
+		cond:     lc.cond,
+		atEnd:    func(st *flowState, pos token.Pos) { lc.checkExit(st, pos, "function end") },
+		atBranch: lc.atBranch,
+	}
+	walkBody(body, hooks)
+}
+
+func (lc *latchChecker) report(pos token.Pos, dedup, format string, args ...any) {
+	if lc.reported[dedup] {
+		return
+	}
+	lc.reported[dedup] = true
+	*lc.diags = append(*lc.diags, Diagnostic{
+		Pos:     lc.pkg.Fset.Position(pos),
+		Check:   "latch",
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// simple extracts latch events from one plain statement.
+func (lc *latchChecker) simple(st *flowState, stmt ast.Stmt) {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			lc.call(st, call)
+		}
+	case *ast.DeferStmt:
+		if fl, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			ast.Inspect(fl.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if recv, name, ok := recvOfSyncMethod(lc.pkg.Info, call, "Unlock", "RUnlock"); ok {
+						st.deferRelease(exprString(lc.pkg.Fset, recv), name)
+					}
+				}
+				return true
+			})
+			return
+		}
+		if recv, name, ok := recvOfSyncMethod(lc.pkg.Info, s.Call, "Unlock", "RUnlock"); ok {
+			st.deferRelease(exprString(lc.pkg.Fset, recv), name)
+		}
+	case *ast.AssignStmt:
+		// ok := mu.TryLock()
+		if len(s.Lhs) == 1 && len(s.Rhs) == 1 {
+			if id, ok := s.Lhs[0].(*ast.Ident); ok {
+				if call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr); ok {
+					if recv, name, ok := recvOfSyncMethod(lc.pkg.Info, call, "TryLock", "TryRLock"); ok {
+						obj := lc.pkg.Info.Defs[id]
+						if obj == nil {
+							obj = lc.pkg.Info.Uses[id]
+						}
+						if obj != nil {
+							lc.tryBinds[obj] = tryBind{key: exprString(lc.pkg.Fset, recv), kind: acquireKind(name)}
+						}
+						return
+					}
+				}
+				// Pointer aliasing: pre = np makes pre.latch another
+				// name for every latch currently held under np.
+				if rhs, ok := ast.Unparen(s.Rhs[0]).(*ast.Ident); ok {
+					oldBase, newBase := rhs.Name, id.Name
+					for key := range st.held {
+						if key == oldBase {
+							st.alias(key, newBase)
+						} else if len(key) > len(oldBase) && key[:len(oldBase)] == oldBase && key[len(oldBase)] == '.' {
+							st.alias(key, newBase+key[len(oldBase):])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// acquireKind maps a method name to the held-kind it establishes.
+func acquireKind(name string) string {
+	if name == "RLock" || name == "TryRLock" {
+		return "RLock"
+	}
+	return "Lock"
+}
+
+// releaseKindMatches reports whether a release method pairs with an
+// acquisition kind.
+func releaseKindMatches(held, release string) bool {
+	return (held == "Lock" && release == "Unlock") || (held == "RLock" && release == "RUnlock")
+}
+
+// call handles Lock/RLock/Unlock/RUnlock expression statements.
+func (lc *latchChecker) call(st *flowState, call *ast.CallExpr) {
+	recv, name, ok := recvOfSyncMethod(lc.pkg.Info, call, "Lock", "RLock", "Unlock", "RUnlock")
+	if !ok {
+		return
+	}
+	key := exprString(lc.pkg.Fset, recv)
+	switch name {
+	case "Lock", "RLock":
+		if info, held := st.held[key]; held && info.definite {
+			lc.report(call.Pos(), fmt.Sprintf("reacq:%d", call.Pos()),
+				"latch %s is already held (%s at %s); re-acquiring with %s self-deadlocks",
+				key, info.kind, lc.pkg.Fset.Position(info.pos), name)
+			return
+		}
+		st.acquire(key, acquireKind(name), call.Pos())
+	case "Unlock", "RUnlock":
+		if info, held := st.release(key); held {
+			if info.definite && !releaseKindMatches(info.kind, name) {
+				lc.report(call.Pos(), fmt.Sprintf("kind:%d", call.Pos()),
+					"latch %s was acquired with %s but is released with %s", key, info.kind, name)
+			}
+		}
+	}
+}
+
+// cond understands the TryLock idioms in if conditions:
+//
+//	if mu.TryLock() { ... held in then ... }
+//	if !mu.TryLock() { return } // held after the if
+//	if ok { ... } // ok bound from mu.TryLock()
+func (lc *latchChecker) cond(c ast.Expr, thenSt, elseSt *flowState) {
+	acquireInto := func(e ast.Expr, st *flowState) {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.CallExpr:
+			if recv, name, ok := recvOfSyncMethod(lc.pkg.Info, e, "TryLock", "TryRLock"); ok {
+				st.acquire(exprString(lc.pkg.Fset, recv), acquireKind(name), e.Pos())
+			}
+		case *ast.Ident:
+			if obj := lc.pkg.Info.Uses[e]; obj != nil {
+				if tb, ok := lc.tryBinds[obj]; ok {
+					st.acquire(tb.key, tb.kind, e.Pos())
+				}
+			}
+		}
+	}
+	switch c := ast.Unparen(c).(type) {
+	case *ast.UnaryExpr:
+		if c.Op == token.NOT {
+			acquireInto(c.X, elseSt)
+		}
+	default:
+		acquireInto(c, thenSt)
+	}
+}
+
+// checkExit reports latches definitely held at an exit with no
+// (matching) deferred release.
+func (lc *latchChecker) checkExit(st *flowState, pos token.Pos, what string) {
+	for key, info := range st.held {
+		if !info.definite {
+			continue
+		}
+		if kind, ok := st.deferred(key); ok {
+			if !releaseKindMatches(info.kind, kind) {
+				lc.report(info.pos, fmt.Sprintf("dkind:%d", info.pos),
+					"latch %s is acquired with %s but the deferred release is %s", key, info.kind, kind)
+			}
+			continue
+		}
+		lc.report(info.pos, fmt.Sprintf("leak:%d:%s", info.pos, what),
+			"latch %s (%s at %s) is not released on every path: still held at %s",
+			key, info.kind, lc.pkg.Fset.Position(info.pos), what)
+	}
+}
+
+// atBranch flags continue statements that would loop back around while
+// still holding a latch acquired in this iteration.
+func (lc *latchChecker) atBranch(st *flowState, stmt *ast.BranchStmt) {
+	if stmt.Tok != token.CONTINUE {
+		return
+	}
+	for key, info := range st.held {
+		if !info.definite || info.depth < st.depth {
+			continue
+		}
+		if _, ok := st.deferred(key); ok {
+			continue
+		}
+		lc.report(stmt.Pos(), fmt.Sprintf("cont:%d:%d", info.pos, stmt.Pos()),
+			"latch %s (%s at %s) is still held at continue; the next iteration re-acquires it",
+			key, info.kind, lc.pkg.Fset.Position(info.pos))
+	}
+}

@@ -1,0 +1,250 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: a position, the check that produced it,
+// and a human-readable message.
+type Diagnostic struct {
+	Pos     token.Position
+	Check   string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Check, d.Message)
+}
+
+// CheckInfo describes one registered check for -list output.
+type CheckInfo struct {
+	Name string
+	Desc string
+}
+
+// Checks enumerates the registered checks in the order they run.
+func Checks() []CheckInfo {
+	return []CheckInfo{
+		{"noalloc", "//holistic:noalloc functions must not contain allocating constructs, transitively through same-module callees"},
+		{"latch", "every Lock/RLock is released on all paths of the acquiring function; no same-latch reacquisition while held"},
+		{"pool", "every sync.Pool.Get is Put back on all exits; pooled values may not escape via return-after-Put or uncovered struct stores"},
+	}
+}
+
+// The annotation vocabulary. Annotations are magic comments in a
+// function's doc comment (see DESIGN.md §8):
+//
+//	//holistic:noalloc
+//	    The function is part of a steady-state zero-allocation path.
+//	    The noalloc check verifies it and everything it calls inside
+//	    the module.
+//	//holistic:alloc-ok <reason>
+//	    The function is a reviewed allocation boundary — it may
+//	    allocate (cold path, pool warm-up, goroutine fan-out) and
+//	    noalloc callers may still call it. The reason is mandatory.
+const (
+	annoNoAlloc = "holistic:noalloc"
+	annoAllocOK = "holistic:alloc-ok"
+)
+
+// funcInfo is the per-function record of the module index.
+type funcInfo struct {
+	decl    *ast.FuncDecl
+	pkg     *Package
+	noalloc bool
+	allocOK bool
+}
+
+// modIndex spans every loaded module package: the function table the
+// noalloc check resolves calls through, and the pool summaries the
+// pool check matches borrowers against releasers with.
+type modIndex struct {
+	mod   *Module
+	funcs map[*types.Func]*funcInfo
+}
+
+// Run executes the named checks (nil or empty means all) over the
+// module's requested packages and returns the findings sorted by
+// position. Malformed annotations are reported as diagnostics too.
+func (m *Module) Run(checks ...string) []Diagnostic {
+	if len(checks) == 0 {
+		for _, c := range Checks() {
+			checks = append(checks, c.Name)
+		}
+	}
+	ix := &modIndex{mod: m, funcs: make(map[*types.Func]*funcInfo)}
+	var diags []Diagnostic
+	for _, pkg := range m.All {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if obj == nil {
+					continue
+				}
+				info := &funcInfo{decl: fd, pkg: pkg}
+				if bad := parseAnnotations(fd, info); bad != "" && m.isRequested(pkg) {
+					diags = append(diags, Diagnostic{
+						Pos:     m.Fset.Position(fd.Pos()),
+						Check:   "noalloc",
+						Message: bad,
+					})
+				}
+				ix.funcs[obj] = info
+			}
+		}
+	}
+	for _, name := range checks {
+		switch name {
+		case "noalloc":
+			diags = append(diags, runNoAlloc(ix)...)
+		case "latch":
+			diags = append(diags, runLatch(ix)...)
+		case "pool":
+			diags = append(diags, runPool(ix)...)
+		default:
+			diags = append(diags, Diagnostic{Check: name, Message: fmt.Sprintf("unknown check %q", name)})
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+	return diags
+}
+
+// isRequested reports whether pkg is one of the packages the user asked
+// to lint (dependencies are loaded but not reported on directly).
+func (m *Module) isRequested(pkg *Package) bool {
+	for _, p := range m.Requested {
+		if p == pkg {
+			return true
+		}
+	}
+	return false
+}
+
+// parseAnnotations reads the holistic: annotations off a function's doc
+// comment into info, returning a non-empty message when one is
+// malformed.
+func parseAnnotations(fd *ast.FuncDecl, info *funcInfo) (problem string) {
+	if fd.Doc == nil {
+		return ""
+	}
+	for _, c := range fd.Doc.List {
+		text := strings.TrimPrefix(c.Text, "//")
+		switch {
+		case text == annoNoAlloc || strings.HasPrefix(text, annoNoAlloc+" "):
+			info.noalloc = true
+		case text == annoAllocOK:
+			return fmt.Sprintf("%s requires a reason, e.g. //holistic:alloc-ok grows the pooled buffer on first use", annoAllocOK)
+		case strings.HasPrefix(text, annoAllocOK+" "):
+			if strings.TrimSpace(strings.TrimPrefix(text, annoAllocOK+" ")) == "" {
+				return fmt.Sprintf("%s requires a non-empty reason", annoAllocOK)
+			}
+			info.allocOK = true
+		case strings.HasPrefix(text, "holistic:"):
+			return fmt.Sprintf("unknown annotation //%s", strings.Fields(text)[0])
+		}
+	}
+	if info.noalloc && info.allocOK {
+		return "a function cannot be both //holistic:noalloc and //holistic:alloc-ok"
+	}
+	if (info.noalloc || info.allocOK) && fd.Body == nil {
+		return "holistic: annotations require a function body"
+	}
+	return ""
+}
+
+// exprString renders an expression as compact source text — the
+// identity the latch check keys held latches by.
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	printer.Fprint(&buf, fset, e)
+	return buf.String()
+}
+
+// calleeFunc resolves a call expression to the *types.Func it invokes,
+// when that can be determined statically. ok is false for calls through
+// function values, builtins and type conversions. dynamic is true for
+// interface method calls (resolved to the interface method object).
+func calleeFunc(info *types.Info, call *ast.CallExpr) (fn *types.Func, dynamic bool, ok bool) {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	case *ast.IndexExpr: // generic instantiation f[T](...)
+		if id, isID := ast.Unparen(fun.X).(*ast.Ident); isID {
+			obj = info.Uses[id]
+		} else if sel, isSel := ast.Unparen(fun.X).(*ast.SelectorExpr); isSel {
+			obj = info.Uses[sel.Sel]
+		}
+	}
+	f, isFn := obj.(*types.Func)
+	if !isFn {
+		return nil, false, false
+	}
+	if sig, isSig := f.Type().(*types.Signature); isSig {
+		if recv := sig.Recv(); recv != nil && types.IsInterface(recv.Type()) {
+			return f, true, true
+		}
+	}
+	return f, false, true
+}
+
+// recvOfSyncMethod reports whether call is a method call on a
+// sync.Mutex or sync.RWMutex (directly or through a promoted embedded
+// field) with one of the given names, and returns the receiver
+// expression when so.
+func recvOfSyncMethod(info *types.Info, call *ast.CallExpr, names ...string) (recv ast.Expr, name string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", false
+	}
+	fn, _ := info.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, "", false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return nil, "", false
+	}
+	rt := sig.Recv().Type()
+	if p, isPtr := rt.(*types.Pointer); isPtr {
+		rt = p.Elem()
+	}
+	named, isNamed := rt.(*types.Named)
+	if !isNamed {
+		return nil, "", false
+	}
+	if tn := named.Obj().Name(); tn != "Mutex" && tn != "RWMutex" {
+		return nil, "", false
+	}
+	for _, n := range names {
+		if sel.Sel.Name == n {
+			return sel.X, n, true
+		}
+	}
+	return nil, "", false
+}

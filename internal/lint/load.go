@@ -1,0 +1,291 @@
+// Package lint implements holisticlint, the repository's custom
+// static-analysis suite. It enforces, at the source level, the three
+// invariants the hot paths otherwise guarantee only at runtime:
+//
+//   - noalloc: functions annotated //holistic:noalloc contain no
+//     allocating constructs, verified transitively through same-module
+//     callees (the static complement of the AllocsPerRun gates);
+//   - latch: every Lock/RLock is released on all paths of the
+//     acquiring function (defer or path-complete pairing), with no
+//     same-latch reacquisition while held;
+//   - pool: every sync.Pool.Get has a matching Put on all exits, and
+//     pooled values do not leak through returns or struct stores that
+//     no releaser covers.
+//
+// The suite is stdlib-only (go/parser + go/ast + go/types); it loads
+// and type-checks module packages itself, resolving standard-library
+// imports through the source importer, so it needs neither export data
+// nor external dependencies. See DESIGN.md §8 for the annotation
+// contract and the assumptions each check makes.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked module package.
+type Package struct {
+	Path  string // import path, e.g. holistic/internal/query
+	Dir   string // absolute directory
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Module holds every package a Load call brought in: the requested
+// ones (which the checks report on) plus all module-internal
+// dependencies (which the noalloc check follows calls into).
+type Module struct {
+	Path      string // module path from go.mod
+	Root      string // module root directory
+	Fset      *token.FileSet
+	Requested []*Package
+	All       map[string]*Package // by import path, dependencies included
+}
+
+// loader resolves and type-checks module packages on demand. It
+// implements types.Importer so packages can import each other.
+type loader struct {
+	fset    *token.FileSet
+	root    string
+	modPath string
+	std     types.Importer
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// Load parses and type-checks the packages matching patterns, rooted
+// at dir (which must be inside the module). Patterns are the usual
+// "./...", "./internal/query" forms; "./..." skips testdata and hidden
+// directories, but a testdata directory named explicitly loads fine —
+// that is how the lint tests reach their fixture packages. Test files
+// (_test.go) are never loaded: the invariants govern shipped code, and
+// test code exercises intentionally unbalanced states.
+func Load(dir string, patterns ...string) (*Module, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root, modPath, err := findModule(abs)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	ld := &loader{
+		fset:    fset,
+		root:    root,
+		modPath: modPath,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}
+	var dirs []string
+	seen := make(map[string]bool)
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "all" || pat == "./...":
+			walkPackageDirs(abs, add)
+		case strings.HasSuffix(pat, "/..."):
+			walkPackageDirs(filepath.Join(abs, strings.TrimSuffix(pat, "/...")), add)
+		default:
+			d := pat
+			if !filepath.IsAbs(d) {
+				d = filepath.Join(abs, d)
+			}
+			if !hasGoFiles(d) {
+				return nil, fmt.Errorf("lint: no Go files in %s", d)
+			}
+			add(d)
+		}
+	}
+	m := &Module{Path: modPath, Root: root, Fset: fset, All: ld.pkgs}
+	for _, d := range dirs {
+		ip, err := ld.importPathFor(d)
+		if err != nil {
+			return nil, err
+		}
+		pkg, err := ld.load(ip)
+		if err != nil {
+			return nil, err
+		}
+		m.Requested = append(m.Requested, pkg)
+	}
+	sort.Slice(m.Requested, func(i, j int) bool { return m.Requested[i].Path < m.Requested[j].Path })
+	return m, nil
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module root and module path.
+func findModule(dir string) (root, modPath string, err error) {
+	for d := dir; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module directive", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// walkPackageDirs calls add for every directory under root that holds
+// non-test Go files, skipping testdata, vendor and hidden directories.
+func walkPackageDirs(root string, add func(string)) {
+	filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return nil
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			add(path)
+		}
+		return nil
+	})
+}
+
+// hasGoFiles reports whether dir contains at least one non-test Go file.
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		n := e.Name()
+		if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// importPathFor maps a directory inside the module to its import path.
+func (ld *loader) importPathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(ld.root, dir)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return ld.modPath, nil
+	}
+	if strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("lint: %s is outside module %s", dir, ld.root)
+	}
+	return ld.modPath + "/" + filepath.ToSlash(rel), nil
+}
+
+// dirFor is the inverse of importPathFor.
+func (ld *loader) dirFor(importPath string) string {
+	if importPath == ld.modPath {
+		return ld.root
+	}
+	rel := strings.TrimPrefix(importPath, ld.modPath+"/")
+	return filepath.Join(ld.root, filepath.FromSlash(rel))
+}
+
+// Import implements types.Importer: module-internal paths load from
+// source recursively; everything else is delegated to the standard
+// library's source importer.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if path == ld.modPath || strings.HasPrefix(path, ld.modPath+"/") {
+		pkg, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Pkg, nil
+	}
+	return ld.std.Import(path)
+}
+
+// load parses and type-checks one module package, memoized.
+func (ld *loader) load(importPath string) (*Package, error) {
+	if pkg, ok := ld.pkgs[importPath]; ok {
+		return pkg, nil
+	}
+	if ld.loading[importPath] {
+		return nil, fmt.Errorf("lint: import cycle through %s", importPath)
+	}
+	ld.loading[importPath] = true
+	defer delete(ld.loading, importPath)
+
+	dir := ld.dirFor(importPath)
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %s: %w", importPath, err)
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, n), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: ld,
+		Error: func(err error) {
+			typeErrs = append(typeErrs, err)
+		},
+	}
+	tpkg, _ := conf.Check(importPath, ld.fset, files, info)
+	if len(typeErrs) > 0 {
+		msgs := make([]string, 0, len(typeErrs))
+		for i, e := range typeErrs {
+			if i == 8 {
+				msgs = append(msgs, fmt.Sprintf("... and %d more", len(typeErrs)-i))
+				break
+			}
+			msgs = append(msgs, e.Error())
+		}
+		return nil, fmt.Errorf("lint: type-checking %s failed:\n\t%s", importPath, strings.Join(msgs, "\n\t"))
+	}
+	pkg := &Package{Path: importPath, Dir: dir, Fset: ld.fset, Files: files, Pkg: tpkg, Info: info}
+	ld.pkgs[importPath] = pkg
+	return pkg, nil
+}

@@ -1,0 +1,67 @@
+// Package clean is a holisticlint fixture that must produce zero
+// diagnostics: an annotated hot path over latched, pooled state written
+// the way the real subsystems write it.
+package clean
+
+import "sync"
+
+type seg struct {
+	mu   sync.RWMutex
+	vals []int64
+}
+
+var bufPool = sync.Pool{New: func() any { return new([]int64) }}
+
+//holistic:alloc-ok pool warm-up sizes the recycled buffer
+func getBuf(n int) *[]int64 {
+	p := bufPool.Get().(*[]int64)
+	if cap(*p) < n {
+		*p = make([]int64, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+//holistic:noalloc
+func putBuf(p *[]int64) {
+	bufPool.Put(p)
+}
+
+//holistic:noalloc
+func (s *seg) sum(lo, hi int64) int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var acc int64
+	for _, v := range s.vals {
+		if v >= lo && v <= hi {
+			acc += v
+		}
+	}
+	return acc
+}
+
+//holistic:noalloc
+func (s *seg) gather(dst []int64, lo int64) []int64 {
+	s.mu.RLock()
+	for _, v := range s.vals {
+		if v >= lo {
+			dst = append(dst, v)
+		}
+	}
+	s.mu.RUnlock()
+	return dst
+}
+
+//holistic:noalloc
+func (s *seg) tally(lo, hi int64) int64 {
+	p := getBuf(0)
+	*p = s.gather((*p)[:0], lo)
+	var acc int64
+	for _, v := range *p {
+		if v <= hi {
+			acc++
+		}
+	}
+	putBuf(p)
+	return acc
+}

@@ -1,0 +1,150 @@
+// Package latch is a holisticlint fixture: latch-discipline bugs the
+// latch check must flag, and the legitimate protocols it must not.
+package latch
+
+import "sync"
+
+type piece struct {
+	latch sync.RWMutex
+	n     int
+}
+
+type col struct {
+	mu     sync.Mutex
+	global sync.RWMutex
+	head   *piece
+}
+
+// leakOnReturn forgets the latch on the early exit.
+func (c *col) leakOnReturn(stop bool) int {
+	c.mu.Lock() // want "not released on every path"
+	if stop {
+		return 0
+	}
+	c.mu.Unlock()
+	return 1
+}
+
+// leakAtEnd never releases at all.
+func (c *col) leakAtEnd() {
+	c.mu.Lock() // want "not released on every path"
+	c.head = nil
+}
+
+// reacquire self-deadlocks: the latch is still definitely held.
+func (c *col) reacquire() {
+	c.mu.Lock()
+	c.mu.Lock() // want "self-deadlocks"
+	c.mu.Unlock()
+	c.mu.Unlock()
+}
+
+// kindMismatch releases a write latch with the read release.
+func (p *piece) kindMismatch() {
+	p.latch.Lock()
+	p.latch.RUnlock() // want "released with RUnlock"
+}
+
+// leakAtContinue loops back holding the latch it would retake.
+func (c *col) leakAtContinue(ps []*piece) {
+	for _, p := range ps {
+		p.latch.Lock()
+		if p.n == 0 {
+			continue // want "still held at continue"
+		}
+		p.n++
+		p.latch.Unlock()
+	}
+}
+
+// deferMismatch pairs a write acquire with a deferred read release.
+func (p *piece) deferMismatch() {
+	p.latch.Lock() // want "deferred release is RUnlock"
+	defer p.latch.RUnlock()
+	p.n++
+}
+
+// --- the protocols the cracked-column code uses, all silent ---
+
+// deferred is the plain defer pairing.
+func (c *col) deferred() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.head = nil
+}
+
+// deferredClosure releases inside a deferred closure.
+func (c *col) deferredClosure() {
+	c.mu.Lock()
+	defer func() {
+		c.head = nil
+		c.mu.Unlock()
+	}()
+}
+
+// pathComplete pairs explicitly on every path.
+func (c *col) pathComplete(stop bool) int {
+	c.mu.Lock()
+	if stop {
+		c.mu.Unlock()
+		return 0
+	}
+	c.head = nil
+	c.mu.Unlock()
+	return 1
+}
+
+// tryIdiom is the TryLock early-return protocol of TryRefineAt.
+func (p *piece) tryIdiom() bool {
+	if !p.latch.TryLock() {
+		return false
+	}
+	p.n++
+	p.latch.Unlock()
+	return true
+}
+
+// tryBound binds the TryLock result before branching on it.
+func (p *piece) tryBound() bool {
+	ok := p.latch.TryLock()
+	if !ok {
+		return false
+	}
+	p.n++
+	p.latch.Unlock()
+	return true
+}
+
+// revalidate is the optimistic-revalidation loop of crackAt: acquire,
+// recheck under c.mu, release-and-retry on conflict.
+func (c *col) revalidate(p *piece) {
+	for {
+		c.mu.Lock()
+		cur := c.head
+		c.mu.Unlock()
+		if cur != p {
+			p.latch.Lock()
+			if c.head != p {
+				p.latch.Unlock()
+				continue
+			}
+			p.n++
+			p.latch.Unlock()
+		}
+		return
+	}
+}
+
+// aliased releases through a second name, like the stochastic
+// pre-locking in crackAt (preLocked = np).
+func (c *col) aliased(a, b *piece, takeB bool) {
+	var pre *piece
+	if takeB {
+		b.latch.Lock()
+		pre = b
+	}
+	a.n++
+	if pre != nil {
+		pre.latch.Unlock()
+	}
+}

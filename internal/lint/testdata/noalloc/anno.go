@@ -1,0 +1,14 @@
+package noalloc
+
+// Malformed annotations are diagnostics in their own right; they
+// report at the function declaration.
+
+//holistic:alloc-ok
+func reasonless() {} // want "requires a reason"
+
+//holistic:frobnicate
+func unknownAnno() {} // want "unknown annotation"
+
+//holistic:noalloc
+//holistic:alloc-ok covers everything, honest
+func both() {} // want "cannot be both"

@@ -101,6 +101,8 @@ type GroupAgg struct {
 // Count answers "select count(*) from L join R on ...": the number of
 // matching pairs. On the hash path this folds per-slot match counts
 // through pooled scratch — the steady state allocates nothing.
+//
+//holistic:noalloc
 func (j *Join) Count() (int64, error) {
 	count, _, err := j.run(join.Op{Kind: join.OpCount}, nil, nil, nil)
 	return count, err
@@ -213,6 +215,8 @@ func (j *Join) GroupedInto(res *groupby.Result, keys []GroupKey, aggs []GroupAgg
 // run executes the join and releases both sides' scratch before
 // returning — usable for the scalar terminals, whose results do not
 // reference scratch-held views.
+//
+//holistic:noalloc
 func (j *Join) run(op join.Op, lExtra, rExtra []string, pairs *join.Pairs) (count, sum int64, err error) {
 	lsc, rsc, err := j.runInto(op, lExtra, rExtra, pairs)
 	if lsc != nil {
@@ -230,6 +234,8 @@ func (j *Join) run(op join.Op, lExtra, rExtra []string, pairs *join.Pairs) (coun
 // runInto executes the join, leaving both sides' scratch (and the
 // views the grouped terminal gathers through) alive for the caller to
 // release.
+//
+//holistic:noalloc
 func (j *Join) runInto(op join.Op, lExtra, rExtra []string, pairs *join.Pairs) (lsc, rsc *scratch, err error) {
 	j.count, j.sum = 0, 0
 	if pairs != nil {
@@ -237,19 +243,19 @@ func (j *Join) runInto(op join.Op, lExtra, rExtra []string, pairs *join.Pairs) (
 		pairs.Right = pairs.Right[:0]
 	}
 	if j.left.table.Column(j.leftAttr) == nil {
-		return nil, nil, fmt.Errorf("query: unknown join attribute %q", j.leftAttr)
+		return nil, nil, errf("query: unknown join attribute %q", j.leftAttr)
 	}
 	if j.right.table.Column(j.rightAttr) == nil {
-		return nil, nil, fmt.Errorf("query: unknown join attribute %q", j.rightAttr)
+		return nil, nil, errf("query: unknown join attribute %q", j.rightAttr)
 	}
 	for _, a := range lExtra {
 		if j.left.table.Column(a) == nil {
-			return nil, nil, fmt.Errorf("query: unknown attribute %q", a)
+			return nil, nil, errf("query: unknown attribute %q", a)
 		}
 	}
 	for _, a := range rExtra {
 		if j.right.table.Column(a) == nil {
-			return nil, nil, fmt.Errorf("query: unknown attribute %q", a)
+			return nil, nil, errf("query: unknown attribute %q", a)
 		}
 	}
 
@@ -338,6 +344,8 @@ func (j *Join) runInto(op join.Op, lExtra, rExtra []string, pairs *join.Pairs) (
 
 // sumAttr recovers the OpSum attribute from the extras the Sum
 // terminal threaded through (exactly one side carries it).
+//
+//holistic:noalloc
 func sumAttr(op join.Op, lExtra, rExtra []string) string {
 	if op.SumSide == join.Left {
 		return lExtra[0]
@@ -351,6 +359,8 @@ func sumAttr(op join.Op, lExtra, rExtra []string) string {
 // side's payload attributes ride along as extras, so every selected
 // row has a value in all of them. live is false when the selection is
 // provably empty.
+//
+//holistic:noalloc
 func selectSide(r *Runner, sc *scratch, preds []Predicate, joinAttr string, extra []string) (live, useBm bool, err error) {
 	sc.extras = append(sc.extras[:0], joinAttr)
 	for _, a := range extra {
@@ -390,6 +400,8 @@ func selectSide(r *Runner, sc *scratch, preds []Predicate, joinAttr string, extr
 
 // gatherJoinSide materializes one side's selected join keys and rows
 // into the side's pooled scratch — the hash join's input form.
+//
+//holistic:noalloc
 func gatherJoinSide(sc *scratch, attr string, useBm bool) join.Input {
 	var rows column.PosList
 	if useBm {
@@ -409,6 +421,8 @@ func gatherJoinSide(sc *scratch, attr string, useBm bool) join.Input {
 // selections are dense enough to justify walking both indexes end to
 // end. A forced merge strategy skips the profitability checks but not
 // the availability ones.
+//
+//holistic:noalloc
 func (j *Join) chooseMerge(lsc, rsc *scratch, lUseBm, rUseBm bool) bool {
 	forced := JoinStrategy(j.left.joinStrategy.Load())
 	if forced == JoinHash {

