@@ -22,12 +22,15 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"time"
 
 	"holistic/internal/bench"
+	"holistic/internal/obs"
 )
 
 // main delegates to run so deferred profile writers flush on every
@@ -56,6 +59,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		tpchOrders  = fs.Int("tpch-orders", defaults.TPCHOrders, "ORDERS cardinality for fig14")
 		seed        = fs.Int64("seed", defaults.Seed, "random seed")
 		jsonPath    = fs.String("json", "", "also write the results as a JSON array to this file")
+		metricsAddr = fs.String("metrics-addr", "", "serve /debug/holistic, /debug/vars and pprof on this address for the run's duration")
 		cpuProfile  = fs.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 		memProfile  = fs.String("memprofile", "", "write a heap profile taken after the run to this file")
 	)
@@ -92,6 +96,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 				fmt.Fprintln(stderr, "holisticbench: memprofile:", err)
 			}
 		}()
+	}
+
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fmt.Fprintln(stderr, "holisticbench: metrics-addr:", err)
+			return 1
+		}
+		defer ln.Close()
+		fmt.Fprintf(stdout, "metrics: http://%s/debug/holistic\n", ln.Addr())
+		go func() { _ = http.Serve(ln, obs.Handler()) }()
 	}
 
 	if *list {

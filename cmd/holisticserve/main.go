@@ -1,0 +1,149 @@
+// Command holisticserve runs an instrumented holistic store under a
+// continuous synthetic workload and serves its telemetry over HTTP:
+//
+//	/debug/holistic   JSON snapshot of every registered store's Metrics
+//	/debug/vars       expvar (includes the "holistic" variable)
+//	/debug/pprof/*    the standard profiles
+//
+// Usage:
+//
+//	holisticserve -addr :8090                   # serve until SIGINT
+//	holisticserve -addr 127.0.0.1:0 -duration 5s -trace traces.jsonl
+//
+// The workload mixes multi-predicate counts, sums, grouped aggregates
+// and a self-join so every subsystem's telemetry moves: watch the
+// daemon's convergence ratio climb and the strategy timeline flip from
+// hash to index-clustered grouping as refinement proceeds.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"holistic"
+	"holistic/internal/obs"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the server against explicit arguments and output
+// streams so tests can drive the full surface in-process. It returns
+// after -duration (or on SIGINT/SIGTERM when the duration is 0).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("holisticserve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:8090", "HTTP listen address (host:0 picks a free port)")
+		rows     = fs.Int("rows", 200_000, "rows per attribute of the demo relation")
+		threads  = fs.Int("threads", 0, "hardware-context budget (0: all CPUs)")
+		interval = fs.Duration("interval", time.Millisecond, "daemon tuning interval")
+		duration = fs.Duration("duration", 0, "stop after this long (0: run until SIGINT)")
+		pause    = fs.Duration("pause", 2*time.Millisecond, "idle time between workload queries")
+		trace    = fs.String("trace", "", "stream per-query JSONL traces to this file")
+		seed     = fs.Int64("seed", 1, "random seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "holisticserve: listen:", err)
+		return 1
+	}
+	defer ln.Close()
+	fmt.Fprintf(stdout, "holisticserve: listening on http://%s/debug/holistic\n", ln.Addr())
+	go func() { _ = http.Serve(ln, obs.Handler()) }()
+
+	store := holistic.NewStore(holistic.Config{
+		Mode:           holistic.ModeHolistic,
+		Threads:        *threads,
+		TuningInterval: *interval,
+		Seed:           *seed,
+	})
+	defer store.Close()
+	rng := rand.New(rand.NewSource(*seed))
+	const domain = 1 << 14
+	for _, name := range []string{"a", "b", "c", "g"} {
+		vals := make([]int64, *rows)
+		lim := int64(domain)
+		if name == "g" {
+			lim = 64 // a group key with a dense-packable domain
+		}
+		for i := range vals {
+			vals[i] = rng.Int63n(lim)
+		}
+		if err := store.AddIntColumn(name, vals); err != nil {
+			fmt.Fprintln(stderr, "holisticserve:", err)
+			return 1
+		}
+	}
+
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fmt.Fprintln(stderr, "holisticserve: trace:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := store.SetTraceJSONL(f); err != nil {
+			fmt.Fprintln(stderr, "holisticserve: trace:", err)
+			return 1
+		}
+		defer store.SetTraceJSONL(nil)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *duration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *duration)
+		defer cancel()
+	}
+
+	queries := 0
+	for ; ctx.Err() == nil; queries++ {
+		lo := rng.Int63n(domain / 2)
+		span := 1 + rng.Int63n(domain/2)
+		q := store.Query().Where("a", lo, lo+span).Where("b", 0, domain*3/4)
+		var err error
+		switch queries % 8 {
+		case 6:
+			_, err = q.GroupBy("g").Aggregate(holistic.Count(), holistic.Sum("c"))
+		case 7:
+			_, err = q.Sum("c")
+		default:
+			_, err = q.Count()
+		}
+		if err != nil {
+			fmt.Fprintln(stderr, "holisticserve:", err)
+			return 1
+		}
+		select {
+		case <-ctx.Done():
+		case <-time.After(*pause):
+		}
+	}
+	m := store.Metrics()
+	conv := 0.0
+	if m.Daemon != nil {
+		conv = m.Daemon.Ratio
+	}
+	fmt.Fprintf(stdout, "holisticserve: %d queries served, convergence ratio %.3f\n", queries, conv)
+	return 0
+}

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// lockedBuffer lets the test read stdout while run is still writing.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var addrRE = regexp.MustCompile(`http://([^/\s]+)/debug/holistic`)
+
+// TestServeSmoke boots the server on an ephemeral port with a short
+// workload, scrapes the telemetry endpoints mid-run, and checks the
+// trace stream: the end-to-end path CI exercises.
+func TestServeSmoke(t *testing.T) {
+	tracePath := filepath.Join(t.TempDir(), "trace.jsonl")
+	var stdout lockedBuffer
+	var stderr bytes.Buffer
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-rows", "20000",
+			"-duration", "1500ms",
+			"-pause", "1ms",
+			"-trace", tracePath,
+		}, &stdout, &stderr)
+	}()
+
+	// Wait for the listen line.
+	var addr string
+	for i := 0; i < 100 && addr == ""; i++ {
+		if m := addrRE.FindStringSubmatch(stdout.String()); m != nil {
+			addr = m[1]
+		} else {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	if addr == "" {
+		t.Fatalf("no listen address announced; stderr: %s", stderr.String())
+	}
+	time.Sleep(300 * time.Millisecond) // let some workload through
+
+	body := get(t, "http://"+addr+"/debug/holistic")
+	var snap []struct {
+		Name    string          `json:"name"`
+		Metrics json.RawMessage `json:"metrics"`
+	}
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("bad /debug/holistic payload: %v\n%s", err, body)
+	}
+	if len(snap) == 0 {
+		t.Fatal("no metrics sources registered")
+	}
+	for _, series := range []string{`"latency"`, `"p99_us"`, `"convergence_ratio"`, `"cycle_totals"`, `"representations"`} {
+		if !bytes.Contains(body, []byte(series)) {
+			t.Errorf("endpoint missing required series %s", series)
+		}
+	}
+
+	if vars := get(t, "http://"+addr+"/debug/vars"); !bytes.Contains(vars, []byte(`"holistic"`)) {
+		t.Error("/debug/vars missing the holistic expvar")
+	}
+	if prof := get(t, "http://"+addr+"/debug/pprof/cmdline"); len(prof) == 0 {
+		t.Error("/debug/pprof/cmdline empty")
+	}
+
+	if code := <-done; code != 0 {
+		t.Fatalf("run exited %d; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "queries served") {
+		t.Errorf("missing summary line: %s", stdout.String())
+	}
+
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(raw), []byte("\n"))
+	if len(lines) < 10 {
+		t.Fatalf("trace stream too short: %d lines", len(lines))
+	}
+	for i, ln := range lines {
+		var tr struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal(ln, &tr); err != nil {
+			t.Fatalf("trace line %d invalid: %v", i+1, err)
+		}
+		if tr.Kind == "" {
+			t.Fatalf("trace line %d missing kind", i+1)
+		}
+	}
+}
+
+func get(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}

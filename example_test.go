@@ -164,3 +164,33 @@ func ExampleQuery_GroupBy() {
 	// region 2: 2124 rows, sum 1062035, max 997
 	// region 3: 2123 rows, sum 1058219, max 997
 }
+
+// ExampleStore_Metrics demonstrates the telemetry snapshot: lifetime
+// query counters with latency percentiles, the physical choices made,
+// and (under ModeHolistic) the daemon's convergence state. The same
+// snapshot is served per store on /debug/holistic (cmd/holisticserve).
+func ExampleStore_Metrics() {
+	store := holistic.NewStore(holistic.Config{Mode: holistic.ModeAdaptive, Threads: 1})
+	defer store.Close()
+
+	vals := make([]int64, 50_000)
+	for i := range vals {
+		vals[i] = int64(i * 31 % 9973)
+	}
+	store.AddIntColumn("x", vals)
+	store.AddIntColumn("y", vals)
+
+	for lo := int64(0); lo < 3000; lo += 1000 {
+		store.Query().Where("x", lo, lo+2000).Where("y", 0, 9000).Count()
+	}
+
+	m := store.Metrics()
+	lat := m.Query.Latency["count"]
+	fmt.Printf("mode %s: %d queries, %d count latencies recorded, p99 > 0: %v\n",
+		m.Mode, m.Query.Queries, lat.Count, lat.P99US > 0)
+	fmt.Printf("bitmap selections: %v, cracker builds: %d\n",
+		m.Query.Representations["bitmap"] > 0, m.Exec.CrackerBuilds)
+	// Output:
+	// mode adaptive: 3 queries, 3 count latencies recorded, p99 > 0: true
+	// bitmap selections: true, cracker builds: 1
+}

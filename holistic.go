@@ -53,7 +53,9 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"holistic/internal/column"
@@ -62,6 +64,7 @@ import (
 	"holistic/internal/groupby"
 	"holistic/internal/holistic"
 	"holistic/internal/join"
+	"holistic/internal/obs"
 	"holistic/internal/query"
 	"holistic/internal/stats"
 )
@@ -202,6 +205,13 @@ var ErrClosed = errors.New("holistic: store is closed")
 type Store struct {
 	cfg Config
 
+	// met and execMet are the store's lifetime telemetry aggregates
+	// (query latency histograms and access-path counters); obsName is
+	// the name the store is published under on /debug/holistic.
+	met     *obs.QueryMetrics
+	execMet *obs.ExecMetrics
+	obsName string
+
 	mu     sync.Mutex
 	table  *engine.Table
 	exec   engine.Executor
@@ -209,9 +219,22 @@ type Store struct {
 	closed bool
 }
 
-// NewStore creates an empty store.
+// storeSeq numbers stores for the process-wide metrics registry.
+var storeSeq atomic.Int64
+
+// NewStore creates an empty store. Every store registers itself as a
+// metrics source, so its Metrics snapshot appears on the
+// /debug/holistic endpoint (see DESIGN.md §9) until Close.
 func NewStore(cfg Config) *Store {
-	return &Store{cfg: cfg, table: engine.NewTable("store")}
+	s := &Store{
+		cfg:     cfg,
+		table:   engine.NewTable("store"),
+		met:     obs.NewQueryMetrics(),
+		execMet: &obs.ExecMetrics{},
+	}
+	s.obsName = "store-" + strconv.FormatInt(storeSeq.Add(1), 10)
+	obs.RegisterSource(s.obsName, func() any { return s.Metrics() })
+	return s
 }
 
 // AddIntColumn adds a named column. Columns must be added before the
@@ -237,6 +260,9 @@ func (s *Store) executor() (engine.Executor, error) {
 	}
 	if s.exec == nil {
 		s.exec = s.build()
+		if ins, ok := s.exec.(engine.Instrumented); ok {
+			ins.SetExecMetrics(s.execMet)
+		}
 	}
 	return s.exec, nil
 }
@@ -310,7 +336,20 @@ func (s *Store) CountRange(attr string, lo, hi int64) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	return exec.Count(attr, lo, hi)
+	start := time.Now()
+	n, err := exec.Count(attr, lo, hi)
+	s.recordOp(obs.OpCount, start)
+	return n, err
+}
+
+// recordOp folds one single-predicate range operation into the store's
+// lifetime telemetry (query count plus the per-operation latency
+// histogram).
+//
+//holistic:noalloc
+func (s *Store) recordOp(op obs.Op, start time.Time) {
+	s.met.NextSeq()
+	s.met.RecordOp(op, time.Since(start).Nanoseconds())
 }
 
 // SumRange answers "select sum(attr) where lo <= attr < hi", pushing the
@@ -322,7 +361,10 @@ func (s *Store) SumRange(attr string, lo, hi int64) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return exec.Sum(attr, lo, hi)
+	start := time.Now()
+	v, err := exec.Sum(attr, lo, hi)
+	s.recordOp(obs.OpSum, start)
+	return v, err
 }
 
 // MinMaxRange answers "select min(attr), max(attr) where lo <= attr < hi";
@@ -332,7 +374,10 @@ func (s *Store) MinMaxRange(attr string, lo, hi int64) (mn, mx int64, ok bool, e
 	if err != nil {
 		return 0, 0, false, err
 	}
-	return exec.MinMax(attr, lo, hi)
+	start := time.Now()
+	mn, mx, ok, err = exec.MinMax(attr, lo, hi)
+	s.recordOp(obs.OpMinMax, start)
+	return mn, mx, ok, err
 }
 
 // SelectRows materializes the base row ids of the qualifying tuples, in
@@ -344,7 +389,10 @@ func (s *Store) SelectRows(attr string, lo, hi int64) ([]uint32, error) {
 	if err != nil {
 		return nil, err
 	}
-	return exec.SelectRows(attr, lo, hi)
+	start := time.Now()
+	rows, err := exec.SelectRows(attr, lo, hi)
+	s.recordOp(obs.OpRows, start)
+	return rows, err
 }
 
 // Insert appends a value to a column as a pending insertion, merged into
@@ -414,6 +462,7 @@ func (s *Store) runner() (*query.Runner, error) {
 	}
 	if s.qr == nil {
 		s.qr = query.New(s.table, s.exec, s.cfg.threads())
+		s.qr.SetMetrics(s.met)
 	}
 	return s.qr, nil
 }
@@ -820,7 +869,7 @@ func (s *Store) Stats() Stats {
 	case *engine.HolisticExecutor:
 		st.Pieces = e.TotalPieces()
 		st.Refinements = e.Daemon.Refinements()
-		st.Activations = len(e.Daemon.Cycles())
+		st.Activations = int(e.Daemon.CycleTotals().Cycles)
 	case *engine.AdaptiveExecutor:
 		st.Pieces = e.TotalPieces()
 	}
@@ -836,6 +885,7 @@ func (s *Store) Close() {
 		return
 	}
 	s.closed = true
+	obs.UnregisterSource(s.obsName)
 	if s.exec != nil {
 		s.exec.Close()
 	}

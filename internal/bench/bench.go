@@ -21,6 +21,7 @@ import (
 
 	"holistic/internal/column"
 	"holistic/internal/engine"
+	"holistic/internal/obs"
 	"holistic/internal/workload"
 )
 
@@ -74,6 +75,27 @@ type Result struct {
 	Rows    [][]string
 	Notes   []string
 	Elapsed time.Duration
+	// Percentiles carries per-cell latency digests (count, mean and
+	// p50/p90/p99/p999 in µs), keyed e.g. "holistic/count" — part of
+	// the exported BENCH_*.json schema.
+	Percentiles map[string]obs.LatencySummary `json:",omitempty"`
+	// StrategyTimeline records the physical-strategy transitions the
+	// experiment's instrumented runners observed (e.g. the join
+	// flipping from hash to index-clustered merge once refinement
+	// converges).
+	StrategyTimeline []obs.TimelineEvent `json:",omitempty"`
+}
+
+// AddPercentiles records one labeled latency digest; empty digests
+// (nothing recorded under that op) are skipped.
+func (r *Result) AddPercentiles(label string, s obs.LatencySummary) {
+	if s.Count == 0 {
+		return
+	}
+	if r.Percentiles == nil {
+		r.Percentiles = make(map[string]obs.LatencySummary)
+	}
+	r.Percentiles[label] = s
 }
 
 // AddRow appends a formatted row.
@@ -120,6 +142,21 @@ func (r *Result) Fprint(w io.Writer) {
 	}
 	for _, n := range r.Notes {
 		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	if len(r.Percentiles) > 0 {
+		labels := make([]string, 0, len(r.Percentiles))
+		for l := range r.Percentiles {
+			labels = append(labels, l)
+		}
+		sort.Strings(labels)
+		for _, l := range labels {
+			p := r.Percentiles[l]
+			fmt.Fprintf(w, "  latency %-24s n=%-6d p50=%.1fµs p90=%.1fµs p99=%.1fµs\n",
+				l, p.Count, p.P50US, p.P90US, p.P99US)
+		}
+	}
+	for _, ev := range r.StrategyTimeline {
+		fmt.Fprintf(w, "  strategy@q%-6d %s → %s\n", ev.Seq, ev.Subsystem, ev.Strategy)
 	}
 	fmt.Fprintln(w)
 }

@@ -120,6 +120,9 @@ func runConj(p Params) (*Result, error) {
 		// Close first: the daemon finishes its in-flight cycle, so the
 		// refinement counter is final.
 		s.Close()
+		m := s.Metrics()
+		r.AddPercentiles(mode.String()+"/count", m.Query.Latency["count"])
+		r.AddPercentiles(mode.String()+"/sum", m.Query.Latency["sum"])
 		if mode == holistic.ModeHolistic {
 			refinements = s.Stats().Refinements
 		}

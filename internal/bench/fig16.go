@@ -160,7 +160,7 @@ func runFig17(p Params) (*Result, error) {
 			return nil, err
 		}
 		hiCost := time.Since(start)
-		activations := len(hi.Daemon.Cycles())
+		activations := int(hi.Daemon.CycleTotals().Cycles)
 		hi.Close()
 
 		r.AddRow(fmt.Sprintf("%d", clients), secs(pvdcCost), secs(hiCost), fmt.Sprintf("%d", activations))

@@ -254,7 +254,7 @@ func runFig6d(p Params) (*Result, error) {
 	// Give the tuning loop a few more measurement windows so that very
 	// short (reduced-scale) workloads still record activations.
 	time.Sleep(5 * p.Interval)
-	if len(hol.Daemon.Cycles()) == 0 {
+	if hol.Daemon.CycleTotals().Cycles == 0 {
 		hol.Daemon.RunCycleNow(p.Threads / 2)
 	}
 	hol.Close()
@@ -269,7 +269,7 @@ func runFig6d(p Params) (*Result, error) {
 		r.AddRow(fmt.Sprintf("%d", i+1), fmt.Sprintf("%d", c.Workers), ms(c.WorkerTime), fmt.Sprintf("%d", c.Refinements))
 	}
 	r.AddNote("activations: %d, total refinements: %d, busy re-rolls: %d",
-		len(cycles), hol.Daemon.Refinements(), hol.Daemon.BusyRerolls())
+		hol.Daemon.CycleTotals().Cycles, hol.Daemon.Refinements(), hol.Daemon.BusyRerolls())
 	r.AddNote("paper shape: worker time is high for the first activations and collapses as pieces shrink")
 	return r, nil
 }

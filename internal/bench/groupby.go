@@ -9,6 +9,7 @@ import (
 	"holistic/internal/engine"
 	"holistic/internal/groupby"
 	"holistic/internal/holistic"
+	"holistic/internal/obs"
 	"holistic/internal/query"
 	"holistic/internal/workload"
 )
@@ -76,6 +77,8 @@ func runGroupBy(p Params) (*Result, error) {
 	})
 	defer exec.Close()
 	r := query.New(tab, exec, p.Threads)
+	met := obs.NewQueryMetrics()
+	r.SetMetrics(met)
 
 	keys := []string{attrName(0)}
 	aggs := []groupby.Agg{groupby.Count(), groupby.Sum(attrName(1))}
@@ -168,6 +171,10 @@ func runGroupBy(p Params) (*Result, error) {
 	if c := exec.CrackerIfExists(keys[0]); c != nil {
 		pieces = c.Pieces()
 	}
+	snap := met.Snapshot()
+	res.AddPercentiles("grouped", snap.Latency["grouped"])
+	res.StrategyTimeline = snap.Timeline
+
 	res.AddNote("workload: group by %s (%d-group zipf(1.1) key) over %d rows, count+sum fused, predicate keeps 90%%; %d queries per cell",
 		keys[0], groupsTarget, p.ColumnSize, q)
 	res.AddNote("daemon refined the key index to %d pieces (expected cluster span %.0f values, refinements %d, converged %v)",

@@ -9,6 +9,7 @@ import (
 	"holistic/internal/cpu"
 	"holistic/internal/cracking"
 	"holistic/internal/holistic"
+	"holistic/internal/obs"
 	"holistic/internal/sortidx"
 	"holistic/internal/stats"
 	"holistic/internal/updates"
@@ -19,7 +20,11 @@ import (
 type ScanExecutor struct {
 	table   *Table
 	Threads int
+	met     *obs.ExecMetrics
 }
+
+// SetExecMetrics implements Instrumented.
+func (e *ScanExecutor) SetExecMetrics(m *obs.ExecMetrics) { e.met = m }
 
 // NewScanExecutor builds the baseline over a table with the given scan
 // parallelism (the paper scans with all 32 hardware contexts).
@@ -47,7 +52,10 @@ func (e *ScanExecutor) Count(attr string, lo, hi int64) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	return column.ParallelCountRange(vals, lo, hi, e.Threads), nil
+	start := obsBegin(e.met)
+	n := column.ParallelCountRange(vals, lo, hi, e.Threads)
+	obsEnd(e.met, start)
+	return n, nil
 }
 
 // Sum implements Executor: a parallel chunked fold over the base column.
@@ -56,7 +64,10 @@ func (e *ScanExecutor) Sum(attr string, lo, hi int64) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return column.ParallelSumRange(vals, lo, hi, e.Threads), nil
+	start := obsBegin(e.met)
+	s := column.ParallelSumRange(vals, lo, hi, e.Threads)
+	obsEnd(e.met, start)
+	return s, nil
 }
 
 // MinMax implements Executor.
@@ -65,7 +76,9 @@ func (e *ScanExecutor) MinMax(attr string, lo, hi int64) (mn, mx int64, ok bool,
 	if err != nil {
 		return 0, 0, false, err
 	}
+	start := obsBegin(e.met)
 	mn, mx, n := column.ParallelMinMaxRange(vals, lo, hi, e.Threads)
+	obsEnd(e.met, start)
 	return mn, mx, n > 0, nil
 }
 
@@ -75,7 +88,10 @@ func (e *ScanExecutor) SelectRows(attr string, lo, hi int64) ([]uint32, error) {
 	if err != nil {
 		return nil, err
 	}
-	return column.ParallelScanRange(vals, lo, hi, e.Threads), nil
+	start := obsBegin(e.met)
+	rows := column.ParallelScanRange(vals, lo, hi, e.Threads)
+	obsEnd(e.met, start)
+	return rows, nil
 }
 
 // SelectBitmap implements BitmapSelector: the parallel word-packed
@@ -85,7 +101,9 @@ func (e *ScanExecutor) SelectBitmap(attr string, lo, hi int64, bm *column.Bitmap
 	if err != nil {
 		return err
 	}
+	start := obsBegin(e.met)
 	column.ParallelScanRangeBitmap(vals, lo, hi, bm, e.Threads)
+	obsEnd(e.met, start)
 	return nil
 }
 
@@ -444,6 +462,9 @@ type AdaptiveExecutor struct {
 	// directly on Registry (when present).
 	Admit func(name string, col *cracking.Column) *stats.Entry
 
+	// met records access-path telemetry when attached (Instrumented).
+	met *obs.ExecMetrics
+
 	mu       sync.Mutex
 	crackers map[string]*cracking.Column
 
@@ -492,6 +513,9 @@ func NewAdaptiveExecutor(t *Table, cfg cracking.Config, label string) *AdaptiveE
 // Label implements Executor.
 func (e *AdaptiveExecutor) Label() string { return e.label }
 
+// SetExecMetrics implements Instrumented.
+func (e *AdaptiveExecutor) SetExecMetrics(m *obs.ExecMetrics) { e.met = m }
+
 // Cracker returns (building if needed) the cracker column of attr; the
 // bool reports whether it already existed.
 func (e *AdaptiveExecutor) Cracker(attr string) (*cracking.Column, bool, error) {
@@ -508,6 +532,9 @@ func (e *AdaptiveExecutor) Cracker(attr string) (*cracking.Column, bool, error) 
 	cfg.Seed = e.cfg.Seed + int64(len(e.crackers))
 	c := cracking.New(attr, base.Values(), cfg)
 	e.crackers[attr] = c
+	if e.met != nil {
+		e.met.CrackerBuilds.Inc()
+	}
 	if e.Admit != nil {
 		e.Admit(attr, c)
 	} else if e.Registry != nil {
@@ -710,7 +737,9 @@ func (e *AdaptiveExecutor) selectCracker(attr string, lo, hi int64) (*cracking.C
 		return nil, err
 	}
 	if p := e.Pending(attr); p.Len() > 0 && p.HasInRange(lo, hi) {
-		p.MergeRange(c, lo, hi)
+		if n := p.MergeRange(c, lo, hi); n > 0 && e.met != nil {
+			e.met.MergedUpdates.Add(int64(n))
+		}
 	}
 	return c, nil
 }
@@ -725,35 +754,41 @@ func (e *AdaptiveExecutor) record(attr string, r cracking.Range) {
 // pending updates covering the requested range, cracks, and records
 // statistics.
 func (e *AdaptiveExecutor) Count(attr string, lo, hi int64) (int, error) {
+	start := obsBegin(e.met)
 	c, err := e.selectCracker(attr, lo, hi)
 	if err != nil {
 		return 0, err
 	}
 	r := c.SelectRange(lo, hi)
 	e.record(attr, r)
+	obsEnd(e.met, start)
 	return r.Count(), nil
 }
 
 // Sum implements Executor: crack, then fold the qualifying pieces under
 // their latches — the aggregate never leaves the cracker's segments.
 func (e *AdaptiveExecutor) Sum(attr string, lo, hi int64) (int64, error) {
+	start := obsBegin(e.met)
 	c, err := e.selectCracker(attr, lo, hi)
 	if err != nil {
 		return 0, err
 	}
 	r, s := c.SelectSum(lo, hi)
 	e.record(attr, r)
+	obsEnd(e.met, start)
 	return s, nil
 }
 
 // MinMax implements Executor.
 func (e *AdaptiveExecutor) MinMax(attr string, lo, hi int64) (mn, mx int64, ok bool, err error) {
+	start := obsBegin(e.met)
 	c, err := e.selectCracker(attr, lo, hi)
 	if err != nil {
 		return 0, 0, false, err
 	}
 	r, mn, mx := c.SelectMinMax(lo, hi)
 	e.record(attr, r)
+	obsEnd(e.met, start)
 	return mn, mx, r.Count() > 0, nil
 }
 
@@ -761,6 +796,7 @@ func (e *AdaptiveExecutor) MinMax(attr string, lo, hi int64) (mn, mx int64, ok b
 // materialized piece by piece. The executor's cracking configuration must
 // carry rowids (Config.WithRows).
 func (e *AdaptiveExecutor) SelectRows(attr string, lo, hi int64) ([]uint32, error) {
+	start := obsBegin(e.met)
 	c, err := e.selectCracker(attr, lo, hi)
 	if err != nil {
 		return nil, err
@@ -770,6 +806,7 @@ func (e *AdaptiveExecutor) SelectRows(attr string, lo, hi int64) ([]uint32, erro
 	}
 	r, rows := c.SelectRows(lo, hi)
 	e.record(attr, r)
+	obsEnd(e.met, start)
 	return rows, nil
 }
 
@@ -790,6 +827,7 @@ func (e *AdaptiveExecutor) universe(attr string) int {
 // read latches — the select refines the index exactly like SelectRows
 // but materializes nothing.
 func (e *AdaptiveExecutor) SelectBitmap(attr string, lo, hi int64, bm *column.Bitmap) error {
+	start := obsBegin(e.met)
 	c, err := e.selectCracker(attr, lo, hi)
 	if err != nil {
 		return err
@@ -803,6 +841,7 @@ func (e *AdaptiveExecutor) SelectBitmap(attr string, lo, hi int64, bm *column.Bi
 		return fmt.Errorf("engine: %s: SelectBitmap needs rowids; build with cracking.Config.WithRows", e.label)
 	}
 	e.record(attr, r)
+	obsEnd(e.met, start)
 	return nil
 }
 
@@ -838,7 +877,12 @@ func (e *AdaptiveExecutor) WalkKeyOrder(attr string, fn func(vals []int64, rows 
 		return false, nil
 	}
 	if p := e.Pending(attr); p.Len() > 0 {
-		p.MergeAll(c)
+		if n := p.MergeAll(c); n > 0 && e.met != nil {
+			e.met.MergedUpdates.Add(int64(n))
+		}
+	}
+	if e.met != nil {
+		e.met.KeyOrderWalks.Inc()
 	}
 	c.ForEachPiece(fn)
 	return true, nil

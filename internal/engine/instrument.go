@@ -1,0 +1,38 @@
+// Executor instrumentation: the hook a Store uses to attach access-path
+// telemetry (select latency, cracker builds, merged updates, key-order
+// walks) to the executors that support it.
+
+package engine
+
+import (
+	"time"
+
+	"holistic/internal/obs"
+)
+
+// Instrumented is implemented by executors that record access-path
+// telemetry into an obs.ExecMetrics. Attaching nil detaches.
+type Instrumented interface {
+	SetExecMetrics(m *obs.ExecMetrics)
+}
+
+// obsBegin starts a select-latency measurement when metrics are
+// attached; the zero time otherwise.
+//
+//holistic:noalloc
+func obsBegin(m *obs.ExecMetrics) time.Time {
+	if m == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// obsEnd completes a measurement started by obsBegin.
+//
+//holistic:noalloc
+func obsEnd(m *obs.ExecMetrics, start time.Time) {
+	if m == nil {
+		return
+	}
+	m.RecordSelect(time.Since(start).Nanoseconds())
+}

@@ -88,6 +88,28 @@ type CycleStats struct {
 	MergedUpdates int
 }
 
+// CycleHistory is the number of recent cycles the daemon retains. A
+// long-running daemon activates once per interval indefinitely; the ring
+// plus the cumulative CycleTotals keep Cycles() bounded while losing no
+// aggregate information.
+const CycleHistory = 256
+
+// CycleTotals accumulates over every cycle ever run, including those
+// that have rotated out of the bounded history.
+type CycleTotals struct {
+	// Cycles is the number of activations of the indexing thread.
+	Cycles int64 `json:"cycles"`
+	// Workers sums the workers activated across all cycles.
+	Workers int64 `json:"workers"`
+	// WorkerTime sums all workers' response times.
+	WorkerTime time.Duration `json:"worker_time_ns"`
+	// Wall sums the work-phase wall-clock durations.
+	Wall time.Duration `json:"wall_ns"`
+	// Refinements and MergedUpdates sum the per-cycle counts.
+	Refinements   int64 `json:"refinements"`
+	MergedUpdates int64 `json:"merged_updates"`
+}
+
 // Daemon is the holistic indexing thread plus its worker pool.
 type Daemon struct {
 	cfg Config
@@ -97,8 +119,11 @@ type Daemon struct {
 	pendMu  sync.RWMutex
 	pending map[string]*updates.Pending
 
-	cycleMu sync.Mutex
-	cycles  []CycleStats
+	cycleMu    sync.Mutex
+	cycles     [CycleHistory]CycleStats
+	cycleStart int
+	cycleLen   int
+	totals     CycleTotals
 
 	totalRefinements atomic.Int64
 	totalAttempts    atomic.Int64
@@ -230,7 +255,19 @@ func (d *Daemon) runCycle(cycle, n int) {
 	}
 	d.totalRefinements.Add(int64(cs.Refinements))
 	d.cycleMu.Lock()
-	d.cycles = append(d.cycles, cs)
+	if d.cycleLen < CycleHistory {
+		d.cycles[(d.cycleStart+d.cycleLen)%CycleHistory] = cs
+		d.cycleLen++
+	} else {
+		d.cycles[d.cycleStart] = cs
+		d.cycleStart = (d.cycleStart + 1) % CycleHistory
+	}
+	d.totals.Cycles++
+	d.totals.Workers += int64(cs.Workers)
+	d.totals.WorkerTime += cs.WorkerTime
+	d.totals.Wall += cs.Wall
+	d.totals.Refinements += int64(cs.Refinements)
+	d.totals.MergedUpdates += int64(cs.MergedUpdates)
 	d.cycleMu.Unlock()
 }
 
@@ -284,11 +321,25 @@ func (d *Daemon) idleFunction(rng *rand.Rand) (refined, mergedUpdates int) {
 	return refined, mergedUpdates
 }
 
-// Cycles returns a snapshot of the per-activation telemetry (Figure 6(d)).
+// Cycles returns a snapshot of the retained per-activation telemetry
+// (Figure 6(d)), oldest first: the most recent CycleHistory cycles.
+// Cumulative aggregates over the full run come from CycleTotals.
 func (d *Daemon) Cycles() []CycleStats {
 	d.cycleMu.Lock()
 	defer d.cycleMu.Unlock()
-	return append([]CycleStats(nil), d.cycles...)
+	out := make([]CycleStats, 0, d.cycleLen)
+	for i := 0; i < d.cycleLen; i++ {
+		out = append(out, d.cycles[(d.cycleStart+i)%CycleHistory])
+	}
+	return out
+}
+
+// CycleTotals returns the cumulative cycle aggregates, unaffected by the
+// bounded history rotating.
+func (d *Daemon) CycleTotals() CycleTotals {
+	d.cycleMu.Lock()
+	defer d.cycleMu.Unlock()
+	return d.totals
 }
 
 // Refinements returns the total number of successful refinement actions.
@@ -310,7 +361,7 @@ func (d *Daemon) RunCycleNow(n int) {
 		n = 1
 	}
 	d.cycleMu.Lock()
-	cycle := len(d.cycles)
+	cycle := int(d.totals.Cycles)
 	d.cycleMu.Unlock()
 	d.runCycle(cycle, n)
 }

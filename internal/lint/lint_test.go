@@ -145,7 +145,7 @@ func TestRepoClean(t *testing.T) {
 // entry points must carry a verified //holistic:noalloc annotation, so
 // removing one is a visible, reviewed act.
 func TestAnnotatedHotPaths(t *testing.T) {
-	mod, err := Load("../..", "./internal/query", "./internal/groupby", "./internal/join", "./internal/column", "./internal/cracking")
+	mod, err := Load("../..", "./internal/query", "./internal/groupby", "./internal/join", "./internal/column", "./internal/cracking", "./internal/obs")
 	if err != nil {
 		t.Fatalf("Load: %v", err)
 	}
@@ -155,6 +155,7 @@ func TestAnnotatedHotPaths(t *testing.T) {
 		"holistic/internal/join":     {"Merge", "PutPairs"},
 		"holistic/internal/column":   {"CountRange", "SumRange", "FilterBitmap", "SumBitmap"},
 		"holistic/internal/cracking": {"crackInTwoVectorized", "crackInThree"},
+		"holistic/internal/obs":      {"Inc", "Add", "Record", "RecordNanos", "NextSeq", "RecordOp", "RecordRep", "RecordStrategy"},
 	}
 	annotated := make(map[string]map[string]bool)
 	for _, pkg := range mod.Requested {

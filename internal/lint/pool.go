@@ -456,6 +456,12 @@ func (pc *poolChecker) assignPair(st *flowState, lhs, rhs ast.Expr) {
 	if !bound {
 		return
 	}
+	// Copying a non-reference value out of the pooled object
+	// (tr.Seq = sc.seq) aliases none of its storage: neither an alias
+	// nor an ownership transfer, wherever it lands.
+	if !refShaped(info.TypeOf(rhs)) {
+		return
+	}
 	// Aliasing into a local: only reference-shaped values can alias the
 	// pooled storage (sv = (*p)[:n]); copying a scalar field does not.
 	if lo := lhsObject(info, lhs); lo != nil {

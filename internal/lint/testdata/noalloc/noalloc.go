@@ -4,7 +4,10 @@
 // contains the quoted substring; all other lines must stay silent.
 package noalloc
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 //holistic:noalloc
 func makes() []int {
@@ -98,4 +101,28 @@ func viaErrf(n int) error {
 //holistic:alloc-ok error paths format their diagnostics
 func errf(format string, args ...any) error {
 	return fmt.Errorf(format, args...)
+}
+
+// recorder mirrors the telemetry hot path: record functions bump
+// pre-sized atomic state. Atomic operations are fine; growing storage
+// lazily inside the record call is the classic regression.
+type recorder struct {
+	n       atomic.Int64
+	buckets []atomic.Int64
+}
+
+//holistic:noalloc
+func (r *recorder) record(ns int64) {
+	r.n.Add(1) // atomic bump on pre-sized state: fine
+	if r.buckets == nil {
+		r.buckets = make([]atomic.Int64, 64) // want "make allocates"
+	}
+	r.buckets[0].Add(ns)
+}
+
+//holistic:noalloc
+func (r *recorder) observe(op int, ns int64) {
+	labels := map[int]int64{op: ns} // want "map literal allocates"
+	_ = labels
+	r.n.Add(ns)
 }

@@ -6,6 +6,7 @@ import "sync"
 
 type scratch struct {
 	buf []int64
+	seq uint64
 }
 
 var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
@@ -140,6 +141,16 @@ func viaDeferredClosure() int {
 // storeCovered parks the borrow in a field the releaser covers.
 func storeCovered(h *holder) {
 	h.sc = borrow()
+}
+
+// stamp copies a scalar out of the borrow into an uncovered field: a
+// value copy aliases none of the pooled storage, so it is neither an
+// escape nor a transfer (the telemetry bracket stamps trace sequence
+// numbers this way).
+func stamp(out *struct{ seq uint64 }) {
+	sc := scratchPool.Get().(*scratch)
+	out.seq = sc.seq
+	scratchPool.Put(sc)
 }
 
 // selfStore rearranges the pooled object's own storage.

@@ -1,0 +1,100 @@
+// The process metrics registry and HTTP surface: named sources (each a
+// snapshot function) are published together as JSON on /debug/holistic,
+// as the expvar variable "holistic" on /debug/vars, and next to the
+// standard pprof handlers — the endpoint cmd/holisticserve and
+// `holisticbench -metrics-addr` mount.
+
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"sync"
+)
+
+var (
+	srcMu   sync.Mutex
+	sources = map[string]func() any{}
+)
+
+// RegisterSource publishes a named snapshot source (e.g. one Store's
+// Metrics). The function is called on every scrape and must be safe for
+// concurrent use. Re-registering a name replaces the source.
+func RegisterSource(name string, fn func() any) {
+	srcMu.Lock()
+	sources[name] = fn
+	srcMu.Unlock()
+}
+
+// UnregisterSource removes a source; unknown names are a no-op.
+func UnregisterSource(name string) {
+	srcMu.Lock()
+	delete(sources, name)
+	srcMu.Unlock()
+}
+
+// SnapshotSources evaluates every registered source, keyed by name.
+func SnapshotSources() map[string]any {
+	srcMu.Lock()
+	names := make([]string, 0, len(sources))
+	fns := make([]func() any, 0, len(sources))
+	for n, fn := range sources {
+		names = append(names, n)
+		fns = append(fns, fn)
+	}
+	srcMu.Unlock()
+	out := make(map[string]any, len(names))
+	for i, n := range names {
+		out[n] = fns[i]() // outside the lock: sources may take their own
+	}
+	return out
+}
+
+// The expvar bridge: one variable holding every registered source, so
+// the standard /debug/vars surface carries the holistic telemetry too.
+func init() {
+	expvar.Publish("holistic", expvar.Func(func() any { return SnapshotSources() }))
+}
+
+// serveJSON writes the full source snapshot as indented JSON.
+func serveJSON(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	snap := SnapshotSources()
+	// Stable top-level ordering for humans and smoke tests.
+	names := make([]string, 0, len(snap))
+	for n := range snap {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	ordered := make([]struct {
+		Name    string `json:"name"`
+		Metrics any    `json:"metrics"`
+	}, 0, len(names))
+	for _, n := range names {
+		ordered = append(ordered, struct {
+			Name    string `json:"name"`
+			Metrics any    `json:"metrics"`
+		}{n, snap[n]})
+	}
+	_ = enc.Encode(ordered)
+}
+
+// Handler returns the debug mux: /debug/holistic (JSON snapshot of all
+// registered sources), /debug/vars (expvar, including the "holistic"
+// variable) and /debug/pprof/* (the standard profiles).
+func Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/holistic", serveJSON)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

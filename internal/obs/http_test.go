@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestSourceRegistry(t *testing.T) {
+	RegisterSource("test-src", func() any { return map[string]int{"x": 1} })
+	defer UnregisterSource("test-src")
+	snap := SnapshotSources()
+	if _, ok := snap["test-src"]; !ok {
+		t.Fatal("registered source missing from snapshot")
+	}
+	RegisterSource("test-src", func() any { return map[string]int{"x": 2} })
+	snap = SnapshotSources()
+	if m, ok := snap["test-src"].(map[string]int); !ok || m["x"] != 2 {
+		t.Fatalf("re-registration did not replace source: %v", snap["test-src"])
+	}
+	UnregisterSource("test-src")
+	if _, ok := SnapshotSources()["test-src"]; ok {
+		t.Fatal("unregistered source still present")
+	}
+	UnregisterSource("never-registered") // must not panic
+}
+
+func TestHandlerHolisticEndpoint(t *testing.T) {
+	m := NewQueryMetrics()
+	m.RecordOp(OpCount, 1500)
+	m.RecordRep(RepBitmap)
+	m.RecordStrategy(m.NextSeq(), StratJoinHash)
+	RegisterSource("test-store", func() any { return m.Snapshot() })
+	defer UnregisterSource("test-store")
+
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/debug/holistic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	var entries []struct {
+		Name    string          `json:"name"`
+		Metrics json.RawMessage `json:"metrics"`
+	}
+	if err := json.Unmarshal(body, &entries); err != nil {
+		t.Fatalf("response not a JSON source array: %v\n%s", err, body)
+	}
+	var found bool
+	for _, e := range entries {
+		if e.Name == "test-store" {
+			found = true
+			var qs QuerySnapshot
+			if err := json.Unmarshal(e.Metrics, &qs); err != nil {
+				t.Fatalf("metrics payload: %v", err)
+			}
+			if qs.Latency["count"].Count != 1 {
+				t.Fatalf("count latency digest missing: %+v", qs.Latency)
+			}
+			if qs.Strategies["join/hash"] != 1 {
+				t.Fatalf("strategy counter missing: %+v", qs.Strategies)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("test-store source not in response:\n%s", body)
+	}
+}
+
+func TestHandlerVarsAndPprof(t *testing.T) {
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v", err)
+	}
+	if _, ok := vars["holistic"]; !ok {
+		t.Fatal("/debug/vars missing the holistic variable")
+	}
+	if expvar.Get("holistic") == nil {
+		t.Fatal("expvar bridge not published")
+	}
+
+	resp, err = srv.Client().Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/debug/pprof/ status = %d", resp.StatusCode)
+	}
+}
+
+func TestTimelineRingBound(t *testing.T) {
+	m := NewQueryMetrics()
+	strats := []Strat{StratGroupDense, StratGroupHash, StratGroupSort}
+	for i := 0; i < 3*timelineCap; i++ {
+		m.RecordStrategy(uint64(i), strats[i%len(strats)])
+	}
+	tl := m.Timeline()
+	if len(tl) != timelineCap {
+		t.Fatalf("timeline holds %d events, want cap %d", len(tl), timelineCap)
+	}
+	for i := 1; i < len(tl); i++ {
+		if tl[i].Seq <= tl[i-1].Seq {
+			t.Fatalf("timeline out of order at %d: %d after %d", i, tl[i].Seq, tl[i-1].Seq)
+		}
+	}
+	// Steady state: repeating the same strategy records nothing new.
+	before := len(m.Timeline())
+	last := tl[len(tl)-1]
+	var s Strat
+	switch last.Strategy {
+	case "dense":
+		s = StratGroupDense
+	case "hash":
+		s = StratGroupHash
+	default:
+		s = StratGroupSort
+	}
+	m.RecordStrategy(99999, s)
+	if got := len(m.Timeline()); got != before {
+		t.Fatalf("repeat strategy grew timeline: %d -> %d", before, got)
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"holistic/internal/column"
 	"holistic/internal/engine"
 	"holistic/internal/groupby"
+	"holistic/internal/obs"
 )
 
 // sortScanRatio guards the sort strategy against sparse selections: the
@@ -60,6 +61,22 @@ func (r *Runner) Grouped(keys []string, aggs []groupby.Agg, preds []Predicate) (
 // storage is reused across calls: the steady-state dense path allocates
 // nothing.
 func (r *Runner) GroupedInto(res *groupby.Result, keys []string, aggs []groupby.Agg, preds []Predicate) error {
+	if err := r.checkGrouped(keys, aggs); err != nil {
+		return err
+	}
+	sc, start := r.begin(obs.KindGrouped)
+	err := r.groupedSC(sc, res, keys, aggs, preds)
+	var emitted int64
+	if err == nil {
+		emitted = int64(res.Len())
+	}
+	r.finish(sc, obs.OpGrouped, start, emitted, err)
+	return err
+}
+
+// checkGrouped validates a grouped query's shape before any scratch is
+// pulled, shared by GroupedInto and ExplainGrouped.
+func (r *Runner) checkGrouped(keys []string, aggs []groupby.Agg) error {
 	if len(keys) == 0 {
 		return fmt.Errorf("query: GroupBy needs at least one attribute")
 	}
@@ -81,9 +98,39 @@ func (r *Runner) GroupedInto(res *groupby.Result, keys []string, aggs []groupby.
 			return fmt.Errorf("query: unknown attribute %q", a.Attr)
 		}
 	}
-	sc := r.getScratch()
-	defer r.putScratch(sc)
+	return nil
+}
 
+// noteStrategy records the executed physical strategy (grouping or
+// join) on the metrics aggregate and the trace.
+//
+//holistic:noalloc
+func (r *Runner) noteStrategy(sc *scratch, s obs.Strat, reason string) {
+	if r.met != nil {
+		r.met.RecordStrategy(sc.seq, s)
+	}
+	if tr := sc.trace; tr != nil {
+		tr.Strategy = s.String()
+		tr.StrategyReason = reason
+	}
+}
+
+// groupStratOf maps the executed groupby strategy to its telemetry
+// constant.
+//
+//holistic:noalloc
+func groupStratOf(s groupby.Strategy) obs.Strat {
+	switch s {
+	case groupby.StrategyDense:
+		return obs.StratGroupDense
+	case groupby.StrategySort:
+		return obs.StratGroupSort
+	default:
+		return obs.StratGroupHash
+	}
+}
+
+func (r *Runner) groupedSC(sc *scratch, res *groupby.Result, keys []string, aggs []groupby.Agg, preds []Predicate) error {
 	// The referenced attributes: group keys plus aggregate inputs, each
 	// presence-filtered through the snapshot that will also feed the
 	// accumulators.
@@ -123,6 +170,14 @@ func (r *Runner) GroupedInto(res *groupby.Result, keys []string, aggs []groupby.
 			return err
 		}
 		useBm = true
+		if r.met != nil {
+			r.met.RecordRep(obs.RepBitmap)
+		}
+		if tr := sc.trace; tr != nil {
+			tr.Rep = "bitmap"
+			tr.RepReason = "no predicates: whole-relation universe selection"
+			tr.Scanned = int64(sc.bm.Count())
+		}
 	}
 
 	// Group-by attributes join the index space like residual conjuncts:
@@ -152,6 +207,7 @@ func (r *Runner) GroupedInto(res *groupby.Result, keys []string, aggs []groupby.
 				return err
 			}
 			if walked {
+				r.noteStrategy(sc, obs.StratGroupSort, "single key with refined key-ordered clusters over a dense selection")
 				return nil
 			}
 			// The access path declined after probing (should not happen —
@@ -161,13 +217,38 @@ func (r *Runner) GroupedInto(res *groupby.Result, keys []string, aggs []groupby.
 		case groupby.StrategyDense, groupby.StrategyHash:
 			spec.Force = forced
 		}
-		return groupby.GroupBitmap(spec, sc.bm, res)
+		if err := groupby.GroupBitmap(spec, sc.bm, res); err != nil {
+			return err
+		}
+		r.noteGroupFallback(sc, res.Strategy, forced)
+		return nil
 	}
 	switch forced {
 	case groupby.StrategyDense, groupby.StrategyHash:
 		spec.Force = forced
 	}
-	return groupby.GroupRows(spec, sc.sel, res)
+	if err := groupby.GroupRows(spec, sc.sel, res); err != nil {
+		return err
+	}
+	r.noteGroupFallback(sc, res.Strategy, forced)
+	return nil
+}
+
+// noteGroupFallback records the strategy the dense/hash grouping kernels
+// actually executed.
+//
+//holistic:noalloc
+func (r *Runner) noteGroupFallback(sc *scratch, executed, forced groupby.Strategy) {
+	reason := ""
+	switch {
+	case forced == groupby.StrategyDense || forced == groupby.StrategyHash:
+		reason = "strategy pinned by configuration"
+	case executed == groupby.StrategyDense:
+		reason = "composite key domain bit-packs into the dense accumulator"
+	default:
+		reason = "no dense packing; key order not refined enough or selection too sparse"
+	}
+	r.noteStrategy(sc, groupStratOf(executed), reason)
 }
 
 // selectUniverse fills sc.bm with the whole position universe of the
@@ -241,6 +322,12 @@ func (r *Runner) chooseSort(sc *scratch, spec *groupby.Spec, keys []string, forc
 		return nil, "", false
 	}
 	span, ok := walker.KeyOrderSpan(keys[0])
+	if tr := sc.trace; tr != nil && ok {
+		tr.SetStat("key_order_span", span)
+		tr.SetStat("cluster_slots", float64(groupby.DefaultClusterSlots))
+		tr.SetStat("selected_rows", float64(sc.bm.Count()))
+		tr.SetStat("position_universe", float64(sc.bm.Len()))
+	}
 	if !ok || span > float64(groupby.DefaultClusterSlots) {
 		return nil, "", false
 	}
@@ -265,13 +352,19 @@ func (r *Runner) MinMax(attr string, preds []Predicate) (mn, mx int64, ok bool, 
 	if r.table.Column(attr) == nil {
 		return 0, 0, false, fmt.Errorf("query: unknown attribute %q", attr)
 	}
-	sc := r.getScratch()
-	defer r.putScratch(sc)
+	sc, start := r.begin(obs.KindMinMax)
+	mn, mx, ok, err = r.minMaxSC(sc, attr, preds)
+	r.finish(sc, obs.OpMinMax, start, 0, err)
+	return mn, mx, ok, err
+}
+
+func (r *Runner) minMaxSC(sc *scratch, attr string, preds []Predicate) (mn, mx int64, ok bool, err error) {
 	empty, err := r.planScratch(sc, preds)
 	if err != nil || empty {
 		return 0, 0, false, err
 	}
 	if len(sc.preds) == 1 && sc.preds[0].Attr == attr {
+		r.noteNativeRep(sc, "single conjunct on the probed attribute: native minmax pushdown")
 		return r.exec.MinMax(attr, sc.preds[0].Lo, sc.preds[0].Hi)
 	}
 	extra := [1]string{attr}
@@ -284,6 +377,9 @@ func (r *Runner) MinMax(attr string, preds []Predicate) (mn, mx int64, ok bool, 
 		mn, mx, n = sc.views[attr].MinMaxBitmap(sc.bm)
 	} else {
 		mn, mx, n = sc.views[attr].MinMaxRows(sc.sel)
+	}
+	if tr := sc.trace; tr != nil {
+		tr.Emitted = int64(n)
 	}
 	return mn, mx, n > 0, nil
 }

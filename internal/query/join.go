@@ -25,11 +25,13 @@ package query
 
 import (
 	"fmt"
+	"time"
 
 	"holistic/internal/column"
 	"holistic/internal/engine"
 	"holistic/internal/groupby"
 	"holistic/internal/join"
+	"holistic/internal/obs"
 )
 
 // JoinStrategy pins the physical join strategy of a runner's joins.
@@ -71,7 +73,15 @@ type Join struct {
 	// safe for concurrent terminal execution, matching the builder
 	// semantics of Query.
 	count, sum int64
+
+	// trace, when preset (the Explain path), receives the execution
+	// trace instead of the left runner's sink; the caller owns it.
+	trace *obs.QueryTrace
 }
+
+// SetTrace presets a caller-owned trace the next terminal fills —
+// the Explain path. The trace is neither emitted nor recycled.
+func (j *Join) SetTrace(tr *obs.QueryTrace) { j.trace = tr }
 
 // Join starts an equi-join between this runner's relation (the left
 // side) and another runner's (the right side — possibly the same
@@ -275,21 +285,109 @@ func (j *Join) runInto(op join.Op, lExtra, rExtra []string, pairs *join.Pairs) (
 
 	lsc = j.left.getScratch()
 	rsc = j.right.getScratch()
+	start := j.beginJoin(lsc, rsc)
+	err = j.joinSC(op, lsc, rsc, lExtra, rExtra, pairs)
+	j.finishJoin(lsc, rsc, start, err)
+	return lsc, rsc, err
+}
+
+// beginJoin opens the instrumented join bracket: sequence number, start
+// timestamp and — from the Explain preset or the left runner's sink —
+// the trace both sides fill.
+//
+//holistic:noalloc
+func (j *Join) beginJoin(lsc, rsc *scratch) time.Time {
+	m := j.left.met
+	tr := j.trace // preset by the Explain path; caller-owned
+	if m != nil {
+		lsc.seq = m.NextSeq()
+		rsc.seq = lsc.seq
+		if tr == nil {
+			if box := j.left.sink.Load(); box != nil {
+				tr = obs.GetTrace()
+			}
+		}
+	}
+	if tr != nil {
+		tr.Seq = lsc.seq
+		tr.Kind = obs.KindJoin
+		tr.Mode = j.left.exec.Label()
+		tr.Rows = j.left.table.Rows()
+		tr.RowsRight = j.right.table.Rows()
+		lsc.trace = tr
+		rsc.trace = tr
+	}
+	if m == nil && tr == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// finishJoin closes the bracket: op latency, trace emission, recycling.
+//
+//holistic:noalloc
+func (j *Join) finishJoin(lsc, rsc *scratch, start time.Time, err error) {
+	m := j.left.met
+	tr := lsc.trace
+	lsc.trace, rsc.trace = nil, nil
+	if m == nil && tr == nil {
+		return
+	}
+	elapsed := time.Since(start).Nanoseconds()
+	if m != nil {
+		m.RecordOp(obs.OpJoin, elapsed)
+	}
+	if tr == nil {
+		return
+	}
+	tr.Result = j.count
+	tr.Emitted = j.count
+	tr.TotalNanos = elapsed
+	if err != nil {
+		tr.Err = err.Error()
+	}
+	if j.trace != nil {
+		return // Explain owns the trace: neither emitted nor recycled
+	}
+	if box := j.left.sink.Load(); box != nil {
+		box.s.Emit(tr)
+	}
+	obs.PutTrace(tr)
+}
+
+// joinSC is the join body between begin/finish: per-side selection,
+// strategy choice, kernel execution.
+//
+//holistic:noalloc
+func (j *Join) joinSC(op join.Op, lsc, rsc *scratch, lExtra, rExtra []string, pairs *join.Pairs) error {
+	if tr := lsc.trace; tr != nil {
+		tr.BeginSide("left")
+	}
 	lLive, lUseBm, err := selectSide(j.left, lsc, j.leftPreds, j.leftAttr, lExtra)
 	if err != nil {
-		return lsc, rsc, err
+		return err
 	}
 	if !lLive {
 		// A provably empty left side joins nothing: skip the right
 		// side's selection pass entirely.
-		return lsc, rsc, nil
+		return nil
+	}
+	if tr := rsc.trace; tr != nil {
+		tr.BeginSide("right")
 	}
 	rLive, rUseBm, err := selectSide(j.right, rsc, j.rightPreds, j.rightAttr, rExtra)
 	if err != nil {
-		return lsc, rsc, err
+		return err
 	}
 	if !rLive {
-		return lsc, rsc, nil
+		return nil
+	}
+
+	mergeReason := "key-ordered clusters refined below the merge span on both sides"
+	hashReason := "no refined key-ordered path on both sides, or selections too sparse to walk the indexes"
+	if JoinStrategy(j.left.joinStrategy.Load()) != JoinAuto {
+		mergeReason = "strategy pinned by configuration"
+		hashReason = "strategy pinned by configuration"
 	}
 
 	if j.chooseMerge(lsc, rsc, lUseBm, rUseBm) {
@@ -316,11 +414,12 @@ func (j *Join) runInto(op join.Op, lExtra, rExtra []string, pairs *join.Pairs) (
 		rs := mkStream(j.right, rsc, j.rightAttr, op.Kind == join.OpSum && op.SumSide == join.Right)
 		count, sum, ok := join.Merge(op, ls, rs, 0, pairs)
 		if walkErr != nil {
-			return lsc, rsc, walkErr
+			return walkErr
 		}
 		if ok {
 			j.count, j.sum = count, sum
-			return lsc, rsc, nil
+			j.left.noteStrategy(lsc, obs.StratJoinMerge, mergeReason)
+			return nil
 		}
 		// The access path declined after probing (should not happen —
 		// KeyOrderSpan said ok); rejoin through the hash path.
@@ -339,7 +438,8 @@ func (j *Join) runInto(op join.Op, lExtra, rExtra []string, pairs *join.Pairs) (
 		}
 	}
 	j.count, j.sum = join.Hash(op, lIn, rIn, j.left.threads, pairs)
-	return lsc, rsc, nil
+	j.left.noteStrategy(lsc, obs.StratJoinHash, hashReason)
+	return nil
 }
 
 // sumAttr recovers the OpSum attribute from the extras the Sum
@@ -440,6 +540,17 @@ func (j *Join) chooseMerge(lsc, rsc *scratch, lUseBm, rUseBm bool) bool {
 	}
 	lSpan, lOK := sideOK(j.left, j.leftAttr)
 	rSpan, rOK := sideOK(j.right, j.rightAttr)
+	if tr := lsc.trace; tr != nil {
+		if lOK {
+			tr.SetStat("left_key_order_span", lSpan)
+		}
+		if rOK {
+			tr.SetStat("right_key_order_span", rSpan)
+		}
+		tr.SetStat("merge_span_bound", float64(join.DefaultMergeSpan))
+		tr.SetStat("left_selected_rows", float64(lsc.bm.Count()))
+		tr.SetStat("right_selected_rows", float64(rsc.bm.Count()))
+	}
 	if !lOK || !rOK {
 		return false
 	}

@@ -1,0 +1,294 @@
+package query
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"holistic/internal/column"
+	"holistic/internal/cracking"
+	"holistic/internal/engine"
+	"holistic/internal/groupby"
+	"holistic/internal/join"
+	"holistic/internal/obs"
+)
+
+// conjOracle counts the rows satisfying one conjunct by brute force.
+func conjOracle(col []int64, lo, hi int64) int64 {
+	var n int64
+	for _, v := range col {
+		if v >= lo && v < hi {
+			n++
+		}
+	}
+	return n
+}
+
+// TestExplainDifferentialAllModes: in every executor mode, ExplainCount
+// must report per-conjunct estimated and actual selectivities where the
+// actuals match the brute-force oracle exactly, plus a representation
+// choice with a reason.
+func TestExplainDifferentialAllModes(t *testing.T) {
+	const domain = 1 << 12
+	tab, cols := buildTable(3, 6000, domain, 29)
+	colIdx := map[string]int{"a": 0, "b": 1, "c": 2}
+	execs := allModeExecutors(t, tab)
+	preds := []Predicate{
+		{Attr: "a", Lo: 0, Hi: domain / 2},
+		{Attr: "b", Lo: domain / 8, Hi: domain},
+		{Attr: "c", Lo: domain / 4, Hi: 3 * domain / 4},
+	}
+	for label, exec := range execs {
+		t.Run(label, func(t *testing.T) {
+			defer exec.Close()
+			r := New(tab, exec, 2)
+			r.SetMetrics(obs.NewQueryMetrics())
+			tr, n, err := r.ExplainCount(preds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tr.Kind != obs.KindCount || tr.Mode != exec.Label() {
+				t.Fatalf("trace header = %q/%q, want count/%s", tr.Kind, tr.Mode, exec.Label())
+			}
+			if tr.Result != int64(n) {
+				t.Fatalf("trace result %d != count %d", tr.Result, n)
+			}
+			if len(tr.Conjuncts) != len(preds) {
+				t.Fatalf("got %d conjuncts, want %d", len(tr.Conjuncts), len(preds))
+			}
+			if tr.Rep == "" || tr.RepReason == "" {
+				t.Fatalf("missing representation choice: rep=%q reason=%q", tr.Rep, tr.RepReason)
+			}
+			driving := 0
+			for _, c := range tr.Conjuncts {
+				if c.EstRows <= 0 {
+					t.Errorf("conjunct %s: estimated rows %.1f, want > 0", c.Attr, c.EstRows)
+				}
+				want := conjOracle(cols[colIdx[c.Attr]], c.Lo, c.Hi)
+				if c.ActualRows != want {
+					t.Errorf("conjunct %s: actual rows %d, want oracle %d", c.Attr, c.ActualRows, want)
+				}
+				if c.Driving {
+					driving++
+					if c.CumRows < 0 {
+						t.Errorf("driving conjunct %s has no cumulative count", c.Attr)
+					}
+				}
+			}
+			if driving != 1 {
+				t.Errorf("got %d driving conjuncts, want exactly 1", driving)
+			}
+			if s := tr.String(); !strings.Contains(s, "est ") || !strings.Contains(s, "actual ") {
+				t.Errorf("rendered trace missing est/actual: %s", s)
+			}
+
+			// The single-conjunct form takes the native pushdown.
+			tr1, _, err := r.ExplainCount(preds[:1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tr1.Rep != "native" {
+				t.Errorf("single conjunct rep = %q, want native", tr1.Rep)
+			}
+		})
+	}
+}
+
+// TestExplainGroupedStrategy: ExplainGrouped reports the executed
+// grouping strategy and the reason it was picked, and the metrics
+// aggregate records the same strategy.
+func TestExplainGroupedStrategy(t *testing.T) {
+	tab, _ := buildTable(3, 4000, 1<<12, 31)
+	// Key attribute with a tiny domain so the dense path is available.
+	keyVals := make([]int64, 4000)
+	rng := rand.New(rand.NewSource(7))
+	for i := range keyVals {
+		keyVals[i] = rng.Int63n(16)
+	}
+	tab.MustAddColumn(column.New("g", keyVals))
+	exec := engine.NewScanExecutor(tab, 2)
+	defer exec.Close()
+	r := New(tab, exec, 2)
+	m := obs.NewQueryMetrics()
+	r.SetMetrics(m)
+	res := &groupby.Result{}
+	tr, err := r.ExplainGrouped(res, []string{"g"}, []groupby.Agg{{Kind: groupby.KindCount}}, []Predicate{{Attr: "a", Lo: 0, Hi: 1 << 11}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Strategy == "" || tr.StrategyReason == "" {
+		t.Fatalf("missing strategy: %q (%q)", tr.Strategy, tr.StrategyReason)
+	}
+	if tr.Result != int64(res.Len()) {
+		t.Errorf("trace result %d != groups %d", tr.Result, res.Len())
+	}
+	snap := m.Snapshot()
+	found := false
+	for k, v := range snap.Strategies {
+		if strings.HasPrefix(k, "groupby/") && v > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("metrics recorded no groupby strategy: %v", snap.Strategies)
+	}
+}
+
+// TestExplainJoinStrategy: the join Explain carries side-scoped
+// conjuncts with oracle-checked actuals and reports hash versus merge
+// with a reason; forcing each strategy flips the reported name.
+func TestExplainJoinStrategy(t *testing.T) {
+	lt, rt := joinFixture(t, 3000, 1<<10, 41)
+	for label, force := range map[string]JoinStrategy{"auto": JoinAuto, "hash": JoinHash} {
+		t.Run(label, func(t *testing.T) {
+			lExec := engine.NewAdaptiveExecutor(lt, cracking.Config{WithRows: true}, "")
+			rExec := engine.NewAdaptiveExecutor(rt, cracking.Config{WithRows: true}, "")
+			defer lExec.Close()
+			defer rExec.Close()
+			lr := New(lt, lExec, 2)
+			rr := New(rt, rExec, 2)
+			lr.SetMetrics(obs.NewQueryMetrics())
+			lr.SetJoinStrategy(force)
+			lPreds := []Predicate{{Attr: "v", Lo: 0, Hi: 800}}
+			rPreds := []Predicate{{Attr: "v", Lo: 100, Hi: 1000}}
+			j := lr.Join(rr, "k", "k", lPreds, rPreds)
+			tr, n, err := j.Explain()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, _, _ := oracleJoin(lt, rt, lPreds, rPreds, join.Left, "")
+			if n != want {
+				t.Fatalf("join count %d, want oracle %d", n, want)
+			}
+			if tr.Strategy != "hash" && tr.Strategy != "merge" {
+				t.Fatalf("join strategy %q, want hash or merge", tr.Strategy)
+			}
+			if force == JoinHash && tr.Strategy != "hash" {
+				t.Fatalf("forced hash reported %q", tr.Strategy)
+			}
+			if tr.StrategyReason == "" {
+				t.Fatal("missing strategy reason")
+			}
+			sides := map[string]bool{}
+			for _, c := range tr.Conjuncts {
+				sides[c.Side] = true
+				var col []int64
+				if c.Side == "left" {
+					col = lt.Column(c.Attr).Values()
+				} else {
+					col = rt.Column(c.Attr).Values()
+				}
+				if wantN := conjOracle(col, c.Lo, c.Hi); c.ActualRows != wantN {
+					t.Errorf("%s conjunct %s: actual %d, want %d", c.Side, c.Attr, c.ActualRows, wantN)
+				}
+			}
+			if !sides["left"] || !sides["right"] {
+				t.Errorf("conjuncts missing a side: %v", sides)
+			}
+		})
+	}
+}
+
+// TestSteadyStateCountMetricsAllocationFree: attaching the metrics
+// block must not cost the instrumented Count its zero-allocation
+// steady state — the tentpole's recording-overhead criterion.
+func TestSteadyStateCountMetricsAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; allocation counts are meaningless")
+	}
+	const domain = 1 << 16
+	tab, _ := buildTable(3, 1<<15, domain, 23)
+	r := New(tab, engine.NewScanExecutor(tab, 1), 1)
+	r.SetMetrics(obs.NewQueryMetrics())
+	preds := []Predicate{
+		{Attr: "a", Lo: 0, Hi: domain / 2},
+		{Attr: "b", Lo: domain / 4, Hi: domain},
+		{Attr: "c", Lo: 0, Hi: 3 * domain / 4},
+	}
+	if _, err := r.Count(preds); err != nil { // warm pools
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := r.Count(preds); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0.5 {
+		t.Errorf("instrumented Count allocates %.2f times per query, want 0", allocs)
+	}
+	if got := r.Metrics().OpHistogram(obs.OpCount).Count(); got < 51 {
+		t.Errorf("histogram recorded %d counts, want >= 51", got)
+	}
+}
+
+// TestTraceSinkReceivesQueries: with a sink attached every terminal
+// emits one trace, and detaching stops the flow.
+func TestTraceSinkReceivesQueries(t *testing.T) {
+	const domain = 1 << 12
+	tab, _ := buildTable(2, 2000, domain, 19)
+	r := New(tab, engine.NewScanExecutor(tab, 1), 1)
+	r.SetMetrics(obs.NewQueryMetrics())
+	var sink captureSink
+	r.SetTraceSink(&sink)
+	preds := []Predicate{
+		{Attr: "a", Lo: 0, Hi: domain / 2},
+		{Attr: "b", Lo: 0, Hi: domain / 2},
+	}
+	if _, err := r.Count(preds); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Sum("a", preds); err != nil {
+		t.Fatal(err)
+	}
+	if sink.n != 2 {
+		t.Fatalf("sink saw %d traces, want 2", sink.n)
+	}
+	if sink.lastKind != obs.KindSum {
+		t.Fatalf("last trace kind %q, want sum", sink.lastKind)
+	}
+	r.SetTraceSink(nil)
+	if _, err := r.Count(preds); err != nil {
+		t.Fatal(err)
+	}
+	if sink.n != 2 {
+		t.Fatalf("detached sink saw %d traces, want 2", sink.n)
+	}
+}
+
+// captureSink records trace headers; the trace itself is recycled by
+// the runner after Emit returns, so nothing may retain it.
+type captureSink struct {
+	n        int
+	lastKind string
+	lastSeq  uint64
+}
+
+func (s *captureSink) Emit(tr *obs.QueryTrace) {
+	s.n++
+	s.lastKind = tr.Kind
+	s.lastSeq = tr.Seq
+}
+
+// BenchmarkConjunctiveCountMetrics pairs the uninstrumented pipeline
+// against the same pipeline with the metrics block attached: the delta
+// is the recording overhead the 3% acceptance budget is charged to.
+func BenchmarkConjunctiveCountMetrics(b *testing.B) {
+	for _, variant := range []string{"bare", "metrics"} {
+		r, preds := benchRunner(b, 1)
+		if variant == "metrics" {
+			r.SetMetrics(obs.NewQueryMetrics())
+		}
+		b.Run(variant, func(b *testing.B) {
+			if _, err := r.Count(preds); err != nil { // warm pools
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := r.Count(preds); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

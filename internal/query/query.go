@@ -54,10 +54,12 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"holistic/internal/column"
 	"holistic/internal/engine"
 	"holistic/internal/groupby"
+	"holistic/internal/obs"
 )
 
 // Predicate is one range conjunct: lo <= attr < hi.
@@ -112,9 +114,20 @@ type Runner struct {
 	// allocate.
 	scratchPool sync.Pool
 
+	// met aggregates per-op latency, representation and strategy
+	// telemetry; nil leaves every terminal uninstrumented. Attach before
+	// the first query.
+	met *obs.QueryMetrics
+	// sink receives one pooled QueryTrace per terminal when attached
+	// (boxed so swapping the interface is one atomic pointer store).
+	sink atomic.Pointer[sinkBox]
+
 	mu      sync.Mutex
 	domains map[string][2]int64 // cached base-column min/max per attribute
 }
+
+// sinkBox wraps the sink interface value for atomic.Pointer.
+type sinkBox struct{ s obs.TraceSink }
 
 // New builds a runner; threads bounds the parallelism of probe and
 // fetch kernels.
@@ -134,6 +147,24 @@ func (r *Runner) SetRepPolicy(p RepPolicy) { r.policy.Store(int32(p)) }
 // SetBitmapCrossover overrides the RepAuto crossover selectivity; safe
 // to call concurrently with queries.
 func (r *Runner) SetBitmapCrossover(sel float64) { r.crossover.Store(math.Float64bits(sel)) }
+
+// SetMetrics attaches the telemetry aggregate every terminal records
+// into (nil detaches). Attach before running queries; the recording
+// paths themselves are zero-allocation.
+func (r *Runner) SetMetrics(m *obs.QueryMetrics) { r.met = m }
+
+// Metrics returns the attached telemetry aggregate, or nil.
+func (r *Runner) Metrics() *obs.QueryMetrics { return r.met }
+
+// SetTraceSink streams one execution trace per terminal into s (nil
+// stops tracing). Safe to swap concurrently with queries.
+func (r *Runner) SetTraceSink(s obs.TraceSink) {
+	if s == nil {
+		r.sink.Store(nil)
+		return
+	}
+	r.sink.Store(&sinkBox{s: s})
+}
 
 // ErrNoPredicates is returned by query forms invoked without a single
 // Where clause.
@@ -162,6 +193,10 @@ type scratch struct {
 	jkeys []int64
 	jrows column.PosList
 	jvals []int64
+	// Telemetry: the query sequence number and — when a sink is
+	// attached or an Explain runs — the trace the stages fill.
+	seq   uint64
+	trace *obs.QueryTrace
 }
 
 //holistic:alloc-ok pool warm-up allocates the recycled object
@@ -188,7 +223,60 @@ func (r *Runner) putScratch(sc *scratch) {
 	sc.jkeys = sc.jkeys[:0]
 	sc.jrows = sc.jrows[:0]
 	sc.jvals = sc.jvals[:0]
+	sc.seq = 0
+	sc.trace = nil
 	r.scratchPool.Put(sc)
+}
+
+// begin opens one instrumented terminal: pooled scratch, the start
+// timestamp (zero when uninstrumented) and — when a trace sink is
+// attached — a pooled trace the stages fill. Explicit begin/finish
+// pairs, not deferred closures: the bracket must not allocate.
+//
+//holistic:noalloc
+func (r *Runner) begin(kind string) (*scratch, time.Time) {
+	sc := r.getScratch()
+	if r.met == nil {
+		return sc, time.Time{}
+	}
+	sc.seq = r.met.NextSeq()
+	if box := r.sink.Load(); box != nil {
+		tr := obs.GetTrace()
+		tr.Seq = sc.seq
+		tr.Kind = kind
+		tr.Mode = r.exec.Label()
+		tr.Rows = r.table.Rows()
+		sc.trace = tr
+	}
+	return sc, time.Now()
+}
+
+// finish closes a begin bracket: records the op latency, emits and
+// recycles the trace, returns the scratch.
+//
+//holistic:noalloc
+func (r *Runner) finish(sc *scratch, op obs.Op, start time.Time, result int64, err error) {
+	if r.met == nil {
+		r.putScratch(sc)
+		return
+	}
+	elapsed := time.Since(start).Nanoseconds()
+	r.met.RecordOp(op, elapsed)
+	if tr := sc.trace; tr != nil {
+		tr.Result = result
+		tr.TotalNanos = elapsed
+		if err != nil {
+			tr.Err = err.Error()
+		}
+		if box := r.sink.Load(); box != nil {
+			box.s.Emit(tr)
+		}
+		// Recycle through the field: sc.trace is how the pool
+		// discipline knows scratch-attached traces reach PutTrace.
+		obs.PutTrace(sc.trace)
+		sc.trace = nil
+	}
+	r.putScratch(sc)
 }
 
 // domain returns the cached [min, max] of attr's base column, scanning
@@ -305,6 +393,11 @@ func (r *Runner) planScratch(sc *scratch, preds []Predicate) (empty bool, err er
 	}
 	sc.ests = ests
 	sortByEstimate(sc.preds, sc.ests)
+	if tr := sc.trace; tr != nil {
+		for i, p := range sc.preds {
+			tr.AddConjunct(p.Attr, p.Lo, p.Hi, sc.ests[i], i == 0)
+		}
+	}
 	return false, nil
 }
 
@@ -327,27 +420,31 @@ func (r *Runner) view(attr string) (column.View, error) {
 // chooseBitmap applies the representation policy to the planned query
 // in sc: bitmaps need an executor that can produce them and pay off
 // only when the driving conjunct is dense and there is at least one
-// residual conjunct to intersect.
+// residual conjunct to intersect. The reason is a static string for the
+// trace — the numbers it refers to travel as trace stats.
 //
 //holistic:noalloc
-func (r *Runner) chooseBitmap(sc *scratch) bool {
+func (r *Runner) chooseBitmap(sc *scratch) (bool, string) {
 	if len(sc.preds) < 2 {
-		return false
+		return false, "single conjunct: nothing to intersect"
 	}
 	if _, ok := r.exec.(engine.BitmapSelector); !ok {
-		return false
+		return false, "mode has no bitmap select path"
 	}
 	switch RepPolicy(r.policy.Load()) {
 	case RepPosList:
-		return false
+		return false, "policy pins position lists"
 	case RepBitmap:
-		return true
+		return true, "policy pins bitmaps"
 	}
 	rows := float64(r.table.Rows())
 	if rows <= 0 {
-		return false
+		return false, "empty relation"
 	}
-	return sc.ests[0] >= math.Float64frombits(r.crossover.Load())*rows
+	if sc.ests[0] >= math.Float64frombits(r.crossover.Load())*rows {
+		return true, "estimated driving selectivity at or above crossover"
+	}
+	return false, "estimated driving selectivity below crossover"
 }
 
 // repChoice tells runSel how to represent the intermediate selection
@@ -371,10 +468,35 @@ const (
 //holistic:noalloc
 func (r *Runner) runSel(sc *scratch, extraAttrs []string, rep repChoice) (useBitmap bool, err error) {
 	drive := sc.preds[0]
+	var reason string
 	if rep == repWantBitmap {
 		_, useBitmap = r.exec.(engine.BitmapSelector)
+		if useBitmap {
+			reason = "pipeline consumes bits (grouped/join path)"
+		} else {
+			reason = "mode has no bitmap select path"
+		}
 	} else {
-		useBitmap = r.chooseBitmap(sc)
+		useBitmap, reason = r.chooseBitmap(sc)
+	}
+	if r.met != nil {
+		if useBitmap {
+			r.met.RecordRep(obs.RepBitmap)
+		} else {
+			r.met.RecordRep(obs.RepPosList)
+		}
+	}
+	tr := sc.trace
+	var t0 time.Time
+	if tr != nil {
+		if useBitmap {
+			tr.Rep = "bitmap"
+		} else {
+			tr.Rep = "poslist"
+		}
+		tr.RepReason = reason
+		tr.SetStat("est_driving_rows", sc.ests[0])
+		t0 = time.Now()
 	}
 	if useBitmap {
 		if err := r.exec.(engine.BitmapSelector).SelectBitmap(drive.Attr, drive.Lo, drive.Hi, sc.bm); err != nil {
@@ -387,6 +509,16 @@ func (r *Runner) runSel(sc *scratch, extraAttrs []string, rep repChoice) (useBit
 		}
 		sc.sel = rows // SelectRows results are caller-owned: refine in place
 	}
+	if tr != nil {
+		if useBitmap {
+			tr.Scanned = int64(sc.bm.Count())
+		} else {
+			tr.Scanned = int64(len(sc.sel))
+		}
+		tr.SetCum(0, tr.Scanned)
+		tr.Stage("drive", t0)
+		t0 = time.Now()
+	}
 	if sink, ok := r.exec.(engine.PredicateSink); ok {
 		for _, p := range sc.preds[1:] {
 			if err := sink.NotePredicate(p.Attr); err != nil {
@@ -397,20 +529,35 @@ func (r *Runner) runSel(sc *scratch, extraAttrs []string, rep repChoice) (useBit
 	// live mirrors the poslist path's len > 0 guards: once the
 	// conjunction is empty, later stages skip the data entirely.
 	live := !useBitmap || sc.bm.Any()
-	for _, p := range sc.preds[1:] {
+	for i, p := range sc.preds[1:] {
 		w, err := r.view(p.Attr)
 		if err != nil {
 			return false, err
 		}
 		sc.views[p.Attr] = w
+		evaluated := false
 		if useBitmap {
 			if live {
 				w.FilterBitmap(sc.bm, p.Lo, p.Hi, r.threads)
 				live = sc.bm.Any()
+				evaluated = true
 			}
 		} else if len(sc.sel) > 0 {
 			sc.sel = w.FilterRowsInPlace(sc.sel, p.Lo, p.Hi, r.threads)
+			evaluated = true
 		}
+		// Surviving counts are measured only when tracing (the bitmap
+		// popcount is an extra pass); skipped conjuncts keep CumRows -1.
+		if tr != nil && evaluated {
+			if useBitmap {
+				tr.SetCum(i+1, int64(sc.bm.Count()))
+			} else {
+				tr.SetCum(i+1, int64(len(sc.sel)))
+			}
+		}
+	}
+	if tr != nil && len(sc.preds) > 1 {
+		tr.Stage("refine", t0)
 	}
 	// Range-filtered attributes are present by construction; the other
 	// referenced attributes (including the driving one, whose rows came
@@ -443,23 +590,62 @@ func (r *Runner) runSel(sc *scratch, extraAttrs []string, rep repChoice) (useBit
 //
 //holistic:noalloc
 func (r *Runner) Count(preds []Predicate) (int, error) {
-	sc := r.getScratch()
-	defer r.putScratch(sc)
+	sc, start := r.begin(obs.KindCount)
+	n, err := r.countSC(sc, preds)
+	r.finish(sc, obs.OpCount, start, int64(n), err)
+	return n, err
+}
+
+//holistic:noalloc
+func (r *Runner) countSC(sc *scratch, preds []Predicate) (int, error) {
 	empty, err := r.planScratch(sc, preds)
 	if err != nil || empty {
 		return 0, err
 	}
 	if len(sc.preds) == 1 {
-		return r.exec.Count(sc.preds[0].Attr, sc.preds[0].Lo, sc.preds[0].Hi)
+		r.noteNativeRep(sc, "single conjunct answered by the mode's native count")
+		n, err := r.exec.Count(sc.preds[0].Attr, sc.preds[0].Lo, sc.preds[0].Hi)
+		r.noteNativeResult(sc, int64(n), err)
+		return n, err
 	}
 	useBm, err := r.runSel(sc, nil, repByPolicy)
 	if err != nil {
 		return 0, err
 	}
+	var n int
 	if useBm {
-		return sc.bm.Count(), nil
+		n = sc.bm.Count()
+	} else {
+		n = len(sc.sel)
 	}
-	return len(sc.sel), nil
+	if tr := sc.trace; tr != nil {
+		tr.Emitted = int64(n)
+	}
+	return n, nil
+}
+
+// noteNativeRep marks a traced single-conjunct query as answered by the
+// executor's native access path (no intermediate representation).
+//
+//holistic:noalloc
+func (r *Runner) noteNativeRep(sc *scratch, reason string) {
+	if r.met != nil {
+		r.met.RecordRep(obs.RepNative)
+	}
+	if tr := sc.trace; tr != nil {
+		tr.Rep = "native"
+		tr.RepReason = reason
+	}
+}
+
+// noteNativeResult records the native path's cardinality on the trace.
+//
+//holistic:noalloc
+func (r *Runner) noteNativeResult(sc *scratch, n int64, err error) {
+	if tr := sc.trace; tr != nil && err == nil {
+		tr.SetCum(0, n)
+		tr.Scanned, tr.Emitted = n, n
+	}
 }
 
 // Sum answers "select sum(attr) where <conjunction>". When the single
@@ -472,19 +658,33 @@ func (r *Runner) Sum(attr string, preds []Predicate) (int64, error) {
 	if r.table.Column(attr) == nil {
 		return 0, errf("query: unknown attribute %q", attr)
 	}
-	sc := r.getScratch()
-	defer r.putScratch(sc)
+	sc, start := r.begin(obs.KindSum)
+	s, err := r.sumSC(sc, attr, preds)
+	r.finish(sc, obs.OpSum, start, s, err)
+	return s, err
+}
+
+//holistic:noalloc
+func (r *Runner) sumSC(sc *scratch, attr string, preds []Predicate) (int64, error) {
 	empty, err := r.planScratch(sc, preds)
 	if err != nil || empty {
 		return 0, err
 	}
 	if len(sc.preds) == 1 && sc.preds[0].Attr == attr {
+		r.noteNativeRep(sc, "single conjunct on the aggregated attribute: native sum pushdown")
 		return r.exec.Sum(attr, sc.preds[0].Lo, sc.preds[0].Hi)
 	}
 	extra := [1]string{attr}
 	useBm, err := r.runSel(sc, extra[:], repByPolicy)
 	if err != nil {
 		return 0, err
+	}
+	if tr := sc.trace; tr != nil {
+		if useBm {
+			tr.Emitted = int64(sc.bm.Count())
+		} else {
+			tr.Emitted = int64(len(sc.sel))
+		}
 	}
 	if useBm {
 		return sc.views[attr].SumBitmap(sc.bm), nil
@@ -496,17 +696,24 @@ func (r *Runner) Sum(attr string, preds []Predicate) (int64, error) {
 // Bitmap intermediates iterate in ascending position order, so the sort
 // disappears on the dense path.
 func (r *Runner) Rows(preds []Predicate) ([]uint32, error) {
-	sc := r.getScratch()
-	defer r.putScratch(sc)
+	sc, start := r.begin(obs.KindRows)
+	rows, err := r.rowsSC(sc, preds)
+	r.finish(sc, obs.OpRows, start, int64(len(rows)), err)
+	return rows, err
+}
+
+func (r *Runner) rowsSC(sc *scratch, preds []Predicate) ([]uint32, error) {
 	empty, err := r.planScratch(sc, preds)
 	if err != nil || empty {
 		return nil, err
 	}
 	if len(sc.preds) == 1 {
+		r.noteNativeRep(sc, "single conjunct materialized by the mode's native row select")
 		rows, err := r.exec.SelectRows(sc.preds[0].Attr, sc.preds[0].Lo, sc.preds[0].Hi)
 		if err != nil {
 			return nil, err
 		}
+		r.noteNativeResult(sc, int64(len(rows)), nil)
 		sort.Slice(rows, func(i, j int) bool { return rows[i] < rows[j] })
 		return rows, nil
 	}
@@ -514,11 +721,16 @@ func (r *Runner) Rows(preds []Predicate) ([]uint32, error) {
 	if err != nil {
 		return nil, err
 	}
+	var out []uint32
 	if useBm {
-		return sc.bm.AppendPositions(make(column.PosList, 0, sc.bm.Count())), nil
+		out = sc.bm.AppendPositions(make(column.PosList, 0, sc.bm.Count()))
+	} else {
+		out = append([]uint32(nil), sc.sel...)
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	}
-	out := append([]uint32(nil), sc.sel...)
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	if tr := sc.trace; tr != nil {
+		tr.Emitted = int64(len(out))
+	}
 	return out, nil
 }
 
@@ -535,8 +747,17 @@ func (r *Runner) Values(attrs []string, preds []Predicate) ([][]int64, error) {
 			return nil, fmt.Errorf("query: unknown attribute %q", a)
 		}
 	}
-	sc := r.getScratch()
-	defer r.putScratch(sc)
+	sc, start := r.begin(obs.KindValues)
+	out, err := r.valuesSC(sc, attrs, preds)
+	var emitted int64
+	if len(out) > 0 {
+		emitted = int64(len(out[0]))
+	}
+	r.finish(sc, obs.OpValues, start, emitted, err)
+	return out, err
+}
+
+func (r *Runner) valuesSC(sc *scratch, attrs []string, preds []Predicate) ([][]int64, error) {
 	empty, err := r.planScratch(sc, preds)
 	if err != nil {
 		return nil, err

@@ -342,11 +342,11 @@ func TestChooseBitmapCrossover(t *testing.T) {
 	if empty, err := r.planScratch(sc, dense); err != nil || empty {
 		t.Fatal(err)
 	}
-	if !r.chooseBitmap(sc) {
+	if ok, _ := r.chooseBitmap(sc); !ok {
 		t.Error("dense drive did not choose bitmap")
 	}
 	r.SetRepPolicy(RepPosList)
-	if r.chooseBitmap(sc) {
+	if ok, _ := r.chooseBitmap(sc); ok {
 		t.Error("RepPosList still chose bitmap")
 	}
 	r.SetRepPolicy(RepAuto)
@@ -354,16 +354,16 @@ func TestChooseBitmapCrossover(t *testing.T) {
 	if empty, err := r.planScratch(sc, sparse); err != nil || empty {
 		t.Fatal(err)
 	}
-	if r.chooseBitmap(sc) {
+	if ok, _ := r.chooseBitmap(sc); ok {
 		t.Error("sparse drive chose bitmap")
 	}
 	r.SetRepPolicy(RepBitmap)
-	if !r.chooseBitmap(sc) {
+	if ok, _ := r.chooseBitmap(sc); !ok {
 		t.Error("RepBitmap did not choose bitmap")
 	}
 	r.SetRepPolicy(RepAuto)
 	r.SetBitmapCrossover(0) // crossover 0: everything is dense enough
-	if !r.chooseBitmap(sc) {
+	if ok, _ := r.chooseBitmap(sc); !ok {
 		t.Error("crossover 0 did not choose bitmap")
 	}
 	r.SetBitmapCrossover(DefaultBitmapCrossover)
@@ -371,7 +371,7 @@ func TestChooseBitmapCrossover(t *testing.T) {
 	if empty, err := r.planScratch(sc, single); err != nil || empty {
 		t.Fatal(err)
 	}
-	if r.chooseBitmap(sc) {
+	if ok, _ := r.chooseBitmap(sc); ok {
 		t.Error("single conjunct chose bitmap")
 	}
 }
@@ -399,7 +399,7 @@ func TestSteadyStateCountSumAllocationFree(t *testing.T) {
 	if empty, err := r.planScratch(sc, preds); err != nil || empty {
 		t.Fatal(err)
 	}
-	if !r.chooseBitmap(sc) {
+	if ok, _ := r.chooseBitmap(sc); !ok {
 		t.Fatal("steady-state test expects the bitmap path")
 	}
 	r.putScratch(sc)

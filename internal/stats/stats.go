@@ -33,6 +33,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"holistic/internal/cracking"
 )
@@ -82,6 +83,36 @@ const (
 	Optimal
 )
 
+// String names the configuration for telemetry.
+func (s State) String() string {
+	switch s {
+	case Actual:
+		return "actual"
+	case Potential:
+		return "potential"
+	case Optimal:
+		return "optimal"
+	default:
+		return "unknown"
+	}
+}
+
+// Transition records one index moving between configurations: admission
+// (From empty), promotion Potential→Actual on first access, and
+// convergence to Optimal. Since is the offset from registry creation, so
+// transition timelines from one run are directly comparable.
+type Transition struct {
+	Index string        `json:"index"`
+	From  string        `json:"from,omitempty"`
+	To    string        `json:"to"`
+	Since time.Duration `json:"since_ns"`
+}
+
+// transitionCap bounds the retained transition history. Each index
+// contributes at most three transitions (admit, promote, converge), so
+// the ring only wraps for spaces of ~100+ indices.
+const transitionCap = 256
+
 // Entry is the statistics node of one adaptive index. Its counters and
 // state are atomics: the select operator, holistic workers and the
 // telemetry readers all touch them concurrently.
@@ -109,6 +140,14 @@ type Registry struct {
 	l1s     float64
 	entries map[string]*Entry
 	rng     *rand.Rand
+
+	// The state-transition timeline: a bounded ring under its own mutex
+	// so RecordAccess promotions never contend with registry reads.
+	trMu    sync.Mutex
+	trans   [transitionCap]Transition
+	trStart int
+	trLen   int
+	born    time.Time
 }
 
 // DefaultL1Values is the number of int64 values fitting a 32 KiB L1 data
@@ -125,7 +164,39 @@ func NewRegistry(l1Values int, seed int64) *Registry {
 		l1s:     float64(l1Values),
 		entries: make(map[string]*Entry),
 		rng:     rand.New(rand.NewSource(seed)),
+		born:    time.Now(),
 	}
+}
+
+// recordTransition appends one transition to the bounded ring.
+func (r *Registry) recordTransition(index string, from, to State) {
+	// Admissions pass from == to; they render with From omitted.
+	fromName := ""
+	if from != to {
+		fromName = from.String()
+	}
+	r.trMu.Lock()
+	t := Transition{Index: index, From: fromName, To: to.String(), Since: time.Since(r.born)}
+	if r.trLen < transitionCap {
+		r.trans[(r.trStart+r.trLen)%transitionCap] = t
+		r.trLen++
+	} else {
+		r.trans[r.trStart] = t
+		r.trStart = (r.trStart + 1) % transitionCap
+	}
+	r.trMu.Unlock()
+}
+
+// Transitions returns the retained state-transition timeline, oldest
+// first.
+func (r *Registry) Transitions() []Transition {
+	r.trMu.Lock()
+	defer r.trMu.Unlock()
+	out := make([]Transition, 0, r.trLen)
+	for i := 0; i < r.trLen; i++ {
+		out = append(out, r.trans[(r.trStart+i)%transitionCap])
+	}
+	return out
 }
 
 // L1Values returns the optimal piece size in values.
@@ -142,10 +213,13 @@ func (r *Registry) Add(name string, col *cracking.Column, potential bool) *Entry
 		return e
 	}
 	e := &Entry{Name: name, Col: col}
+	st := Actual
 	if potential {
+		st = Potential
 		e.state.Store(int64(Potential))
 	}
 	r.entries[name] = e
+	r.recordTransition(name, st, st)
 	return e
 }
 
@@ -184,7 +258,9 @@ func (r *Registry) RecordAccess(name string, exactHit bool) {
 	if exactHit {
 		e.hits.Add(1)
 	}
-	e.state.CompareAndSwap(int64(Potential), int64(Actual))
+	if e.state.CompareAndSwap(int64(Potential), int64(Actual)) {
+		r.recordTransition(name, Potential, Actual)
+	}
 }
 
 // Distance returns d(I, Iopt) = N/p - |L1| for the entry, clamped at 0.
@@ -219,7 +295,9 @@ func (r *Registry) MarkOptimalIfDone(e *Entry) bool {
 	if r.Distance(e) > 0 {
 		return false
 	}
-	e.state.Store(int64(Optimal))
+	if old := State(e.state.Swap(int64(Optimal))); old != Optimal {
+		r.recordTransition(e.Name, old, Optimal)
+	}
 	return true
 }
 

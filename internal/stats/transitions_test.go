@@ -1,0 +1,62 @@
+package stats
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestStateString(t *testing.T) {
+	for st, want := range map[State]string{Actual: "actual", Potential: "potential", Optimal: "optimal", State(9): "unknown"} {
+		if got := st.String(); got != want {
+			t.Errorf("State(%d).String() = %q, want %q", st, got, want)
+		}
+	}
+}
+
+func TestTransitionTimeline(t *testing.T) {
+	r := NewRegistry(1<<20, 1) // enormous L1 => optimal on first check
+	c := col(t, 1024, 1)
+	r.Add("a", c, true)
+	tr := r.Transitions()
+	if len(tr) != 1 || tr[0].Index != "a" || tr[0].From != "" || tr[0].To != "potential" {
+		t.Fatalf("admission transition wrong: %+v", tr)
+	}
+
+	r.RecordAccess("a", false)
+	r.RecordAccess("a", true) // second access: no duplicate promotion
+	tr = r.Transitions()
+	if len(tr) != 2 || tr[1].From != "potential" || tr[1].To != "actual" {
+		t.Fatalf("promotion transition wrong: %+v", tr)
+	}
+
+	e := r.Get("a")
+	if !r.MarkOptimalIfDone(e) {
+		t.Fatal("expected optimal with huge L1")
+	}
+	r.MarkOptimalIfDone(e) // idempotent: no duplicate transition
+	tr = r.Transitions()
+	if len(tr) != 3 || tr[2].From != "actual" || tr[2].To != "optimal" {
+		t.Fatalf("convergence transition wrong: %+v", tr)
+	}
+	for i := 1; i < len(tr); i++ {
+		if tr[i].Since < tr[i-1].Since {
+			t.Fatalf("timeline not chronological: %+v", tr)
+		}
+	}
+}
+
+func TestTransitionRingBound(t *testing.T) {
+	r := NewRegistry(64, 1)
+	c := col(t, 256, 1)
+	for i := 0; i < transitionCap+50; i++ {
+		r.Add(fmt.Sprintf("idx%04d", i), c, false)
+	}
+	tr := r.Transitions()
+	if len(tr) != transitionCap {
+		t.Fatalf("ring holds %d, want cap %d", len(tr), transitionCap)
+	}
+	// Oldest entries were evicted: the first retained one is index 50.
+	if tr[0].Index != "idx0050" {
+		t.Fatalf("ring did not evict oldest: first retained is %s", tr[0].Index)
+	}
+}

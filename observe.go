@@ -1,0 +1,227 @@
+// The public observability surface (DESIGN.md §9): per-query Explain
+// reports, the JSONL trace stream, and the Store.Metrics snapshot that
+// backs the /debug/holistic endpoint.
+
+package holistic
+
+import (
+	"io"
+	"time"
+
+	"holistic/internal/engine"
+	"holistic/internal/groupby"
+	"holistic/internal/holistic"
+	"holistic/internal/obs"
+)
+
+// ExplainConjunct is one planned range conjunct of an Explain report,
+// in pipeline (most-selective-first) order.
+type ExplainConjunct struct {
+	// Side is "" for single-relation queries, "left"/"right" for joins.
+	Side string
+	Attr string
+	// The conjunct selects Lo <= Attr < Hi.
+	Lo, Hi int64
+	// EstRows is the planner's standalone cardinality estimate — exact
+	// where the mode's index structures can answer, a uniform-domain
+	// guess otherwise.
+	EstRows float64
+	// ActualRows is the conjunct's true standalone match count, measured
+	// by an O(N) oracle probe (Explain only; -1 on error paths).
+	ActualRows int64
+	// SurvivingRows is the candidate count left after this conjunct in
+	// pipeline order; -1 when the stage never ran (an earlier conjunct
+	// emptied the selection).
+	SurvivingRows int64
+	// Driving marks the conjunct evaluated through the mode's native
+	// access path; the rest refine by positional probes.
+	Driving bool
+}
+
+// ExplainStage is one timed pipeline stage of an Explain report.
+type ExplainStage struct {
+	Name     string
+	Duration time.Duration
+}
+
+// Explain is the execution report of one traced query: what the
+// planner estimated, what actually happened, and which physical
+// choices (representation, grouping/join strategy) were made and why.
+type Explain struct {
+	// Kind is the terminal ("count", "sum", "grouped", "join", ...);
+	// Mode the executor mode label the query ran under.
+	Kind, Mode string
+	// Rows is the relation's row count (the left relation for joins);
+	// RowsRight the right relation's for joins.
+	Rows, RowsRight int
+	// Representation names the intermediate selection representation
+	// ("bitmap", "poslist", or "native" for single-conjunct pushdowns),
+	// with the planner's reason.
+	Representation, RepresentationReason string
+	// Strategy names the physical grouping or join strategy ("dense",
+	// "hash", "sort", "merge"), with the reason it won.
+	Strategy, StrategyReason string
+	Conjuncts                []ExplainConjunct
+	Stages                   []ExplainStage
+	// Stats carries the numeric statistics that drove the decisions
+	// (key-order spans, selection densities, ...).
+	Stats map[string]float64
+	// Scanned is the driving select's candidate count, Emitted the
+	// final row/group/pair count, Result the scalar answer where one
+	// exists.
+	Scanned, Emitted, Result int64
+	Elapsed                  time.Duration
+
+	text string
+}
+
+// String renders the report in the human-readable explain format.
+func (e *Explain) String() string { return e.text }
+
+// explainFrom converts the internal trace into the public report.
+func explainFrom(tr *obs.QueryTrace) *Explain {
+	e := &Explain{
+		Kind: tr.Kind, Mode: tr.Mode,
+		Rows: tr.Rows, RowsRight: tr.RowsRight,
+		Representation: tr.Rep, RepresentationReason: tr.RepReason,
+		Strategy: tr.Strategy, StrategyReason: tr.StrategyReason,
+		Scanned: tr.Scanned, Emitted: tr.Emitted, Result: tr.Result,
+		Elapsed: time.Duration(tr.TotalNanos),
+		text:    tr.String(),
+	}
+	for _, c := range tr.Conjuncts {
+		e.Conjuncts = append(e.Conjuncts, ExplainConjunct{
+			Side: c.Side, Attr: c.Attr, Lo: c.Lo, Hi: c.Hi,
+			EstRows: c.EstRows, ActualRows: c.ActualRows,
+			SurvivingRows: c.CumRows, Driving: c.Driving,
+		})
+	}
+	for _, st := range tr.Stages {
+		e.Stages = append(e.Stages, ExplainStage{Name: st.Name, Duration: time.Duration(st.Nanos)})
+	}
+	if len(tr.Stat) > 0 {
+		e.Stats = make(map[string]float64, len(tr.Stat))
+		for k, v := range tr.Stat {
+			e.Stats[k] = v
+		}
+	}
+	return e
+}
+
+// Explain executes the query as a count with tracing forced on and
+// returns the execution report: per-conjunct estimated versus actual
+// selectivity (the actuals measured by an O(N) oracle probe per
+// conjunct — Explain is a diagnostic, not a hot path) and the
+// representation choice with its reason.
+func (q *Query) Explain() (*Explain, error) {
+	r, err := q.s.runner()
+	if err != nil {
+		return nil, err
+	}
+	tr, _, err := r.ExplainCount(q.preds)
+	if err != nil {
+		return nil, err
+	}
+	return explainFrom(tr), nil
+}
+
+// Explain executes the grouped aggregation with tracing forced on and
+// returns the execution report, including the physical grouping
+// strategy (dense, hash, or sort) and the statistics that drove the
+// choice. Aggregates default to count(*) when none are given.
+func (g *GroupedQuery) Explain(aggs ...Agg) (*Explain, error) {
+	r, err := g.q.s.runner()
+	if err != nil {
+		return nil, err
+	}
+	if len(aggs) == 0 {
+		aggs = []Agg{Count()}
+	}
+	specs := make([]groupby.Agg, len(aggs))
+	for i, a := range aggs {
+		specs[i] = a.agg
+	}
+	res := &groupby.Result{}
+	tr, err := r.ExplainGrouped(res, g.keys, specs, g.q.preds)
+	if err != nil {
+		return nil, err
+	}
+	return explainFrom(tr), nil
+}
+
+// Explain executes the join as a count with tracing forced on and
+// returns the execution report: side-scoped conjuncts with estimated
+// versus actual selectivity, and the physical join strategy (hash or
+// index-clustered merge) with the key-order statistics that drove it.
+func (jq *JoinQuery) Explain() (*Explain, error) {
+	j, err := jq.build()
+	if err != nil {
+		return nil, err
+	}
+	tr, _, err := j.Explain()
+	if err != nil {
+		return nil, err
+	}
+	return explainFrom(tr), nil
+}
+
+// SetTraceJSONL streams every executed query's trace to w as one JSON
+// object per line (the schema of DESIGN.md §9); nil detaches. The
+// writes happen synchronously at query end under an internal mutex, so
+// hand a buffered or fast writer; encoding errors are dropped — tracing
+// never fails a query.
+func (s *Store) SetTraceJSONL(w io.Writer) error {
+	r, err := s.runner()
+	if err != nil {
+		return err
+	}
+	if w == nil {
+		r.SetTraceSink(nil)
+		return nil
+	}
+	r.SetTraceSink(obs.NewJSONLSink(w))
+	return nil
+}
+
+// Metrics is the full telemetry snapshot of one Store: lifetime query
+// latency histograms and physical-choice counters, access-path
+// counters, and — under ModeHolistic — the daemon's convergence state.
+// It marshals to the JSON served per store on /debug/holistic.
+type Metrics struct {
+	// Mode echoes the configured mode; Rows the relation's row count.
+	Mode string `json:"mode"`
+	Rows int    `json:"rows"`
+	// Query aggregates the conjunctive query pipeline: query count,
+	// per-operation latency summaries (p50/p90/p99/p999),
+	// representation and strategy counters, and the strategy-transition
+	// timeline.
+	Query *obs.QuerySnapshot `json:"query"`
+	// Exec aggregates the mode's access path: select latency, cracker
+	// builds, merged pending updates, key-order index walks.
+	Exec *obs.ExecSnapshot `json:"exec"`
+	// Daemon reports background-refinement convergence (ModeHolistic
+	// only): per-column state timelines, refinement and reroll
+	// counters, cycle totals, and the overall convergence ratio.
+	Daemon *holistic.Convergence `json:"daemon,omitempty"`
+}
+
+// Metrics returns the store's telemetry snapshot. Like Stats it is a
+// pure read: it never builds the executor as a side effect, and it is
+// safe to call concurrently with queries (the recording side is
+// lock-free).
+func (s *Store) Metrics() Metrics {
+	s.mu.Lock()
+	exec := s.exec
+	rows := s.table.Rows()
+	s.mu.Unlock()
+	m := Metrics{
+		Mode:  s.cfg.Mode.String(),
+		Rows:  rows,
+		Query: s.met.Snapshot(),
+		Exec:  s.execMet.Snapshot(),
+	}
+	if h, ok := exec.(*engine.HolisticExecutor); ok {
+		m.Daemon = h.Daemon.Convergence()
+	}
+	return m
+}
