@@ -58,6 +58,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		l1          = fs.Int("l1", defaults.L1Values, "optimal piece size in values (|L1|)")
 		tpchOrders  = fs.Int("tpch-orders", defaults.TPCHOrders, "ORDERS cardinality for fig14")
 		seed        = fs.Int64("seed", defaults.Seed, "random seed")
+		dataDir     = fs.String("data-dir", "", "directory for durability experiments (recover); temp dir when empty")
 		jsonPath    = fs.String("json", "", "also write the results as a JSON array to this file")
 		metricsAddr = fs.String("metrics-addr", "", "serve /debug/holistic, /debug/vars and pprof on this address for the run's duration")
 		cpuProfile  = fs.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
@@ -127,6 +128,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		L1Values:    *l1,
 		TPCHOrders:  *tpchOrders,
 		Seed:        *seed,
+		DataDir:     *dataDir,
 	}
 
 	var names []string

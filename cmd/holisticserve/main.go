@@ -53,6 +53,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		pause    = fs.Duration("pause", 2*time.Millisecond, "idle time between workload queries")
 		trace    = fs.String("trace", "", "stream per-query JSONL traces to this file")
 		seed     = fs.Int64("seed", 1, "random seed")
+		dataDir  = fs.String("data-dir", "", "persist the store here (WAL + snapshots); reopens on restart")
+		snapshot = fs.Duration("snapshot-interval", 0, "background snapshot cadence when -data-dir is set (0: library default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -70,27 +72,44 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "holisticserve: listening on http://%s/debug/holistic\n", ln.Addr())
 	go func() { _ = http.Serve(ln, obs.Handler()) }()
 
-	store := holistic.NewStore(holistic.Config{
-		Mode:           holistic.ModeHolistic,
-		Threads:        *threads,
-		TuningInterval: *interval,
-		Seed:           *seed,
-	})
+	cfg := holistic.Config{
+		Mode:             holistic.ModeHolistic,
+		Threads:          *threads,
+		TuningInterval:   *interval,
+		Seed:             *seed,
+		SnapshotInterval: *snapshot,
+	}
+	var store *holistic.Store
+	if *dataDir != "" {
+		store, err = holistic.OpenStore(*dataDir, cfg)
+		if err != nil {
+			fmt.Fprintln(stderr, "holisticserve: open:", err)
+			return 1
+		}
+		if rec := store.Metrics().Recovery; rec != nil {
+			fmt.Fprintf(stdout, "holisticserve: recovered generation %d (clean=%v, replayed %d WAL records)\n",
+				rec.Generation, rec.CleanStart, rec.ReplayedRecords)
+		}
+	} else {
+		store = holistic.NewStore(cfg)
+	}
 	defer store.Close()
 	rng := rand.New(rand.NewSource(*seed))
 	const domain = 1 << 14
-	for _, name := range []string{"a", "b", "c", "g"} {
-		vals := make([]int64, *rows)
-		lim := int64(domain)
-		if name == "g" {
-			lim = 64 // a group key with a dense-packable domain
-		}
-		for i := range vals {
-			vals[i] = rng.Int63n(lim)
-		}
-		if err := store.AddIntColumn(name, vals); err != nil {
-			fmt.Fprintln(stderr, "holisticserve:", err)
-			return 1
+	if len(store.Columns()) == 0 { // fresh store (or no data dir): load the demo relation
+		for _, name := range []string{"a", "b", "c", "g"} {
+			vals := make([]int64, *rows)
+			lim := int64(domain)
+			if name == "g" {
+				lim = 64 // a group key with a dense-packable domain
+			}
+			for i := range vals {
+				vals[i] = rng.Int63n(lim)
+			}
+			if err := store.AddIntColumn(name, vals); err != nil {
+				fmt.Fprintln(stderr, "holisticserve:", err)
+				return 1
+			}
 		}
 	}
 
@@ -123,6 +142,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		q := store.Query().Where("a", lo, lo+span).Where("b", 0, domain*3/4)
 		var err error
 		switch queries % 8 {
+		case 5:
+			// A write keeps the WAL moving so restarts have records to
+			// replay; reads below still dominate the mix.
+			err = store.Insert("c", rng.Int63n(domain))
 		case 6:
 			_, err = q.GroupBy("g").Aggregate(holistic.Count(), holistic.Sum("c"))
 		case 7:

@@ -118,6 +118,44 @@ func TestServeSmoke(t *testing.T) {
 	}
 }
 
+// TestServeRestartRecovers runs two short server lives against the same
+// -data-dir: the first persists the store, the second must reopen it —
+// skipping the demo load — and report what recovery found.
+func TestServeRestartRecovers(t *testing.T) {
+	dataDir := t.TempDir()
+	args := []string{
+		"-addr", "127.0.0.1:0",
+		"-rows", "5000",
+		"-duration", "700ms",
+		"-pause", "1ms",
+		"-data-dir", dataDir,
+		"-snapshot-interval", "100ms",
+	}
+
+	var out1, err1 bytes.Buffer
+	if code := run(args, &out1, &err1); code != 0 {
+		t.Fatalf("first run exited %d; stderr: %s", code, err1.String())
+	}
+	if !strings.Contains(out1.String(), "recovered generation") {
+		t.Fatalf("first run missing recovery line: %s", out1.String())
+	}
+
+	var out2, err2 bytes.Buffer
+	if code := run(args, &out2, &err2); code != 0 {
+		t.Fatalf("second run exited %d; stderr: %s", code, err2.String())
+	}
+	reopen := regexp.MustCompile(`recovered generation (\d+)`).FindStringSubmatch(out2.String())
+	if reopen == nil {
+		t.Fatalf("second run missing recovery line: %s", out2.String())
+	}
+	if reopen[1] == "0" {
+		t.Errorf("second run reopened at generation 0 — first run's snapshot was not found: %s", out2.String())
+	}
+	if !strings.Contains(out2.String(), "queries served") {
+		t.Errorf("second run missing summary line: %s", out2.String())
+	}
+}
+
 func get(t *testing.T, url string) []byte {
 	t.Helper()
 	resp, err := http.Get(url)

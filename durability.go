@@ -1,0 +1,591 @@
+// Durability: OpenStore gives a Store a data directory backed by the
+// internal/durable layer — a write-ahead log for Insert/Delete/Update,
+// CRC32C-checksummed snapshot segments committed by manifest rename,
+// and adaptive-state serialization so recovery restores not just the
+// data but the cracker piece boundaries, sorted runs and convergence
+// statistics the workload already paid for. See DESIGN.md §10.
+
+package holistic
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"holistic/internal/column"
+	"holistic/internal/cracking"
+	"holistic/internal/durable"
+	"holistic/internal/engine"
+	"holistic/internal/holistic"
+	"holistic/internal/obs"
+	"holistic/internal/sortidx"
+	"holistic/internal/stats"
+)
+
+// WALSync selects the fsync policy of a durable store's write-ahead
+// log (Config.WALSync).
+type WALSync int
+
+const (
+	// WALSyncGroup (the default) fsyncs with group commit: concurrent
+	// writers elect a leader whose single fsync covers every record
+	// appended so far.
+	WALSyncGroup WALSync = iota
+	// WALSyncAlways fsyncs every record before acknowledging it — the
+	// strict policy the crash-injection matrix asserts against.
+	WALSyncAlways
+	// WALSyncNone never fsyncs on the write path; acknowledged writes
+	// may be lost on crash, durability is limited to snapshots.
+	WALSyncNone
+)
+
+// walPolicy maps the public WALSync knob onto the durable layer's.
+func (c Config) walPolicy() durable.SyncPolicy {
+	switch c.WALSync {
+	case WALSyncAlways:
+		return durable.SyncAlways
+	case WALSyncNone:
+		return durable.SyncNone
+	default:
+		return durable.SyncGroup
+	}
+}
+
+// snapInterval resolves the background snapshot cadence: 10s by
+// default, disabled when negative.
+func (c Config) snapInterval() time.Duration {
+	if c.SnapshotInterval == 0 {
+		return 10 * time.Second
+	}
+	if c.SnapshotInterval < 0 {
+		return 0
+	}
+	return c.SnapshotInterval
+}
+
+// OpenStore opens (creating if needed) a durable store in dir: it
+// recovers the newest valid snapshot generation, rebuilds the adaptive
+// indexes from their persisted state (unless Config.DataOnlyRecovery),
+// replays the WAL tail, and from then on logs every Insert, Delete and
+// Update before applying it. Snapshots are written in the background —
+// under ModeHolistic by piggybacking on the daemon's idle cycles — and
+// Close leaves a clean-shutdown marker so the next open skips replay.
+//
+// A recovered store that already holds columns serves queries
+// immediately; AddIntColumn is only allowed when Columns is empty
+// (a fresh directory).
+func OpenStore(dir string, cfg Config) (*Store, error) {
+	fs, err := durable.NewOSFS(dir)
+	if err != nil {
+		return nil, err
+	}
+	return openStoreFS(fs, cfg)
+}
+
+// openStoreFS is OpenStore over an abstract filesystem — the seam the
+// crash-injection tests drive with durable.FaultFS.
+func openStoreFS(fs durable.FS, cfg Config) (*Store, error) {
+	rec, err := durable.Recover(fs)
+	if err != nil {
+		return nil, fmt.Errorf("holistic: recover: %w", err)
+	}
+	s := NewStore(cfg)
+	d := &durability{
+		fs:       fs,
+		cfg:      cfg,
+		met:      &obs.DurableMetrics{},
+		s:        s,
+		gen:      rec.Gen,
+		walPart:  rec.NextPart,
+		haveSnap: rec.Manifest != nil,
+		clean:    rec.Clean,
+		torn:     rec.TornTail,
+		interval: cfg.snapInterval(),
+		stop:     make(chan struct{}),
+	}
+	s.dur = d
+	d.met.ManifestFallbacks.Add(int64(rec.Fallbacks))
+	d.met.DroppedIndexes.Add(int64(rec.DroppedIndexes))
+
+	if rec.TornTail && rec.SeqAfterReplay == rec.Gen {
+		// The tear held no acknowledged record; retire the segment so a
+		// later recovery never stops its replay at this stale tail.
+		if err := durable.PruneWAL(fs, rec.Gen); err != nil {
+			s.discard()
+			return nil, fmt.Errorf("holistic: prune torn wal: %w", err)
+		}
+	}
+	wal, err := durable.CreateLog(fs, durable.WALName(rec.Gen, rec.NextPart), rec.SeqAfterReplay, cfg.walPolicy())
+	if err != nil {
+		s.discard()
+		return nil, fmt.Errorf("holistic: create wal: %w", err)
+	}
+	d.wal = wal
+	d.dirty = int64(len(rec.Records))
+	d.lastSnap = time.Now()
+
+	if rec.Manifest != nil && len(rec.Columns) > 0 {
+		for _, cd := range rec.Columns {
+			if err := s.table.AddColumn(column.New(cd.Name, cd.Base)); err != nil {
+				s.discard()
+				return nil, fmt.Errorf("holistic: recover column %q: %w", cd.Name, err)
+			}
+		}
+		if _, err := s.executor(); err != nil {
+			s.discard()
+			return nil, err
+		}
+		d.installState(rec)
+		for _, r := range rec.Records {
+			d.met.ReplayedRecords.Inc()
+			if err := d.apply(r); err != nil {
+				// A replayed operation that fails here failed identically
+				// before the crash (same state, same op): a deterministic
+				// no-op, not a recovery error.
+				d.met.ReplayErrors.Inc()
+			}
+		}
+		if len(rec.Records) > 0 {
+			// Bake the replay into a fresh generation: startup work is not
+			// repaid on the next open, and any torn segment behind us drops
+			// out of the replay set for good.
+			if err := d.checkpoint(); err != nil {
+				s.discard()
+				return nil, fmt.Errorf("holistic: post-replay checkpoint: %w", err)
+			}
+		}
+	}
+	if cfg.Mode != ModeHolistic && d.interval > 0 {
+		go d.tickerLoop()
+	}
+	return s, nil
+}
+
+// discard unregisters a store whose open failed partway.
+func (s *Store) discard() {
+	obs.UnregisterSource(s.obsName)
+}
+
+// Columns lists the store's column names, in insertion order. A
+// recovered store reports the persisted columns.
+func (s *Store) Columns() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.table.ColumnNames()
+}
+
+// Checkpoint forces a snapshot of the current data and adaptive state,
+// rotating the WAL. Stores without a data directory return an error.
+func (s *Store) Checkpoint() error {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if s.dur == nil {
+		return errors.New("holistic: store has no data directory")
+	}
+	if closed {
+		return ErrClosed
+	}
+	return s.dur.checkpoint()
+}
+
+// durability is the per-store persistence engine behind OpenStore.
+type durability struct {
+	fs  durable.FS
+	cfg Config
+	met *obs.DurableMetrics
+	s   *Store
+
+	clean bool // last shutdown was clean (recovery skipped replay)
+	torn  bool // recovery stopped replay at a torn WAL frame
+
+	interval time.Duration // background snapshot cadence; 0 = disabled
+	stop     chan struct{}
+	stopOnce sync.Once
+
+	// writeMu serializes logged writes with each other and with
+	// checkpoints; the lock order is Store.mu -> writeMu -> executor
+	// locks (pendMu, cracker latches).
+	writeMu   sync.Mutex
+	wal       *durable.Log
+	exec      engine.Executor // cached by attachExec; nil until first build
+	gen       uint64          // generation of the current manifest
+	walPart   int             // part number of the live WAL segment
+	haveSnap  bool            // a manifest for gen exists on disk
+	dirty     int64           // records appended since the last checkpoint
+	syncsBase int64           // fsyncs of already-rotated segments (telemetry)
+	lastSnap  time.Time
+	closed    bool
+}
+
+// loggedInsert, loggedDelete and loggedUpdate are the Store write
+// paths' entry into the WAL. They carry the //holistic:alloc-ok
+// boundary for the durable write path: mutations are cold relative to
+// queries, and nothing on the query hot path may reach past these
+// functions into WAL framing (the noalloc check enforces the split).
+//
+//holistic:alloc-ok durable write path is cold; record framing and error wrapping may allocate
+func (d *durability) loggedInsert(ins engine.Inserter, attr string, v int64) error {
+	return d.logged(durable.Record{Kind: durable.KindInsert, Attr: attr, A: v},
+		func() error { return ins.Insert(attr, v) })
+}
+
+//holistic:alloc-ok durable write path is cold; record framing and error wrapping may allocate
+func (d *durability) loggedDelete(del engine.Deleter, attr string, v int64) error {
+	return d.logged(durable.Record{Kind: durable.KindDelete, Attr: attr, A: v},
+		func() error { return del.Delete(attr, v) })
+}
+
+//holistic:alloc-ok durable write path is cold; record framing and error wrapping may allocate
+func (d *durability) loggedUpdate(up engine.Updater, attr string, oldV, newV int64) error {
+	return d.logged(durable.Record{Kind: durable.KindUpdate, Attr: attr, A: oldV, B: newV},
+		func() error { return up.Update(attr, oldV, newV) })
+}
+
+// attachExec caches the executor on first build and, for a fresh
+// directory, commits the initial snapshot so the columns — and the
+// positional base every WAL record replays against — are on disk before
+// the first logged write. Called under Store.mu.
+func (d *durability) attachExec(exec engine.Executor) error {
+	d.writeMu.Lock()
+	defer d.writeMu.Unlock()
+	d.exec = exec
+	if h, ok := exec.(*engine.HolisticExecutor); ok {
+		h.Daemon.SetIdleHook(d.maybeSnapshot)
+	}
+	if !d.haveSnap {
+		if err := d.checkpointLocked(); err != nil {
+			return fmt.Errorf("holistic: initial checkpoint: %w", err)
+		}
+	}
+	return nil
+}
+
+// logged runs one write through the WAL: append the record, apply it in
+// memory under the write lock, then make it durable (group commit under
+// the default policy) before acknowledging.
+//
+//holistic:alloc-ok durable write path is cold; record framing and error wrapping may allocate
+func (d *durability) logged(rec durable.Record, apply func() error) error {
+	d.writeMu.Lock()
+	if d.closed {
+		d.writeMu.Unlock()
+		return ErrClosed
+	}
+	if !d.haveSnap {
+		// The initial checkpoint failed at executor build; the columns
+		// this record replays against are not on disk yet. Retry before
+		// logging anything.
+		if err := d.checkpointLocked(); err != nil {
+			d.writeMu.Unlock()
+			return fmt.Errorf("holistic: initial checkpoint: %w", err)
+		}
+	}
+	seq, err := d.wal.Append(rec)
+	if err != nil {
+		d.writeMu.Unlock()
+		return fmt.Errorf("holistic: wal append: %w", err)
+	}
+	d.met.WALRecords.Inc()
+	d.met.WALBytes.Add(int64(19 + len(rec.Attr)))
+	d.dirty++
+	applyErr := apply()
+	wal := d.wal
+	d.writeMu.Unlock()
+	if err := wal.Commit(seq); err != nil {
+		return fmt.Errorf("holistic: wal commit: %w", err)
+	}
+	return applyErr
+}
+
+// apply reapplies one WAL record through the executor's write path.
+func (d *durability) apply(r durable.Record) error {
+	switch r.Kind {
+	case durable.KindInsert:
+		if ins, ok := d.exec.(engine.Inserter); ok {
+			return ins.Insert(r.Attr, r.A)
+		}
+	case durable.KindDelete:
+		if del, ok := d.exec.(engine.Deleter); ok {
+			return del.Delete(r.Attr, r.A)
+		}
+	case durable.KindUpdate:
+		if up, ok := d.exec.(engine.Updater); ok {
+			return up.Update(r.Attr, r.A, r.B)
+		}
+	}
+	return fmt.Errorf("holistic: mode %v cannot replay record kind %d", d.cfg.Mode, r.Kind)
+}
+
+// checkpoint takes the write lock and commits a snapshot generation.
+func (d *durability) checkpoint() error {
+	d.writeMu.Lock()
+	defer d.writeMu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	return d.checkpointLocked()
+}
+
+// checkpointLocked commits the snapshot protocol under writeMu:
+//
+//  1. sync the live WAL segment — every record the snapshot bakes in
+//     is durable before the manifest claims to cover it;
+//  2. write the column segments and the adaptive-state file of the
+//     NEXT generation — generations strictly increase, so no file of
+//     the still-valid current generation is ever touched in place and
+//     a crash mid-write always leaves the previous snapshot intact;
+//  3. write manifest.tmp, sync it, rename it into place (the commit
+//     point — a crash on either side leaves a valid directory);
+//  4. rotate the WAL to the new generation so replay starts empty;
+//  5. prune, keeping the new and previous generations (the previous
+//     one is the fallback if the new manifest is later found torn).
+//
+// Writers are blocked for the duration; checkpoints are background
+// work riding idle cycles, not a query-path operation. Every call
+// writes a full snapshot — queries refine adaptive state without
+// dirtying the WAL, so "no new records" does not mean "nothing worth
+// persisting"; the dirty-records gate lives in maybeSnapshot.
+func (d *durability) checkpointLocked() error {
+	if err := d.wal.Sync(); err != nil {
+		d.met.SnapshotFailures.Inc()
+		return err
+	}
+	gen := d.gen + 1
+	cols, states, daemon := d.export()
+	m := &durable.Manifest{Generation: gen, Mode: d.cfg.Mode.String(), Daemon: daemon}
+	if err := durable.WriteSnapshot(d.fs, m, cols, states); err != nil {
+		d.met.SnapshotFailures.Inc()
+		return err
+	}
+	wal, err := durable.CreateLog(d.fs, durable.WALName(gen, 0), d.wal.Seq(), d.cfg.walPolicy())
+	if err != nil {
+		d.met.SnapshotFailures.Inc()
+		return err
+	}
+	old := d.wal
+	prev := d.gen
+	d.wal = wal
+	d.walPart = 0
+	d.gen = gen
+	d.haveSnap = true
+	d.dirty = 0
+	d.lastSnap = time.Now()
+	d.met.Snapshots.Inc()
+	_ = old.Close()
+	d.syncsBase += old.Syncs()
+	// Best-effort: recovery always starts from the newest valid
+	// manifest, so leftover generations are waste, not corruption.
+	_ = durable.Prune(d.fs, map[uint64]bool{gen: true, prev: true})
+	return nil
+}
+
+// export captures the logical column data and the mode's adaptive state
+// for a snapshot. Runs under writeMu, so no logged write is in flight;
+// concurrent queries may keep cracking, which never changes logical
+// content.
+func (d *durability) export() ([]durable.ColumnData, []durable.IndexState, *durable.DaemonState) {
+	switch e := d.exec.(type) {
+	case *engine.HolisticExecutor:
+		cols, states := e.ExportDurable()
+		t := e.Daemon.CycleTotals()
+		return cols, states, &durable.DaemonState{
+			Cycles:        t.Cycles,
+			Workers:       t.Workers,
+			WorkerTimeNS:  int64(t.WorkerTime),
+			WallNS:        int64(t.Wall),
+			Refinements:   t.Refinements,
+			MergedUpdates: t.MergedUpdates,
+			TotalRefined:  e.Daemon.Refinements(),
+			TotalAttempts: e.Daemon.Attempts(),
+			BusyRerolls:   e.Daemon.BusyRerolls(),
+		}
+	case *engine.AdaptiveExecutor:
+		cols, states := e.ExportDurable()
+		return cols, states, nil
+	case *engine.OfflineExecutor:
+		return engine.ExportTableData(d.s.table), e.ExportSorted(), nil
+	case *engine.OnlineExecutor:
+		return engine.ExportTableData(d.s.table), e.ExportSorted(), nil
+	default:
+		// Scan and CCGI (and a store queried before any executor build)
+		// persist base data only; their index state is recomputed.
+		return engine.ExportTableData(d.s.table), nil, nil
+	}
+}
+
+// installState reinstates the recovered adaptive state onto the eagerly
+// built executor. Per-index degradation: a state blob that fails
+// validation drops only that index — the attribute falls back to the
+// unrefined path, which rebuilds from the recovered data exactly as a
+// first query would.
+func (d *durability) installState(rec *durable.Recovered) {
+	states := rec.Indexes
+	if d.cfg.DataOnlyRecovery {
+		states = nil
+	}
+	crackers := make(map[string]durable.IndexState)
+	var sorted []durable.IndexState
+	for _, st := range states {
+		switch st.Kind {
+		case durable.IndexCracker:
+			crackers[st.Attr] = st
+		case durable.IndexSorted:
+			sorted = append(sorted, st)
+		}
+	}
+	switch e := d.exec.(type) {
+	case *engine.HolisticExecutor:
+		d.installCrackers(e.AdaptiveExecutor, rec.Columns, crackers)
+		if ds := rec.Manifest.Daemon; ds != nil && !d.cfg.DataOnlyRecovery {
+			e.Daemon.RestoreTotals(holistic.CycleTotals{
+				Cycles:        ds.Cycles,
+				Workers:       ds.Workers,
+				WorkerTime:    time.Duration(ds.WorkerTimeNS),
+				Wall:          time.Duration(ds.WallNS),
+				Refinements:   ds.Refinements,
+				MergedUpdates: ds.MergedUpdates,
+			}, ds.TotalRefined, ds.TotalAttempts, ds.BusyRerolls)
+		}
+	case *engine.AdaptiveExecutor:
+		d.installCrackers(e, rec.Columns, crackers)
+	case *engine.OfflineExecutor:
+		for _, st := range sorted {
+			d.installSorted(st, e.SeedSorted)
+		}
+	case *engine.OnlineExecutor:
+		for _, st := range sorted {
+			d.installSorted(st, e.SeedSorted)
+		}
+	}
+}
+
+// installCrackers walks the recovered columns, rebuilding each cracker
+// whose state survived and falling back to the unrefined path (overlay
+// plus synthetic pending operations) otherwise.
+func (d *durability) installCrackers(ad *engine.AdaptiveExecutor, cols []durable.ColumnData, states map[string]durable.IndexState) {
+	for _, cd := range cols {
+		if st, ok := states[cd.Name]; ok {
+			c, err := cracking.Restore(cd.Name, cracking.ExportedState{
+				Vals:   st.Vals,
+				Rows:   st.Rows,
+				Keys:   st.Keys,
+				Starts: st.Starts,
+			}, d.crackCfg(st.HasRows))
+			if err == nil {
+				entry := ad.InstallRestoredCracker(cd.Name, c)
+				if entry != nil && st.StatsState > 0 {
+					entry.RestoreCounts(st.Accesses, st.Hits, stats.State(st.StatsState-1))
+				}
+				ad.RestoreOverlay(cd)
+				d.met.RestoredIndexes.Inc()
+				continue
+			}
+			d.met.DroppedIndexes.Inc()
+		}
+		ad.RestoreAttrData(cd)
+	}
+}
+
+// installSorted rebuilds one sorted run, dropping it (to on-demand
+// re-sorting) if validation fails.
+func (d *durability) installSorted(st durable.IndexState, seed func(*sortidx.SortedColumn)) {
+	var rows []uint32
+	if st.HasRows {
+		rows = st.Rows
+	}
+	sc, err := sortidx.Restore(st.Attr, st.Vals, rows)
+	if err != nil {
+		d.met.DroppedIndexes.Inc()
+		return
+	}
+	seed(sc)
+	d.met.RestoredIndexes.Inc()
+}
+
+// crackCfg mirrors the cracking configuration Store.build would hand a
+// first-query cracker, so a restored column behaves identically.
+func (d *durability) crackCfg(hasRows bool) cracking.Config {
+	threads := d.cfg.threads()
+	if d.cfg.Mode == ModeHolistic {
+		user := d.cfg.UserThreads
+		if user < 1 {
+			user = threads / 2
+		}
+		if user < 1 {
+			user = 1
+		}
+		threads = user
+	}
+	return cracking.Config{
+		Kernel:          cracking.KernelVectorized,
+		ParallelWorkers: threads,
+		WithRows:        hasRows,
+		Stochastic:      d.cfg.Mode == ModeStochastic,
+		Seed:            d.cfg.Seed,
+	}
+}
+
+// maybeSnapshot is the background snapshot policy: checkpoint when
+// there are unsnapshotted records and the cadence has elapsed. Under
+// ModeHolistic it rides the daemon's idle cycles (SetIdleHook);
+// otherwise a ticker goroutine drives it.
+func (d *durability) maybeSnapshot() {
+	d.writeMu.Lock()
+	defer d.writeMu.Unlock()
+	if d.closed || d.interval <= 0 || d.dirty == 0 || time.Since(d.lastSnap) < d.interval {
+		return
+	}
+	_ = d.checkpointLocked() // failures are counted; the WAL still covers the records
+}
+
+func (d *durability) tickerLoop() {
+	t := time.NewTicker(d.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.stop:
+			return
+		case <-t.C:
+			d.maybeSnapshot()
+		}
+	}
+}
+
+// close flushes everything and leaves the clean-shutdown marker: a
+// final checkpoint if records are unsnapshotted (so the next open
+// replays nothing), then the CLEAN file naming the generation. I/O
+// errors are swallowed — the WAL already made acknowledged writes
+// durable, and an unclean-looking directory just means replay.
+func (d *durability) close() {
+	d.stopOnce.Do(func() { close(d.stop) })
+	d.writeMu.Lock()
+	defer d.writeMu.Unlock()
+	if d.closed {
+		return
+	}
+	// A final snapshot whenever an executor ran: queries refine the
+	// adaptive state without dirtying the WAL, and that refinement is
+	// exactly what a restart should not have to repay.
+	if d.dirty > 0 || !d.haveSnap || d.exec != nil {
+		_ = d.checkpointLocked()
+	}
+	_ = d.wal.Close()
+	if d.haveSnap && d.dirty == 0 {
+		_ = durable.WriteCleanMarker(d.fs, d.gen)
+	}
+	d.closed = true
+}
+
+// snapshotMetrics assembles the recovery/WAL telemetry for Metrics.
+func (d *durability) snapshotMetrics() *obs.DurableSnapshot {
+	sn := d.met.Snapshot()
+	sn.CleanStart = d.clean
+	sn.TornWALTail = d.torn
+	d.writeMu.Lock()
+	sn.WALSyncs = d.syncsBase + d.wal.Syncs()
+	sn.Generation = d.gen
+	d.writeMu.Unlock()
+	return sn
+}

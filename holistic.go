@@ -181,6 +181,19 @@ type Config struct {
 	NoRowIDs bool
 	// Seed fixes all randomized choices for reproducibility.
 	Seed int64
+	// WALSync selects the write-ahead-log fsync policy of a store opened
+	// with OpenStore: group commit (default), an fsync per record, or
+	// none. Ignored by NewStore.
+	WALSync WALSync
+	// SnapshotInterval is the background snapshot cadence of a durable
+	// store (default 10s); negative disables background snapshots
+	// (Checkpoint and Close still write them). Ignored by NewStore.
+	SnapshotInterval time.Duration
+	// DataOnlyRecovery makes OpenStore restore the logical column data
+	// but discard the persisted adaptive state, so every index rebuilds
+	// from scratch — the cold start the recover benchmark compares
+	// adaptive-state restore against. Ignored by NewStore.
+	DataOnlyRecovery bool
 }
 
 func (c Config) threads() int {
@@ -211,6 +224,10 @@ type Store struct {
 	met     *obs.QueryMetrics
 	execMet *obs.ExecMetrics
 	obsName string
+
+	// dur is the persistence engine of a store opened with OpenStore;
+	// nil for purely in-memory stores.
+	dur *durability
 
 	mu     sync.Mutex
 	table  *engine.Table
@@ -262,6 +279,11 @@ func (s *Store) executor() (engine.Executor, error) {
 		s.exec = s.build()
 		if ins, ok := s.exec.(engine.Instrumented); ok {
 			ins.SetExecMetrics(s.execMet)
+		}
+		if s.dur != nil {
+			if err := s.dur.attachExec(s.exec); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return s.exec, nil
@@ -404,6 +426,9 @@ func (s *Store) Insert(attr string, v int64) error {
 		return err
 	}
 	if ins, ok := exec.(engine.Inserter); ok {
+		if s.dur != nil {
+			return s.dur.loggedInsert(ins, attr, v)
+		}
 		return ins.Insert(attr, v)
 	}
 	return fmt.Errorf("holistic: mode %v does not support inserts", s.cfg.Mode)
@@ -429,6 +454,9 @@ func (s *Store) Delete(attr string, v int64) error {
 		return err
 	}
 	if d, ok := exec.(engine.Deleter); ok {
+		if s.dur != nil {
+			return s.dur.loggedDelete(d, attr, v)
+		}
 		return d.Delete(attr, v)
 	}
 	return fmt.Errorf("holistic: mode %v does not support deletes", s.cfg.Mode)
@@ -444,6 +472,9 @@ func (s *Store) Update(attr string, oldV, newV int64) error {
 		return err
 	}
 	if u, ok := exec.(engine.Updater); ok {
+		if s.dur != nil {
+			return s.dur.loggedUpdate(u, attr, oldV, newV)
+		}
 		return u.Update(attr, oldV, newV)
 	}
 	return fmt.Errorf("holistic: mode %v does not support updates", s.cfg.Mode)
@@ -876,17 +907,29 @@ func (s *Store) Stats() Stats {
 	return st
 }
 
-// Close stops background tuning. It is idempotent; queries issued after
-// Close return ErrClosed.
+// Close stops background tuning; a durable store additionally writes a
+// final snapshot of any unsnapshotted records and the clean-shutdown
+// marker, so the next OpenStore skips WAL replay. Close is idempotent;
+// queries issued after Close return ErrClosed.
+//
+// The store lock is released before the durability flush and the
+// executor shutdown: the daemon's idle hook may be mid-checkpoint, and
+// joining it while holding the lock every query path needs would stall
+// the whole store behind that flush.
 func (s *Store) Close() {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return
 	}
 	s.closed = true
+	exec := s.exec
 	obs.UnregisterSource(s.obsName)
-	if s.exec != nil {
-		s.exec.Close()
+	s.mu.Unlock()
+	if s.dur != nil {
+		s.dur.close()
+	}
+	if exec != nil {
+		exec.Close()
 	}
 }

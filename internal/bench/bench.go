@@ -49,6 +49,9 @@ type Params struct {
 	TPCHOrders int
 	// Seed fixes all generators.
 	Seed int64
+	// DataDir is where durability experiments persist their store; a
+	// fresh temporary directory per run when empty.
+	DataDir string
 }
 
 // DefaultParams returns the reduced-scale defaults.

@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	holistic "holistic"
+	"holistic/internal/workload"
+)
+
+func init() {
+	register("recover", "Crash recovery: reopening with the persisted adaptive state vs data-only recovery (new)", runRecover)
+}
+
+// runRecover measures what persisting the adaptive state is worth. One
+// store is built, cracked by a conjunctive workload, checkpointed and
+// closed; it is then reopened twice from the same directory — once
+// restoring the snapshot's cracker pieces and once with
+// DataOnlyRecovery, which keeps the data but discards the index state.
+// The experiment reports open time, the first conjunctive query, and
+// the time to drain the whole workload again from each starting point:
+// the restored store answers its first query from converged pieces
+// while the data-only store pays the from-scratch cracking tax.
+func runRecover(p Params) (*Result, error) {
+	dir := p.DataDir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "holistic-recover-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+
+	cfg := holistic.Config{
+		Mode:             holistic.ModeAdaptive,
+		Threads:          p.Threads,
+		Seed:             p.Seed,
+		SnapshotInterval: -1, // checkpoint explicitly; no background timer
+	}
+	qs := workload.GenerateConjunctive(workload.ConjConfig{
+		Config: workload.Config{
+			Pattern: workload.Random,
+			Queries: p.Queries,
+			Domain:  p.Domain,
+			Attrs:   2,
+			Seed:    p.Seed,
+		},
+		PredDist: []float64{0, 1}, // every query is a two-conjunct AND
+	})
+
+	// Build, crack, persist.
+	s, err := holistic.OpenStore(dir, cfg)
+	if err != nil {
+		return nil, err
+	}
+	for a := 0; a < 2; a++ {
+		vals := workload.UniformColumn(p.ColumnSize, p.Domain, p.Seed+int64(a))
+		if err := s.AddIntColumn(attrName(a), vals); err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
+	var checksum int64
+	if checksum, err = drainConj(s, qs); err != nil {
+		s.Close()
+		return nil, err
+	}
+	if err := s.Checkpoint(); err != nil {
+		s.Close()
+		return nil, err
+	}
+	s.Close()
+
+	res := &Result{
+		Headers: []string{"recovery", "open_ms", "first_query_ms", "workload_ms", "checksum"},
+	}
+	variants := []struct {
+		label    string
+		dataOnly bool
+	}{
+		{"restored", false},
+		{"data-only", true},
+	}
+	firstQ := make([]time.Duration, len(variants))
+	for i, v := range variants {
+		vcfg := cfg
+		vcfg.DataOnlyRecovery = v.dataOnly
+		start := time.Now()
+		rs, err := holistic.OpenStore(dir, vcfg)
+		if err != nil {
+			return nil, err
+		}
+		openTime := time.Since(start)
+
+		qb := rs.Query()
+		for _, pr := range qs[0].Preds {
+			qb = qb.Where(attrName(pr.Attr), pr.Lo, pr.Hi)
+		}
+		start = time.Now()
+		if _, err := qb.Count(); err != nil {
+			rs.Close()
+			return nil, err
+		}
+		firstQ[i] = time.Since(start)
+
+		start = time.Now()
+		sum, err := drainConj(rs, qs)
+		if err != nil {
+			rs.Close()
+			return nil, err
+		}
+		workloadTime := time.Since(start)
+		if sum != checksum {
+			rs.Close()
+			return nil, fmt.Errorf("recover: %s replay checksum %d != original %d", v.label, sum, checksum)
+		}
+		rs.Close()
+		res.AddRow(v.label, ms(openTime), ms(firstQ[i]), ms(workloadTime), fmt.Sprint(sum))
+	}
+	if firstQ[0] > 0 {
+		res.AddNote("first-query speedup restored vs data-only: %.1fx",
+			float64(firstQ[1])/float64(firstQ[0]))
+	}
+	return res, nil
+}
+
+// drainConj runs the conjunctive workload against a store, returning a
+// result checksum that must be invariant across recovery variants.
+func drainConj(s *holistic.Store, qs []workload.ConjQuery) (int64, error) {
+	var checksum int64
+	for _, q := range qs {
+		qb := s.Query()
+		for _, p := range q.Preds {
+			qb = qb.Where(attrName(p.Attr), p.Lo, p.Hi)
+		}
+		n, err := qb.Count()
+		if err != nil {
+			return 0, err
+		}
+		checksum += int64(n)
+	}
+	return checksum, nil
+}

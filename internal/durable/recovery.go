@@ -1,0 +1,201 @@
+package durable
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Recovered is everything Recover reassembled from the directory: the
+// chosen snapshot generation, the logical column data, the surviving
+// adaptive-state sections, and the WAL tail to replay on top.
+type Recovered struct {
+	Gen      uint64
+	Manifest *Manifest    // nil on a fresh directory
+	Columns  []ColumnData // snapshot order
+	Indexes  []IndexState // surviving adaptive state
+	Records  []Record     // WAL tail, in append order
+
+	TornTail       bool // replay stopped at a torn frame
+	Fallbacks      int  // manifest generations skipped as invalid
+	StateDropped   bool // whole adaptive-state file was unusable
+	DroppedIndexes int  // individual state sections dropped
+	Clean          bool // clean-shutdown marker matched; nothing replayed
+
+	NextPart       int    // part number for the generation's next WAL segment
+	SeqAfterReplay uint64 // WAL seq after applying Records
+}
+
+// Recover validates and loads the newest usable snapshot generation,
+// falling back to the previous one when the newest is torn, and parses
+// the WAL tail. The clean-shutdown marker is consumed (deleted) so a
+// later crash is visibly unclean. A directory with no valid manifest
+// and no prior generations is a fresh store; a directory whose every
+// manifest is corrupt is an error — the data cannot be reconstructed.
+func Recover(fs FS) (*Recovered, error) {
+	names, err := fs.List()
+	if err != nil {
+		return nil, err
+	}
+	markerGen, markerOK := readCleanMarker(fs)
+	if markerOK {
+		if err := fs.Remove(cleanMarker); err != nil {
+			return nil, err
+		}
+	}
+
+	rec := &Recovered{}
+	gens := manifestGens(names)
+	for _, gen := range gens {
+		m, cols, ok := loadGeneration(fs, gen)
+		if !ok {
+			rec.Fallbacks++
+			continue
+		}
+		rec.Gen = gen
+		rec.Manifest = m
+		rec.Columns = cols
+		break
+	}
+	if rec.Manifest == nil && len(gens) > 0 {
+		return nil, fmt.Errorf("durable: no usable manifest among %d generations", len(gens))
+	}
+
+	if rec.Manifest != nil && rec.Manifest.StateFile != "" {
+		if data, err := fs.ReadFile(rec.Manifest.StateFile); err != nil {
+			rec.StateDropped = true
+		} else if states, dropped, err := DecodeState(data); err != nil {
+			rec.StateDropped = true
+		} else {
+			rec.Indexes = states
+			rec.DroppedIndexes = dropped
+		}
+	}
+
+	for _, seg := range walSegmentsFrom(names, rec.Gen) {
+		data, err := fs.ReadFile(seg)
+		if err != nil {
+			return nil, err
+		}
+		recs, torn := ReadLog(data)
+		rec.Records = append(rec.Records, recs...)
+		if torn {
+			// A torn frame is the unsynced tail of the crash; nothing
+			// sequenced after it can exist in a later segment.
+			rec.TornTail = true
+			break
+		}
+	}
+
+	rec.NextPart = maxWALPart(names, rec.Gen) + 1
+	rec.SeqAfterReplay = rec.Gen + uint64(len(rec.Records))
+	rec.Clean = markerOK && markerGen == rec.Gen &&
+		len(rec.Records) == 0 && rec.Fallbacks == 0
+	return rec, nil
+}
+
+// loadGeneration loads and validates one manifest generation with every
+// column segment it references.
+func loadGeneration(fs FS, gen uint64) (*Manifest, []ColumnData, bool) {
+	m, err := LoadManifest(fs, ManifestName(gen))
+	if err != nil || m.Generation != gen {
+		return nil, nil, false
+	}
+	cols := make([]ColumnData, 0, len(m.Columns))
+	for _, mc := range m.Columns {
+		data, err := fs.ReadFile(mc.File)
+		if err != nil {
+			return nil, nil, false
+		}
+		c, err := DecodeSegment(data)
+		if err != nil || c.Name != mc.Attr {
+			return nil, nil, false
+		}
+		cols = append(cols, c)
+	}
+	return m, cols, true
+}
+
+// WriteSnapshot writes the column segments and adaptive-state file of
+// generation m.Generation, then commits them by writing and renaming
+// the manifest. On return the new generation is the one recovery picks.
+func WriteSnapshot(fs FS, m *Manifest, cols []ColumnData, states []IndexState) error {
+	m.Columns = m.Columns[:0]
+	for _, c := range cols {
+		name := SegmentName(m.Generation, c.Name)
+		if err := WriteSegment(fs, name, c); err != nil {
+			return err
+		}
+		m.Columns = append(m.Columns, ManifestColumn{Attr: c.Name, File: name})
+	}
+	m.StateFile = ""
+	if len(states) > 0 {
+		m.StateFile = StateName(m.Generation)
+		if err := writeFileSync(fs, m.StateFile, EncodeState(states)); err != nil {
+			return err
+		}
+	}
+	return WriteManifest(fs, m)
+}
+
+// Prune removes snapshot and WAL files of generations not in keep. It
+// is best-effort: the first removal error is returned, but recovery is
+// indifferent to leftovers — it always starts from the newest valid
+// manifest.
+func Prune(fs FS, keep map[uint64]bool) error {
+	names, err := fs.List()
+	if err != nil {
+		return err
+	}
+	for _, name := range names {
+		gen, owned := fileGeneration(name)
+		if !owned || keep[gen] {
+			continue
+		}
+		if err := fs.Remove(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PruneWAL removes every WAL segment of generation gen or newer. Safe
+// only when those segments collectively hold zero acknowledged records
+// — the reopen path uses it to retire a torn segment whose decodable
+// prefix was empty, so a later recovery never stops its replay at that
+// stale tear.
+func PruneWAL(fs FS, gen uint64) error {
+	names, err := fs.List()
+	if err != nil {
+		return err
+	}
+	for _, name := range walSegmentsFrom(names, gen) {
+		if err := fs.Remove(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fileGeneration parses the generation out of any durable file name; ok
+// is false for files the durable layer does not own.
+func fileGeneration(name string) (gen uint64, ok bool) {
+	if g, _, ok := parseWALName(name); ok {
+		return g, true
+	}
+	if g, ok := parseManifestName(name); ok {
+		return g, true
+	}
+	if strings.HasPrefix(name, "state-") && strings.HasSuffix(name, ".bin") {
+		body := strings.TrimSuffix(strings.TrimPrefix(name, "state-"), ".bin")
+		if _, err := fmt.Sscanf(body, "%012d", &gen); err == nil {
+			return gen, true
+		}
+	}
+	if strings.HasPrefix(name, "seg-") && strings.HasSuffix(name, ".col") {
+		body := strings.TrimPrefix(name, "seg-")
+		if _, err := fmt.Sscanf(body, "%012d-", &gen); err == nil {
+			return gen, true
+		}
+	}
+	return 0, false
+}

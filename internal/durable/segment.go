@@ -1,0 +1,142 @@
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// segMagic heads every column segment file.
+const segMagic = "HSEG1\n"
+
+// ColumnData is the durable logical content of one attribute: the base
+// array (updates folded in; deleted rows keep the value they last
+// held), the appended tail (row id of Tails[i] is len(Base)+i; dead
+// tails likewise keep their last value), and the sorted tombstone rows.
+// Keeping last values in place lets recovery rebuild a first-touch
+// cracker from the base array and replay the deletions exactly as the
+// normal write path would have.
+type ColumnData struct {
+	Name  string
+	Base  []int64
+	Tails []int64
+	Dead  []uint32
+}
+
+// NextRow returns the row id the next insert on this attribute takes.
+func (c *ColumnData) NextRow() uint32 {
+	return uint32(len(c.Base) + len(c.Tails))
+}
+
+// SegmentName names the segment file for attr at generation gen.
+func SegmentName(gen uint64, attr string) string {
+	return fmt.Sprintf("seg-%012d-%s.col", gen, attr)
+}
+
+// EncodeSegment serializes one column: magic, name, array lengths, the
+// arrays, and a trailing CRC32C over everything before it.
+func EncodeSegment(c ColumnData) []byte {
+	size := len(segMagic) + 2 + len(c.Name) + 12 +
+		8*len(c.Base) + 8*len(c.Tails) + 4*len(c.Dead) + 4
+	buf := make([]byte, 0, size)
+	buf = append(buf, segMagic...)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(c.Name)))
+	buf = append(buf, c.Name...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(c.Base)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(c.Tails)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(c.Dead)))
+	buf = appendInt64s(buf, c.Base)
+	buf = appendInt64s(buf, c.Tails)
+	buf = appendUint32s(buf, c.Dead)
+	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, castagnoli))
+}
+
+// DecodeSegment parses and checksum-validates one column segment.
+func DecodeSegment(data []byte) (ColumnData, error) {
+	var c ColumnData
+	if len(data) < len(segMagic)+2+12+4 || string(data[:len(segMagic)]) != segMagic {
+		return c, fmt.Errorf("durable: segment: bad header")
+	}
+	body, sum := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.Checksum(body, castagnoli) != sum {
+		return c, fmt.Errorf("durable: segment: checksum mismatch")
+	}
+	p := body[len(segMagic):]
+	nameLen := int(binary.LittleEndian.Uint16(p))
+	p = p[2:]
+	if len(p) < nameLen+12 {
+		return c, fmt.Errorf("durable: segment: truncated name")
+	}
+	c.Name = string(p[:nameLen])
+	p = p[nameLen:]
+	nBase := int(binary.LittleEndian.Uint32(p))
+	nTails := int(binary.LittleEndian.Uint32(p[4:]))
+	nDead := int(binary.LittleEndian.Uint32(p[8:]))
+	p = p[12:]
+	if len(p) != 8*nBase+8*nTails+4*nDead {
+		return c, fmt.Errorf("durable: segment: length mismatch")
+	}
+	c.Base, p = readInt64s(p, nBase)
+	c.Tails, p = readInt64s(p, nTails)
+	c.Dead, _ = readUint32s(p, nDead)
+	return c, nil
+}
+
+// WriteSegment encodes and durably writes one column segment in a
+// single file write followed by an fsync.
+func WriteSegment(fs FS, name string, c ColumnData) error {
+	return writeFileSync(fs, name, EncodeSegment(c))
+}
+
+// writeFileSync creates name with the given content and fsyncs it.
+func writeFileSync(fs FS, name string, data []byte) error {
+	f, err := fs.Create(name)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func appendInt64s(dst []byte, vals []int64) []byte {
+	for _, v := range vals {
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(v))
+	}
+	return dst
+}
+
+func appendUint32s(dst []byte, vals []uint32) []byte {
+	for _, v := range vals {
+		dst = binary.LittleEndian.AppendUint32(dst, v)
+	}
+	return dst
+}
+
+func readInt64s(p []byte, n int) ([]int64, []byte) {
+	if n == 0 {
+		return nil, p
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(p[8*i:]))
+	}
+	return out, p[8*n:]
+}
+
+func readUint32s(p []byte, n int) ([]uint32, []byte) {
+	if n == 0 {
+		return nil, p
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(p[4*i:])
+	}
+	return out, p[4*n:]
+}

@@ -40,6 +40,10 @@ type Convergence struct {
 	Refinements int64 `json:"refinements"`
 	Attempts    int64 `json:"attempts"`
 	BusyRerolls int64 `json:"busy_rerolls"`
+	// WorkerPanics counts contained worker/hook panics; LastPanic is
+	// the most recent reason.
+	WorkerPanics int64  `json:"worker_panics"`
+	LastPanic    string `json:"last_panic,omitempty"`
 	// Totals aggregates every tuning cycle ever run.
 	Totals CycleTotals `json:"cycle_totals"`
 	// Ratio is the mean per-index Progress: 1.0 once the whole index
@@ -55,14 +59,16 @@ func (d *Daemon) Convergence() *Convergence {
 	l1 := d.reg.L1Values()
 	entries := d.reg.Entries()
 	c := &Convergence{
-		L1Values:    l1,
-		Strategy:    d.cfg.Strategy.String(),
-		Indexes:     make([]IndexConvergence, 0, len(entries)),
-		Refinements: d.Refinements(),
-		Attempts:    d.Attempts(),
-		BusyRerolls: d.BusyRerolls(),
-		Totals:      d.CycleTotals(),
-		Transitions: d.reg.Transitions(),
+		L1Values:     l1,
+		Strategy:     d.cfg.Strategy.String(),
+		Indexes:      make([]IndexConvergence, 0, len(entries)),
+		Refinements:  d.Refinements(),
+		Attempts:     d.Attempts(),
+		BusyRerolls:  d.BusyRerolls(),
+		WorkerPanics: d.WorkerPanics(),
+		LastPanic:    d.LastPanic(),
+		Totals:       d.CycleTotals(),
+		Transitions:  d.reg.Transitions(),
 	}
 	var sum float64
 	for _, e := range entries {

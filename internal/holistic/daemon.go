@@ -25,6 +25,7 @@
 package holistic
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -129,6 +130,23 @@ type Daemon struct {
 	totalAttempts    atomic.Int64
 	busyRerolls      atomic.Int64
 
+	// workerPanics counts refinement workers (and idle hooks) that
+	// panicked and were contained; lastPanic keeps the most recent
+	// reason for the convergence report.
+	workerPanics atomic.Int64
+	panicMu      sync.Mutex
+	lastPanic    string
+
+	// idleHook, when set, runs once per tuning interval after the
+	// cycle's workers finish — the snapshotter piggybacks here so
+	// durability work rides the same idle capacity as refinement.
+	hookMu   sync.Mutex
+	idleHook func()
+
+	// testRefineHook, when set before Start, runs at the top of every
+	// worker activation; the panic-containment test injects through it.
+	testRefineHook func()
+
 	stop chan struct{}
 	done chan struct{}
 
@@ -217,12 +235,70 @@ func (d *Daemon) run() {
 		if d.cfg.MaxWorkers > 0 && n > d.cfg.MaxWorkers {
 			n = d.cfg.MaxWorkers
 		}
-		if n == 0 {
-			continue
+		if n > 0 {
+			d.runCycle(cycle, n)
+			cycle++
 		}
-		d.runCycle(cycle, n)
-		cycle++
+		d.runIdleHook()
 	}
+}
+
+// SetIdleHook installs a function the indexing thread runs once per
+// tuning interval, after the cycle's workers have finished. The durable
+// layer's snapshotter attaches here. A panicking hook is contained like
+// a panicking worker.
+func (d *Daemon) SetIdleHook(fn func()) {
+	d.hookMu.Lock()
+	d.idleHook = fn
+	d.hookMu.Unlock()
+}
+
+func (d *Daemon) runIdleHook() {
+	d.hookMu.Lock()
+	fn := d.idleHook
+	d.hookMu.Unlock()
+	if fn == nil {
+		return
+	}
+	defer d.containPanic()
+	fn()
+}
+
+// containPanic is the deferred recovery barrier of one worker or hook:
+// the panic is counted and recorded, and the daemon moves on to the
+// next cycle instead of taking down the process.
+func (d *Daemon) containPanic() {
+	r := recover()
+	if r == nil {
+		return
+	}
+	d.workerPanics.Add(1)
+	d.panicMu.Lock()
+	d.lastPanic = fmt.Sprint(r)
+	d.panicMu.Unlock()
+}
+
+// WorkerPanics returns how many worker activations or idle hooks
+// panicked and were contained.
+func (d *Daemon) WorkerPanics() int64 { return d.workerPanics.Load() }
+
+// LastPanic returns the reason of the most recent contained panic.
+func (d *Daemon) LastPanic() string {
+	d.panicMu.Lock()
+	defer d.panicMu.Unlock()
+	return d.lastPanic
+}
+
+// RestoreTotals reinstates cumulative counters from a recovered
+// snapshot, so convergence telemetry continues across restarts instead
+// of resetting to zero.
+func (d *Daemon) RestoreTotals(t CycleTotals, refinements, attempts, busyRerolls int64) {
+	d.cycleMu.Lock()
+	d.totals = t
+	d.cycleMu.Unlock()
+	d.totalRefinements.Store(refinements)
+	d.totalAttempts.Store(attempts)
+	d.busyRerolls.Store(busyRerolls)
 }
 
 // runCycle activates n workers and waits for all of them to finish.
@@ -239,8 +315,9 @@ func (d *Daemon) runCycle(cycle, n int) {
 		go func(w int) {
 			defer wg.Done()
 			t0 := time.Now()
+			defer func() { workerTimes[w] = time.Since(t0) }()
+			defer d.containPanic()
 			r, m := d.idleFunction(rand.New(rand.NewSource(d.cfg.Seed + int64(cycle)*1024 + int64(w))))
-			workerTimes[w] = time.Since(t0)
 			refined[w] = r
 			merged[w] = m
 		}(w)
@@ -279,6 +356,9 @@ const maxAttemptsPerRefinement = 16
 // pick an index, refine it x times at random pivots, merge pending
 // updates, update statistics.
 func (d *Daemon) idleFunction(rng *rand.Rand) (refined, mergedUpdates int) {
+	if d.testRefineHook != nil {
+		d.testRefineHook()
+	}
 	e := d.reg.PickForRefinement(d.cfg.Strategy)
 	if e == nil {
 		return 0, 0

@@ -1,0 +1,44 @@
+package noalloc
+
+// The durable write path mirrored as a fixture: WAL framing allocates
+// (frame buffers, file writes), so it must never be reachable from a
+// //holistic:noalloc function except through a reviewed
+// //holistic:alloc-ok boundary. This pins the contract that query hot
+// paths stay decoupled from logging — a query must not pay a WAL append.
+
+type walRecord struct {
+	kind byte
+	attr string
+	a, b int64
+}
+
+// walAppend frames a record; the encode buffer allocates.
+func walAppend(rec walRecord) []byte {
+	frame := make([]byte, 0, 19+len(rec.attr))
+	frame = append(frame, rec.kind)
+	return frame
+}
+
+// hotProbe models a query-path function that regressed into logging.
+//
+//holistic:noalloc
+func hotProbe(rec walRecord) int {
+	return len(walAppend(rec)) // want "calls walAppend, which allocates"
+}
+
+// loggedWrite is the reviewed boundary: the write path is cold and may
+// allocate, exactly like the real durability layer's logged mutations.
+//
+//holistic:alloc-ok durable write path is cold; WAL framing may allocate
+func loggedWrite(rec walRecord) int {
+	return len(walAppend(rec))
+}
+
+// commitPath sits above the boundary: calling the annotated entry point
+// from a noalloc function is fine — the allocation is owned and
+// reviewed on the other side.
+//
+//holistic:noalloc
+func commitPath(rec walRecord) int {
+	return loggedWrite(rec)
+}

@@ -223,6 +223,15 @@ func (r *Registry) Add(name string, col *cracking.Column, potential bool) *Entry
 	return e
 }
 
+// RestoreCounts reinstates persisted access statistics and state on a
+// recovered index, so strategy weights and convergence accounting
+// continue where the crashed process left them.
+func (e *Entry) RestoreCounts(accesses, hits int64, st State) {
+	e.accesses.Store(accesses)
+	e.hits.Store(hits)
+	e.state.Store(int64(st))
+}
+
 // Get returns the entry for name, or nil.
 func (r *Registry) Get(name string) *Entry {
 	r.mu.RLock()

@@ -203,6 +203,10 @@ type Metrics struct {
 	// only): per-column state timelines, refinement and reroll
 	// counters, cycle totals, and the overall convergence ratio.
 	Daemon *holistic.Convergence `json:"daemon,omitempty"`
+	// Recovery reports the durability layer (stores opened with
+	// OpenStore only): WAL activity, snapshot generations, and what the
+	// last recovery found and replayed.
+	Recovery *obs.DurableSnapshot `json:"recovery,omitempty"`
 }
 
 // Metrics returns the store's telemetry snapshot. Like Stats it is a
@@ -222,6 +226,9 @@ func (s *Store) Metrics() Metrics {
 	}
 	if h, ok := exec.(*engine.HolisticExecutor); ok {
 		m.Daemon = h.Daemon.Convergence()
+	}
+	if s.dur != nil {
+		m.Recovery = s.dur.snapshotMetrics()
 	}
 	return m
 }

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""CI crash-recovery smoke check.
+
+Usage: check_recovery.py pre_crash.json post_crash.json
+
+Both files are /debug/holistic snapshots (a JSON array of {name,
+metrics} store entries). Asserts that after a kill -9 and restart the
+reopened store (a) actually replayed WAL records and (b) reached a
+daemon convergence ratio at least as good as the snapshot taken just
+before the crash — the point of persisting the adaptive state.
+"""
+import json
+import sys
+
+
+def first_store(path):
+    with open(path) as f:
+        snap = json.load(f)
+    if not snap:
+        raise SystemExit(f"{path}: no stores registered")
+    return snap[0]["metrics"]
+
+
+def main():
+    pre = first_store(sys.argv[1])
+    post = first_store(sys.argv[2])
+
+    rec = post.get("recovery")
+    if rec is None:
+        raise SystemExit("post-crash snapshot has no recovery block")
+    print(
+        f"recovery: generation={rec['generation']} clean_start={rec['clean_start']} "
+        f"replayed_records={rec['replayed_records']} restored_indexes={rec['restored_indexes']}"
+    )
+    if rec["clean_start"]:
+        raise SystemExit("restart after kill -9 reported a clean start")
+    if rec["replayed_records"] <= 0:
+        raise SystemExit("no WAL records replayed after the crash")
+
+    pre_ratio = (pre.get("daemon") or {}).get("convergence_ratio", 0.0)
+    post_ratio = (post.get("daemon") or {}).get("convergence_ratio", 0.0)
+    print(f"convergence ratio: pre-crash={pre_ratio:.3f} post-restart={post_ratio:.3f}")
+    # A small tolerance: the post snapshot is scraped right after boot,
+    # before the daemon has re-measured every column.
+    if post_ratio + 0.05 < pre_ratio:
+        raise SystemExit(
+            f"restored convergence {post_ratio:.3f} regressed below pre-crash {pre_ratio:.3f}"
+        )
+    print("recovery smoke OK")
+
+
+if __name__ == "__main__":
+    main()
