@@ -11,9 +11,14 @@
 //	holisticbench -experiment agg              # aggregate pushdown (Q6-style)
 //	holisticbench -experiment join             # hash vs index-clustered merge join
 //	holisticbench -experiment conj -cpuprofile cpu.out -memprofile mem.out
+//	holisticbench -experiment conj -baseline ci/baselines/BENCH_conj.json
 //
 // Scale defaults target a laptop-class machine; EXPERIMENTS.md records a
-// full run and compares each result against the paper.
+// full run and compares each result against the paper. -baseline turns a
+// run into a regression gate: per-label mean latencies are compared
+// against a committed BENCH_*.json (produced by an earlier -json run at
+// the same parameters) and the process exits 1 when any shared label's
+// mean exceeds the baseline by more than -baseline-tolerance.
 package main
 
 import (
@@ -27,6 +32,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"time"
 
 	"holistic/internal/bench"
@@ -60,6 +66,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seed        = fs.Int64("seed", defaults.Seed, "random seed")
 		dataDir     = fs.String("data-dir", "", "directory for durability experiments (recover); temp dir when empty")
 		jsonPath    = fs.String("json", "", "also write the results as a JSON array to this file")
+		baseline    = fs.String("baseline", "", "compare per-label mean latencies against this BENCH_*.json and exit 1 on regression")
+		baselineTol = fs.Float64("baseline-tolerance", 0.5, "relative mean-latency slack before a -baseline comparison counts as a regression")
+		baselineMin = fs.Float64("baseline-floor-us", 50, "ignore -baseline labels whose means sit below this many µs (noise floor)")
 		metricsAddr = fs.String("metrics-addr", "", "serve /debug/holistic, /debug/vars and pprof on this address for the run's duration")
 		cpuProfile  = fs.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 		memProfile  = fs.String("memprofile", "", "write a heap profile taken after the run to this file")
@@ -165,5 +174,73 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stdout, "wrote %s\n", *jsonPath)
 	}
+	if *baseline != "" {
+		regressions, err := compareBaseline(stdout, *baseline, results, *baselineTol, *baselineMin)
+		if err != nil {
+			fmt.Fprintln(stderr, "holisticbench: baseline:", err)
+			return 1
+		}
+		if regressions > 0 {
+			fmt.Fprintf(stderr, "holisticbench: %d latency regression(s) against %s\n", regressions, *baseline)
+			return 1
+		}
+	}
 	return 0
+}
+
+// compareBaseline checks every latency label the current run and the
+// committed baseline share: a label regresses when its mean exceeds
+// the baseline mean by more than the relative tolerance AND both sit
+// above the noise floor (sub-floor cells flap with scheduler jitter on
+// shared CI runners, so they gate nothing). Labels present on only one
+// side are reported but never fail the run — experiments may gain or
+// lose cells across commits. Returns the regression count.
+func compareBaseline(stdout io.Writer, path string, results []*bench.Result, tol, floorUS float64) (int, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var base []bench.Result
+	if err := json.Unmarshal(buf, &base); err != nil {
+		return 0, fmt.Errorf("%s: %w", path, err)
+	}
+	baseByName := make(map[string]bench.Result, len(base))
+	for _, b := range base {
+		baseByName[b.Name] = b
+	}
+	regressions := 0
+	for _, res := range results {
+		b, ok := baseByName[res.Name]
+		if !ok {
+			fmt.Fprintf(stdout, "baseline: %s not in %s, skipping\n", res.Name, path)
+			continue
+		}
+		labels := make([]string, 0, len(res.Percentiles))
+		for l := range res.Percentiles {
+			labels = append(labels, l)
+		}
+		sort.Strings(labels)
+		for _, label := range labels {
+			cur := res.Percentiles[label]
+			ref, ok := b.Percentiles[label]
+			if !ok {
+				fmt.Fprintf(stdout, "baseline: %s/%s has no baseline cell, skipping\n", res.Name, label)
+				continue
+			}
+			if cur.MeanUS < floorUS || ref.MeanUS < floorUS {
+				fmt.Fprintf(stdout, "baseline: %s/%s mean %.1fµs vs %.1fµs (below %.0fµs floor, not gated)\n",
+					res.Name, label, cur.MeanUS, ref.MeanUS, floorUS)
+				continue
+			}
+			ratio := cur.MeanUS / ref.MeanUS
+			verdict := "ok"
+			if ratio > 1+tol {
+				verdict = "REGRESSION"
+				regressions++
+			}
+			fmt.Fprintf(stdout, "baseline: %s/%s mean %.1fµs vs %.1fµs (%+.0f%%, tolerance %.0f%%): %s\n",
+				res.Name, label, cur.MeanUS, ref.MeanUS, (ratio-1)*100, tol*100, verdict)
+		}
+	}
+	return regressions, nil
 }

@@ -92,6 +92,75 @@ func TestJSONArtifact(t *testing.T) {
 	}
 }
 
+// TestBaselineGate covers the -baseline regression gate: a run compared
+// against its own artifact passes, and one compared against a doctored
+// baseline with impossibly fast means exits 1.
+func TestBaselineGate(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_conj.json")
+	args := []string{
+		"-experiment", "conj",
+		"-columns", "8192", "-queries", "40", "-attrs", "3",
+		"-domain", "1048576", "-interval", "1ms", "-x", "4", "-l1", "512",
+	}
+
+	var out, errOut bytes.Buffer
+	if code := run(append(args, "-json", path), &out, &errOut); code != 0 {
+		t.Fatalf("baseline generation exited %d: %s", code, errOut.String())
+	}
+
+	// Self-comparison with generous slack must pass.
+	out.Reset()
+	errOut.Reset()
+	if code := run(append(args, "-baseline", path, "-baseline-tolerance", "10"), &out, &errOut); code != 0 {
+		t.Fatalf("self-comparison exited %d: %s\n%s", code, errOut.String(), out.String())
+	}
+	if !strings.Contains(out.String(), "baseline:") {
+		t.Fatalf("no baseline comparison lines:\n%s", out.String())
+	}
+
+	// Doctor the baseline so every mean is impossibly fast; with the
+	// noise floor off, every gated label must regress.
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []bench.Result
+	if err := json.Unmarshal(buf, &results); err != nil {
+		t.Fatal(err)
+	}
+	gated := 0
+	for i := range results {
+		for label, p := range results[i].Percentiles {
+			p.MeanUS /= 1e6
+			results[i].Percentiles[label] = p
+			gated++
+		}
+	}
+	if gated == 0 {
+		t.Fatal("conj artifact carries no percentile labels to gate on")
+	}
+	if buf, err = json.Marshal(results); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run(append(args, "-baseline", path, "-baseline-floor-us", "0"), &out, &errOut); code != 1 {
+		t.Fatalf("doctored baseline exited %d, want 1:\n%s%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Fatalf("no REGRESSION verdict against the doctored baseline:\n%s", out.String())
+	}
+
+	// A missing baseline file is a hard error, not a silent pass.
+	if code := run(append(args, "-baseline", filepath.Join(dir, "nope.json")), &out, &errOut); code != 1 {
+		t.Fatalf("missing baseline exited %d, want 1", code)
+	}
+}
+
 // TestUnknownFlagAndExperiment covers the failure exits.
 func TestUnknownFlagAndExperiment(t *testing.T) {
 	var out, errOut bytes.Buffer

@@ -12,6 +12,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"holistic/internal/obs/flight"
 )
 
 // lockedBuffer lets the test read stdout while run is still writing.
@@ -153,6 +155,96 @@ func TestServeRestartRecovers(t *testing.T) {
 	}
 	if !strings.Contains(out2.String(), "queries served") {
 		t.Errorf("second run missing summary line: %s", out2.String())
+	}
+}
+
+// TestServeAnomalyWritesFlightDump is the CI anomaly smoke: a server
+// with a 1ns p99 objective and an injected workload degradation must
+// write a decodable flight dump into its data directory, and its
+// health endpoints must answer while the anomaly storm runs.
+func TestServeAnomalyWritesFlightDump(t *testing.T) {
+	dataDir := t.TempDir()
+	var stdout lockedBuffer
+	var stderr bytes.Buffer
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-rows", "20000",
+			"-duration", "2s",
+			"-pause", "1ms",
+			"-data-dir", dataDir,
+			"-slo-p99", "1ns",
+			"-watchdog-interval", "25ms",
+			"-anomaly-after", "300ms",
+		}, &stdout, &stderr)
+	}()
+
+	var addr string
+	for i := 0; i < 100 && addr == ""; i++ {
+		if m := addrRE.FindStringSubmatch(stdout.String()); m != nil {
+			addr = m[1]
+		} else {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	if addr == "" {
+		t.Fatalf("no listen address announced; stderr: %s", stderr.String())
+	}
+
+	if body := get(t, "http://"+addr+"/healthz"); !bytes.Contains(body, []byte("ok")) {
+		t.Errorf("/healthz = %q", body)
+	}
+	// Readiness flips once the warm-up query ran; poll briefly.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		resp, err := http.Get("http://" + addr + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		code := resp.StatusCode
+		resp.Body.Close()
+		if code == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("/readyz never turned ready (last %d)", code)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if body := get(t, "http://"+addr+"/debug/holistic/flight"); !bytes.Contains(body, []byte(`"watchdog"`)) {
+		t.Errorf("/debug/holistic/flight missing watchdog state: %s", body)
+	}
+
+	if code := <-done; code != 0 {
+		t.Fatalf("run exited %d; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "degrading workload") {
+		t.Errorf("missing anomaly injection line: %s", stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "dumps written") {
+		t.Errorf("missing flight summary line: %s", stdout.String())
+	}
+
+	names, err := filepath.Glob(filepath.Join(dataDir, "flight-*.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) == 0 {
+		t.Fatalf("no flight dump in %s; stdout: %s", dataDir, stdout.String())
+	}
+	for _, name := range names {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := flight.Decode(data)
+		if err != nil {
+			t.Fatalf("%s does not decode: %v", name, err)
+		}
+		if len(d.Events) == 0 {
+			t.Errorf("%s decodes to zero events", name)
+		}
 	}
 }
 

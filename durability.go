@@ -19,6 +19,7 @@ import (
 	"holistic/internal/engine"
 	"holistic/internal/holistic"
 	"holistic/internal/obs"
+	"holistic/internal/obs/flight"
 	"holistic/internal/sortidx"
 	"holistic/internal/stats"
 )
@@ -125,6 +126,28 @@ func openStoreFS(fs durable.FS, cfg Config) (*Store, error) {
 	d.dirty = int64(len(rec.Records))
 	d.lastSnap = time.Now()
 
+	// Surface the previous process's flight dumps (its black box) and
+	// start our own dump numbering after them.
+	if prior, err := durable.ListFlightDumps(fs); err == nil {
+		d.priorFlights = prior
+		d.met.PriorFlightDumps.Add(int64(len(prior)))
+		for _, name := range prior {
+			if _, n, ok := durable.ParseFlightName(name); ok && n >= d.flightSeq {
+				d.flightSeq = n + 1
+			}
+		}
+	}
+	s.flight.RecordRecovery(int64(rec.Gen), int64(len(rec.Records)), rec.TornTail,
+		int64(len(rec.Indexes)), int64(rec.DroppedIndexes))
+	if rec.TornTail && s.wd != nil {
+		// Crash evidence: the WAL tail was torn, so the previous process
+		// died mid-write. Record the anomaly and preserve what we know
+		// in a dump immediately.
+		v := s.wd.NoteTornTail()
+		s.flight.RecordAnomaly(v.Trigger, 0, 0, 0, 0, 0)
+		d.flightDump(flight.TriggerTornTail)
+	}
+
 	if rec.Manifest != nil && len(rec.Columns) > 0 {
 		for _, cd := range rec.Columns {
 			if err := s.table.AddColumn(column.New(cd.Name, cd.Base)); err != nil {
@@ -165,6 +188,8 @@ func openStoreFS(fs durable.FS, cfg Config) (*Store, error) {
 // discard unregisters a store whose open failed partway.
 func (s *Store) discard() {
 	obs.UnregisterSource(s.obsName)
+	obs.UnregisterFlight(s.obsName)
+	s.stopWatchdog()
 }
 
 // Columns lists the store's column names, in insertion order. A
@@ -217,6 +242,60 @@ type durability struct {
 	syncsBase int64           // fsyncs of already-rotated segments (telemetry)
 	lastSnap  time.Time
 	closed    bool
+
+	// Flight-recorder dump state: flightSeq numbers this process's
+	// dumps, priorFlights are the dumps recovery found on disk, and
+	// lastFlight names the newest dump this process committed.
+	flightSeq    int
+	priorFlights []string
+	lastFlight   string
+}
+
+// keepFlightDumps bounds the on-disk flight dumps: the writer
+// self-prunes (generation Prune deliberately does not own flight-*
+// files, so anomaly post-mortems survive snapshot turnover).
+const keepFlightDumps = 8
+
+// generation reads the current snapshot generation.
+func (d *durability) generation() uint64 {
+	d.writeMu.Lock()
+	defer d.writeMu.Unlock()
+	return d.gen
+}
+
+// priorFlightDumps returns the dump names recovery found at open.
+func (d *durability) priorFlightDumps() []string {
+	return append([]string(nil), d.priorFlights...)
+}
+
+// flightDump commits one flight-recorder dump under the write lock.
+func (d *durability) flightDump(trig flight.Trigger) {
+	d.writeMu.Lock()
+	defer d.writeMu.Unlock()
+	if !d.closed {
+		d.flightDumpLocked(trig)
+	}
+}
+
+// flightDumpLocked encodes the ring and commits it as the next
+// flight-<gen>-<n>.bin via the tmp+rename protocol, then self-prunes
+// old dumps. Best-effort: a failed dump is counted, never fatal — the
+// flight recorder must not take down the write path it observes.
+func (d *durability) flightDumpLocked(trig flight.Trigger) {
+	if d.s.flight == nil {
+		return
+	}
+	data := flight.Encode(d.s.flight, trig, d.gen)
+	name := durable.FlightName(d.gen, d.flightSeq)
+	if err := durable.WriteFlightDump(d.fs, name, data); err != nil {
+		d.met.FlightDumpFailures.Inc()
+		return
+	}
+	d.flightSeq++
+	d.lastFlight = name
+	d.met.FlightDumps.Inc()
+	d.s.wd.NoteDump()
+	_ = durable.PruneFlightDumps(d.fs, keepFlightDumps)
 }
 
 // loggedInsert, loggedDelete and loggedUpdate are the Store write
@@ -348,11 +427,13 @@ func (d *durability) checkpoint() error {
 // dirtying the WAL, so "no new records" does not mean "nothing worth
 // persisting"; the dirty-records gate lives in maybeSnapshot.
 func (d *durability) checkpointLocked() error {
+	start := time.Now()
 	if err := d.wal.Sync(); err != nil {
 		d.met.SnapshotFailures.Inc()
 		return err
 	}
 	gen := d.gen + 1
+	records := d.dirty
 	cols, states, daemon := d.export()
 	m := &durable.Manifest{Generation: gen, Mode: d.cfg.Mode.String(), Daemon: daemon}
 	if err := durable.WriteSnapshot(d.fs, m, cols, states); err != nil {
@@ -375,6 +456,11 @@ func (d *durability) checkpointLocked() error {
 	d.met.Snapshots.Inc()
 	_ = old.Close()
 	d.syncsBase += old.Syncs()
+	d.s.flight.RecordCheckpoint(int64(gen), records, time.Since(start).Nanoseconds())
+	d.s.flight.RecordWALRotate(int64(gen), 0)
+	// Persist the black box alongside the generation: a kill -9 at any
+	// later point leaves a decodable dump of the events up to here.
+	d.flightDumpLocked(flight.TriggerCheckpoint)
 	// Best-effort: recovery always starts from the newest valid
 	// manifest, so leftover generations are waste, not corruption.
 	_ = durable.Prune(d.fs, map[uint64]bool{gen: true, prev: true})
@@ -586,6 +672,7 @@ func (d *durability) snapshotMetrics() *obs.DurableSnapshot {
 	d.writeMu.Lock()
 	sn.WALSyncs = d.syncsBase + d.wal.Syncs()
 	sn.Generation = d.gen
+	sn.LastFlightDump = d.lastFlight
 	d.writeMu.Unlock()
 	return sn
 }

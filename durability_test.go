@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"holistic/internal/durable"
+	"holistic/internal/obs/flight"
 )
 
 // durCfg is the crash-matrix configuration: strict per-record fsync so
@@ -201,6 +202,52 @@ func refJoinStore(t *testing.T) *Store {
 	return ref
 }
 
+// validateFlightDumps asserts every committed flight-*.bin in fs is a
+// CRC-valid frame that decodes to well-formed events: a dump committed
+// at one checkpoint must survive any later kill intact (tmp+rename),
+// and the newest dump must carry the audit trail of the checkpoint
+// that wrote it. Returns the number of committed dumps.
+func validateFlightDumps(t *testing.T, tag string, fs durable.FS) int {
+	t.Helper()
+	dumps, err := durable.ListFlightDumps(fs)
+	if err != nil {
+		t.Fatalf("%s: list flight dumps: %v", tag, err)
+	}
+	for i, name := range dumps {
+		data, err := fs.ReadFile(name)
+		if err != nil {
+			t.Fatalf("%s: read %s: %v", tag, name, err)
+		}
+		d, err := flight.Decode(data)
+		if err != nil {
+			t.Fatalf("%s: %s does not decode: %v", tag, name, err)
+		}
+		if len(d.Events) == 0 {
+			t.Fatalf("%s: %s decoded to zero events", tag, name)
+		}
+		lastSeq := uint64(0)
+		checkpoints := 0
+		for _, e := range d.Events {
+			if e.Kind < flight.EvQuery || e.Kind > flight.EvAnomaly {
+				t.Fatalf("%s: %s holds event of unknown kind %d", tag, name, e.Kind)
+			}
+			if e.Seq <= lastSeq {
+				t.Fatalf("%s: %s events out of order: seq %d after %d", tag, name, e.Seq, lastSeq)
+			}
+			lastSeq = e.Seq
+			if e.Kind == flight.EvCheckpoint {
+				checkpoints++
+			}
+		}
+		// Every dump in this matrix is written by a checkpoint, so each
+		// must record at least the checkpoints up to its own.
+		if checkpoints < i+1 {
+			t.Fatalf("%s: %s records %d checkpoint events, want >= %d", tag, name, checkpoints, i+1)
+		}
+	}
+	return len(dumps)
+}
+
 // TestCrashMatrix kills the store at every mutating filesystem
 // operation of a scripted workload — alternating clean and torn tears —
 // and asserts the recovered store answers every query shape
@@ -259,9 +306,16 @@ func TestCrashMatrix(t *testing.T) {
 				}
 				fs.Crash()
 
+				// Any flight dump committed before the kill must decode
+				// CRC-clean from the survivor filesystem.
+				nd := validateFlightDumps(t, tag, fs)
+
 				r, err := openStoreFS(fs, durCfg(mode))
 				if err != nil {
 					t.Fatalf("%s: reopen: %v", tag, err)
+				}
+				if got := len(r.PriorFlightDumps()); got != nd {
+					t.Fatalf("%s: reopened store reports %d prior flight dumps, want %d", tag, got, nd)
 				}
 				if len(r.Columns()) == 0 {
 					// The crash predates the initial snapshot: nothing was

@@ -1,11 +1,13 @@
 package holistic_test
 
 import (
+	"bytes"
 	"fmt"
 	"os"
 	"time"
 
 	"holistic"
+	"holistic/internal/obs/flight"
 )
 
 // Example demonstrates the zero-administration workflow: load columns,
@@ -194,6 +196,50 @@ func ExampleStore_Metrics() {
 	// Output:
 	// mode adaptive: 3 queries, 3 count latencies recorded, p99 > 0: true
 	// bitmap selections: true, cracker builds: 1
+}
+
+// ExampleStore_FlightDump demonstrates the flight recorder: every
+// query, representation decision and strategy choice lands in a
+// bounded lock-free ring, which FlightDump encodes as a checksummed
+// frame that flight.Decode round-trips. The watchdog writes the same
+// format into the data directory when an SLO anomaly fires.
+func ExampleStore_FlightDump() {
+	store := holistic.NewStore(holistic.Config{Mode: holistic.ModeAdaptive, Threads: 1, Seed: 1})
+	defer store.Close()
+
+	vals := make([]int64, 50_000)
+	for i := range vals {
+		vals[i] = int64(i * 31 % 9973)
+	}
+	store.AddIntColumn("x", vals)
+	store.AddIntColumn("y", vals)
+	for lo := int64(0); lo < 3000; lo += 1000 {
+		store.Query().Where("x", lo, lo+2000).Where("y", 0, 9000).Count()
+	}
+
+	var buf bytes.Buffer
+	if _, err := store.FlightDump(&buf); err != nil {
+		fmt.Println(err)
+		return
+	}
+	d, err := flight.Decode(buf.Bytes())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	var queries, decisions int
+	for _, e := range d.Events {
+		switch e.Kind {
+		case flight.EvQuery:
+			queries++
+		case flight.EvRep, flight.EvStrategy:
+			decisions++
+		}
+	}
+	fmt.Printf("trigger %s: %d query events, decision events recorded: %v\n",
+		d.Trigger, queries, decisions > 0)
+	// Output:
+	// trigger manual: 3 query events, decision events recorded: true
 }
 
 // ExampleOpenStore persists a store to a data directory, reopens it

@@ -65,6 +65,7 @@ import (
 	"holistic/internal/holistic"
 	"holistic/internal/join"
 	"holistic/internal/obs"
+	"holistic/internal/obs/flight"
 	"holistic/internal/query"
 	"holistic/internal/stats"
 )
@@ -194,6 +195,18 @@ type Config struct {
 	// from scratch — the cold start the recover benchmark compares
 	// adaptive-state restore against. Ignored by NewStore.
 	DataOnlyRecovery bool
+	// FlightEvents sizes the flight recorder's event ring (rounded up
+	// to a power of two; default 4096 events of 64 bytes each).
+	// Negative disables flight recording entirely.
+	FlightEvents int
+	// SLOP99 is the absolute p99 latency objective the watchdog
+	// enforces: a rolling window whose p99 exceeds it triggers an
+	// anomaly flight dump. 0 leaves only the relative rule (p99 above
+	// a multiple of the rolling baseline).
+	SLOP99 time.Duration
+	// WatchdogInterval is the cadence of the watchdog's baseline
+	// observations (default 1s); negative disables the watchdog.
+	WatchdogInterval time.Duration
 }
 
 func (c Config) threads() int {
@@ -201,6 +214,18 @@ func (c Config) threads() int {
 		return 2
 	}
 	return c.Threads
+}
+
+// watchdogInterval resolves the watchdog observation cadence: 1s by
+// default, disabled when negative.
+func (c Config) watchdogInterval() time.Duration {
+	if c.WatchdogInterval == 0 {
+		return time.Second
+	}
+	if c.WatchdogInterval < 0 {
+		return 0
+	}
+	return c.WatchdogInterval
 }
 
 func (c Config) l1Values() int {
@@ -229,11 +254,22 @@ type Store struct {
 	// nil for purely in-memory stores.
 	dur *durability
 
+	// flight is the black-box event ring (nil when disabled); wd the
+	// watchdog that decides when to dump it. See DESIGN.md §11.
+	flight *flight.Recorder
+	wd     *flight.Watchdog
+	wdStop chan struct{}
+	wdOnce sync.Once
+
 	mu     sync.Mutex
 	table  *engine.Table
 	exec   engine.Executor
 	qr     *query.Runner
 	closed bool
+	// traceSink is the owned JSONL trace sink of SetTraceJSONL /
+	// SetTraceJSONLFile, kept so Close can flush it and Metrics can
+	// surface its write-error counters.
+	traceSink *obs.JSONLSink
 }
 
 // storeSeq numbers stores for the process-wide metrics registry.
@@ -251,6 +287,15 @@ func NewStore(cfg Config) *Store {
 	}
 	s.obsName = "store-" + strconv.FormatInt(storeSeq.Add(1), 10)
 	obs.RegisterSource(s.obsName, func() any { return s.Metrics() })
+	if cfg.FlightEvents >= 0 {
+		s.flight = flight.NewRecorder(cfg.FlightEvents)
+		s.wd = flight.NewWatchdog(flight.WatchdogConfig{AbsoluteP99: cfg.SLOP99})
+		obs.RegisterFlight(s.obsName, s.flightState)
+		if iv := cfg.watchdogInterval(); iv > 0 {
+			s.wdStop = make(chan struct{})
+			go s.watchdogLoop(iv)
+		}
+	}
 	return s
 }
 
@@ -279,6 +324,9 @@ func (s *Store) executor() (engine.Executor, error) {
 		s.exec = s.build()
 		if ins, ok := s.exec.(engine.Instrumented); ok {
 			ins.SetExecMetrics(s.execMet)
+		}
+		if h, ok := s.exec.(*engine.HolisticExecutor); ok {
+			h.Daemon.SetFlight(s.flight)
 		}
 		if s.dur != nil {
 			if err := s.dur.attachExec(s.exec); err != nil {
@@ -494,6 +542,7 @@ func (s *Store) runner() (*query.Runner, error) {
 	if s.qr == nil {
 		s.qr = query.New(s.table, s.exec, s.cfg.threads())
 		s.qr.SetMetrics(s.met)
+		s.qr.SetFlight(s.flight)
 	}
 	return s.qr, nil
 }
@@ -924,12 +973,19 @@ func (s *Store) Close() {
 	}
 	s.closed = true
 	exec := s.exec
+	sink := s.traceSink
+	s.traceSink = nil
 	obs.UnregisterSource(s.obsName)
+	obs.UnregisterFlight(s.obsName)
 	s.mu.Unlock()
+	s.stopWatchdog()
 	if s.dur != nil {
 		s.dur.close()
 	}
 	if exec != nil {
 		exec.Close()
+	}
+	if sink != nil {
+		_ = sink.Close()
 	}
 }

@@ -1,0 +1,88 @@
+package durable
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Flight-recorder dumps live beside the snapshot generations as
+// flight-<generation>-<n>.bin, where n is a per-process dump counter.
+// They are post-mortems, not recovery inputs: fileGeneration does NOT
+// own them, so Prune never reaps the evidence of an anomaly along with
+// the generation it happened in. Instead the writer self-prunes,
+// keeping the newest few dumps (PruneFlightDumps).
+
+// flightTmp is the staging name for dump writes; like the manifest,
+// the rename onto the final name is the commit point, so a crash
+// mid-write never leaves a torn flight-*.bin — only a stale tmp.
+const flightTmp = "flight.tmp"
+
+// FlightName names one flight dump written at generation gen with
+// per-process counter n.
+func FlightName(gen uint64, n int) string {
+	return fmt.Sprintf("flight-%012d-%06d.bin", gen, n)
+}
+
+// ParseFlightName extracts the generation and counter of a dump name;
+// ok is false for names the flight writer does not own.
+func ParseFlightName(name string) (gen uint64, n int, ok bool) {
+	if !strings.HasPrefix(name, "flight-") || !strings.HasSuffix(name, ".bin") {
+		return 0, 0, false
+	}
+	body := strings.TrimSuffix(strings.TrimPrefix(name, "flight-"), ".bin")
+	if _, err := fmt.Sscanf(body, "%012d-%06d", &gen, &n); err != nil {
+		return 0, 0, false
+	}
+	return gen, n, true
+}
+
+// ListFlightDumps returns the committed flight dump names, oldest
+// first ((generation, n) order).
+func ListFlightDumps(fs FS) ([]string, error) {
+	names, err := fs.List()
+	if err != nil {
+		return nil, err
+	}
+	var dumps []string
+	for _, name := range names {
+		if _, _, ok := ParseFlightName(name); ok {
+			dumps = append(dumps, name)
+		}
+	}
+	sort.Slice(dumps, func(i, j int) bool {
+		gi, ni, _ := ParseFlightName(dumps[i])
+		gj, nj, _ := ParseFlightName(dumps[j])
+		if gi != gj {
+			return gi < gj
+		}
+		return ni < nj
+	})
+	return dumps, nil
+}
+
+// WriteFlightDump stages, fsyncs and atomically renames one encoded
+// dump into place under name.
+func WriteFlightDump(fs FS, name string, data []byte) error {
+	if err := writeFileSync(fs, flightTmp, data); err != nil {
+		return err
+	}
+	return fs.Rename(flightTmp, name)
+}
+
+// PruneFlightDumps removes all but the newest keep dumps.
+func PruneFlightDumps(fs FS, keep int) error {
+	dumps, err := ListFlightDumps(fs)
+	if err != nil {
+		return err
+	}
+	if keep < 0 {
+		keep = 0
+	}
+	for i := 0; i+keep < len(dumps); i++ {
+		if err := fs.Remove(dumps[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

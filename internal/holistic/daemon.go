@@ -33,6 +33,7 @@ import (
 
 	"holistic/internal/cpu"
 	"holistic/internal/cracking"
+	"holistic/internal/obs/flight"
 	"holistic/internal/stats"
 	"holistic/internal/updates"
 )
@@ -147,6 +148,11 @@ type Daemon struct {
 	// worker activation; the panic-containment test injects through it.
 	testRefineHook func()
 
+	// fr is the flight recorder cycle and refinement audit events go to;
+	// swapped atomically so workers never race SetFlight. A nil recorder
+	// is a no-op for every Record method.
+	fr atomic.Pointer[flight.Recorder]
+
 	stop chan struct{}
 	done chan struct{}
 
@@ -168,6 +174,11 @@ func New(reg *stats.Registry, mon cpu.Monitor, cfg Config) *Daemon {
 
 // Registry exposes the index space the daemon tunes.
 func (d *Daemon) Registry() *stats.Registry { return d.reg }
+
+// SetFlight attaches the flight recorder the daemon's cycles and
+// refinement steps record audit events into (nil detaches). Safe to
+// call concurrently with a running daemon.
+func (d *Daemon) SetFlight(fr *flight.Recorder) { d.fr.Store(fr) }
 
 // AttachPending connects a pending-updates store to the named index so
 // workers merge updates while refining (Section 4.2, Updates).
@@ -346,6 +357,7 @@ func (d *Daemon) runCycle(cycle, n int) {
 	d.totals.Refinements += int64(cs.Refinements)
 	d.totals.MergedUpdates += int64(cs.MergedUpdates)
 	d.cycleMu.Unlock()
+	d.fr.Load().RecordCycle(int64(cycle), int64(cs.Workers), int64(cs.Refinements), int64(cs.MergedUpdates), cs.Wall.Nanoseconds())
 }
 
 // maxAttemptsPerRefinement bounds the pivot re-rolls of one refinement
@@ -365,6 +377,13 @@ func (d *Daemon) idleFunction(rng *rand.Rand) (refined, mergedUpdates int) {
 	}
 	minPiece := d.reg.L1Values()
 	pend := d.pendingFor(e.Name)
+	attempts := int64(0)
+	defer func() {
+		if fr := d.fr.Load(); fr != nil {
+			fr.RecordRefine(fr.Intern(e.Name), int64(refined), int64(mergedUpdates),
+				attempts, d.reg.Distance(e), int64(e.Col.Pieces()))
+		}
+	}()
 
 	for i := 0; i < d.cfg.Refinements; i++ {
 		done := false
@@ -375,6 +394,7 @@ func (d *Daemon) idleFunction(rng *rand.Rand) (refined, mergedUpdates int) {
 			}
 			pivot := lo + rng.Int63n(hi-lo+1)
 			d.totalAttempts.Add(1)
+			attempts++
 			switch e.Col.TryRefineAt(pivot, minPiece) {
 			case cracking.RefineDone:
 				refined++

@@ -145,17 +145,21 @@ func TestRepoClean(t *testing.T) {
 // entry points must carry a verified //holistic:noalloc annotation, so
 // removing one is a visible, reviewed act.
 func TestAnnotatedHotPaths(t *testing.T) {
-	mod, err := Load("../..", "./internal/query", "./internal/groupby", "./internal/join", "./internal/column", "./internal/cracking", "./internal/obs")
+	mod, err := Load("../..", "./internal/query", "./internal/groupby", "./internal/join", "./internal/column", "./internal/cracking", "./internal/obs", "./internal/obs/flight")
 	if err != nil {
 		t.Fatalf("Load: %v", err)
 	}
 	want := map[string][]string{
-		"holistic/internal/query":    {"Count", "Sum", "runSel", "putScratch"},
+		"holistic/internal/query":    {"Count", "Sum", "runSel", "putScratch", "finish", "noteStrategy"},
 		"holistic/internal/groupby":  {"GroupRows", "GroupBitmap", "accumulateDense", "accumulateHash"},
 		"holistic/internal/join":     {"Merge", "PutPairs"},
 		"holistic/internal/column":   {"CountRange", "SumRange", "FilterBitmap", "SumBitmap"},
 		"holistic/internal/cracking": {"crackInTwoVectorized", "crackInThree"},
 		"holistic/internal/obs":      {"Inc", "Add", "Record", "RecordNanos", "NextSeq", "RecordOp", "RecordRep", "RecordStrategy"},
+		"holistic/internal/obs/flight": {
+			"record", "RecordQuery", "RecordRep", "RecordStrategy", "RecordRefine",
+			"RecordCycle", "RecordWALRotate", "RecordCheckpoint", "RecordRecovery", "RecordAnomaly",
+		},
 	}
 	annotated := make(map[string]map[string]bool)
 	for _, pkg := range mod.Requested {

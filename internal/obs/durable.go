@@ -20,6 +20,11 @@ type DurableMetrics struct {
 	ManifestFallbacks Counter // generations skipped as torn/corrupt
 	RestoredIndexes   Counter // adaptive indexes rebuilt from state
 	DroppedIndexes    Counter // state sections dropped to unrefined
+
+	// Flight-recorder dumps (see DESIGN.md §11).
+	FlightDumps        Counter // dumps committed (checkpoint + anomaly)
+	FlightDumpFailures Counter // dump writes that failed
+	PriorFlightDumps   Counter // dumps found on disk at open (post-mortems)
 }
 
 // DurableSnapshot is the JSON shape served on /debug/holistic under
@@ -40,6 +45,11 @@ type DurableSnapshot struct {
 	CleanStart        bool   `json:"clean_start"`
 	TornWALTail       bool   `json:"torn_wal_tail"`
 	Generation        uint64 `json:"generation"`
+
+	FlightDumps        int64  `json:"flight_dumps"`
+	FlightDumpFailures int64  `json:"flight_dump_failures"`
+	PriorFlightDumps   int64  `json:"prior_flight_dumps"`
+	LastFlightDump     string `json:"last_flight_dump,omitempty"`
 }
 
 // Snapshot captures the current counter values.
@@ -54,5 +64,9 @@ func (m *DurableMetrics) Snapshot() *DurableSnapshot {
 		ManifestFallbacks: m.ManifestFallbacks.Load(),
 		RestoredIndexes:   m.RestoredIndexes.Load(),
 		DroppedIndexes:    m.DroppedIndexes.Load(),
+
+		FlightDumps:        m.FlightDumps.Load(),
+		FlightDumpFailures: m.FlightDumpFailures.Load(),
+		PriorFlightDumps:   m.PriorFlightDumps.Load(),
 	}
 }

@@ -111,6 +111,25 @@ func (s *HistSnapshot) Merge(o *HistSnapshot) {
 	}
 }
 
+// Diff subtracts the earlier snapshot o from s in place, leaving the
+// distribution of observations recorded between the two snapshots.
+// Buckets are monotone under concurrent recording, so the window is
+// well-defined; any skew from a non-atomic cut clamps at zero instead
+// of underflowing.
+func (s *HistSnapshot) Diff(o *HistSnapshot) {
+	sub := func(a, b uint64) uint64 {
+		if a < b {
+			return 0
+		}
+		return a - b
+	}
+	s.Count = sub(s.Count, o.Count)
+	s.Sum = sub(s.Sum, o.Sum)
+	for i := range s.Buckets {
+		s.Buckets[i] = sub(s.Buckets[i], o.Buckets[i])
+	}
+}
+
 // total sums the bucket counts: the self-consistent observation count
 // (the Count field can lag the buckets by in-flight recordings).
 func (s *HistSnapshot) total() uint64 {

@@ -59,6 +59,85 @@ func init() {
 	expvar.Publish("holistic", expvar.Func(func() any { return SnapshotSources() }))
 }
 
+var (
+	flightMu      sync.Mutex
+	flightSources = map[string]func() any{}
+)
+
+// RegisterFlight publishes a named flight-recorder source (decoded
+// ring events plus watchdog state), served on /debug/holistic/flight.
+// Re-registering a name replaces the source.
+func RegisterFlight(name string, fn func() any) {
+	flightMu.Lock()
+	flightSources[name] = fn
+	flightMu.Unlock()
+}
+
+// UnregisterFlight removes a flight source; unknown names are a no-op.
+func UnregisterFlight(name string) {
+	flightMu.Lock()
+	delete(flightSources, name)
+	flightMu.Unlock()
+}
+
+// SnapshotFlight evaluates every registered flight source by name.
+func SnapshotFlight() map[string]any {
+	flightMu.Lock()
+	names := make([]string, 0, len(flightSources))
+	fns := make([]func() any, 0, len(flightSources))
+	for n, fn := range flightSources {
+		names = append(names, n)
+		fns = append(fns, fn)
+	}
+	flightMu.Unlock()
+	out := make(map[string]any, len(names))
+	for i, n := range names {
+		out[n] = fns[i]() // outside the lock: sources may take their own
+	}
+	return out
+}
+
+var (
+	readyMu     sync.Mutex
+	readyProbes = map[string]func() bool{}
+)
+
+// RegisterReadiness publishes a named readiness probe consulted by
+// /readyz: the endpoint reports ready only when every registered probe
+// returns true. Re-registering a name replaces the probe.
+func RegisterReadiness(name string, fn func() bool) {
+	readyMu.Lock()
+	readyProbes[name] = fn
+	readyMu.Unlock()
+}
+
+// UnregisterReadiness removes a probe; unknown names are a no-op.
+func UnregisterReadiness(name string) {
+	readyMu.Lock()
+	delete(readyProbes, name)
+	readyMu.Unlock()
+}
+
+// notReady evaluates every probe and returns the names that failed.
+func notReady() []string {
+	readyMu.Lock()
+	names := make([]string, 0, len(readyProbes))
+	fns := make([]func() bool, 0, len(readyProbes))
+	for n, fn := range readyProbes {
+		names = append(names, n)
+		fns = append(fns, fn)
+	}
+	readyMu.Unlock()
+	var failed []string
+	for i, fn := range fns {
+		if !fn() {
+			failed = append(failed, names[i])
+		}
+	}
+	sort.Strings(failed)
+	return failed
+}
+
 // serveJSON writes the full source snapshot as indented JSON.
 func serveJSON(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
@@ -84,12 +163,63 @@ func serveJSON(w http.ResponseWriter, _ *http.Request) {
 	_ = enc.Encode(ordered)
 }
 
+// serveFlight writes the flight-recorder snapshot — per-store decoded
+// ring events and watchdog state — as indented JSON.
+func serveFlight(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	snap := SnapshotFlight()
+	names := make([]string, 0, len(snap))
+	for n := range snap {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	ordered := make([]struct {
+		Name   string `json:"name"`
+		Flight any    `json:"flight"`
+	}, 0, len(names))
+	for _, n := range names {
+		ordered = append(ordered, struct {
+			Name   string `json:"name"`
+			Flight any    `json:"flight"`
+		}{n, snap[n]})
+	}
+	_ = enc.Encode(ordered)
+}
+
+// serveHealthz is liveness: the process is up and serving.
+func serveHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = w.Write([]byte("ok\n"))
+}
+
+// serveReadyz is readiness: 200 once every registered probe passes
+// (recovery replayed, daemon started), 503 with the failing probe
+// names otherwise — the signal a load balancer keys traffic on.
+func serveReadyz(w http.ResponseWriter, _ *http.Request) {
+	failed := notReady()
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	if len(failed) > 0 {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	_ = json.NewEncoder(w).Encode(struct {
+		Ready    bool     `json:"ready"`
+		NotReady []string `json:"not_ready,omitempty"`
+	}{len(failed) == 0, failed})
+}
+
 // Handler returns the debug mux: /debug/holistic (JSON snapshot of all
-// registered sources), /debug/vars (expvar, including the "holistic"
-// variable) and /debug/pprof/* (the standard profiles).
+// registered sources), /debug/holistic/flight (decoded flight-recorder
+// rings and watchdog state), /healthz and /readyz (liveness/readiness),
+// /debug/vars (expvar, including the "holistic" variable) and
+// /debug/pprof/* (the standard profiles).
 func Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/holistic", serveJSON)
+	mux.HandleFunc("/debug/holistic/flight", serveFlight)
+	mux.HandleFunc("/healthz", serveHealthz)
+	mux.HandleFunc("/readyz", serveReadyz)
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

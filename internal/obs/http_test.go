@@ -108,6 +108,98 @@ func TestHandlerVarsAndPprof(t *testing.T) {
 	}
 }
 
+func TestHandlerFlightEndpoint(t *testing.T) {
+	RegisterFlight("test-store", func() any {
+		return map[string]any{"ring_capacity": 64, "events": []any{}}
+	})
+	defer UnregisterFlight("test-store")
+
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/debug/holistic/flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var entries []struct {
+		Name   string          `json:"name"`
+		Flight json.RawMessage `json:"flight"`
+	}
+	if err := json.Unmarshal(body, &entries); err != nil {
+		t.Fatalf("flight response not a JSON array: %v\n%s", err, body)
+	}
+	found := false
+	for _, e := range entries {
+		if e.Name == "test-store" {
+			found = true
+			var m map[string]any
+			if err := json.Unmarshal(e.Flight, &m); err != nil {
+				t.Fatalf("flight payload: %v", err)
+			}
+			if m["ring_capacity"] != float64(64) {
+				t.Fatalf("flight payload missing ring_capacity: %v", m)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("test-store flight source not in response:\n%s", body)
+	}
+}
+
+func TestHealthzReadyz(t *testing.T) {
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || string(body) != "ok\n" {
+		t.Fatalf("/healthz = %d %q", resp.StatusCode, body)
+	}
+
+	ready := false
+	RegisterReadiness("test-store", func() bool { return ready })
+	defer UnregisterReadiness("test-store")
+
+	check := func(wantCode int, wantReady bool, wantFailed []string) {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != wantCode {
+			t.Fatalf("/readyz status = %d, want %d", resp.StatusCode, wantCode)
+		}
+		var out struct {
+			Ready    bool     `json:"ready"`
+			NotReady []string `json:"not_ready"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		if out.Ready != wantReady {
+			t.Fatalf("/readyz ready = %v, want %v", out.Ready, wantReady)
+		}
+		if len(out.NotReady) != len(wantFailed) {
+			t.Fatalf("/readyz not_ready = %v, want %v", out.NotReady, wantFailed)
+		}
+		for i := range wantFailed {
+			if out.NotReady[i] != wantFailed[i] {
+				t.Fatalf("/readyz not_ready = %v, want %v", out.NotReady, wantFailed)
+			}
+		}
+	}
+	check(503, false, []string{"test-store"})
+	ready = true
+	check(200, true, nil)
+}
+
 func TestTimelineRingBound(t *testing.T) {
 	m := NewQueryMetrics()
 	strats := []Strat{StratGroupDense, StratGroupHash, StratGroupSort}

@@ -129,6 +129,17 @@ func (m *QueryMetrics) RecordStrategy(seq uint64, s Strat) {
 // through it).
 func (m *QueryMetrics) OpHistogram(op Op) *Histogram { return &m.lat[op] }
 
+// MergedLatency merges every op's histogram into s — the cumulative
+// all-operations latency distribution the flight watchdog baselines.
+func (m *QueryMetrics) MergedLatency(s *HistSnapshot) {
+	*s = HistSnapshot{}
+	var one HistSnapshot
+	for op := Op(0); op < NumOps; op++ {
+		m.lat[op].Snapshot(&one)
+		s.Merge(&one)
+	}
+}
+
 // Timeline returns the retained strategy transitions, oldest first.
 func (m *QueryMetrics) Timeline() []TimelineEvent { return m.tl.snapshot() }
 

@@ -8,6 +8,7 @@
 package obs
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -137,6 +138,14 @@ func (t *QueryTrace) Stage(name string, start time.Time) {
 	t.Stages = append(t.Stages, StageTrace{Name: name, Nanos: time.Since(start).Nanoseconds()})
 }
 
+// StageNanos appends a stage whose duration the caller already
+// measured (shared with the flight recorder's per-stage timings).
+//
+//holistic:noalloc
+func (t *QueryTrace) StageNanos(name string, nanos int64) {
+	t.Stages = append(t.Stages, StageTrace{Name: name, Nanos: nanos})
+}
+
 // SetStat records one named decision statistic.
 //
 //holistic:noalloc
@@ -253,22 +262,140 @@ type TraceSink interface {
 }
 
 // JSONLSink writes one JSON object per trace to an io.Writer, guarded
-// by a mutex so concurrent queries interleave whole lines.
+// by a mutex so concurrent queries interleave whole lines. The stream
+// is bounded: writes go through an internal buffer (flushed by Flush
+// and Close), the line/byte/error counters surface into Store.Metrics
+// instead of dropping silently, and an optional rotate callback caps
+// the bytes written to one target (SinkOptions.MaxBytes).
 type JSONLSink struct {
-	mu  sync.Mutex
-	enc *json.Encoder
+	mu      sync.Mutex
+	w       io.Writer
+	bw      *bufio.Writer
+	enc     *json.Encoder
+	written int64 // bytes handed to the current target since last rotation
+	opts    SinkOptions
+
+	lines     Counter
+	bytes     Counter
+	errors    Counter
+	rotations Counter
 }
 
-// NewJSONLSink builds a sink over w (typically an *os.File or buffered
-// writer; the caller owns flushing/closing).
+// SinkOptions tunes a JSONLSink beyond the plain writer.
+type SinkOptions struct {
+	// MaxBytes caps the bytes written to one target; when exceeded the
+	// sink flushes, closes the current target (if it is a Closer) and
+	// asks Rotate for the next one. 0 disables rotation.
+	MaxBytes int64
+	// Rotate opens the next target after a size cap is hit. Required
+	// when MaxBytes > 0.
+	Rotate func() (io.WriteCloser, error)
+	// OwnWriter makes Close close the target (for sinks over files the
+	// sink itself opened).
+	OwnWriter bool
+}
+
+// NewJSONLSink builds a buffered sink over w; call Flush (or Close) to
+// push buffered lines to the writer. The caller owns closing w.
 func NewJSONLSink(w io.Writer) *JSONLSink {
-	return &JSONLSink{enc: json.NewEncoder(w)}
+	return NewJSONLSinkOptions(w, SinkOptions{})
 }
 
-// Emit implements TraceSink. Encoding errors are dropped: tracing must
-// never fail a query.
+// NewJSONLSinkOptions builds a sink with rotation/ownership options.
+func NewJSONLSinkOptions(w io.Writer, opts SinkOptions) *JSONLSink {
+	s := &JSONLSink{w: w, bw: bufio.NewWriterSize(w, 1<<15), opts: opts}
+	s.enc = json.NewEncoder(s.bw)
+	return s
+}
+
+// Emit implements TraceSink. Encoding errors are counted (see
+// Snapshot) but never fail the query being traced.
 func (s *JSONLSink) Emit(tr *QueryTrace) {
 	s.mu.Lock()
-	_ = s.enc.Encode(tr)
-	s.mu.Unlock()
+	defer s.mu.Unlock()
+	before := s.bw.Buffered()
+	if err := s.enc.Encode(tr); err != nil {
+		s.errors.Inc()
+		return
+	}
+	// Bytes accepted by the encoder this call: what grew the buffer
+	// plus what a mid-encode flush pushed down.
+	n := int64(s.bw.Buffered() - before)
+	if n < 0 {
+		n = 0
+	}
+	s.lines.Inc()
+	s.bytes.Add(n)
+	s.written += n
+	if s.opts.MaxBytes > 0 && s.written >= s.opts.MaxBytes && s.opts.Rotate != nil {
+		s.rotateLocked()
+	}
+}
+
+// rotateLocked flushes and swaps the target for a fresh one.
+func (s *JSONLSink) rotateLocked() {
+	if err := s.bw.Flush(); err != nil {
+		s.errors.Inc()
+	}
+	next, err := s.opts.Rotate()
+	if err != nil {
+		s.errors.Inc()
+		s.written = 0 // keep writing to the old target rather than stall
+		return
+	}
+	if c, ok := s.w.(io.Closer); ok {
+		_ = c.Close()
+	}
+	s.w = next
+	s.bw.Reset(next)
+	s.written = 0
+	s.rotations.Inc()
+}
+
+// Flush pushes buffered lines to the underlying writer.
+func (s *JSONLSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.bw.Flush(); err != nil {
+		s.errors.Inc()
+		return err
+	}
+	return nil
+}
+
+// Close flushes and, when the sink owns its writer, closes it.
+func (s *JSONLSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := s.bw.Flush()
+	if err != nil {
+		s.errors.Inc()
+	}
+	if s.opts.OwnWriter {
+		if c, ok := s.w.(io.Closer); ok {
+			if cerr := c.Close(); err == nil {
+				err = cerr
+			}
+		}
+	}
+	return err
+}
+
+// TraceSinkStatus is the sink's counter snapshot, surfaced through
+// Store.Metrics so dropped or failing trace writes are visible.
+type TraceSinkStatus struct {
+	Lines     int64 `json:"lines"`
+	Bytes     int64 `json:"bytes"`
+	Errors    int64 `json:"write_errors"`
+	Rotations int64 `json:"rotations"`
+}
+
+// Snapshot captures the sink counters.
+func (s *JSONLSink) Snapshot() TraceSinkStatus {
+	return TraceSinkStatus{
+		Lines:     s.lines.Load(),
+		Bytes:     s.bytes.Load(),
+		Errors:    s.errors.Load(),
+		Rotations: s.rotations.Load(),
+	}
 }

@@ -4,6 +4,8 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
+	"io"
 	"strings"
 	"sync"
 	"testing"
@@ -96,6 +98,10 @@ func TestJSONLSink(t *testing.T) {
 		}(i)
 	}
 	wg.Wait()
+	// Emit buffers; the stream is complete only after a flush.
+	if err := sink.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
 	lines := 0
 	sc := bufio.NewScanner(&buf)
 	for sc.Scan() {
@@ -115,6 +121,84 @@ func TestJSONLSink(t *testing.T) {
 	}
 	if lines != 100 {
 		t.Fatalf("got %d JSONL lines, want 100", lines)
+	}
+}
+
+// nopWriteCloser adapts a bytes.Buffer into a rotation target.
+type nopWriteCloser struct {
+	*bytes.Buffer
+	closed *bool
+}
+
+func (w nopWriteCloser) Close() error {
+	if w.closed != nil {
+		*w.closed = true
+	}
+	return nil
+}
+
+func TestJSONLSinkRotation(t *testing.T) {
+	var first, second bytes.Buffer
+	firstClosed := false
+	sink := NewJSONLSinkOptions(nopWriteCloser{&first, &firstClosed}, SinkOptions{
+		MaxBytes: 1, // every line overflows: rotate after each Emit
+		Rotate: func() (io.WriteCloser, error) {
+			return nopWriteCloser{&second, nil}, nil
+		},
+	})
+	tr := GetTrace()
+	fillTrace(tr)
+	sink.Emit(tr)
+	sink.Emit(tr)
+	PutTrace(tr)
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st := sink.Snapshot()
+	if st.Rotations < 1 {
+		t.Fatalf("rotations = %d, want >= 1", st.Rotations)
+	}
+	if st.Lines != 2 {
+		t.Fatalf("lines = %d, want 2", st.Lines)
+	}
+	if !firstClosed {
+		t.Fatal("rotation did not close the previous target")
+	}
+	if first.Len() == 0 || second.Len() == 0 {
+		t.Fatalf("rotation did not split the stream: first %d bytes, second %d", first.Len(), second.Len())
+	}
+	for i, buf := range []*bytes.Buffer{&first, &second} {
+		var m map[string]any
+		if err := json.Unmarshal(bytes.TrimSpace(buf.Bytes()), &m); err != nil {
+			t.Fatalf("target %d does not hold one complete JSON line: %v", i, err)
+		}
+	}
+}
+
+// failingWriter errors every write, simulating a full or broken disk.
+type failingWriter struct{}
+
+func (failingWriter) Write([]byte) (int, error) { return 0, errors.New("disk full") }
+
+func TestJSONLSinkWriteErrorsSurface(t *testing.T) {
+	sink := NewJSONLSink(failingWriter{})
+	tr := GetTrace()
+	fillTrace(tr)
+	sink.Emit(tr)
+	PutTrace(tr)
+	if err := sink.Flush(); err == nil {
+		t.Fatal("Flush on a failing writer returned nil")
+	}
+	if st := sink.Snapshot(); st.Errors < 1 {
+		t.Fatalf("write errors = %d, want >= 1", st.Errors)
+	}
+	// A failing stream must never panic or fail queries: Emit again.
+	tr = GetTrace()
+	fillTrace(tr)
+	sink.Emit(tr)
+	PutTrace(tr)
+	if err := sink.Close(); err == nil {
+		t.Fatal("Close on a failing writer returned nil")
 	}
 }
 

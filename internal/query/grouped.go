@@ -109,6 +109,7 @@ func (r *Runner) noteStrategy(sc *scratch, s obs.Strat, reason string) {
 	if r.met != nil {
 		r.met.RecordStrategy(sc.seq, s)
 	}
+	r.fr.RecordStrategy(uint8(s), sc.seq, sc.fstat[0], sc.fstat[1])
 	if tr := sc.trace; tr != nil {
 		tr.Strategy = s.String()
 		tr.StrategyReason = reason
@@ -322,6 +323,12 @@ func (r *Runner) chooseSort(sc *scratch, spec *groupby.Spec, keys []string, forc
 		return nil, "", false
 	}
 	span, ok := walker.KeyOrderSpan(keys[0])
+	if ok {
+		// The statistics behind the sort-vs-hash choice, captured for
+		// the strategy audit event regardless of tracing.
+		sc.fstat[0] = span
+		sc.fstat[1] = float64(sc.bm.Count())
+	}
 	if tr := sc.trace; tr != nil && ok {
 		tr.SetStat("key_order_span", span)
 		tr.SetStat("cluster_slots", float64(groupby.DefaultClusterSlots))

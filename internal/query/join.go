@@ -337,6 +337,7 @@ func (j *Join) finishJoin(lsc, rsc *scratch, start time.Time, err error) {
 	if m != nil {
 		m.RecordOp(obs.OpJoin, elapsed)
 	}
+	j.left.fr.RecordQuery(uint8(obs.OpJoin), lsc.seq, elapsed, lsc.driveNs+rsc.driveNs, lsc.refineNs+rsc.refineNs, j.count)
 	if tr == nil {
 		return
 	}
@@ -540,6 +541,12 @@ func (j *Join) chooseMerge(lsc, rsc *scratch, lUseBm, rUseBm bool) bool {
 	}
 	lSpan, lOK := sideOK(j.left, j.leftAttr)
 	rSpan, rOK := sideOK(j.right, j.rightAttr)
+	if lOK {
+		lsc.fstat[0] = lSpan
+	}
+	if rOK {
+		lsc.fstat[1] = rSpan
+	}
 	if tr := lsc.trace; tr != nil {
 		if lOK {
 			tr.SetStat("left_key_order_span", lSpan)

@@ -11,6 +11,7 @@ import (
 	"holistic/internal/groupby"
 	"holistic/internal/join"
 	"holistic/internal/obs"
+	"holistic/internal/obs/flight"
 )
 
 // conjOracle counts the rows satisfying one conjunct by brute force.
@@ -269,14 +270,53 @@ func (s *captureSink) Emit(tr *obs.QueryTrace) {
 	s.lastSeq = tr.Seq
 }
 
+// TestSteadyStateCountFlightAllocationFree: the flight recorder rides
+// the same hot path as the metrics block and must preserve its
+// zero-allocation steady state.
+func TestSteadyStateCountFlightAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; allocation counts are meaningless")
+	}
+	const domain = 1 << 16
+	tab, _ := buildTable(3, 1<<15, domain, 23)
+	r := New(tab, engine.NewScanExecutor(tab, 1), 1)
+	r.SetMetrics(obs.NewQueryMetrics())
+	fr := flight.NewRecorder(flight.DefaultEvents)
+	r.SetFlight(fr)
+	preds := []Predicate{
+		{Attr: "a", Lo: 0, Hi: domain / 2},
+		{Attr: "b", Lo: domain / 4, Hi: domain},
+		{Attr: "c", Lo: 0, Hi: 3 * domain / 4},
+	}
+	if _, err := r.Count(preds); err != nil { // warm pools
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := r.Count(preds); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0.5 {
+		t.Errorf("flight-recorded Count allocates %.2f times per query, want 0", allocs)
+	}
+	// Every query records one EvQuery and one EvRep.
+	if got := fr.Head(); got < 2*51 {
+		t.Errorf("flight ring recorded %d events, want >= %d", got, 2*51)
+	}
+}
+
 // BenchmarkConjunctiveCountMetrics pairs the uninstrumented pipeline
-// against the same pipeline with the metrics block attached: the delta
-// is the recording overhead the 3% acceptance budget is charged to.
+// against the same pipeline with the metrics block attached, and then
+// with the flight recorder on top: each delta is recording overhead the
+// 3% acceptance budget is charged to.
 func BenchmarkConjunctiveCountMetrics(b *testing.B) {
-	for _, variant := range []string{"bare", "metrics"} {
+	for _, variant := range []string{"bare", "metrics", "flight"} {
 		r, preds := benchRunner(b, 1)
-		if variant == "metrics" {
+		if variant != "bare" {
 			r.SetMetrics(obs.NewQueryMetrics())
+		}
+		if variant == "flight" {
+			r.SetFlight(flight.NewRecorder(flight.DefaultEvents))
 		}
 		b.Run(variant, func(b *testing.B) {
 			if _, err := r.Count(preds); err != nil { // warm pools

@@ -60,6 +60,7 @@ import (
 	"holistic/internal/engine"
 	"holistic/internal/groupby"
 	"holistic/internal/obs"
+	"holistic/internal/obs/flight"
 )
 
 // Predicate is one range conjunct: lo <= attr < hi.
@@ -118,6 +119,10 @@ type Runner struct {
 	// telemetry; nil leaves every terminal uninstrumented. Attach before
 	// the first query.
 	met *obs.QueryMetrics
+	// fr is the flight recorder every terminal and physical-choice site
+	// records into; nil disables flight recording (the Record methods
+	// are nil-safe, so the hot paths call through unconditionally).
+	fr *flight.Recorder
 	// sink receives one pooled QueryTrace per terminal when attached
 	// (boxed so swapping the interface is one atomic pointer store).
 	sink atomic.Pointer[sinkBox]
@@ -155,6 +160,11 @@ func (r *Runner) SetMetrics(m *obs.QueryMetrics) { r.met = m }
 
 // Metrics returns the attached telemetry aggregate, or nil.
 func (r *Runner) Metrics() *obs.QueryMetrics { return r.met }
+
+// SetFlight attaches the flight recorder the terminals, representation
+// and strategy choices record audit events into (nil detaches). Attach
+// before running queries, like SetMetrics.
+func (r *Runner) SetFlight(fr *flight.Recorder) { r.fr = fr }
 
 // SetTraceSink streams one execution trace per terminal into s (nil
 // stops tracing). Safe to swap concurrently with queries.
@@ -197,6 +207,12 @@ type scratch struct {
 	// attached or an Explain runs — the trace the stages fill.
 	seq   uint64
 	trace *obs.QueryTrace
+	// Flight-recorder telemetry: stage durations (timed when a trace or
+	// a flight recorder is attached) and the two statistics behind the
+	// last physical-strategy choice (key-order spans; always set by the
+	// choosers so the strategy audit event carries its inputs).
+	driveNs, refineNs int64
+	fstat             [2]float64
 }
 
 //holistic:alloc-ok pool warm-up allocates the recycled object
@@ -225,6 +241,8 @@ func (r *Runner) putScratch(sc *scratch) {
 	sc.jvals = sc.jvals[:0]
 	sc.seq = 0
 	sc.trace = nil
+	sc.driveNs, sc.refineNs = 0, 0
+	sc.fstat[0], sc.fstat[1] = 0, 0
 	r.scratchPool.Put(sc)
 }
 
@@ -262,6 +280,7 @@ func (r *Runner) finish(sc *scratch, op obs.Op, start time.Time, result int64, e
 	}
 	elapsed := time.Since(start).Nanoseconds()
 	r.met.RecordOp(op, elapsed)
+	r.fr.RecordQuery(uint8(op), sc.seq, elapsed, sc.driveNs, sc.refineNs, result)
 	if tr := sc.trace; tr != nil {
 		tr.Result = result
 		tr.TotalNanos = elapsed
@@ -479,14 +498,16 @@ func (r *Runner) runSel(sc *scratch, extraAttrs []string, rep repChoice) (useBit
 	} else {
 		useBitmap, reason = r.chooseBitmap(sc)
 	}
-	if r.met != nil {
-		if useBitmap {
-			r.met.RecordRep(obs.RepBitmap)
-		} else {
-			r.met.RecordRep(obs.RepPosList)
-		}
+	repKind := obs.RepPosList
+	if useBitmap {
+		repKind = obs.RepBitmap
 	}
+	if r.met != nil {
+		r.met.RecordRep(repKind)
+	}
+	r.fr.RecordRep(uint8(repKind), sc.seq, int64(sc.ests[0]), int64(len(sc.preds)))
 	tr := sc.trace
+	timed := tr != nil || r.fr != nil
 	var t0 time.Time
 	if tr != nil {
 		if useBitmap {
@@ -496,6 +517,8 @@ func (r *Runner) runSel(sc *scratch, extraAttrs []string, rep repChoice) (useBit
 		}
 		tr.RepReason = reason
 		tr.SetStat("est_driving_rows", sc.ests[0])
+	}
+	if timed {
 		t0 = time.Now()
 	}
 	if useBitmap {
@@ -509,6 +532,9 @@ func (r *Runner) runSel(sc *scratch, extraAttrs []string, rep repChoice) (useBit
 		}
 		sc.sel = rows // SelectRows results are caller-owned: refine in place
 	}
+	if timed {
+		sc.driveNs = time.Since(t0).Nanoseconds()
+	}
 	if tr != nil {
 		if useBitmap {
 			tr.Scanned = int64(sc.bm.Count())
@@ -516,7 +542,9 @@ func (r *Runner) runSel(sc *scratch, extraAttrs []string, rep repChoice) (useBit
 			tr.Scanned = int64(len(sc.sel))
 		}
 		tr.SetCum(0, tr.Scanned)
-		tr.Stage("drive", t0)
+		tr.StageNanos("drive", sc.driveNs)
+	}
+	if timed {
 		t0 = time.Now()
 	}
 	if sink, ok := r.exec.(engine.PredicateSink); ok {
@@ -556,8 +584,11 @@ func (r *Runner) runSel(sc *scratch, extraAttrs []string, rep repChoice) (useBit
 			}
 		}
 	}
-	if tr != nil && len(sc.preds) > 1 {
-		tr.Stage("refine", t0)
+	if timed && len(sc.preds) > 1 {
+		sc.refineNs = time.Since(t0).Nanoseconds()
+		if tr != nil {
+			tr.StageNanos("refine", sc.refineNs)
+		}
 	}
 	// Range-filtered attributes are present by construction; the other
 	// referenced attributes (including the driving one, whose rows came
@@ -632,6 +663,11 @@ func (r *Runner) noteNativeRep(sc *scratch, reason string) {
 	if r.met != nil {
 		r.met.RecordRep(obs.RepNative)
 	}
+	est := int64(0)
+	if len(sc.ests) > 0 {
+		est = int64(sc.ests[0])
+	}
+	r.fr.RecordRep(uint8(obs.RepNative), sc.seq, est, int64(len(sc.preds)))
 	if tr := sc.trace; tr != nil {
 		tr.Rep = "native"
 		tr.RepReason = reason

@@ -6,6 +6,7 @@ package holistic
 
 import (
 	"io"
+	"os"
 	"time"
 
 	"holistic/internal/engine"
@@ -166,20 +167,67 @@ func (jq *JoinQuery) Explain() (*Explain, error) {
 }
 
 // SetTraceJSONL streams every executed query's trace to w as one JSON
-// object per line (the schema of DESIGN.md §9); nil detaches. The
-// writes happen synchronously at query end under an internal mutex, so
-// hand a buffered or fast writer; encoding errors are dropped — tracing
-// never fails a query.
+// object per line (the schema of DESIGN.md §9); nil detaches (flushing
+// any buffered lines). Writes are buffered and happen synchronously at
+// query end under an internal mutex; Store.Close flushes the stream,
+// and write/encode errors surface as counters in Store.Metrics instead
+// of failing queries. The caller owns closing w.
 func (s *Store) SetTraceJSONL(w io.Writer) error {
+	if w == nil {
+		return s.setTraceSink(nil)
+	}
+	return s.setTraceSink(obs.NewJSONLSink(w))
+}
+
+// SetTraceJSONLFile streams traces to path, bounding the file at
+// maxBytes (0 selects 64 MiB): when the cap is hit the file rotates to
+// path+".1" (replacing any previous rotation) and a fresh file starts,
+// so an always-on trace stream holds at most ~2x maxBytes of disk. The
+// store owns the file; Close flushes and closes it.
+func (s *Store) SetTraceJSONLFile(path string, maxBytes int64) error {
+	if maxBytes <= 0 {
+		maxBytes = 64 << 20
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	sink := obs.NewJSONLSinkOptions(f, obs.SinkOptions{
+		MaxBytes:  maxBytes,
+		OwnWriter: true,
+		Rotate: func() (io.WriteCloser, error) {
+			if err := os.Rename(path, path+".1"); err != nil {
+				return nil, err
+			}
+			return os.Create(path)
+		},
+	})
+	if err := s.setTraceSink(sink); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return nil
+}
+
+// setTraceSink swaps the runner's trace sink, flushing and closing any
+// sink the store previously owned.
+func (s *Store) setTraceSink(sink *obs.JSONLSink) error {
 	r, err := s.runner()
 	if err != nil {
 		return err
 	}
-	if w == nil {
+	if sink == nil {
 		r.SetTraceSink(nil)
-		return nil
+	} else {
+		r.SetTraceSink(sink)
 	}
-	r.SetTraceSink(obs.NewJSONLSink(w))
+	s.mu.Lock()
+	old := s.traceSink
+	s.traceSink = sink
+	s.mu.Unlock()
+	if old != nil {
+		_ = old.Close()
+	}
 	return nil
 }
 
@@ -207,6 +255,13 @@ type Metrics struct {
 	// OpenStore only): WAL activity, snapshot generations, and what the
 	// last recovery found and replayed.
 	Recovery *obs.DurableSnapshot `json:"recovery,omitempty"`
+	// Flight reports the flight recorder and its watchdog: ring
+	// occupancy, rolling baselines, anomaly counts (DESIGN.md §11).
+	Flight *FlightStatus `json:"flight,omitempty"`
+	// Trace reports the JSONL trace sink attached via SetTraceJSONL /
+	// SetTraceJSONLFile: lines and bytes written, write errors (which
+	// would otherwise drop silently), and file rotations.
+	Trace *obs.TraceSinkStatus `json:"trace,omitempty"`
 }
 
 // Metrics returns the store's telemetry snapshot. Like Stats it is a
@@ -217,6 +272,7 @@ func (s *Store) Metrics() Metrics {
 	s.mu.Lock()
 	exec := s.exec
 	rows := s.table.Rows()
+	sink := s.traceSink
 	s.mu.Unlock()
 	m := Metrics{
 		Mode:  s.cfg.Mode.String(),
@@ -229,6 +285,11 @@ func (s *Store) Metrics() Metrics {
 	}
 	if s.dur != nil {
 		m.Recovery = s.dur.snapshotMetrics()
+	}
+	m.Flight = s.flightStatus()
+	if sink != nil {
+		st := sink.Snapshot()
+		m.Trace = &st
 	}
 	return m
 }

@@ -5,9 +5,12 @@ Usage: check_recovery.py pre_crash.json post_crash.json
 
 Both files are /debug/holistic snapshots (a JSON array of {name,
 metrics} store entries). Asserts that after a kill -9 and restart the
-reopened store (a) actually replayed WAL records and (b) reached a
-daemon convergence ratio at least as good as the snapshot taken just
-before the crash — the point of persisting the adaptive state.
+reopened store (a) actually replayed WAL records, (b) reached a daemon
+convergence ratio at least as good as the snapshot taken just before
+the crash — the point of persisting the adaptive state — and (c)
+carries the flight-recorder series: the recovery block must count the
+flight dumps of the crashed process as post-mortems, and the metrics
+must publish the watchdog's rolling state.
 """
 import json
 import sys
@@ -21,6 +24,13 @@ def first_store(path):
     return snap[0]["metrics"]
 
 
+def require(block, name, *keys):
+    """Exit non-zero when any key is missing from the series block."""
+    missing = [k for k in keys if k not in block]
+    if missing:
+        raise SystemExit(f"{name} block missing series: {', '.join(missing)}")
+
+
 def main():
     pre = first_store(sys.argv[1])
     post = first_store(sys.argv[2])
@@ -28,6 +38,11 @@ def main():
     rec = post.get("recovery")
     if rec is None:
         raise SystemExit("post-crash snapshot has no recovery block")
+    require(
+        rec, "recovery",
+        "generation", "clean_start", "replayed_records", "restored_indexes",
+        "torn_wal_tail", "flight_dumps", "flight_dump_failures", "prior_flight_dumps",
+    )
     print(
         f"recovery: generation={rec['generation']} clean_start={rec['clean_start']} "
         f"replayed_records={rec['replayed_records']} restored_indexes={rec['restored_indexes']}"
@@ -36,6 +51,39 @@ def main():
         raise SystemExit("restart after kill -9 reported a clean start")
     if rec["replayed_records"] <= 0:
         raise SystemExit("no WAL records replayed after the crash")
+
+    # The crashed process checkpointed at least once while loading its
+    # relation, and every checkpoint dumps the flight ring — so the
+    # reopened store must have found post-mortem dumps on disk.
+    if rec["prior_flight_dumps"] < 1:
+        raise SystemExit(
+            "reopened store found no flight dumps from the killed process "
+            f"(prior_flight_dumps={rec['prior_flight_dumps']})"
+        )
+    print(
+        f"flight dumps: prior={rec['prior_flight_dumps']} "
+        f"written={rec['flight_dumps']} failed={rec['flight_dump_failures']}"
+    )
+    if rec["flight_dump_failures"] > 0:
+        raise SystemExit(f"{rec['flight_dump_failures']} flight dump write(s) failed")
+
+    flight = post.get("flight")
+    if flight is None:
+        raise SystemExit("post-crash snapshot has no flight block")
+    require(flight, "flight", "events_recorded", "ring_capacity", "watchdog")
+    wd = flight["watchdog"]
+    require(
+        wd, "watchdog",
+        "windows", "baseline_p99_us", "last_window_p99_us",
+        "anomalies", "last_trigger", "dumps_written",
+    )
+    if flight["events_recorded"] <= 0 or flight["ring_capacity"] <= 0:
+        raise SystemExit(f"flight recorder idle after restart: {flight}")
+    print(
+        f"flight: events={flight['events_recorded']} ring={flight['ring_capacity']} "
+        f"watchdog windows={wd['windows']} anomalies={wd['anomalies']} "
+        f"last_trigger={wd['last_trigger']}"
+    )
 
     pre_ratio = (pre.get("daemon") or {}).get("convergence_ratio", 0.0)
     post_ratio = (post.get("daemon") or {}).get("convergence_ratio", 0.0)
