@@ -1,11 +1,13 @@
 // Command holisticserve runs an instrumented holistic store under a
 // continuous synthetic workload and serves its telemetry over HTTP:
 //
-//	/debug/holistic         JSON snapshot of every registered store's Metrics
-//	/debug/holistic/flight  decoded flight-recorder ring + watchdog state
-//	/healthz, /readyz       liveness and readiness probes
-//	/debug/vars             expvar (includes the "holistic" variable)
-//	/debug/pprof/*          the standard profiles
+//	/debug/holistic           JSON snapshot of every registered store's Metrics
+//	/debug/holistic/flight    decoded flight-recorder ring + watchdog state
+//	/debug/holistic/timeline  deltified per-window metric time series
+//	/metrics                  Prometheus text exposition
+//	/healthz, /readyz         liveness and readiness probes
+//	/debug/vars               expvar (includes the "holistic" variable)
+//	/debug/pprof/*            the standard profiles
 //
 // Usage:
 //
@@ -68,6 +70,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		sloP99   = fs.Duration("slo-p99", 0, "absolute p99 latency objective; the watchdog flight-dumps when a window breaches it (0: relative rule only)")
 		wdEvery  = fs.Duration("watchdog-interval", 0, "watchdog observation cadence (0: library default 1s, negative: disable)")
 		anomaly  = fs.Duration("anomaly-after", 0, "degrade the workload this far into the run (full-domain scans) to force an SLO breach; 0 disables")
+		tlEvery  = fs.Duration("timeline-interval", 0, "time-series sampling cadence behind /debug/holistic/timeline (0: library default 5s, negative: disable)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -100,6 +103,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		SnapshotInterval: *snapshot,
 		SLOP99:           *sloP99,
 		WatchdogInterval: *wdEvery,
+		TimelineInterval: *tlEvery,
 	}
 	var store *holistic.Store
 	if *dataDir != "" {
@@ -216,6 +220,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		conv = m.Daemon.Ratio
 	}
 	fmt.Fprintf(stdout, "holisticserve: %d queries served, convergence ratio %.3f\n", queries, conv)
+	if ec := m.Economics; ec != nil && ec.InvestedNS > 0 {
+		fmt.Fprintf(stdout, "holisticserve: economics: invested %v refining %d index(es), estimated %v saved (ROI %.2f)\n",
+			time.Duration(ec.InvestedNS).Round(time.Microsecond), len(ec.Indexes),
+			time.Duration(ec.SavedNS).Round(time.Microsecond), ec.ROI)
+	}
 	if m.Flight != nil {
 		wd := m.Flight.Watchdog
 		fmt.Fprintf(stdout, "holisticserve: flight: %d events recorded, %d anomalies (last %s), %d dumps written\n",

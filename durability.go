@@ -189,7 +189,10 @@ func openStoreFS(fs durable.FS, cfg Config) (*Store, error) {
 func (s *Store) discard() {
 	obs.UnregisterSource(s.obsName)
 	obs.UnregisterFlight(s.obsName)
+	obs.UnregisterTimeline(s.obsName)
+	obs.UnregisterProm(s.obsName)
 	s.stopWatchdog()
+	s.stopTimeline()
 }
 
 // Columns lists the store's column names, in insertion order. A
@@ -251,10 +254,9 @@ type durability struct {
 	lastFlight   string
 }
 
-// keepFlightDumps bounds the on-disk flight dumps: the writer
-// self-prunes (generation Prune deliberately does not own flight-*
-// files, so anomaly post-mortems survive snapshot turnover).
-const keepFlightDumps = 8
+// The on-disk flight dumps are bounded by Config.FlightDumpKeep: the
+// writer self-prunes (generation Prune deliberately does not own
+// flight-* files, so anomaly post-mortems survive snapshot turnover).
 
 // generation reads the current snapshot generation.
 func (d *durability) generation() uint64 {
@@ -295,7 +297,7 @@ func (d *durability) flightDumpLocked(trig flight.Trigger) {
 	d.lastFlight = name
 	d.met.FlightDumps.Inc()
 	d.s.wd.NoteDump()
-	_ = durable.PruneFlightDumps(d.fs, keepFlightDumps)
+	_ = durable.PruneFlightDumps(d.fs, d.cfg.flightDumpKeep())
 }
 
 // loggedInsert, loggedDelete and loggedUpdate are the Store write

@@ -170,8 +170,9 @@ func ExampleQuery_GroupBy() {
 
 // ExampleStore_Metrics demonstrates the telemetry snapshot: lifetime
 // query counters with latency percentiles, the physical choices made,
-// and (under ModeHolistic) the daemon's convergence state. The same
-// snapshot is served per store on /debug/holistic (cmd/holisticserve).
+// the refinement-economics balance sheet, and (under ModeHolistic) the
+// daemon's convergence state. The same snapshot is served per store on
+// /debug/holistic (cmd/holisticserve).
 func ExampleStore_Metrics() {
 	store := holistic.NewStore(holistic.Config{Mode: holistic.ModeAdaptive, Threads: 1})
 	defer store.Close()
@@ -193,9 +194,16 @@ func ExampleStore_Metrics() {
 		m.Mode, m.Query.Queries, lat.Count, lat.P99US > 0)
 	fmt.Printf("bitmap selections: %v, cracker builds: %d\n",
 		m.Query.Representations["bitmap"] > 0, m.Exec.CrackerBuilds)
+	// Economics: every query's driving conjunct feeds the cost-benefit
+	// ledger and both predicates feed the access heatmaps; without a
+	// refinement daemon (ModeAdaptive) nothing is ever invested.
+	ec := m.Economics
+	fmt.Printf("economics: %d drive samples on %q, %d access heatmaps, invested %dns\n",
+		ec.Indexes[0].DriveQueries, ec.Indexes[0].Name, len(ec.Access), ec.InvestedNS)
 	// Output:
 	// mode adaptive: 3 queries, 3 count latencies recorded, p99 > 0: true
 	// bitmap selections: true, cracker builds: 1
+	// economics: 3 drive samples on "x", 2 access heatmaps, invested 0ns
 }
 
 // ExampleStore_FlightDump demonstrates the flight recorder: every

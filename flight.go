@@ -55,6 +55,10 @@ type FlightStatus struct {
 	// of the most recent events the ring retains.
 	EventsRecorded uint64 `json:"events_recorded"`
 	RingCapacity   int    `json:"ring_capacity"`
+	// DumpKeep is the configured on-disk dump retention of a durable
+	// store (Config.FlightDumpKeep; the dump cooldown is inside
+	// Watchdog).
+	DumpKeep int `json:"dump_keep"`
 	// Watchdog is the anomaly detector's rolling state.
 	Watchdog flight.State `json:"watchdog"`
 }
@@ -67,6 +71,7 @@ func (s *Store) flightStatus() *FlightStatus {
 	return &FlightStatus{
 		EventsRecorded: s.flight.Head(),
 		RingCapacity:   s.flight.Cap(),
+		DumpKeep:       s.cfg.flightDumpKeep(),
 		Watchdog:       s.wd.State(),
 	}
 }

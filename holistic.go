@@ -65,6 +65,7 @@ import (
 	"holistic/internal/holistic"
 	"holistic/internal/join"
 	"holistic/internal/obs"
+	"holistic/internal/obs/econ"
 	"holistic/internal/obs/flight"
 	"holistic/internal/query"
 	"holistic/internal/stats"
@@ -207,6 +208,23 @@ type Config struct {
 	// WatchdogInterval is the cadence of the watchdog's baseline
 	// observations (default 1s); negative disables the watchdog.
 	WatchdogInterval time.Duration
+	// FlightDumpCooldown is the minimum gap between anomaly-triggered
+	// flight dumps, bounding dump storms while an incident is ongoing
+	// (<= 0 selects 30s).
+	FlightDumpCooldown time.Duration
+	// FlightDumpKeep bounds the flight-dump files a durable store keeps
+	// on disk; the writer self-prunes the oldest beyond it (default 8).
+	FlightDumpKeep int
+	// TimelineInterval is the cadence of the in-process time-series
+	// store: every interval the store samples its cumulative counters
+	// and latency histograms into the bounded ring behind
+	// /debug/holistic/timeline (default 5s); negative disables the
+	// timeline.
+	TimelineInterval time.Duration
+	// TimelineSamples is the time-series ring capacity in windows
+	// (default 512 — about 42 minutes of history at the default
+	// interval; minimum 2).
+	TimelineSamples int
 }
 
 func (c Config) threads() int {
@@ -226,6 +244,35 @@ func (c Config) watchdogInterval() time.Duration {
 		return 0
 	}
 	return c.WatchdogInterval
+}
+
+// timelineInterval resolves the time-series sampling cadence: 5s by
+// default, disabled when negative.
+func (c Config) timelineInterval() time.Duration {
+	if c.TimelineInterval == 0 {
+		return 5 * time.Second
+	}
+	if c.TimelineInterval < 0 {
+		return 0
+	}
+	return c.TimelineInterval
+}
+
+// timelineSamples resolves the time-series ring capacity (default 512;
+// the ring itself clamps to a minimum of 2).
+func (c Config) timelineSamples() int {
+	if c.TimelineSamples <= 0 {
+		return 512
+	}
+	return c.TimelineSamples
+}
+
+// flightDumpKeep resolves the on-disk flight-dump retention (default 8).
+func (c Config) flightDumpKeep() int {
+	if c.FlightDumpKeep <= 0 {
+		return 8
+	}
+	return c.FlightDumpKeep
 }
 
 func (c Config) l1Values() int {
@@ -261,6 +308,15 @@ type Store struct {
 	wdStop chan struct{}
 	wdOnce sync.Once
 
+	// ec is the refinement-economics recorder (cost-benefit ledger plus
+	// access/refine heatmaps) shared by the query runner, executor and
+	// daemon; ts is the periodic time-series ring behind
+	// /debug/holistic/timeline. See DESIGN.md §12.
+	ec     *econ.Econ
+	ts     *obs.TimeSeries
+	tsStop chan struct{}
+	tsOnce sync.Once
+
 	mu     sync.Mutex
 	table  *engine.Table
 	exec   engine.Executor
@@ -286,15 +342,26 @@ func NewStore(cfg Config) *Store {
 		execMet: &obs.ExecMetrics{},
 	}
 	s.obsName = "store-" + strconv.FormatInt(storeSeq.Add(1), 10)
+	s.ec = econ.New()
 	obs.RegisterSource(s.obsName, func() any { return s.Metrics() })
+	obs.RegisterProm(s.obsName, s.promCollect)
 	if cfg.FlightEvents >= 0 {
 		s.flight = flight.NewRecorder(cfg.FlightEvents)
-		s.wd = flight.NewWatchdog(flight.WatchdogConfig{AbsoluteP99: cfg.SLOP99})
+		s.wd = flight.NewWatchdog(flight.WatchdogConfig{
+			AbsoluteP99: cfg.SLOP99,
+			Cooldown:    cfg.FlightDumpCooldown,
+		})
 		obs.RegisterFlight(s.obsName, s.flightState)
 		if iv := cfg.watchdogInterval(); iv > 0 {
 			s.wdStop = make(chan struct{})
 			go s.watchdogLoop(iv)
 		}
+	}
+	if iv := cfg.timelineInterval(); iv > 0 {
+		s.ts = obs.NewTimeSeries(cfg.timelineSamples(), timelineCounters, timelineHists)
+		obs.RegisterTimeline(s.obsName, func() any { return s.ts.Snapshot() })
+		s.tsStop = make(chan struct{})
+		go s.timelineLoop(iv)
 	}
 	return s
 }
@@ -327,6 +394,7 @@ func (s *Store) executor() (engine.Executor, error) {
 		}
 		if h, ok := s.exec.(*engine.HolisticExecutor); ok {
 			h.Daemon.SetFlight(s.flight)
+			h.SetEcon(s.ec)
 		}
 		if s.dur != nil {
 			if err := s.dur.attachExec(s.exec); err != nil {
@@ -543,6 +611,7 @@ func (s *Store) runner() (*query.Runner, error) {
 		s.qr = query.New(s.table, s.exec, s.cfg.threads())
 		s.qr.SetMetrics(s.met)
 		s.qr.SetFlight(s.flight)
+		s.qr.SetEcon(s.ec)
 	}
 	return s.qr, nil
 }
@@ -977,8 +1046,11 @@ func (s *Store) Close() {
 	s.traceSink = nil
 	obs.UnregisterSource(s.obsName)
 	obs.UnregisterFlight(s.obsName)
+	obs.UnregisterTimeline(s.obsName)
+	obs.UnregisterProm(s.obsName)
 	s.mu.Unlock()
 	s.stopWatchdog()
+	s.stopTimeline()
 	if s.dur != nil {
 		s.dur.close()
 	}

@@ -196,6 +196,15 @@ type PredicateSink interface {
 	NotePredicate(attr string) error
 }
 
+// PredicateSpanSink extends PredicateSink with the predicate's key
+// range [lo, hi), so the executor can attribute the access to a region
+// of the key space (the refinement-economics heatmaps) in addition to
+// admitting the attribute. The query planner prefers this interface
+// over PredicateSink when the executor implements it.
+type PredicateSpanSink interface {
+	NotePredicateSpan(attr string, lo, hi int64) error
+}
+
 // HashJoin builds a hash table over build and probes it with probe,
 // returning for every probe position the matching build position (-1 if
 // none; the last build occurrence wins for duplicated keys). The table

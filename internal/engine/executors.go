@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"holistic/internal/ccgi"
 	"holistic/internal/column"
@@ -10,6 +11,7 @@ import (
 	"holistic/internal/cracking"
 	"holistic/internal/holistic"
 	"holistic/internal/obs"
+	"holistic/internal/obs/econ"
 	"holistic/internal/sortidx"
 	"holistic/internal/stats"
 	"holistic/internal/updates"
@@ -912,6 +914,9 @@ type HolisticExecutor struct {
 	// UserThreads is the number of contexts one user query occupies
 	// while running (the u of the paper's uXwYxZ distributions).
 	UserThreads int
+	// ec is the refinement-economics recorder residual predicate spans
+	// are charged to; swapped atomically so queries never race SetEcon.
+	ec atomic.Pointer[econ.Econ]
 }
 
 // HolisticConfig assembles the pieces of a holistic executor.
@@ -995,6 +1000,33 @@ func (h *HolisticExecutor) NotePredicate(attr string) error {
 		return err
 	}
 	h.Registry.RecordAccess(attr, false)
+	return nil
+}
+
+// SetEcon attaches the economics recorder residual predicate spans are
+// charged to (nil detaches), and forwards it to the daemon so
+// refinement investment lands in the same ledger.
+func (h *HolisticExecutor) SetEcon(e *econ.Econ) {
+	h.ec.Store(e)
+	h.Daemon.SetEcon(e)
+}
+
+// NotePredicateSpan implements PredicateSpanSink: NotePredicate's
+// admission plus the access-heatmap charge for [lo, hi), so operators
+// can compare where residual load lands against where the daemon
+// refines. Steady-state it allocates nothing (the heatmap recording
+// path is //holistic:noalloc); only the error format on an unknown
+// attribute does.
+func (h *HolisticExecutor) NotePredicateSpan(attr string, lo, hi int64) error {
+	if err := h.NotePredicate(attr); err != nil {
+		return err
+	}
+	if ec := h.ec.Load(); ec != nil {
+		if c := h.CrackerIfExists(attr); c != nil {
+			dLo, dHi := c.Domain()
+			ec.NotePredicate(attr, lo, hi, dLo, dHi)
+		}
+	}
 	return nil
 }
 

@@ -33,6 +33,7 @@ import (
 
 	"holistic/internal/cpu"
 	"holistic/internal/cracking"
+	"holistic/internal/obs/econ"
 	"holistic/internal/obs/flight"
 	"holistic/internal/stats"
 	"holistic/internal/updates"
@@ -153,6 +154,12 @@ type Daemon struct {
 	// is a no-op for every Record method.
 	fr atomic.Pointer[flight.Recorder]
 
+	// ec is the refinement-economics recorder: workers charge their
+	// invested nanoseconds and pivot positions to it, the same way the
+	// query side credits drive latencies. Swapped atomically like fr;
+	// nil is a no-op for every Note method.
+	ec atomic.Pointer[econ.Econ]
+
 	stop chan struct{}
 	done chan struct{}
 
@@ -179,6 +186,11 @@ func (d *Daemon) Registry() *stats.Registry { return d.reg }
 // refinement steps record audit events into (nil detaches). Safe to
 // call concurrently with a running daemon.
 func (d *Daemon) SetFlight(fr *flight.Recorder) { d.fr.Store(fr) }
+
+// SetEcon attaches the economics recorder workers charge refinement
+// investment to (nil detaches). Safe to call concurrently with a
+// running daemon.
+func (d *Daemon) SetEcon(e *econ.Econ) { d.ec.Store(e) }
 
 // AttachPending connects a pending-updates store to the named index so
 // workers merge updates while refining (Section 4.2, Updates).
@@ -377,11 +389,29 @@ func (d *Daemon) idleFunction(rng *rand.Rand) (refined, mergedUpdates int) {
 	}
 	minPiece := d.reg.L1Values()
 	pend := d.pendingFor(e.Name)
+	ec := d.ec.Load()
+	t0 := time.Now()
 	attempts := int64(0)
 	defer func() {
 		if fr := d.fr.Load(); fr != nil {
 			fr.RecordRefine(fr.Intern(e.Name), int64(refined), int64(mergedUpdates),
 				attempts, d.reg.Distance(e), int64(e.Col.Pieces()))
+		}
+		if ec != nil {
+			// The ledger's investment side: this activation's wall time is
+			// idle-context time spent on e, and the convergence ratio after
+			// the pass (Progress, as in Convergence()) tells the benefit
+			// estimator which drive-latency bucket later queries credit.
+			progress := 1.0
+			if d0 := float64(e.Col.Len() - minPiece); d0 > 0 {
+				progress = 1 - d.reg.Distance(e)/d0
+				if progress < 0 {
+					progress = 0
+				} else if progress > 1 {
+					progress = 1
+				}
+			}
+			ec.NoteRefined(e.Name, time.Since(t0).Nanoseconds(), int64(refined), progress)
 		}
 	}()
 
@@ -393,6 +423,7 @@ func (d *Daemon) idleFunction(rng *rand.Rand) (refined, mergedUpdates int) {
 				return refined, mergedUpdates
 			}
 			pivot := lo + rng.Int63n(hi-lo+1)
+			ec.NoteRefinePivot(e.Name, pivot, lo, hi)
 			d.totalAttempts.Add(1)
 			attempts++
 			switch e.Col.TryRefineAt(pivot, minPiece) {

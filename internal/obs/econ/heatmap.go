@@ -1,0 +1,203 @@
+// Access heatmaps: fixed-resolution equi-width key-range counters that
+// show *where* in a column's key space the load lands — and, recorded
+// from the daemon's side, where refinement effort goes. Comparing the
+// two answers the capacity question the refinement ledger can't: is
+// idle work being spent on the ranges queries actually touch?
+//
+// Each heatmap is a flat array of HeatBuckets cache-line-padded atomic
+// counters over the column's key domain, fixed when the attribute is
+// first seen. Recording is lock-free and allocation-free; a query span
+// increments every bucket it overlaps (at most HeatBuckets adds,
+// negligible next to the select it annotates), a refinement pivot
+// increments exactly one.
+
+package econ
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// HeatBuckets is the fixed per-attribute key-range resolution. 256
+// equi-width buckets keep a heatmap at one page of padded counters
+// while still resolving hot ranges far narrower than any realistic
+// refinement budget skew would need.
+const HeatBuckets = 256
+
+// heatCell pads each bucket counter to its own cache line so
+// concurrent queries hitting adjacent key ranges don't false-share.
+type heatCell struct {
+	n atomic.Int64
+	_ [56]byte
+}
+
+// Heatmap counts accesses per equi-width slice of one attribute's key
+// domain. The domain is fixed at creation (first predicate admission);
+// values outside it clamp to the edge buckets.
+type Heatmap struct {
+	lo, hi int64  // inclusive key domain
+	width  uint64 // keys per bucket, >= 1
+	cells  [HeatBuckets]heatCell
+}
+
+// newHeatmap fixes the bucket geometry for the attribute's domain.
+//
+//holistic:alloc-ok heatmaps are built once per attribute at first sight
+func newHeatmap(lo, hi int64) *Heatmap {
+	if hi < lo {
+		hi = lo
+	}
+	return &Heatmap{lo: lo, hi: hi, width: uint64(hi-lo)/HeatBuckets + 1}
+}
+
+// bucketOf maps a key to its bucket, clamping outside the domain. The
+// width arithmetic is unsigned so full-int64 domains don't overflow.
+//
+//holistic:noalloc
+func (h *Heatmap) bucketOf(v int64) int {
+	if v <= h.lo {
+		return 0
+	}
+	idx := uint64(v-h.lo) / h.width
+	if idx >= HeatBuckets {
+		return HeatBuckets - 1
+	}
+	return int(idx)
+}
+
+// RecordSpan counts one access of the half-open key range [lo, hi) —
+// the predicate convention of the query layer.
+//
+//holistic:noalloc
+func (h *Heatmap) RecordSpan(lo, hi int64) {
+	if hi <= lo {
+		return
+	}
+	last := h.bucketOf(hi - 1)
+	for b := h.bucketOf(lo); b <= last; b++ {
+		h.cells[b].n.Add(1)
+	}
+}
+
+// RecordPoint counts one access of a single key (a refinement pivot).
+//
+//holistic:noalloc
+func (h *Heatmap) RecordPoint(v int64) {
+	h.cells[h.bucketOf(v)].n.Add(1)
+}
+
+// HeatmapState is a JSON-friendly copy of one heatmap: the bucket
+// geometry plus the full counter array, so consumers (the /metrics
+// exposition, capacity dashboards) can resolve hot ranges themselves.
+type HeatmapState struct {
+	Attr        string  `json:"attr"`
+	Lo          int64   `json:"lo"`
+	Hi          int64   `json:"hi"`
+	BucketWidth int64   `json:"bucket_width"`
+	Total       int64   `json:"total"`
+	Peak        int64   `json:"peak"`
+	PeakBucket  int     `json:"peak_bucket"`
+	Counts      []int64 `json:"counts"`
+}
+
+// state snapshots the heatmap. Counters are read individually (not an
+// atomic cut), which is fine: each is monotone.
+func (h *Heatmap) state(attr string) HeatmapState {
+	st := HeatmapState{
+		Attr:        attr,
+		Lo:          h.lo,
+		Hi:          h.hi,
+		BucketWidth: int64(h.width),
+		Counts:      make([]int64, HeatBuckets),
+	}
+	for i := range h.cells {
+		n := h.cells[i].n.Load()
+		st.Counts[i] = n
+		st.Total += n
+		if n > st.Peak {
+			st.Peak = n
+			st.PeakBucket = i
+		}
+	}
+	return st
+}
+
+// HeatmapSet maps attributes to heatmaps with a copy-on-write table:
+// the hot path is one atomic pointer load plus a read-only map lookup
+// (allocation-free); inserting a new attribute copies the table under
+// a mutex, which happens once per attribute per process.
+type HeatmapSet struct {
+	mu   sync.Mutex
+	maps atomic.Pointer[map[string]*Heatmap]
+}
+
+//holistic:noalloc
+func (s *HeatmapSet) get(attr string) *Heatmap {
+	m := s.maps.Load()
+	if m == nil {
+		return nil
+	}
+	return (*m)[attr]
+}
+
+// intern returns attr's heatmap, creating it with the given domain on
+// first sight.
+//
+//holistic:alloc-ok first-sight registration copies the read-mostly table
+func (s *HeatmapSet) intern(attr string, dLo, dHi int64) *Heatmap {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old := s.maps.Load(); old != nil {
+		if h := (*old)[attr]; h != nil {
+			return h
+		}
+	}
+	next := make(map[string]*Heatmap)
+	if old := s.maps.Load(); old != nil {
+		for k, v := range *old {
+			next[k] = v
+		}
+	}
+	h := newHeatmap(dLo, dHi)
+	next[attr] = h
+	s.maps.Store(&next)
+	return h
+}
+
+// RecordSpan counts one access of [lo, hi) on attr, creating the
+// heatmap from the domain hint [dLo, dHi] on first sight.
+//
+//holistic:noalloc
+func (s *HeatmapSet) RecordSpan(attr string, lo, hi, dLo, dHi int64) {
+	h := s.get(attr)
+	if h == nil {
+		h = s.intern(attr, dLo, dHi)
+	}
+	h.RecordSpan(lo, hi)
+}
+
+// RecordPoint counts one single-key access on attr (see RecordSpan).
+//
+//holistic:noalloc
+func (s *HeatmapSet) RecordPoint(attr string, v, dLo, dHi int64) {
+	h := s.get(attr)
+	if h == nil {
+		h = s.intern(attr, dLo, dHi)
+	}
+	h.RecordPoint(v)
+}
+
+// states snapshots every heatmap, sorted by attribute for stable JSON.
+func (s *HeatmapSet) states() []HeatmapState {
+	m := s.maps.Load()
+	if m == nil || len(*m) == 0 {
+		return nil
+	}
+	out := make([]HeatmapState, 0, len(*m))
+	for attr, h := range *m {
+		out = append(out, h.state(attr))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Attr < out[j].Attr })
+	return out
+}

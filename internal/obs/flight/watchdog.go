@@ -269,6 +269,9 @@ type State struct {
 	Suppressed      int64   `json:"suppressed_dumps"`
 	LastTrigger     string  `json:"last_trigger"`
 	DumpsWritten    int64   `json:"dumps_written"`
+	// DumpCooldownMS echoes the effective anomaly-dump cooldown, so
+	// operators can see the pacing a suppressed count was judged under.
+	DumpCooldownMS int64 `json:"dump_cooldown_ms"`
 }
 
 // State snapshots the watchdog.
@@ -288,5 +291,6 @@ func (w *Watchdog) State() State {
 		Suppressed:      w.suppressed,
 		LastTrigger:     w.lastTrigger.String(),
 		DumpsWritten:    w.dumps,
+		DumpCooldownMS:  w.cfg.Cooldown.Milliseconds(),
 	}
 }

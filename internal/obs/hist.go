@@ -52,6 +52,44 @@ func bucketMid(idx int) int64 {
 	return lo + width/2
 }
 
+// bucketUpper returns a bucket's inclusive upper bound in nanoseconds:
+// the largest ns with bucketOf(ns) == idx. The exact buckets below
+// histSub hold a single value; every later bucket spans one sub-range
+// of its octave. The final bucket's bound saturates at MaxInt64, so an
+// exposition's last finite bound still covers every recordable value.
+func bucketUpper(idx int) int64 {
+	if idx < histSub {
+		return int64(idx)
+	}
+	g := idx/histSub - 1
+	sub := idx % histSub
+	lo := int64(histSub+sub) << uint(g)
+	width := int64(1) << uint(g)
+	return lo + width - 1
+}
+
+// ForEachBucket walks the snapshot's buckets in ascending order,
+// calling fn with each bucket's inclusive upper bound in nanoseconds
+// and the cumulative observation count at or below that bound — the
+// exact shape a Prometheus histogram exposition needs (cumulative
+// `le` buckets). Every bucket is visited, including empty ones;
+// callers that want bounded output keep only the change points.
+func (s *HistSnapshot) ForEachBucket(fn func(upperNs int64, cumCount uint64)) {
+	var cum uint64
+	for i := range s.Buckets {
+		cum += s.Buckets[i]
+		fn(bucketUpper(i), cum)
+	}
+}
+
+// ForEachBucket walks the histogram's current buckets via one
+// throwaway snapshot; see HistSnapshot.ForEachBucket.
+func (h *Histogram) ForEachBucket(fn func(upperNs int64, cumCount uint64)) {
+	var s HistSnapshot
+	h.Snapshot(&s)
+	s.ForEachBucket(fn)
+}
+
 // Histogram is a fixed-layout log-linear latency histogram safe for
 // concurrent lock-free recording. The zero value is ready to use.
 type Histogram struct {

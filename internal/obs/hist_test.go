@@ -180,6 +180,68 @@ func TestSnapshotMergeAssociativity(t *testing.T) {
 	}
 }
 
+// TestForEachBucket pins the cumulative bucket walk that feeds the
+// Prometheus exposition: upper bounds are inclusive, strictly
+// increasing, partition the value range against bucketOf, the counts
+// are monotone non-decreasing, and the final cumulative count equals
+// the bucket total.
+func TestForEachBucket(t *testing.T) {
+	// Every recorded value must be counted at the first bound >= value.
+	var h Histogram
+	vals := []int64{0, 1, 15, 16, 17, 31, 32, 1000, 50_000, 1 << 40, 1<<63 - 1}
+	for _, v := range vals {
+		h.RecordNanos(v)
+	}
+	var (
+		visits    int
+		prevUpper = int64(-1)
+		prevCum   uint64
+		lastCum   uint64
+	)
+	h.ForEachBucket(func(upper int64, cum uint64) {
+		if upper <= prevUpper {
+			t.Fatalf("bucket %d: upper %d <= previous %d", visits, upper, prevUpper)
+		}
+		if cum < prevCum {
+			t.Fatalf("bucket %d: cumulative count %d < previous %d", visits, cum, prevCum)
+		}
+		// Cross-check against the recording-side mapping: the count at
+		// this bound must equal the number of values <= upper.
+		var want uint64
+		for _, v := range vals {
+			if v <= upper {
+				want++
+			}
+		}
+		if cum != want {
+			t.Fatalf("upper %d: cumulative %d, want %d", upper, cum, want)
+		}
+		prevUpper, prevCum = upper, cum
+		lastCum = cum
+		visits++
+	})
+	if visits != histBuckets {
+		t.Fatalf("visited %d buckets, want %d", visits, histBuckets)
+	}
+	if lastCum != uint64(len(vals)) {
+		t.Fatalf("final cumulative %d, want %d", lastCum, len(vals))
+	}
+	if prevUpper != 1<<63-1 {
+		t.Fatalf("final upper bound %d, want MaxInt64", prevUpper)
+	}
+	// bucketUpper must be the inclusive bound: bucketOf(upper) == idx and
+	// bucketOf(upper+1) == idx+1 for interior buckets.
+	for idx := 0; idx < histBuckets-1; idx++ {
+		up := bucketUpper(idx)
+		if got := bucketOf(up); got != idx {
+			t.Fatalf("bucketOf(bucketUpper(%d)=%d) = %d", idx, up, got)
+		}
+		if got := bucketOf(up + 1); got != idx+1 {
+			t.Fatalf("bucketOf(bucketUpper(%d)+1) = %d, want %d", idx, got, idx+1)
+		}
+	}
+}
+
 // TestRecordAllocationFree gates the recording hot path at 0 allocs/op,
 // the dynamic complement of the holisticlint noalloc annotations.
 func TestRecordAllocationFree(t *testing.T) {

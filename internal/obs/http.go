@@ -13,6 +13,8 @@ import (
 	"net/http/pprof"
 	"sort"
 	"sync"
+
+	"holistic/internal/obs/prom"
 )
 
 var (
@@ -95,6 +97,86 @@ func SnapshotFlight() map[string]any {
 		out[n] = fns[i]() // outside the lock: sources may take their own
 	}
 	return out
+}
+
+var (
+	tlMu      sync.Mutex
+	tlSources = map[string]func() any{}
+)
+
+// RegisterTimeline publishes a named time-series source (a TimeSeries
+// snapshot function), served on /debug/holistic/timeline.
+// Re-registering a name replaces the source.
+func RegisterTimeline(name string, fn func() any) {
+	tlMu.Lock()
+	tlSources[name] = fn
+	tlMu.Unlock()
+}
+
+// UnregisterTimeline removes a timeline source; unknown names are a
+// no-op.
+func UnregisterTimeline(name string) {
+	tlMu.Lock()
+	delete(tlSources, name)
+	tlMu.Unlock()
+}
+
+// SnapshotTimelines evaluates every registered timeline source by name.
+func SnapshotTimelines() map[string]any {
+	tlMu.Lock()
+	names := make([]string, 0, len(tlSources))
+	fns := make([]func() any, 0, len(tlSources))
+	for n, fn := range tlSources {
+		names = append(names, n)
+		fns = append(fns, fn)
+	}
+	tlMu.Unlock()
+	out := make(map[string]any, len(names))
+	for i, n := range names {
+		out[n] = fns[i]() // outside the lock: sources may take their own
+	}
+	return out
+}
+
+var (
+	promMu      sync.Mutex
+	promSources = map[string]func(*prom.Writer){}
+)
+
+// RegisterProm publishes a named Prometheus collector: a function that
+// streams its samples through the scrape's shared prom.Writer (which
+// deduplicates HELP/TYPE metadata across collectors). Served on
+// /metrics. Re-registering a name replaces the collector.
+func RegisterProm(name string, fn func(*prom.Writer)) {
+	promMu.Lock()
+	promSources[name] = fn
+	promMu.Unlock()
+}
+
+// UnregisterProm removes a collector; unknown names are a no-op.
+func UnregisterProm(name string) {
+	promMu.Lock()
+	delete(promSources, name)
+	promMu.Unlock()
+}
+
+// WriteProm runs every registered collector, in name order, against
+// one shared writer.
+func WriteProm(w *prom.Writer) {
+	promMu.Lock()
+	names := make([]string, 0, len(promSources))
+	for n := range promSources {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fns := make([]func(*prom.Writer), 0, len(names))
+	for _, n := range names {
+		fns = append(fns, promSources[n])
+	}
+	promMu.Unlock()
+	for _, fn := range fns {
+		fn(w) // outside the lock: collectors may take their own
+	}
 }
 
 var (
@@ -188,6 +270,38 @@ func serveFlight(w http.ResponseWriter, _ *http.Request) {
 	_ = enc.Encode(ordered)
 }
 
+// serveTimeline writes every registered time-series ring — per-store
+// deltified metric windows — as indented JSON.
+func serveTimeline(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	snap := SnapshotTimelines()
+	names := make([]string, 0, len(snap))
+	for n := range snap {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	ordered := make([]struct {
+		Name     string `json:"name"`
+		Timeline any    `json:"timeline"`
+	}, 0, len(names))
+	for _, n := range names {
+		ordered = append(ordered, struct {
+			Name     string `json:"name"`
+			Timeline any    `json:"timeline"`
+		}{n, snap[n]})
+	}
+	_ = enc.Encode(ordered)
+}
+
+// serveProm streams the Prometheus text exposition (all registered
+// collectors through one metadata-deduplicating writer).
+func serveProm(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", prom.ContentType)
+	WriteProm(prom.NewWriter(w))
+}
+
 // serveHealthz is liveness: the process is up and serving.
 func serveHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -211,13 +325,17 @@ func serveReadyz(w http.ResponseWriter, _ *http.Request) {
 
 // Handler returns the debug mux: /debug/holistic (JSON snapshot of all
 // registered sources), /debug/holistic/flight (decoded flight-recorder
-// rings and watchdog state), /healthz and /readyz (liveness/readiness),
-// /debug/vars (expvar, including the "holistic" variable) and
-// /debug/pprof/* (the standard profiles).
+// rings and watchdog state), /debug/holistic/timeline (per-store
+// deltified metric windows), /metrics (Prometheus text exposition),
+// /healthz and /readyz (liveness/readiness), /debug/vars (expvar,
+// including the "holistic" variable) and /debug/pprof/* (the standard
+// profiles).
 func Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/holistic", serveJSON)
 	mux.HandleFunc("/debug/holistic/flight", serveFlight)
+	mux.HandleFunc("/debug/holistic/timeline", serveTimeline)
+	mux.HandleFunc("/metrics", serveProm)
 	mux.HandleFunc("/healthz", serveHealthz)
 	mux.HandleFunc("/readyz", serveReadyz)
 	mux.Handle("/debug/vars", expvar.Handler())

@@ -1,0 +1,142 @@
+// Package prom renders the Prometheus text exposition format
+// (version 0.0.4) with the standard library only: HELP/TYPE metadata,
+// escaped labels, histogram bucket/sum/count triples. It is a writer,
+// not a registry — collectors own their metric state and stream
+// samples through one Writer per scrape, which deduplicates metadata
+// so several stores exporting the same metric families stay parseable.
+//
+// Everything here is scrape-path (cold) code; it allocates freely.
+package prom
+
+import (
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the scrape response content type for this format.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Label is one name="value" pair. Label names must be valid metric
+// identifiers (the writer does not re-validate); values are escaped.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// L is shorthand for building a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// Writer streams one exposition. Metadata is emitted once per metric
+// family regardless of how many collectors contribute samples.
+type Writer struct {
+	w    io.Writer
+	err  error
+	seen map[string]bool
+}
+
+// NewWriter wraps w. Write errors stick: the first one is retained and
+// every later call is a no-op, so collectors don't need to check each
+// emission.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: w, seen: make(map[string]bool)}
+}
+
+// Err returns the first write error, if any.
+func (p *Writer) Err() error { return p.err }
+
+func (p *Writer) write(s string) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = io.WriteString(p.w, s)
+}
+
+// Meta emits the # HELP and # TYPE lines for a metric family, once.
+// typ is one of "counter", "gauge", "histogram", "untyped".
+func (p *Writer) Meta(name, help, typ string) {
+	if p.seen[name] {
+		return
+	}
+	p.seen[name] = true
+	p.write("# HELP " + name + " " + escapeHelp(help) + "\n")
+	p.write("# TYPE " + name + " " + typ + "\n")
+}
+
+// Sample emits one sample line.
+func (p *Writer) Sample(name string, labels []Label, v float64) {
+	p.write(name)
+	p.writeLabels(labels)
+	p.write(" " + formatValue(v) + "\n")
+}
+
+// IntSample emits one sample line with an integer value.
+func (p *Writer) IntSample(name string, labels []Label, v int64) {
+	p.write(name)
+	p.writeLabels(labels)
+	p.write(" " + strconv.FormatInt(v, 10) + "\n")
+}
+
+// Bucket emits one cumulative histogram bucket: name_bucket{...,le="le"}.
+// The le string is the caller's to format ("250000", "+Inf").
+func (p *Writer) Bucket(name string, labels []Label, le string, cum uint64) {
+	p.write(name + "_bucket")
+	p.writeLabelsExtra(labels, Label{Name: "le", Value: le})
+	p.write(" " + strconv.FormatUint(cum, 10) + "\n")
+}
+
+// HistogramTail emits the _sum and _count series that close out one
+// labeled histogram.
+func (p *Writer) HistogramTail(name string, labels []Label, sum float64, count uint64) {
+	p.write(name + "_sum")
+	p.writeLabels(labels)
+	p.write(" " + formatValue(sum) + "\n")
+	p.write(name + "_count")
+	p.writeLabels(labels)
+	p.write(" " + strconv.FormatUint(count, 10) + "\n")
+}
+
+func (p *Writer) writeLabels(labels []Label) {
+	if len(labels) == 0 {
+		return
+	}
+	p.write("{")
+	for i, l := range labels {
+		if i > 0 {
+			p.write(",")
+		}
+		p.write(l.Name + "=\"" + escapeValue(l.Value) + "\"")
+	}
+	p.write("}")
+}
+
+func (p *Writer) writeLabelsExtra(labels []Label, extra Label) {
+	p.write("{")
+	for _, l := range labels {
+		p.write(l.Name + "=\"" + escapeValue(l.Value) + "\",")
+	}
+	p.write(extra.Name + "=\"" + escapeValue(extra.Value) + "\"}")
+}
+
+// formatValue renders a float the way Prometheus expects: shortest
+// round-trip representation, with the spec spellings for specials.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var (
+	helpEscaper  = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	valueEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+)
+
+func escapeHelp(s string) string  { return helpEscaper.Replace(s) }
+func escapeValue(s string) string { return valueEscaper.Replace(s) }

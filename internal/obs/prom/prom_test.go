@@ -1,0 +1,113 @@
+package prom
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestExpositionGolden pins the exact byte-for-byte exposition for a
+// representative scrape: metadata deduplication across collectors,
+// label escaping, integer and float formatting, and a full histogram
+// bucket/sum/count group.
+func TestExpositionGolden(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+
+	w.Meta("holistic_queries_total", "Total queries executed.", "counter")
+	w.IntSample("holistic_queries_total", []Label{L("store", "s1")}, 42)
+	// A second store contributes to the same family: the metadata must
+	// not repeat (duplicate HELP/TYPE lines are a parse error).
+	w.Meta("holistic_queries_total", "Total queries executed.", "counter")
+	w.IntSample("holistic_queries_total", []Label{L("store", "s2")}, 7)
+
+	w.Meta("holistic_convergence_ratio", "Daemon convergence ratio.", "gauge")
+	w.Sample("holistic_convergence_ratio",
+		[]Label{L("store", `quo"te`), L("mode", `hol\istic`)}, 0.875)
+
+	w.Meta("holistic_up", "Exposition liveness.", "gauge")
+	w.Sample("holistic_up", nil, 1)
+
+	w.Meta("holistic_query_latency_ns", "Merged query latency distribution.", "histogram")
+	hl := []Label{L("store", "s1")}
+	w.Bucket("holistic_query_latency_ns", hl, "1000", 3)
+	w.Bucket("holistic_query_latency_ns", hl, "100000", 9)
+	w.Bucket("holistic_query_latency_ns", hl, "+Inf", 10)
+	w.HistogramTail("holistic_query_latency_ns", hl, 1.25e6, 10)
+
+	if err := w.Err(); err != nil {
+		t.Fatalf("writer error: %v", err)
+	}
+
+	golden := filepath.Join("testdata", "exposition.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exposition drifted from golden file\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestFormatValue pins the spec spellings for special values.
+func TestFormatValue(t *testing.T) {
+	inf := math.Inf(1)
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{1, "1"}, {0.875, "0.875"}, {1.25e6, "1.25e+06"},
+		{inf, "+Inf"}, {-inf, "-Inf"},
+	}
+	for _, c := range cases {
+		if got := formatValue(c.v); got != c.want {
+			t.Errorf("formatValue(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+	if got := formatValue(inf - inf); got != "NaN" {
+		t.Errorf("formatValue(NaN) = %q", got)
+	}
+}
+
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	f.n++
+	if f.n > 2 {
+		return 0, errors.New("disk full")
+	}
+	return len(p), nil
+}
+
+// TestErrSticks: the first write error is retained and later emissions
+// become no-ops, so collectors can stream without per-line checks.
+func TestErrSticks(t *testing.T) {
+	fw := &failWriter{}
+	w := NewWriter(fw)
+	for i := 0; i < 10; i++ {
+		w.Meta("m", "h", "counter")
+		w.IntSample("m", nil, int64(i))
+	}
+	if w.Err() == nil {
+		t.Fatal("error did not stick")
+	}
+	writes := fw.n
+	w.IntSample("m", nil, 99)
+	if fw.n != writes {
+		t.Fatal("writer kept writing after error")
+	}
+}

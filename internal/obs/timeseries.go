@@ -1,0 +1,166 @@
+// In-process time-series store: a bounded ring of periodic metric
+// windows, so operators (and the capacity-planning items on the
+// roadmap) can see counters and latency percentiles *over time*
+// without an external scraper. Each observation deltifies cumulative
+// counters and diffs cumulative histogram snapshots into a per-window
+// distribution — the same snapshot-diff discipline the SLO watchdog
+// uses — keeping every window self-contained: rates are delta/duration,
+// and the ring's base plus the retained deltas always reconstructs the
+// current cumulative value exactly, even after wraparound.
+
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// TSWindow is one deltified observation window.
+type TSWindow struct {
+	UnixMS int64 `json:"unix_ms"` // window end
+	DurMS  int64 `json:"dur_ms"`
+	// Deltas holds per-counter increments over the window, index-aligned
+	// with TimelineSnapshot.Counters.
+	Deltas []int64 `json:"deltas"`
+	// HistCounts/HistP99US hold per-histogram window sample counts and
+	// p99s (µs), index-aligned with TimelineSnapshot.Hists.
+	HistCounts []uint64  `json:"hist_counts"`
+	HistP99US  []float64 `json:"hist_p99_us"`
+}
+
+// TimelineSnapshot is the JSON-friendly copy served on
+// /debug/holistic/timeline.
+type TimelineSnapshot struct {
+	Counters []string `json:"counters"`
+	Hists    []string `json:"hists"`
+	Capacity int      `json:"capacity"`
+	// Observed counts every window ever taken, including evicted ones.
+	Observed int64 `json:"observed"`
+	// Base holds the cumulative counter values at the start of the
+	// oldest retained window: Base[i] + sum of Windows[*].Deltas[i]
+	// equals the cumulative counter at the newest window's end.
+	Base    []int64    `json:"base"`
+	Windows []TSWindow `json:"windows"`
+}
+
+// TimeSeries is the bounded ring. All methods are cold (one call per
+// sampling interval); a plain mutex is fine.
+type TimeSeries struct {
+	mu       sync.Mutex
+	counters []string
+	hists    []string
+	cap      int
+
+	havePrev bool
+	prevT    time.Time
+	prev     []int64        // last cumulative counter values
+	prevH    []HistSnapshot // last cumulative histogram snapshots
+	base     []int64        // cumulative counters at ring start
+
+	ring     []TSWindow
+	start, n int
+	observed int64
+}
+
+// NewTimeSeries builds a ring of capacity windows over the named
+// counters and histograms. The name lists fix the column layout of
+// every window; observations must supply values in the same order.
+func NewTimeSeries(capacity int, counters, hists []string) *TimeSeries {
+	if capacity < 2 {
+		capacity = 2
+	}
+	return &TimeSeries{
+		counters: append([]string(nil), counters...),
+		hists:    append([]string(nil), hists...),
+		cap:      capacity,
+		prev:     make([]int64, len(counters)),
+		prevH:    make([]HistSnapshot, len(hists)),
+		base:     make([]int64, len(counters)),
+		ring:     make([]TSWindow, 0, capacity),
+	}
+}
+
+// Observe takes one sample of cumulative counter values and cumulative
+// histogram snapshots (index-aligned with the constructor's name
+// lists; hists entries may be nil for "no data"). The first call only
+// establishes the baseline; every later call appends one window,
+// evicting the oldest into the base when the ring is full.
+func (t *TimeSeries) Observe(now time.Time, counters []int64, hists []*HistSnapshot) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.havePrev {
+		for i := range t.counters {
+			if i < len(counters) {
+				t.prev[i] = counters[i]
+				t.base[i] = counters[i]
+			}
+		}
+		for i := range t.hists {
+			if i < len(hists) && hists[i] != nil {
+				t.prevH[i] = *hists[i]
+			}
+		}
+		t.prevT = now
+		t.havePrev = true
+		return
+	}
+	w := TSWindow{
+		UnixMS:     now.UnixMilli(),
+		DurMS:      now.Sub(t.prevT).Milliseconds(),
+		Deltas:     make([]int64, len(t.counters)),
+		HistCounts: make([]uint64, len(t.hists)),
+		HistP99US:  make([]float64, len(t.hists)),
+	}
+	for i := range t.counters {
+		if i < len(counters) {
+			w.Deltas[i] = counters[i] - t.prev[i]
+			t.prev[i] = counters[i]
+		}
+	}
+	for i := range t.hists {
+		if i >= len(hists) || hists[i] == nil {
+			continue
+		}
+		win := *hists[i]
+		win.Diff(&t.prevH[i])
+		w.HistCounts[i] = win.Count
+		w.HistP99US[i] = us(win.Quantile(0.99))
+		t.prevH[i] = *hists[i]
+	}
+	t.prevT = now
+	t.push(w)
+}
+
+// push appends w, folding the evicted window's deltas into base so the
+// base+deltas==cumulative invariant survives wraparound.
+func (t *TimeSeries) push(w TSWindow) {
+	t.observed++
+	if len(t.ring) < t.cap {
+		t.ring = append(t.ring, w)
+		return
+	}
+	old := &t.ring[t.start]
+	for i, d := range old.Deltas {
+		t.base[i] += d
+	}
+	*old = w
+	t.start = (t.start + 1) % t.cap
+}
+
+// Snapshot copies the retained windows oldest-first.
+func (t *TimeSeries) Snapshot() TimelineSnapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := TimelineSnapshot{
+		Counters: t.counters,
+		Hists:    t.hists,
+		Capacity: t.cap,
+		Observed: t.observed,
+		Base:     append([]int64(nil), t.base...),
+		Windows:  make([]TSWindow, 0, len(t.ring)),
+	}
+	for i := 0; i < len(t.ring); i++ {
+		s.Windows = append(s.Windows, t.ring[(t.start+i)%len(t.ring)])
+	}
+	return s
+}

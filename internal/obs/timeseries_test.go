@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestTimeSeriesWraparound is the property test: for random observation
+// streams much longer than the ring, the retained state must satisfy
+// base[i] + Σ windows.Deltas[i] == the last observed cumulative value,
+// the ring must hold exactly its capacity, and windows must stay in
+// chronological order.
+func TestTimeSeriesWraparound(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		capacity := 2 + rng.Intn(16)
+		ts := NewTimeSeries(capacity, []string{"a", "b"}, nil)
+		now := time.UnixMilli(1_000_000)
+		cum := []int64{rng.Int63n(1000), rng.Int63n(1000)}
+		obs := 2 + capacity + rng.Intn(3*capacity) // guarantee wraparound on most trials
+		for o := 0; o < obs; o++ {
+			now = now.Add(time.Duration(1+rng.Intn(5000)) * time.Millisecond)
+			cum[0] += rng.Int63n(100)
+			cum[1] += rng.Int63n(10)
+			ts.Observe(now, cum, nil)
+		}
+		s := ts.Snapshot()
+		if want := min(obs-1, capacity); len(s.Windows) != want {
+			t.Fatalf("trial %d: %d windows retained, want %d", trial, len(s.Windows), want)
+		}
+		if s.Observed != int64(obs-1) {
+			t.Fatalf("trial %d: observed %d, want %d", trial, s.Observed, obs-1)
+		}
+		for i := range s.Counters {
+			sum := s.Base[i]
+			for _, w := range s.Windows {
+				sum += w.Deltas[i]
+			}
+			if sum != cum[i] {
+				t.Fatalf("trial %d: counter %q: base+deltas = %d, want cumulative %d",
+					trial, s.Counters[i], sum, cum[i])
+			}
+		}
+		prev := int64(0)
+		for _, w := range s.Windows {
+			if w.UnixMS <= prev {
+				t.Fatalf("trial %d: windows out of order: %d after %d", trial, w.UnixMS, prev)
+			}
+			prev = w.UnixMS
+		}
+	}
+}
+
+// TestTimeSeriesHistogramWindows checks the per-window histogram diff:
+// each window's count and p99 reflect only the observations recorded
+// during that window.
+func TestTimeSeriesHistogramWindows(t *testing.T) {
+	ts := NewTimeSeries(8, nil, []string{"lat"})
+	var h Histogram
+	now := time.UnixMilli(0)
+	snap := func() []*HistSnapshot {
+		var s HistSnapshot
+		h.Snapshot(&s)
+		return []*HistSnapshot{&s}
+	}
+	ts.Observe(now, nil, snap()) // baseline
+
+	for i := 0; i < 100; i++ {
+		h.RecordNanos(1000) // 1µs window
+	}
+	now = now.Add(5 * time.Second)
+	ts.Observe(now, nil, snap())
+
+	for i := 0; i < 50; i++ {
+		h.RecordNanos(1_000_000) // 1ms window
+	}
+	now = now.Add(5 * time.Second)
+	ts.Observe(now, nil, snap())
+
+	s := ts.Snapshot()
+	if len(s.Windows) != 2 {
+		t.Fatalf("windows = %d, want 2", len(s.Windows))
+	}
+	w0, w1 := s.Windows[0], s.Windows[1]
+	if w0.HistCounts[0] != 100 || w1.HistCounts[0] != 50 {
+		t.Fatalf("window counts = %d, %d; want 100, 50", w0.HistCounts[0], w1.HistCounts[0])
+	}
+	if w0.HistP99US[0] >= 2 { // ~1µs
+		t.Fatalf("window 0 p99 = %vµs, want ~1µs", w0.HistP99US[0])
+	}
+	if w1.HistP99US[0] < 900 { // ~1000µs
+		t.Fatalf("window 1 p99 = %vµs, want ~1000µs", w1.HistP99US[0])
+	}
+	if w0.DurMS != 5000 || w1.DurMS != 5000 {
+		t.Fatalf("durations = %d, %d; want 5000", w0.DurMS, w1.DurMS)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -11,6 +11,7 @@ import (
 	"holistic/internal/groupby"
 	"holistic/internal/join"
 	"holistic/internal/obs"
+	"holistic/internal/obs/econ"
 	"holistic/internal/obs/flight"
 )
 
@@ -305,18 +306,71 @@ func TestSteadyStateCountFlightAllocationFree(t *testing.T) {
 	}
 }
 
+// TestSteadyStateCountEconAllocationFree: the economics recorder —
+// heatmap spans at plan time plus the drive-latency ledger in runSel —
+// rides the same hot path as the metrics block and must preserve its
+// zero-allocation steady state.
+func TestSteadyStateCountEconAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; allocation counts are meaningless")
+	}
+	const domain = 1 << 16
+	tab, _ := buildTable(3, 1<<15, domain, 23)
+	r := New(tab, engine.NewScanExecutor(tab, 1), 1)
+	r.SetMetrics(obs.NewQueryMetrics())
+	ec := econ.New()
+	r.SetEcon(ec)
+	preds := []Predicate{
+		{Attr: "a", Lo: 0, Hi: domain / 2},
+		{Attr: "b", Lo: domain / 4, Hi: domain},
+		{Attr: "c", Lo: 0, Hi: 3 * domain / 4},
+	}
+	if _, err := r.Count(preds); err != nil { // warm pools, intern heatmaps
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := r.Count(preds); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0.5 {
+		t.Errorf("econ-recorded Count allocates %.2f times per query, want 0", allocs)
+	}
+	snap := ec.Snapshot()
+	if len(snap.Access) != 3 {
+		t.Fatalf("access heatmaps cover %d attrs, want 3", len(snap.Access))
+	}
+	for _, hm := range snap.Access {
+		if hm.Total < 51 {
+			t.Errorf("heatmap %q recorded %d span-bucket hits, want >= 51", hm.Attr, hm.Total)
+		}
+	}
+	// The driving conjunct's ledger saw every query's drive stage.
+	var drives int64
+	for _, ie := range snap.Indexes {
+		drives += ie.DriveQueries
+	}
+	if drives < 51 {
+		t.Errorf("ledger recorded %d drive samples, want >= 51", drives)
+	}
+}
+
 // BenchmarkConjunctiveCountMetrics pairs the uninstrumented pipeline
-// against the same pipeline with the metrics block attached, and then
-// with the flight recorder on top: each delta is recording overhead the
-// 3% acceptance budget is charged to.
+// against the same pipeline with the metrics block attached, then with
+// the flight recorder on top, then with the economics recorder too:
+// each delta is recording overhead the 3% acceptance budget is charged
+// to.
 func BenchmarkConjunctiveCountMetrics(b *testing.B) {
-	for _, variant := range []string{"bare", "metrics", "flight"} {
+	for _, variant := range []string{"bare", "metrics", "flight", "econ"} {
 		r, preds := benchRunner(b, 1)
 		if variant != "bare" {
 			r.SetMetrics(obs.NewQueryMetrics())
 		}
-		if variant == "flight" {
+		if variant == "flight" || variant == "econ" {
 			r.SetFlight(flight.NewRecorder(flight.DefaultEvents))
+		}
+		if variant == "econ" {
+			r.SetEcon(econ.New())
 		}
 		b.Run(variant, func(b *testing.B) {
 			if _, err := r.Count(preds); err != nil { // warm pools

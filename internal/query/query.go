@@ -60,6 +60,7 @@ import (
 	"holistic/internal/engine"
 	"holistic/internal/groupby"
 	"holistic/internal/obs"
+	"holistic/internal/obs/econ"
 	"holistic/internal/obs/flight"
 )
 
@@ -123,6 +124,11 @@ type Runner struct {
 	// records into; nil disables flight recording (the Record methods
 	// are nil-safe, so the hot paths call through unconditionally).
 	fr *flight.Recorder
+	// ec is the refinement-economics recorder: predicate admissions
+	// charge the access heatmaps and the driving select's stage latency
+	// feeds the per-index benefit stream. Nil disables (the Note
+	// methods are nil-safe).
+	ec *econ.Econ
 	// sink receives one pooled QueryTrace per terminal when attached
 	// (boxed so swapping the interface is one atomic pointer store).
 	sink atomic.Pointer[sinkBox]
@@ -165,6 +171,11 @@ func (r *Runner) Metrics() *obs.QueryMetrics { return r.met }
 // and strategy choices record audit events into (nil detaches). Attach
 // before running queries, like SetMetrics.
 func (r *Runner) SetFlight(fr *flight.Recorder) { r.fr = fr }
+
+// SetEcon attaches the refinement-economics recorder predicate spans
+// and drive latencies are charged to (nil detaches). Attach before
+// running queries, like SetMetrics.
+func (r *Runner) SetEcon(e *econ.Econ) { r.ec = e }
 
 // SetTraceSink streams one execution trace per terminal into s (nil
 // stops tracing). Safe to swap concurrently with queries.
@@ -417,6 +428,21 @@ func (r *Runner) planScratch(sc *scratch, preds []Predicate) (empty bool, err er
 			tr.AddConjunct(p.Attr, p.Lo, p.Hi, sc.ests[i], i == 0)
 		}
 	}
+	if r.ec != nil {
+		// Predicate admission charges the access heatmaps. Residual
+		// conjuncts reach the executor through PredicateSpanSink (which
+		// records them itself, with the cracker's domain); here only the
+		// driving conjunct — plus everything when the mode has no span
+		// sink — is charged, so each span lands exactly once.
+		_, spanSink := r.exec.(engine.PredicateSpanSink)
+		for i, p := range sc.preds {
+			if i > 0 && spanSink {
+				continue
+			}
+			dLo, dHi := r.domain(p.Attr)
+			r.ec.NotePredicate(p.Attr, p.Lo, p.Hi, dLo, dHi)
+		}
+	}
 	return false, nil
 }
 
@@ -507,7 +533,7 @@ func (r *Runner) runSel(sc *scratch, extraAttrs []string, rep repChoice) (useBit
 	}
 	r.fr.RecordRep(uint8(repKind), sc.seq, int64(sc.ests[0]), int64(len(sc.preds)))
 	tr := sc.trace
-	timed := tr != nil || r.fr != nil
+	timed := tr != nil || r.fr != nil || r.ec != nil
 	var t0 time.Time
 	if tr != nil {
 		if useBitmap {
@@ -534,6 +560,10 @@ func (r *Runner) runSel(sc *scratch, extraAttrs []string, rep repChoice) (useBit
 	}
 	if timed {
 		sc.driveNs = time.Since(t0).Nanoseconds()
+		// The benefit stream: this drive's latency lands in the index's
+		// current convergence bucket, where the ledger's estimator
+		// compares it against the unrefined baseline.
+		r.ec.NoteDrive(drive.Attr, sc.driveNs)
 	}
 	if tr != nil {
 		if useBitmap {
@@ -547,7 +577,13 @@ func (r *Runner) runSel(sc *scratch, extraAttrs []string, rep repChoice) (useBit
 	if timed {
 		t0 = time.Now()
 	}
-	if sink, ok := r.exec.(engine.PredicateSink); ok {
+	if span, ok := r.exec.(engine.PredicateSpanSink); ok {
+		for _, p := range sc.preds[1:] {
+			if err := span.NotePredicateSpan(p.Attr, p.Lo, p.Hi); err != nil {
+				return false, err
+			}
+		}
+	} else if sink, ok := r.exec.(engine.PredicateSink); ok {
 		for _, p := range sc.preds[1:] {
 			if err := sink.NotePredicate(p.Attr); err != nil {
 				return false, err

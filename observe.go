@@ -13,6 +13,7 @@ import (
 	"holistic/internal/groupby"
 	"holistic/internal/holistic"
 	"holistic/internal/obs"
+	"holistic/internal/obs/econ"
 )
 
 // ExplainConjunct is one planned range conjunct of an Explain report,
@@ -258,6 +259,10 @@ type Metrics struct {
 	// Flight reports the flight recorder and its watchdog: ring
 	// occupancy, rolling baselines, anomaly counts (DESIGN.md §11).
 	Flight *FlightStatus `json:"flight,omitempty"`
+	// Economics reports the refinement cost-benefit ledger — per-index
+	// daemon time invested versus estimated drive-latency savings — and
+	// the key-range access/refine heatmaps (DESIGN.md §12).
+	Economics *econ.Snapshot `json:"economics,omitempty"`
 	// Trace reports the JSONL trace sink attached via SetTraceJSONL /
 	// SetTraceJSONLFile: lines and bytes written, write errors (which
 	// would otherwise drop silently), and file rotations.
@@ -287,6 +292,7 @@ func (s *Store) Metrics() Metrics {
 		m.Recovery = s.dur.snapshotMetrics()
 	}
 	m.Flight = s.flightStatus()
+	m.Economics = s.ec.Snapshot()
 	if sink != nil {
 		st := sink.Snapshot()
 		m.Trace = &st

@@ -1,0 +1,192 @@
+// The store's Prometheus collector (DESIGN.md §12): every Store
+// registers itself on the shared /metrics exposition at creation and
+// streams its counters, latency histograms, daemon convergence,
+// refinement economics and heatmaps through the scrape's shared
+// prom.Writer. Naming follows the Prometheus conventions adapted to
+// this codebase's units: histograms and invested/saved series carry an
+// explicit _ns suffix (the repo measures in nanoseconds, not seconds),
+// cumulative counters end in _total, and every series is labeled with
+// the store's registry name so several stores in one process stay
+// distinguishable.
+
+package holistic
+
+import (
+	"math"
+	"sort"
+	"strconv"
+
+	"holistic/internal/engine"
+	"holistic/internal/obs"
+	"holistic/internal/obs/econ"
+	"holistic/internal/obs/prom"
+)
+
+// promCollect streams the store's samples into one scrape. Cold path;
+// allocates freely.
+func (s *Store) promCollect(w *prom.Writer) {
+	store := []prom.Label{prom.L("store", s.obsName)}
+	s.mu.Lock()
+	exec := s.exec
+	rows := s.table.Rows()
+	s.mu.Unlock()
+
+	w.Meta("holistic_rows", "Relation row count.", "gauge")
+	w.IntSample("holistic_rows", store, int64(rows))
+	w.Meta("holistic_queries_total", "Sequenced query executions.", "counter")
+	w.IntSample("holistic_queries_total", store, int64(s.met.Seq()))
+
+	// Latency histograms: the merged all-operations distribution and the
+	// executor's single-attribute select distribution, in nanoseconds.
+	var merged, sel obs.HistSnapshot
+	s.met.MergedLatency(&merged)
+	s.execMet.SelectLatency.Snapshot(&sel)
+	writePromHist(w, "holistic_query_latency_ns",
+		"Latency of query operations across all terminals, nanoseconds.", store, &merged)
+	writePromHist(w, "holistic_select_latency_ns",
+		"Latency of single-attribute select operations, nanoseconds.", store, &sel)
+
+	qs := s.met.Snapshot()
+	w.Meta("holistic_op_p99_us", "Per-operation p99 latency, microseconds.", "gauge")
+	for _, op := range sortedKeys(qs.Latency) {
+		w.Sample("holistic_op_p99_us", append(store, prom.L("op", op)), qs.Latency[op].P99US)
+	}
+	w.Meta("holistic_representations_total",
+		"Executed intermediate selection representations.", "counter")
+	for _, rep := range sortedKeys(qs.Representations) {
+		w.IntSample("holistic_representations_total", append(store, prom.L("rep", rep)), qs.Representations[rep])
+	}
+	w.Meta("holistic_strategies_total",
+		"Executed physical strategies, keyed subsystem/strategy.", "counter")
+	for _, st := range sortedKeys(qs.Strategies) {
+		w.IntSample("holistic_strategies_total", append(store, prom.L("strategy", st)), qs.Strategies[st])
+	}
+
+	w.Meta("holistic_selects_total", "Single-attribute select operations.", "counter")
+	w.IntSample("holistic_selects_total", store, s.execMet.Selects.Load())
+	w.Meta("holistic_cracker_builds_total", "Index structures created on first touch.", "counter")
+	w.IntSample("holistic_cracker_builds_total", store, s.execMet.CrackerBuilds.Load())
+	w.Meta("holistic_merged_updates_total", "Pending updates merged on the query path.", "counter")
+	w.IntSample("holistic_merged_updates_total", store, s.execMet.MergedUpdates.Load())
+	w.Meta("holistic_key_order_walks_total", "Full key-ordered index walks.", "counter")
+	w.IntSample("holistic_key_order_walks_total", store, s.execMet.KeyOrderWalks.Load())
+
+	if h, ok := exec.(*engine.HolisticExecutor); ok {
+		s.promDaemon(w, store, h)
+	}
+	s.promEconomics(w, store)
+
+	if s.flight != nil {
+		w.Meta("holistic_flight_events_total", "Flight-recorder events recorded.", "counter")
+		w.IntSample("holistic_flight_events_total", store, int64(s.flight.Head()))
+		wd := s.wd.State()
+		w.Meta("holistic_flight_anomalies_total", "Watchdog anomalies detected.", "counter")
+		w.IntSample("holistic_flight_anomalies_total", store, wd.Anomalies)
+		w.Meta("holistic_flight_dumps_total", "Flight dumps written.", "counter")
+		w.IntSample("holistic_flight_dumps_total", store, wd.DumpsWritten)
+		w.Meta("holistic_watchdog_baseline_p99_us",
+			"Watchdog rolling baseline p99, microseconds.", "gauge")
+		w.Sample("holistic_watchdog_baseline_p99_us", store, wd.BaselineP99US)
+	}
+}
+
+// promDaemon streams the background daemon's convergence state.
+func (s *Store) promDaemon(w *prom.Writer, store []prom.Label, h *engine.HolisticExecutor) {
+	conv := h.Daemon.Convergence()
+	if conv == nil {
+		return
+	}
+	w.Meta("holistic_convergence_ratio",
+		"Mean per-index refinement progress, 1.0 = whole index space optimal.", "gauge")
+	w.Sample("holistic_convergence_ratio", store, conv.Ratio)
+	w.Meta("holistic_refinements_total", "Successful background refinement actions.", "counter")
+	w.IntSample("holistic_refinements_total", store, conv.Refinements)
+	w.Meta("holistic_refine_attempts_total", "Refinement pivot attempts including re-rolls.", "counter")
+	w.IntSample("holistic_refine_attempts_total", store, conv.Attempts)
+	w.Meta("holistic_busy_rerolls_total", "Latch-contention pivot re-rolls.", "counter")
+	w.IntSample("holistic_busy_rerolls_total", store, conv.BusyRerolls)
+	w.Meta("holistic_worker_panics_total", "Contained daemon worker panics.", "counter")
+	w.IntSample("holistic_worker_panics_total", store, conv.WorkerPanics)
+	w.Meta("holistic_daemon_cycles_total", "Daemon tuning cycles run.", "counter")
+	w.IntSample("holistic_daemon_cycles_total", store, conv.Totals.Cycles)
+	w.Meta("holistic_index_pieces", "Current partition count per index.", "gauge")
+	w.Meta("holistic_index_progress",
+		"Per-index refinement progress, 0 = untouched, 1 = optimal.", "gauge")
+	for _, ic := range conv.Indexes {
+		labels := append(store, prom.L("index", ic.Name))
+		w.IntSample("holistic_index_pieces", labels, int64(ic.Pieces))
+		w.Sample("holistic_index_progress", labels, ic.Progress)
+	}
+}
+
+// promEconomics streams the refinement cost-benefit ledger and the
+// key-range heatmaps.
+func (s *Store) promEconomics(w *prom.Writer, store []prom.Label) {
+	es := s.ec.Snapshot()
+	if es == nil {
+		return
+	}
+	w.Meta("holistic_refine_invested_ns",
+		"Daemon nanoseconds invested refining each index.", "counter")
+	w.Meta("holistic_refine_saved_ns",
+		"Estimated drive-latency nanoseconds saved by each index's refinement.", "counter")
+	w.Meta("holistic_refine_roi",
+		"Estimated saved / invested nanoseconds per index.", "gauge")
+	for _, ie := range es.Indexes {
+		labels := append(store, prom.L("index", ie.Name))
+		w.IntSample("holistic_refine_invested_ns", labels, ie.InvestedNS)
+		w.IntSample("holistic_refine_saved_ns", labels, ie.SavedNS)
+		w.Sample("holistic_refine_roi", labels, ie.ROI)
+	}
+	writePromHeatmaps(w, "holistic_access_heatmap_total",
+		"Predicate accesses per equi-width key-range bucket.", store, es.Access)
+	writePromHeatmaps(w, "holistic_refine_heatmap_total",
+		"Refinement pivots per equi-width key-range bucket.", store, es.Refine)
+}
+
+// writePromHeatmaps emits the non-zero buckets of each heatmap; empty
+// buckets are implicit zeros, keeping a 256-bucket map's exposition
+// proportional to where load actually landed.
+func writePromHeatmaps(w *prom.Writer, name, help string, store []prom.Label, maps []econ.HeatmapState) {
+	if len(maps) == 0 {
+		return
+	}
+	w.Meta(name, help, "counter")
+	for _, hm := range maps {
+		for b, n := range hm.Counts {
+			if n == 0 {
+				continue
+			}
+			w.IntSample(name, append(store,
+				prom.L("attr", hm.Attr), prom.L("bucket", strconv.Itoa(b))), n)
+		}
+	}
+}
+
+// writePromHist renders one cumulative nanosecond histogram in the
+// Prometheus bucket convention: only buckets where the cumulative count
+// advances are emitted (the log-linear layout has 960; implicit
+// repeats add nothing), closed by the mandatory +Inf bucket and the
+// _sum/_count pair.
+func writePromHist(w *prom.Writer, name, help string, labels []prom.Label, h *obs.HistSnapshot) {
+	w.Meta(name, help, "histogram")
+	var prev uint64
+	h.ForEachBucket(func(upperNs int64, cum uint64) {
+		if cum != prev && upperNs != math.MaxInt64 {
+			w.Bucket(name, labels, strconv.FormatInt(upperNs, 10), cum)
+			prev = cum
+		}
+	})
+	w.Bucket(name, labels, "+Inf", h.Count)
+	w.HistogramTail(name, labels, float64(h.Sum), h.Count)
+}
+
+// sortedKeys orders a map's keys for a stable exposition.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

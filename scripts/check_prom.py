@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""CI Prometheus exposition check.
+
+Usage: check_prom.py metrics.txt [required_series ...]
+
+Validates a scraped /metrics body against the text format (0.0.4) the
+endpoint claims to speak:
+
+- every non-comment line parses as `name{labels} value` or
+  `name value` with a float (or +Inf/-Inf/NaN) value;
+- HELP and TYPE appear at most once per metric family (duplicate TYPE
+  is a hard parse error in real Prometheus servers);
+- every histogram bucket group — samples of one `<base>_bucket` series
+  sharing the labels minus `le` — is monotone non-decreasing in le
+  order and ends with an explicit le="+Inf" bucket;
+- at least one `_bucket` series with an le label exists;
+- every required series name passed as an extra argument has at least
+  one sample line.
+"""
+import math
+import re
+import sys
+
+LINE = re.compile(
+    r'^([a-zA-Z_:][a-zA-Z0-9_:]*)'      # metric name
+    r'(?:\{(.*)\})?'                     # optional label block
+    r' (NaN|[+-]Inf|[-+0-9].\S*|[0-9])'  # value
+    r'(?: \d+)?$'                        # optional timestamp
+)
+LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_value(s):
+    if s == "NaN":
+        return math.nan
+    if s == "+Inf":
+        return math.inf
+    if s == "-Inf":
+        return -math.inf
+    return float(s)
+
+
+def parse_labels(block):
+    if not block:
+        return ()
+    pairs = LABEL.findall(block)
+    # Reconstruct and compare to catch garbage between pairs.
+    rebuilt = ",".join(f'{k}="{v}"' for k, v in pairs)
+    stripped = block.rstrip(",")
+    if rebuilt != stripped:
+        raise ValueError(f"unparseable label block {{{block}}}")
+    return tuple(sorted(pairs))
+
+
+def main():
+    if len(sys.argv) < 2:
+        raise SystemExit(__doc__)
+    path, required = sys.argv[1], sys.argv[2:]
+    with open(path) as f:
+        lines = f.read().splitlines()
+
+    meta_seen = {}  # (kind, family) -> line number
+    samples = {}    # name -> count
+    buckets = {}    # (base name, labels minus le) -> [(le, value)]
+    errors = []
+
+    for i, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] in ("HELP", "TYPE"):
+                key = (parts[1], parts[2])
+                if key in meta_seen:
+                    errors.append(
+                        f"line {i}: duplicate # {parts[1]} {parts[2]} "
+                        f"(first at line {meta_seen[key]})")
+                meta_seen[key] = i
+            continue
+        m = LINE.match(line)
+        if not m:
+            errors.append(f"line {i}: unparseable sample: {line!r}")
+            continue
+        name, label_block, value_s = m.group(1), m.group(2), m.group(3)
+        try:
+            value = parse_value(value_s)
+            labels = parse_labels(label_block)
+        except ValueError as e:
+            errors.append(f"line {i}: {e}")
+            continue
+        samples[name] = samples.get(name, 0) + 1
+        if name.endswith("_bucket"):
+            le = dict(labels).get("le")
+            if le is None:
+                errors.append(f"line {i}: _bucket sample without le label")
+                continue
+            rest = tuple(kv for kv in labels if kv[0] != "le")
+            buckets.setdefault((name, rest), []).append((le, value))
+
+    if not buckets:
+        errors.append("no _bucket series with an le label found")
+
+    for (name, rest), pairs in buckets.items():
+        where = f'{name}{{{",".join(f"{k}={v}" for k, v in rest)}}}'
+        les = [le for le, _ in pairs]
+        if les.count("+Inf") != 1 or les[-1] != "+Inf":
+            errors.append(f"{where}: bucket group must end with one le=\"+Inf\"")
+        finite = [(float(le), v) for le, v in pairs if le != "+Inf"]
+        if sorted(le for le, _ in finite) != [le for le, _ in finite]:
+            errors.append(f"{where}: le bounds out of order")
+        counts = [v for _, v in finite] + [v for le, v in pairs if le == "+Inf"]
+        for a, b in zip(counts, counts[1:]):
+            if b < a:
+                errors.append(f"{where}: cumulative counts decrease ({a} -> {b})")
+                break
+
+    for name in required:
+        if samples.get(name, 0) == 0:
+            errors.append(f"required series {name} has no samples")
+
+    if errors:
+        for e in errors:
+            print("check_prom:", e, file=sys.stderr)
+        raise SystemExit(1)
+    print(f"check_prom: OK ({sum(samples.values())} samples, "
+          f"{len(samples)} series names, {len(buckets)} bucket groups)")
+
+
+if __name__ == "__main__":
+    main()
